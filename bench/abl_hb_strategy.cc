@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation: Hummingbird compilation strategy (GEMM vs
+ * PerfectTreeTraversal).
+ *
+ * The paper notes Hummingbird trades redundant computation for perfectly
+ * regular tensor kernels. The GEMM strategy's work grows with
+ * internal x leaf products, so it only pays off for small trees; this
+ * table quantifies the trade across model sizes.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "dbscore/common/string_util.h"
+#include "dbscore/common/table_printer.h"
+#include "dbscore/core/report.h"
+#include "dbscore/engines/gpu/hummingbird_engine.h"
+#include "dbscore/gpusim/gpu_device.h"
+
+namespace dbscore::bench {
+namespace {
+
+SimTime
+StrategyTime(const BenchModel& model, HbStrategy strategy, std::size_t n)
+{
+    HardwareProfile profile = HardwareProfile::Paper();
+    GpuDeviceModel device(profile.gpu, profile.gpu_link);
+    HummingbirdParams params = profile.hummingbird;
+    params.strategy = strategy;
+    HummingbirdGpuEngine engine(device, params);
+    engine.LoadModel(model.ensemble, model.stats);
+    return engine.Estimate(n).Total();
+}
+
+void
+Run()
+{
+    TablePrinter table({"model", "avg nodes/tree", "GEMM @1M",
+                        "PerfectTT @1M", "better"});
+    for (DatasetKind kind : {DatasetKind::kIris, DatasetKind::kHiggs}) {
+        for (std::size_t trees : {std::size_t{1}, std::size_t{32},
+                                  std::size_t{128}}) {
+            for (std::size_t depth : {std::size_t{4}, std::size_t{10}}) {
+                const BenchModel& model = GetModel(kind, trees, depth);
+                SimTime gemm =
+                    StrategyTime(model, HbStrategy::kGemm, 1000000);
+                SimTime ptt = StrategyTime(
+                    model, HbStrategy::kPerfectTreeTraversal, 1000000);
+                table.AddRow(
+                    {std::string(DatasetName(kind)) + " " +
+                         HumanCount(trees) + "t/" + HumanCount(depth) +
+                         "d",
+                     StrFormat("%.0f", model.stats.avg_nodes_per_tree),
+                     gemm.ToString(), ptt.ToString(),
+                     gemm < ptt ? "GEMM" : "PerfectTT"});
+            }
+        }
+    }
+    std::cout << "Ablation: Hummingbird strategy at 1M records\n";
+    table.Print(std::cout);
+    std::cout << "\nGEMM wins only while trees stay tiny (shallow IRIS "
+                 "models); once trees\napproach full depth-10 size its "
+                 "redundant internal x leaf work explodes\nand "
+                 "level-synchronous traversal wins — matching "
+                 "Hummingbird's heuristic.\n";
+}
+
+}  // namespace
+}  // namespace dbscore::bench
+
+int
+main()
+{
+    dbscore::bench::Run();
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation: fixed-point tree memories.
+ *
+ * The paper stores 4 x 32-bit words per node and identifies BRAM as the
+ * limiting FPGA resource. This bench quantizes thresholds to narrower
+ * fixed-point formats and reports the accuracy cost against the BRAM
+ * saved — i.e., how many more trees a pass could host.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "dbscore/common/string_util.h"
+#include "dbscore/common/table_printer.h"
+#include "dbscore/fpgasim/quantize.h"
+#include "dbscore/fpgasim/tree_layout.h"
+
+namespace dbscore::bench {
+namespace {
+
+void
+Run()
+{
+    FpgaSpec fpga;
+    const std::uint64_t slots = FullTreeSlots(
+        static_cast<std::size_t>(fpga.max_tree_depth));
+
+    for (DatasetKind kind : {DatasetKind::kIris, DatasetKind::kHiggs}) {
+        const BenchModel& model = GetModel(kind, 128, 10);
+        const Dataset& probe = TrainingData(kind);
+
+        TablePrinter table({"format", "bytes/node", "BRAM for 128 trees",
+                            "max trees in BRAM",
+                            "prediction disagreement"});
+        struct Format {
+            const char* label;
+            QuantizationSpec spec;
+        };
+        for (const Format& fmt : std::initializer_list<Format>{
+                 {"float32 (paper)", {32, 16}},
+                 {"Q11.4 (16-bit)", {16, 4}},
+                 {"Q7.8 (16-bit)", {16, 8}},
+                 {"Q3.4 (8-bit)", {8, 4}},
+                 {"Q1.4 (6-bit)", {6, 4}}}) {
+            double disagreement = 0.0;
+            if (fmt.spec.total_bits < 32) {
+                RandomForest quantized =
+                    QuantizeForest(model.forest, fmt.spec);
+                disagreement = QuantizationDisagreement(
+                    model.forest, quantized, probe);
+            }
+            const std::uint64_t node_bytes =
+                fmt.spec.total_bits == 32
+                    ? static_cast<std::uint64_t>(fpga.node_bytes)
+                    : QuantizedNodeBytes(fmt.spec);
+            const std::uint64_t per_tree = slots * node_bytes;
+            const std::uint64_t budget =
+                fpga.bram_bytes - fpga.result_buffer_bytes;
+            table.AddRow({fmt.label, std::to_string(node_bytes),
+                          HumanBytes(128 * per_tree),
+                          std::to_string(budget / per_tree),
+                          StrFormat("%.2f%%", 100.0 * disagreement)});
+        }
+        std::cout << "Ablation: fixed-point tree memory ("
+                  << DatasetName(kind) << ", 128 trees, 10 levels)\n";
+        table.Print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout
+        << "16-bit thresholds fit ~2x more trees per pass at a fraction "
+           "of a percent\nof changed predictions; below ~8 bits the "
+           "clamped/rounded comparisons start\nvisibly disagreeing "
+           "with the float model.\n";
+}
+
+}  // namespace
+}  // namespace dbscore::bench
+
+int
+main()
+{
+    dbscore::bench::Run();
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Ablation: scheduler policy regret.
+ *
+ * The paper argues a scheduler "would need to make the accelerator
+ * offloading decisions dynamically" and quantifies the cost of wrong
+ * static choices (~10x latency for needless offload, ~70x throughput for
+ * missed offload). This bench compares three policies against the oracle
+ * across the full sweep:
+ *   - always-CPU / always-FPGA (the static extremes)
+ *   - a LogCA-style affine model fitted from two probes
+ * reporting worst-case and geometric-mean regret.
+ */
+#include <cmath>
+#include <functional>
+#include <iostream>
+
+#include "bench_util.h"
+#include "dbscore/common/string_util.h"
+#include "dbscore/common/table_printer.h"
+#include "dbscore/core/logca_model.h"
+#include "dbscore/core/report.h"
+
+namespace dbscore::bench {
+namespace {
+
+struct Policy {
+    std::string name;
+    /** Returns the backend this policy picks at @p num_rows. */
+    std::function<BackendKind(const OffloadScheduler&, std::size_t)> pick;
+};
+
+void
+Run()
+{
+    std::vector<Policy> policies;
+    policies.push_back(
+        {"always best-CPU", [](const OffloadScheduler& sched,
+                               std::size_t n) {
+             BackendKind best = BackendKind::kCpuSklearn;
+             SimTime best_time = SimTime::Seconds(1e30);
+             for (BackendKind kind : sched.Available()) {
+                 if (BackendDeviceClass(kind) == DeviceClass::kCpu) {
+                     SimTime t = sched.EstimateFor(kind, n).Total();
+                     if (t < best_time) {
+                         best_time = t;
+                         best = kind;
+                     }
+                 }
+             }
+             return best;
+         }});
+    policies.push_back({"always FPGA",
+                        [](const OffloadScheduler&, std::size_t) {
+                            return BackendKind::kFpga;
+                        }});
+    policies.push_back(
+        {"LogCA model (2 probes)",
+         [](const OffloadScheduler& sched, std::size_t n) {
+             LogCaModel model = LogCaModel::Fit(sched);
+             return model.Choose(n);
+         }});
+
+    TablePrinter table({"policy", "worst regret", "geomean regret",
+                        "optimal picks"});
+    for (const Policy& policy : policies) {
+        double worst = 1.0;
+        double log_sum = 0.0;
+        int count = 0;
+        int optimal = 0;
+        for (DatasetKind kind :
+             {DatasetKind::kIris, DatasetKind::kHiggs}) {
+            for (std::size_t trees : {std::size_t{1}, std::size_t{32},
+                                      std::size_t{128}}) {
+                auto sched = MakeScheduler(GetModel(kind, trees, 10));
+                for (std::size_t n : RecordSweep()) {
+                    BackendKind pick = policy.pick(sched, n);
+                    double regret = sched.Regret(pick, n);
+                    worst = std::max(worst, regret);
+                    log_sum += std::log(regret);
+                    ++count;
+                    if (regret < 1.0001) {
+                        ++optimal;
+                    }
+                }
+            }
+        }
+        table.AddRow({policy.name, FormatSpeedup(worst),
+                      StrFormat("%.2fx", std::exp(log_sum / count)),
+                      StrFormat("%d / %d", optimal, count)});
+    }
+    std::cout << "Ablation: scheduling policy regret over the full "
+                 "(dataset x trees x records) sweep\n";
+    table.Print(std::cout);
+    std::cout << "\nStatic policies pay an order of magnitude at one "
+                 "extreme of the sweep;\nthe two-probe LogCA model "
+                 "recovers near-oracle decisions except around\n"
+                 "crossovers where the engines' cost curvature (cache "
+                 "effects) bends away\nfrom the affine fit.\n";
+}
+
+}  // namespace
+}  // namespace dbscore::bench
+
+int
+main()
+{
+    dbscore::bench::Run();
+    return 0;
+}

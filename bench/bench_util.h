@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration benches: dataset/model
+ * construction matching the paper's configurations, the record-count
+ * sweep grid, and best-backend queries.
+ */
+#ifndef DBSCORE_BENCH_BENCH_UTIL_H
+#define DBSCORE_BENCH_BENCH_UTIL_H
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dbscore/core/scheduler.h"
+#include "dbscore/data/dataset.h"
+#include "dbscore/forest/forest.h"
+#include "dbscore/forest/model_stats.h"
+#include "dbscore/forest/onnx_like.h"
+
+namespace dbscore::bench {
+
+/** The paper's two evaluation datasets. */
+enum class DatasetKind { kIris, kHiggs };
+
+const char* DatasetName(DatasetKind kind);
+
+/** Feature count of a dataset kind (IRIS 4, HIGGS 28). */
+std::size_t DatasetFeatures(DatasetKind kind);
+
+/** Training sample used to fit bench models (cached per kind). */
+const Dataset& TrainingData(DatasetKind kind);
+
+/** A trained model plus everything the engines need. */
+struct BenchModel {
+    DatasetKind dataset;
+    std::size_t trees;
+    std::size_t depth;
+    RandomForest forest;
+    TreeEnsemble ensemble;
+    ModelStats stats;
+};
+
+/**
+ * Trains (and caches) a random forest with the paper's configuration:
+ * @p trees trees capped at @p depth levels on the given dataset.
+ */
+const BenchModel& GetModel(DatasetKind kind, std::size_t trees,
+                           std::size_t depth);
+
+/** Builds a scheduler with every viable backend for @p model. */
+OffloadScheduler MakeScheduler(const BenchModel& model);
+
+/** The record-count sweep the paper's Figures 9/10 use (1 .. 1M). */
+const std::vector<std::size_t>& RecordSweep();
+
+/** Best (lowest-latency) CPU-class estimate at @p num_rows. */
+SimTime BestCpuTime(const OffloadScheduler& sched, std::size_t num_rows);
+
+/** Best accelerator-class (GPU or FPGA) estimate at @p num_rows. */
+SimTime BestAcceleratorTime(const OffloadScheduler& sched,
+                            std::size_t num_rows);
+
+/**
+ * Smallest record count in a fine sweep where an accelerator beats the
+ * best CPU engine (the paper's "crossover point"); 0 if none.
+ */
+std::size_t FindCpuCrossover(const OffloadScheduler& sched);
+
+/**
+ * Prints the Figure-9 (latency) or Figure-10 (throughput) panels a-h:
+ * {IRIS, HIGGS} x {1, 128 trees} x {6, 10 levels}, one series per
+ * backend that can host the model. When @p csv_dir is non-empty, each
+ * panel is additionally written as <csv_dir>/<figure><panel>.csv for
+ * external plotting.
+ */
+void PrintFigure9Or10(bool as_throughput,
+                      const std::string& csv_dir = "");
+
+/**
+ * Writes one latency series as CSV: a records column plus one
+ * seconds-valued column per backend series.
+ */
+void DumpSeriesCsv(const std::string& path,
+                   const std::vector<std::size_t>& record_counts,
+                   const std::vector<std::string>& series_names,
+                   const std::vector<std::vector<SimTime>>& series);
+
+}  // namespace dbscore::bench
+
+#endif  // DBSCORE_BENCH_BENCH_UTIL_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Regenerates Figure 1: the best-performing hardware backend as a
+ * function of model complexity (x) and data size (y).
+ *
+ * The paper's figure is a schematic grid whose columns grow in model
+ * complexity and whose rows grow in data size, with each cell labeled
+ * CPU / GPU / FPGA. We rebuild it from the scheduler: for each dataset,
+ * tree count, and record count, pick the lowest-latency backend and
+ * report its device class.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "dbscore/common/string_util.h"
+#include "dbscore/common/table_printer.h"
+
+namespace dbscore::bench {
+namespace {
+
+const char*
+ClassName(DeviceClass device)
+{
+    switch (device) {
+      case DeviceClass::kCpu: return "CPU";
+      case DeviceClass::kGpu: return "GPU";
+      case DeviceClass::kFpga: return "FPGA";
+    }
+    return "?";
+}
+
+void
+Run()
+{
+    const std::vector<std::size_t> records = {1,      100,    10000,
+                                              100000, 500000, 1000000};
+    // Model complexity axis: tree count at depth 10, per dataset.
+    const std::vector<std::size_t> trees = {1, 8, 32, 128};
+
+    for (DatasetKind kind : {DatasetKind::kIris, DatasetKind::kHiggs}) {
+        std::vector<std::string> headers{"records \\ trees"};
+        for (std::size_t t : trees) {
+            headers.push_back(HumanCount(t));
+        }
+        TablePrinter table(std::move(headers));
+        for (std::size_t n : records) {
+            std::vector<std::string> row{HumanCount(n)};
+            for (std::size_t t : trees) {
+                auto sched = MakeScheduler(GetModel(kind, t, 10));
+                row.push_back(
+                    ClassName(BackendDeviceClass(sched.Choose(n).best)));
+            }
+            table.AddRow(std::move(row));
+        }
+        std::cout << "Figure 1 (" << DatasetName(kind)
+                  << "): best-performing device class vs model "
+                     "complexity and data size\n";
+        table.Print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout
+        << "Expected paper shape: CPU in the small-data rows; the GPU "
+           "only for the\nsimplest models at large data sizes; FPGA "
+           "everywhere complexity and data\nare both large.\n";
+}
+
+}  // namespace
+}  // namespace dbscore::bench
+
+int
+main()
+{
+    dbscore::bench::Run();
+    return 0;
+}

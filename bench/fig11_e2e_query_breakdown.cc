@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Regenerates Figure 11: the end-to-end T-SQL query latency breakdown —
+ * model pre-processing, data pre-processing, model scoring, Python
+ * invocation, and DBMS<->process data transfer — for CPU, GPU, and FPGA
+ * backends, and the paper's headline ~2.6x end-to-end query speedup at
+ * 1M HIGGS records.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "dbscore/common/string_util.h"
+#include "dbscore/common/table_printer.h"
+#include "dbscore/core/report.h"
+#include "dbscore/dbms/pipeline.h"
+
+namespace dbscore::bench {
+namespace {
+
+/** Backends Figure 11 compares. */
+const std::vector<BackendKind> kBackends = {
+    BackendKind::kCpuOnnxMt, BackendKind::kGpuHummingbird,
+    BackendKind::kFpga};
+
+void
+PrintPanel(Database& db, ScoringPipeline& pipeline, DatasetKind kind,
+           std::size_t trees, std::size_t num_records)
+{
+    (void)db;
+    const std::string model_name =
+        std::string(DatasetName(kind)) + "_" + HumanCount(trees) + "t";
+
+    TablePrinter table({"stage", "CPU (ONNX 52t)", "GPU (HB)", "FPGA"});
+    std::vector<PipelineStageTimes> stages;
+    for (BackendKind backend : kBackends) {
+        pipeline.runtime().ResetPool();  // cold Python launch, like a
+                                         // fresh query session
+        stages.push_back(
+            pipeline.EstimateQuery(model_name, num_records, backend));
+    }
+    auto add = [&](const char* name, auto getter) {
+        std::vector<std::string> row{name};
+        for (const auto& s : stages) {
+            row.push_back(getter(s).ToString());
+        }
+        table.AddRow(std::move(row));
+    };
+    add("Python invocation", [](const PipelineStageTimes& s) {
+        return s.python_invocation;
+    });
+    add("data transfer (DBMS<->proc)", [](const PipelineStageTimes& s) {
+        return s.data_transfer;
+    });
+    add("model pre-processing", [](const PipelineStageTimes& s) {
+        return s.model_preprocessing;
+    });
+    add("data pre-processing", [](const PipelineStageTimes& s) {
+        return s.data_preprocessing;
+    });
+    add("model scoring (overall)", [](const PipelineStageTimes& s) {
+        return s.scoring.Total();
+    });
+    table.AddSeparator();
+    add("TOTAL query time", [](const PipelineStageTimes& s) {
+        return s.Total();
+    });
+
+    std::cout << "Figure 11 (" << DatasetName(kind) << ", "
+              << HumanCount(trees) << " trees, 10 levels, "
+              << HumanCount(num_records) << " records)\n";
+    table.Print(std::cout);
+
+    double cpu = stages.front().Total().seconds();
+    std::cout << "query speedup vs CPU:  GPU "
+              << FormatSpeedup(cpu / stages[1].Total().seconds())
+              << ", FPGA "
+              << FormatSpeedup(cpu / stages[2].Total().seconds())
+              << "\n\n";
+}
+
+void
+Run()
+{
+    Database db;
+    HardwareProfile profile = HardwareProfile::Paper();
+    ExternalRuntimeParams runtime_params;
+    ScoringPipeline pipeline(db, profile, runtime_params);
+
+    for (DatasetKind kind : {DatasetKind::kIris, DatasetKind::kHiggs}) {
+        for (std::size_t trees : {std::size_t{1}, std::size_t{128}}) {
+            const BenchModel& model = GetModel(kind, trees, 10);
+            db.StoreModel(std::string(DatasetName(kind)) + "_" +
+                              HumanCount(trees) + "t",
+                          model.ensemble);
+        }
+    }
+
+    // Small-query panel: the paper's "Python invocation and model
+    // pre-processing dominate" regime.
+    PrintPanel(db, pipeline, DatasetKind::kIris, 1, 1);
+    // Large-query panels: scoring dominates on CPU; offloading it makes
+    // data transfer the next bottleneck.
+    PrintPanel(db, pipeline, DatasetKind::kHiggs, 128, 1000000);
+    PrintPanel(db, pipeline, DatasetKind::kIris, 128, 1000000);
+
+    std::cout
+        << "Expected paper shape: for 1 record, Python invocation and "
+           "model\npre-processing dominate all backends equally. For 1M "
+           "HIGGS records the\nCPU query is dominated by scoring; "
+           "offloading to the FPGA cuts scoring\nso data transfer "
+           "dominates, for an end-to-end speedup of about 2.6x —\nfar "
+           "below the ~70x scoring-only speedup.\n";
+}
+
+}  // namespace
+}  // namespace dbscore::bench
+
+int
+main()
+{
+    dbscore::bench::Run();
+    return 0;
+}

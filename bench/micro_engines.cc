@@ -1,0 +1,149 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the functional hot loops: reference
+ * forest traversal, the FPGA BRAM-image walker, Hummingbird's two
+ * compiled forms, CART training, model serialization, tensor GEMM, and
+ * SQL parsing. These measure *this host's* wall clock (the figure benches
+ * use the simulated clocks instead) — useful for keeping the functional
+ * paths fast enough for large sweeps.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "dbscore/data/synthetic.h"
+#include "dbscore/dbms/sql.h"
+#include "dbscore/engines/gpu/hummingbird_engine.h"
+#include "dbscore/forest/serialize.h"
+#include "dbscore/forest/trainer.h"
+#include "dbscore/fpgasim/inference_engine.h"
+#include "dbscore/gpusim/gpu_device.h"
+#include "dbscore/tensor/ops.h"
+
+namespace dbscore::bench {
+namespace {
+
+const Dataset&
+ScoringRows()
+{
+    static const Dataset rows = MakeHiggs(20000, 99);
+    return rows;
+}
+
+void
+BM_ForestPredictBatch(benchmark::State& state)
+{
+    const BenchModel& model = GetModel(
+        DatasetKind::kHiggs, static_cast<std::size_t>(state.range(0)), 10);
+    const Dataset& rows = ScoringRows();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.forest.PredictBatch(rows));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(rows.num_rows()));
+}
+BENCHMARK(BM_ForestPredictBatch)->Arg(1)->Arg(8)->Arg(32);
+
+void
+BM_FpgaImageWalk(benchmark::State& state)
+{
+    const BenchModel& model = GetModel(DatasetKind::kHiggs, 8, 10);
+    FpgaInferenceEngine engine{FpgaSpec{}};
+    engine.LoadModel(model.forest);
+    const Dataset& rows = ScoringRows();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            engine.Score(rows.values().data(), rows.num_rows(),
+                         rows.num_features(), nullptr));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(rows.num_rows()));
+}
+BENCHMARK(BM_FpgaImageWalk);
+
+void
+BM_HummingbirdFunctional(benchmark::State& state)
+{
+    const bool gemm = state.range(0) == 0;
+    const BenchModel& model =
+        GetModel(DatasetKind::kIris, 8, gemm ? 4 : 10);
+    HardwareProfile profile = HardwareProfile::Paper();
+    GpuDeviceModel device(profile.gpu, profile.gpu_link);
+    HummingbirdParams params = profile.hummingbird;
+    params.strategy =
+        gemm ? HbStrategy::kGemm : HbStrategy::kPerfectTreeTraversal;
+    HummingbirdGpuEngine engine(device, params);
+    engine.LoadModel(model.ensemble, model.stats);
+
+    static const Dataset rows = MakeIris(20000, 98);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            engine.Score(rows.values().data(), rows.num_rows(),
+                         rows.num_features()));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(rows.num_rows()));
+    state.SetLabel(gemm ? "gemm" : "perfect_tt");
+}
+BENCHMARK(BM_HummingbirdFunctional)->Arg(0)->Arg(1);
+
+void
+BM_TrainForest(benchmark::State& state)
+{
+    Dataset train = MakeHiggs(2000, 97);
+    ForestTrainerConfig config;
+    config.num_trees = static_cast<std::size_t>(state.range(0));
+    config.max_depth = 10;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(TrainForest(train, config));
+    }
+}
+BENCHMARK(BM_TrainForest)->Arg(4)->Arg(16);
+
+void
+BM_SerializeRoundTrip(benchmark::State& state)
+{
+    const BenchModel& model = GetModel(DatasetKind::kHiggs, 32, 10);
+    for (auto _ : state) {
+        auto blob = SerializeForest(model.forest);
+        benchmark::DoNotOptimize(DeserializeForest(blob));
+    }
+}
+BENCHMARK(BM_SerializeRoundTrip);
+
+void
+BM_TensorMatMul(benchmark::State& state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Matrix a(n, n);
+    Matrix b(n, n);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a.data()[i] = static_cast<float>(i % 7);
+        b.data()[i] = static_cast<float>(i % 5);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(MatMul(a, b));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * 2 * n * n * n));
+}
+BENCHMARK(BM_TensorMatMul)->Arg(64)->Arg(256);
+
+void
+BM_SqlParse(benchmark::State& state)
+{
+    const std::string sql =
+        "SELECT TOP 100 sepal_length, sepal_width FROM iris_data "
+        "WHERE sepal_length >= 5.0 AND label <> 2";
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ParseSql(sql));
+    }
+}
+BENCHMARK(BM_SqlParse);
+
+}  // namespace
+}  // namespace dbscore::bench
+
+BENCHMARK_MAIN();

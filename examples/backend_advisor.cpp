@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Backend advisor: the paper's Figure-1 decision, as a tool.
+ *
+ * Given a model shape and a record count, prints every viable backend's
+ * modeled latency breakdown, the scheduler's pick, and the penalty for
+ * picking anything else.
+ *
+ * Usage: backend_advisor [iris|higgs] [trees] [depth] [records]
+ */
+#include <cstdlib>
+#include <iostream>
+
+#include "dbscore/common/string_util.h"
+#include "dbscore/common/table_printer.h"
+#include "dbscore/core/report.h"
+#include "dbscore/core/scheduler.h"
+#include "dbscore/data/synthetic.h"
+#include "dbscore/forest/trainer.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace dbscore;
+
+    const std::string dataset = argc > 1 ? argv[1] : "higgs";
+    const std::size_t trees =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 128;
+    const std::size_t depth =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 10;
+    const std::size_t records =
+        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 100000;
+
+    Dataset train = EqualsIgnoreCase(dataset, "iris")
+        ? MakeIris(150, 42)
+        : MakeHiggs(20000, 42);
+
+    ForestTrainerConfig config;
+    config.num_trees = trees;
+    config.max_depth = depth;
+    RandomForest forest = TrainForest(train, config);
+    TreeEnsemble ensemble = TreeEnsemble::FromForest(forest);
+    ModelStats stats = ComputeModelStats(forest, &train);
+
+    std::cout << "model: " << dataset << ", " << trees << " trees, depth "
+              << depth << " (" << stats.total_nodes << " nodes, avg path "
+              << StrFormat("%.1f", stats.avg_path_length) << ")\n"
+              << "query: " << HumanCount(records) << " records\n\n";
+
+    OffloadScheduler scheduler(HardwareProfile::Paper(), ensemble, stats);
+    SchedulerDecision decision = scheduler.Choose(records);
+
+    TablePrinter table({"backend", "total", "overhead O", "transfer L",
+                        "compute C", "regret"});
+    for (const BackendEstimate& est : decision.all) {
+        table.AddRow({BackendName(est.kind), est.Total().ToString(),
+                      est.breakdown.OverheadO().ToString(),
+                      est.breakdown.TransferL().ToString(),
+                      (est.breakdown.compute + est.breakdown.preprocessing)
+                          .ToString(),
+                      FormatSpeedup(est.Total() / decision.best_time)});
+    }
+    table.Print(std::cout);
+
+    std::cout << "\nadvice: score on " << BackendName(decision.best)
+              << " (" << decision.best_time << ", "
+              << FormatSpeedup(decision.SpeedupOverCpu())
+              << " vs best CPU)\n";
+    return 0;
+}

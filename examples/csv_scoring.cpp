@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Scoring your own data: load a CSV dataset, train both ensemble kinds
+ * (random forest and gradient-boosted trees), and ask the advisor where
+ * to score a production-sized batch.
+ *
+ * Usage: csv_scoring [file.csv]
+ * Without an argument a demo CSV is generated in-memory.
+ */
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "dbscore/common/csv.h"
+#include "dbscore/common/string_util.h"
+#include "dbscore/core/scheduler.h"
+#include "dbscore/data/csv_loader.h"
+#include "dbscore/data/synthetic.h"
+#include "dbscore/forest/gbdt.h"
+#include "dbscore/forest/model_stats.h"
+#include "dbscore/forest/trainer.h"
+
+namespace {
+
+using namespace dbscore;
+
+/** Writes a small demo CSV (binary classification) to a string. */
+std::string
+MakeDemoCsv()
+{
+    Dataset higgs = MakeHiggs(800, 3);
+    std::ostringstream out;
+    std::vector<std::string> header;
+    for (const auto& name : higgs.feature_names()) {
+        header.push_back(name);
+    }
+    header.push_back("label");
+    WriteCsvRow(out, header);
+    std::vector<std::string> row(higgs.num_features() + 1);
+    for (std::size_t r = 0; r < higgs.num_rows(); ++r) {
+        for (std::size_t c = 0; c < higgs.num_features(); ++c) {
+            row[c] = StrFormat("%.5f", higgs.At(r, c));
+        }
+        row[higgs.num_features()] =
+            StrFormat("%d", static_cast<int>(higgs.Label(r)));
+        WriteCsvRow(out, row);
+    }
+    return out.str();
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    Dataset data = [&] {
+        CsvLoadOptions options;
+        options.name = "user_csv";
+        if (argc > 1) {
+            std::ifstream in(argv[1]);
+            if (!in) {
+                throw InvalidArgument(std::string("cannot open ") +
+                                      argv[1]);
+            }
+            return LoadCsvDataset(in, options);
+        }
+        std::istringstream in(MakeDemoCsv());
+        return LoadCsvDataset(in, options);
+    }();
+    std::cout << "loaded " << data.num_rows() << " rows x "
+              << data.num_features() << " features, "
+              << data.num_classes() << " classes\n";
+
+    TrainTestSplit split = SplitTrainTest(data, 0.8, 1);
+
+    // Random forest.
+    ForestTrainerConfig rf_config;
+    rf_config.num_trees = 48;
+    rf_config.max_depth = 10;
+    RandomForest forest = TrainForest(split.train, rf_config);
+    std::cout << "random forest:    " << forest.TotalNodes()
+              << " nodes, test accuracy " << forest.Accuracy(split.test)
+              << "\n";
+
+    // Gradient boosting (binary classification only).
+    if (data.num_classes() == 2) {
+        GbdtConfig gb_config;
+        gb_config.num_trees = 48;
+        gb_config.max_depth = 4;
+        GradientBoostedModel gbdt =
+            TrainGbdtClassifier(split.train, gb_config);
+        std::cout << "gradient boosting: " << gbdt.NumTrees()
+                  << " stages, test accuracy "
+                  << gbdt.Accuracy(split.test) << "\n";
+    }
+
+    // Where should a 500K-record batch of this model run?
+    TreeEnsemble ensemble = TreeEnsemble::FromForest(forest);
+    ModelStats stats = ComputeModelStats(forest, &split.train);
+    OffloadScheduler scheduler(HardwareProfile::Paper(), ensemble, stats);
+    SchedulerDecision d = scheduler.Choose(500000);
+    std::cout << "\nadvice for 500K records: " << BackendName(d.best)
+              << " at " << d.best_time << " ("
+              << StrFormat("%.1fx", d.SpeedupOverCpu())
+              << " vs best CPU)\n";
+    return 0;
+}

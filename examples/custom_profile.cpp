@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Re-running the paper's decision on *your* hardware: load a profile
+ * file (section.key = value overrides on top of the paper's testbed)
+ * and compare where the offload crossovers move.
+ *
+ * Usage: custom_profile [my-system.profile]
+ * Without an argument, a demo profile (faster GPU + link, smaller FPGA)
+ * is used. Print all recognized keys with: custom_profile --keys
+ */
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "dbscore/common/string_util.h"
+#include "dbscore/common/table_printer.h"
+#include "dbscore/core/profile_io.h"
+#include "dbscore/core/report.h"
+#include "dbscore/core/scheduler.h"
+#include "dbscore/data/synthetic.h"
+#include "dbscore/forest/model_stats.h"
+#include "dbscore/forest/trainer.h"
+
+namespace {
+
+using namespace dbscore;
+
+constexpr const char* kDemoProfile =
+    "# an A100-class GPU on a gen4 link, but a small FPGA\n"
+    "gpu.num_sms = 108\n"
+    "gpu.dram_gbps = 1555\n"
+    "gpu.l2_mib = 40\n"
+    "gpu_link.generation = 4\n"
+    "fpga.num_pes = 32\n"
+    "fpga.bram_mib = 8\n";
+
+OffloadScheduler
+MakeSched(const HardwareProfile& profile, const TreeEnsemble& ensemble,
+          const ModelStats& stats)
+{
+    return OffloadScheduler(profile, ensemble, stats);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc > 1 && std::string(argv[1]) == "--keys") {
+        for (const auto& key : ProfileKeys()) {
+            std::cout << key << "\n";
+        }
+        return 0;
+    }
+
+    std::string text = kDemoProfile;
+    if (argc > 1) {
+        std::ifstream in(argv[1]);
+        if (!in) {
+            std::cerr << "cannot open " << argv[1] << "\n";
+            return 1;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+    }
+    HardwareProfile custom = ParseProfile(text);
+    HardwareProfile paper = HardwareProfile::Paper();
+    std::cout << "profile overrides applied:\n" << text << "\n";
+
+    Dataset higgs = MakeHiggs(8000, 3);
+    ForestTrainerConfig config;
+    config.num_trees = 128;
+    config.max_depth = 10;
+    RandomForest forest = TrainForest(higgs, config);
+    TreeEnsemble ensemble = TreeEnsemble::FromForest(forest);
+    ModelStats stats = ComputeModelStats(forest, &higgs);
+
+    auto paper_sched = MakeSched(paper, ensemble, stats);
+    auto custom_sched = MakeSched(custom, ensemble, stats);
+
+    TablePrinter table({"records", "paper testbed picks", "paper latency",
+                        "your system picks", "your latency"});
+    for (std::size_t n : {std::size_t{100}, std::size_t{10000},
+                          std::size_t{1000000}}) {
+        SchedulerDecision a = paper_sched.Choose(n);
+        SchedulerDecision b = custom_sched.Choose(n);
+        table.AddRow({HumanCount(n), BackendName(a.best),
+                      a.best_time.ToString(), BackendName(b.best),
+                      b.best_time.ToString()});
+    }
+    table.Print(std::cout);
+    std::cout << "\n(HIGGS, 128 trees, 10 levels; edit the profile and "
+                 "watch the regions shift.)\n";
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quickstart: train a random forest, score it on every backend, and read
+ * the modeled offload breakdowns.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+#include <iostream>
+
+#include "dbscore/core/backend_factory.h"
+#include "dbscore/core/report.h"
+#include "dbscore/data/synthetic.h"
+#include "dbscore/forest/model_stats.h"
+#include "dbscore/forest/trainer.h"
+
+int
+main()
+{
+    using namespace dbscore;
+
+    // 1. Data: a synthetic stand-in for the paper's IRIS dataset
+    //    (4 features, 3 classes).
+    Dataset iris = MakeIris(600, /*seed=*/1);
+    TrainTestSplit split = SplitTrainTest(iris, 0.8, /*seed=*/2);
+
+    // 2. Train a random forest (CART, Gini, bootstrap, sqrt features).
+    ForestTrainerConfig config;
+    config.num_trees = 32;
+    config.max_depth = 10;
+    RandomForest forest = TrainForest(split.train, config);
+    std::cout << "trained " << forest.NumTrees() << " trees, "
+              << forest.TotalNodes() << " nodes, test accuracy "
+              << forest.Accuracy(split.test) << "\n\n";
+
+    // 3. Convert to the ONNX-like exchange format (what the DBMS stores
+    //    and every engine consumes) and collect complexity stats.
+    TreeEnsemble ensemble = TreeEnsemble::FromForest(forest);
+    ModelStats stats = ComputeModelStats(forest, &split.train);
+
+    // 4. Score the test set on each backend; every engine returns the
+    //    same predictions plus its simulated latency breakdown.
+    HardwareProfile profile = HardwareProfile::Paper();
+    for (BackendKind kind : AllBackends()) {
+        auto engine = CreateLoadedEngine(kind, profile, ensemble, stats);
+        if (engine == nullptr) {
+            std::cout << BackendName(kind)
+                      << ": cannot host this model (e.g. RAPIDS is "
+                         "binary-only)\n";
+            continue;
+        }
+        ScoreResult result = engine->Score(split.test.values().data(),
+                                           split.test.num_rows(),
+                                           split.test.num_features());
+        std::cout << engine->Name() << ": modeled latency "
+                  << result.breakdown.Total() << " for "
+                  << result.predictions.size() << " rows (overheads "
+                  << result.breakdown.OverheadO() << ", transfers "
+                  << result.breakdown.TransferL() << ", compute "
+                  << result.breakdown.compute << ")\n";
+    }
+
+    // 5. The same engines scale to any batch size analytically.
+    auto fpga = CreateLoadedEngine(BackendKind::kFpga, profile, ensemble,
+                                   stats);
+    std::cout << "\nFPGA estimate at 1M records: "
+              << fpga->Estimate(1000000).Total() << "\n";
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * An interactive SQL shell over the mini-DBMS: the closest thing to
+ * sitting at the paper's SQL Server session.
+ *
+ * The database starts pre-loaded with synthetic IRIS and HIGGS tables
+ * and trained random-forest models, so queries like
+ *
+ *   SELECT TOP 5 * FROM iris_data WHERE petal_length > 5.0
+ *   EXEC sp_score_model @model = 'iris_rf', @data = 'iris_data',
+ *        @backend = 'auto', @top = 10
+ *
+ * work immediately. Reads statements line by line from stdin (one
+ * statement per line); EOF or "quit" exits. Pipe a script in for
+ * non-interactive use:  echo "SELECT name FROM models" | sql_repl
+ */
+#include <iostream>
+#include <string>
+
+#include "dbscore/common/error.h"
+#include "dbscore/common/string_util.h"
+#include "dbscore/data/synthetic.h"
+#include "dbscore/dbms/query_engine.h"
+#include "dbscore/forest/trainer.h"
+
+namespace {
+
+using namespace dbscore;
+
+void
+LoadDemoData(Database& db)
+{
+    Dataset iris = MakeIris(600, 1);
+    Dataset higgs = MakeHiggs(2000, 1);
+    db.StoreDataset("iris_data", iris);
+    db.StoreDataset("higgs_data", higgs);
+
+    ForestTrainerConfig config;
+    config.num_trees = 32;
+    config.max_depth = 10;
+    db.StoreModel("iris_rf",
+                  TreeEnsemble::FromForest(TrainForest(iris, config)));
+    db.StoreModel("higgs_rf",
+                  TreeEnsemble::FromForest(TrainForest(higgs, config)));
+}
+
+}  // namespace
+
+int
+main()
+{
+    Database db;
+    LoadDemoData(db);
+    HardwareProfile profile = HardwareProfile::Paper();
+    ExternalRuntimeParams runtime_params;
+    ScoringPipeline pipeline(db, profile, runtime_params);
+    QueryEngine engine(db, pipeline);
+
+    std::cout << "dbscore SQL shell. Tables:";
+    for (const auto& name : db.TableNames()) {
+        std::cout << " " << name;
+    }
+    std::cout << "\nTry: EXEC sp_score_model @model = 'iris_rf', "
+                 "@data = 'iris_data', @backend = 'auto', @top = 5\n";
+
+    std::string line;
+    while (true) {
+        std::cout << "sql> " << std::flush;
+        if (!std::getline(std::cin, line)) {
+            break;
+        }
+        std::string trimmed = Trim(line);
+        if (trimmed.empty()) {
+            continue;
+        }
+        if (EqualsIgnoreCase(trimmed, "quit") ||
+            EqualsIgnoreCase(trimmed, "exit")) {
+            break;
+        }
+        try {
+            QueryResult result = engine.Execute(trimmed);
+            // Cap giant result sets for terminal sanity.
+            constexpr std::size_t kMaxRows = 50;
+            if (result.rows.size() > kMaxRows) {
+                result.rows.resize(kMaxRows);
+                result.message += StrFormat(" (showing first %zu rows)",
+                                            kMaxRows);
+            }
+            std::cout << result.ToString();
+        } catch (const Error& e) {
+            std::cout << "error: " << e.what() << "\n";
+        }
+    }
+    std::cout << "\nbye\n";
+    return 0;
+}

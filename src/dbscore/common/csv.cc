@@ -1,0 +1,125 @@
+#include "dbscore/common/csv.h"
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+namespace {
+
+/** Parses all records from @p text. */
+std::vector<std::vector<std::string>>
+ParseRecords(const std::string& text)
+{
+    std::vector<std::vector<std::string>> records;
+    std::vector<std::string> record;
+    std::string field;
+    bool in_quotes = false;
+    bool field_started = false;
+
+    auto end_field = [&] {
+        record.push_back(std::move(field));
+        field.clear();
+        field_started = false;
+    };
+    auto end_record = [&] {
+        end_field();
+        // Skip completely empty records (blank lines).
+        if (!(record.size() == 1 && record[0].empty())) {
+            records.push_back(std::move(record));
+        }
+        record.clear();
+    };
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    field.push_back('"');
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push_back(c);
+            }
+            continue;
+        }
+        switch (c) {
+          case '"':
+            if (!field_started) {
+                in_quotes = true;
+                field_started = true;
+            } else {
+                field.push_back(c);
+            }
+            break;
+          case ',':
+            end_field();
+            break;
+          case '\r':
+            break;  // handled with the following \n
+          case '\n':
+            end_record();
+            break;
+          default:
+            field.push_back(c);
+            field_started = true;
+            break;
+        }
+    }
+    if (in_quotes) {
+        throw ParseError("csv: unterminated quoted field");
+    }
+    if (field_started || !field.empty() || !record.empty()) {
+        end_record();
+    }
+    return records;
+}
+
+}  // namespace
+
+CsvDocument
+ReadCsv(std::istream& in, bool has_header)
+{
+    std::string text(std::istreambuf_iterator<char>(in), {});
+    auto records = ParseRecords(text);
+    CsvDocument doc;
+    std::size_t start = 0;
+    if (has_header && !records.empty()) {
+        doc.header = std::move(records[0]);
+        start = 1;
+    }
+    for (std::size_t i = start; i < records.size(); ++i) {
+        doc.rows.push_back(std::move(records[i]));
+    }
+    return doc;
+}
+
+void
+WriteCsvRow(std::ostream& out, const std::vector<std::string>& cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0) {
+            out << ',';
+        }
+        const std::string& cell = cells[i];
+        bool needs_quotes = cell.find_first_of(",\"\n\r") != std::string::npos;
+        if (!needs_quotes) {
+            out << cell;
+            continue;
+        }
+        out << '"';
+        for (char c : cell) {
+            if (c == '"') {
+                out << "\"\"";
+            } else {
+                out << c;
+            }
+        }
+        out << '"';
+    }
+    out << '\n';
+}
+
+}  // namespace dbscore

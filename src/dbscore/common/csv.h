@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Minimal CSV reading and writing (RFC-4180-style quoting).
+ *
+ * Used to load user datasets and to dump bench series for plotting.
+ */
+#ifndef DBSCORE_COMMON_CSV_H
+#define DBSCORE_COMMON_CSV_H
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dbscore {
+
+/** A parsed CSV document: header row plus data rows of strings. */
+struct CsvDocument {
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/**
+ * Parses CSV from a stream. Supports quoted fields with embedded commas,
+ * doubled quotes, and both \n and \r\n line endings.
+ *
+ * @param in stream to read
+ * @param has_header when true the first record becomes .header
+ * @throws ParseError on unterminated quotes
+ */
+CsvDocument ReadCsv(std::istream& in, bool has_header = true);
+
+/** Writes one CSV record with quoting where needed. */
+void WriteCsvRow(std::ostream& out, const std::vector<std::string>& cells);
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_COMMON_CSV_H

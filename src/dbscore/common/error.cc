@@ -1,0 +1,18 @@
+#include "dbscore/common/error.h"
+
+#include <cstdio>
+
+namespace dbscore {
+namespace detail {
+
+void
+AssertFail(const char* expr, const char* file, int line,
+           const std::string& msg)
+{
+    std::fprintf(stderr, "dbscore: assertion `%s` failed at %s:%d%s%s\n",
+                 expr, file, line, msg.empty() ? "" : ": ", msg.c_str());
+    std::abort();
+}
+
+}  // namespace detail
+}  // namespace dbscore

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Error handling primitives for dbscore.
+ *
+ * Follows the gem5 fatal/panic split:
+ *  - User errors (bad configuration, invalid arguments, capacity limits the
+ *    user can hit) throw typed exceptions derived from dbscore::Error.
+ *  - Internal invariant violations use DBS_ASSERT, which aborts; they
+ *    indicate a bug in dbscore itself, never a user mistake.
+ */
+#ifndef DBSCORE_COMMON_ERROR_H
+#define DBSCORE_COMMON_ERROR_H
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace dbscore {
+
+/** Base class for all user-facing dbscore errors. */
+class Error : public std::runtime_error {
+ public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** Thrown when a caller passes an argument outside the legal domain. */
+class InvalidArgument : public Error {
+ public:
+    explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/**
+ * Thrown when a request exceeds a modeled hardware capacity limit,
+ * e.g. a tree deeper than the FPGA's supported 10 levels or a model that
+ * does not fit in BRAM.
+ */
+class CapacityError : public Error {
+ public:
+    explicit CapacityError(const std::string& what) : Error(what) {}
+};
+
+/** Thrown on malformed serialized input (model blobs, CSV, SQL text). */
+class ParseError : public Error {
+ public:
+    explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/** Thrown when a named entity (table, procedure, column) does not exist. */
+class NotFound : public Error {
+ public:
+    explicit NotFound(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+/** Prints an assertion failure message and aborts. Never returns. */
+[[noreturn]] void AssertFail(const char* expr, const char* file, int line,
+                             const std::string& msg);
+
+}  // namespace detail
+
+}  // namespace dbscore
+
+/**
+ * Internal invariant check. Active in all build types: simulator results
+ * are meaningless if invariants are broken, so we never compile these out.
+ */
+#define DBS_ASSERT(expr)                                                     \
+    do {                                                                     \
+        if (!(expr)) {                                                       \
+            ::dbscore::detail::AssertFail(#expr, __FILE__, __LINE__, "");    \
+        }                                                                    \
+    } while (0)
+
+/** Invariant check with a context message. */
+#define DBS_ASSERT_MSG(expr, msg)                                            \
+    do {                                                                     \
+        if (!(expr)) {                                                       \
+            ::dbscore::detail::AssertFail(#expr, __FILE__, __LINE__, (msg)); \
+        }                                                                    \
+    } while (0)
+
+#endif  // DBSCORE_COMMON_ERROR_H

@@ -1,0 +1,54 @@
+#include "dbscore/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace dbscore {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_log_mutex;
+
+const char*
+LevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kNone: return "none";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void
+SetLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+GetLogLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+LogMessage(LogLevel level, const std::string& msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::fprintf(stderr, "dbscore [%s] %s\n", LevelName(level), msg.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace dbscore

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal leveled logging, modeled on gem5's inform()/warn().
+ *
+ * Logging is for simulator status only; it never affects results. The
+ * global level defaults to kWarn so tests and benches stay quiet unless
+ * something deserves attention.
+ */
+#ifndef DBSCORE_COMMON_LOGGING_H
+#define DBSCORE_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace dbscore {
+
+/** Severity of a log message. */
+enum class LogLevel {
+    kDebug = 0,
+    kInfo = 1,
+    kWarn = 2,
+    kNone = 3,
+};
+
+/** Sets the global log level; messages below it are dropped. */
+void SetLogLevel(LogLevel level);
+
+/** Returns the current global log level. */
+LogLevel GetLogLevel();
+
+namespace detail {
+void LogMessage(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+/** Informative status message a user should see but not worry about. */
+template <typename... Args>
+void
+Inform(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    detail::LogMessage(LogLevel::kInfo, os.str());
+}
+
+/** Something is suspect (approximation in effect, fallback taken, ...). */
+template <typename... Args>
+void
+Warn(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    detail::LogMessage(LogLevel::kWarn, os.str());
+}
+
+/** Developer-facing trace message. */
+template <typename... Args>
+void
+Debug(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    detail::LogMessage(LogLevel::kDebug, os.str());
+}
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_COMMON_LOGGING_H

@@ -1,0 +1,117 @@
+#include "dbscore/common/rng.h"
+
+#include <cmath>
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+namespace {
+
+std::uint64_t
+SplitMix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+Rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto& s : state_) {
+        s = SplitMix64(sm);
+    }
+}
+
+std::uint64_t
+Rng::Next()
+{
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::NextDouble()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::NextBelow(std::uint64_t bound)
+{
+    DBS_ASSERT(bound > 0);
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+        std::uint64_t threshold = -bound % bound;
+        while (low < threshold) {
+            x = Next();
+            m = static_cast<__uint128_t>(x) * bound;
+            low = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+double
+Rng::NextUniform(double lo, double hi)
+{
+    DBS_ASSERT(lo <= hi);
+    return lo + (hi - lo) * NextDouble();
+}
+
+double
+Rng::NextGaussian()
+{
+    if (has_cached_gaussian_) {
+        has_cached_gaussian_ = false;
+        return cached_gaussian_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = NextDouble();
+    } while (u1 <= 1e-300);
+    double u2 = NextDouble();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::NextGaussian(double mean, double stddev)
+{
+    return mean + stddev * NextGaussian();
+}
+
+Rng
+Rng::Fork()
+{
+    return Rng(Next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+}  // namespace dbscore

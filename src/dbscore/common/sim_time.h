@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Simulated time and unit helpers.
+ *
+ * All modeled latencies in dbscore are SimTime values: a strongly typed
+ * wrapper over double seconds. A dedicated type (instead of bare double)
+ * keeps units explicit at API boundaries and catches accidental mixing of
+ * seconds with bytes or cycles.
+ */
+#ifndef DBSCORE_COMMON_SIM_TIME_H
+#define DBSCORE_COMMON_SIM_TIME_H
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+/** A simulated duration. Always non-negative in well-formed breakdowns. */
+class SimTime {
+ public:
+    constexpr SimTime() : seconds_(0.0) {}
+
+    /** Named constructors keep units explicit at every call site. */
+    static constexpr SimTime Seconds(double s) { return SimTime(s); }
+    static constexpr SimTime Millis(double ms) { return SimTime(ms * 1e-3); }
+    static constexpr SimTime Micros(double us) { return SimTime(us * 1e-6); }
+    static constexpr SimTime Nanos(double ns) { return SimTime(ns * 1e-9); }
+
+    /** Duration of @p cycles at @p hz clock frequency. */
+    static constexpr SimTime
+    Cycles(double cycles, double hz)
+    {
+        return SimTime(cycles / hz);
+    }
+
+    constexpr double seconds() const { return seconds_; }
+    constexpr double millis() const { return seconds_ * 1e3; }
+    constexpr double micros() const { return seconds_ * 1e6; }
+    constexpr double nanos() const { return seconds_ * 1e9; }
+
+    constexpr bool is_zero() const { return seconds_ == 0.0; }
+
+    constexpr SimTime
+    operator+(SimTime other) const
+    {
+        return SimTime(seconds_ + other.seconds_);
+    }
+
+    constexpr SimTime
+    operator-(SimTime other) const
+    {
+        return SimTime(seconds_ - other.seconds_);
+    }
+
+    constexpr SimTime operator*(double k) const { return SimTime(seconds_ * k); }
+    constexpr SimTime operator/(double k) const { return SimTime(seconds_ / k); }
+
+    /** Ratio of two durations (e.g. a speedup). */
+    constexpr double operator/(SimTime other) const
+    {
+        return seconds_ / other.seconds_;
+    }
+
+    SimTime& operator+=(SimTime other)
+    {
+        seconds_ += other.seconds_;
+        return *this;
+    }
+
+    SimTime& operator-=(SimTime other)
+    {
+        seconds_ -= other.seconds_;
+        return *this;
+    }
+
+    constexpr auto operator<=>(const SimTime&) const = default;
+
+    /**
+     * Human-readable rendering with an auto-selected unit,
+     * e.g. "1.50 ms" or "312 ns".
+     */
+    std::string
+    ToString() const
+    {
+        std::ostringstream os;
+        double abs = std::fabs(seconds_);
+        os.precision(3);
+        if (abs >= 1.0) {
+            os << seconds_ << " s";
+        } else if (abs >= 1e-3) {
+            os << millis() << " ms";
+        } else if (abs >= 1e-6) {
+            os << micros() << " us";
+        } else {
+            os << nanos() << " ns";
+        }
+        return os.str();
+    }
+
+ private:
+    explicit constexpr SimTime(double s) : seconds_(s) {}
+
+    double seconds_;
+};
+
+inline constexpr SimTime operator*(double k, SimTime t) { return t * k; }
+
+inline std::ostream&
+operator<<(std::ostream& os, SimTime t)
+{
+    return os << t.ToString();
+}
+
+/** Returns the larger of two durations. */
+inline constexpr SimTime
+Max(SimTime a, SimTime b)
+{
+    return a < b ? b : a;
+}
+
+/** Returns the smaller of two durations. */
+inline constexpr SimTime
+Min(SimTime a, SimTime b)
+{
+    return a < b ? a : b;
+}
+
+/** Byte-count helpers for capacity/transfer models. */
+inline constexpr std::uint64_t KiB(std::uint64_t n) { return n << 10; }
+inline constexpr std::uint64_t MiB(std::uint64_t n) { return n << 20; }
+inline constexpr std::uint64_t GiB(std::uint64_t n) { return n << 30; }
+
+/**
+ * Time to move @p bytes over a channel with @p bytes_per_second sustained
+ * bandwidth. The caller adds any fixed per-transfer latency floor.
+ */
+inline SimTime
+TransferTime(std::uint64_t bytes, double bytes_per_second)
+{
+    DBS_ASSERT(bytes_per_second > 0.0);
+    return SimTime::Seconds(static_cast<double>(bytes) / bytes_per_second);
+}
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_COMMON_SIM_TIME_H

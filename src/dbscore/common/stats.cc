@@ -1,0 +1,56 @@
+#include "dbscore/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+void
+RunningStats::Add(double x)
+{
+    ++count_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStats::Variance() const
+{
+    if (count_ < 2) {
+        return 0.0;
+    }
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::Stddev() const
+{
+    return std::sqrt(Variance());
+}
+
+double
+QuantileSketch::Quantile(double q) const
+{
+    DBS_ASSERT(q >= 0.0 && q <= 1.0);
+    DBS_ASSERT_MSG(!values_.empty(), "quantile of empty sketch");
+    if (!sorted_) {
+        std::sort(values_.begin(), values_.end());
+        sorted_ = true;
+    }
+    if (values_.size() == 1) {
+        return values_[0];
+    }
+    double pos = q * static_cast<double>(values_.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(pos);
+    std::size_t hi = std::min(lo + 1, values_.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+}  // namespace dbscore

@@ -1,0 +1,136 @@
+#include "dbscore/common/string_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+std::string_view
+TrimView(std::string_view s)
+{
+    std::size_t begin = 0;
+    std::size_t end = s.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(s[begin]))) {
+        ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+        --end;
+    }
+    return s.substr(begin, end - begin);
+}
+
+std::string
+Trim(std::string_view s)
+{
+    return std::string(TrimView(s));
+}
+
+std::vector<std::string>
+Split(std::string_view s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == sep) {
+            out.emplace_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::string
+ToLower(std::string_view s)
+{
+    std::string out(s);
+    for (char& c : out) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return out;
+}
+
+std::string
+ToUpper(std::string_view s)
+{
+    std::string out(s);
+    for (char& c : out) {
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    return out;
+}
+
+bool
+EqualsIgnoreCase(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i]))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+StartsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+std::string
+StrFormat(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    DBS_ASSERT(needed >= 0);
+    std::string out(static_cast<std::size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    va_end(args_copy);
+    return out;
+}
+
+std::string
+HumanCount(std::uint64_t n)
+{
+    if (n >= 1000000 && n % 1000000 == 0) {
+        return StrFormat("%lluM", static_cast<unsigned long long>(n / 1000000));
+    }
+    if (n >= 1000 && n % 1000 == 0) {
+        return StrFormat("%lluK", static_cast<unsigned long long>(n / 1000));
+    }
+    return StrFormat("%llu", static_cast<unsigned long long>(n));
+}
+
+std::string
+HumanBytes(std::uint64_t bytes)
+{
+    if (bytes >= (1ULL << 30)) {
+        return StrFormat("%.1f GiB",
+                         static_cast<double>(bytes) / (1ULL << 30));
+    }
+    if (bytes >= (1ULL << 20)) {
+        return StrFormat("%.1f MiB",
+                         static_cast<double>(bytes) / (1ULL << 20));
+    }
+    if (bytes >= (1ULL << 10)) {
+        return StrFormat("%.1f KiB",
+                         static_cast<double>(bytes) / (1ULL << 10));
+    }
+    return StrFormat("%llu B", static_cast<unsigned long long>(bytes));
+}
+
+}  // namespace dbscore

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * String helpers shared by the SQL parser, CSV reader, and report writers.
+ */
+#ifndef DBSCORE_COMMON_STRING_UTIL_H
+#define DBSCORE_COMMON_STRING_UTIL_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dbscore {
+
+/** Removes leading and trailing ASCII whitespace. */
+std::string_view TrimView(std::string_view s);
+
+/** Trimmed copy. */
+std::string Trim(std::string_view s);
+
+/** Splits on @p sep; keeps empty fields. */
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/** ASCII lowercase copy. */
+std::string ToLower(std::string_view s);
+
+/** ASCII uppercase copy. */
+std::string ToUpper(std::string_view s);
+
+/** Case-insensitive ASCII equality. */
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/** True if @p s starts with @p prefix (case-sensitive). */
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/** printf-style formatting into a std::string. */
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Renders n as "1", "10", "100", "1K", "10K", "100K", "1M", ... */
+std::string HumanCount(std::uint64_t n);
+
+/** Renders a byte count as "512 B", "4.0 KiB", "28.6 MiB", ... */
+std::string HumanBytes(std::uint64_t bytes);
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_COMMON_STRING_UTIL_H

@@ -1,0 +1,81 @@
+#include "dbscore/common/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    DBS_ASSERT(!headers_.empty());
+}
+
+void
+TablePrinter::AddRow(std::vector<std::string> cells)
+{
+    DBS_ASSERT_MSG(cells.size() == headers_.size(),
+                   "row arity does not match header");
+    rows_.push_back(Row{false, std::move(cells)});
+}
+
+void
+TablePrinter::AddSeparator()
+{
+    rows_.push_back(Row{true, {}});
+}
+
+void
+TablePrinter::Print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        if (row.separator) {
+            continue;
+        }
+        for (std::size_t c = 0; c < row.cells.size(); ++c) {
+            widths[c] = std::max(widths[c], row.cells[c].size());
+        }
+    }
+
+    auto print_rule = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << '+' << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto print_cells = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string& text = c < cells.size() ? cells[c] : "";
+            os << "| " << text << std::string(widths[c] - text.size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+
+    print_rule();
+    print_cells(headers_);
+    print_rule();
+    for (const auto& row : rows_) {
+        if (row.separator) {
+            print_rule();
+        } else {
+            print_cells(row.cells);
+        }
+    }
+    print_rule();
+}
+
+std::string
+TablePrinter::ToString() const
+{
+    std::ostringstream os;
+    Print(os);
+    return os.str();
+}
+
+}  // namespace dbscore

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fixed-width ASCII table renderer for bench output.
+ *
+ * Every figure/table bench prints its rows through this so the regenerated
+ * paper tables have a uniform, diffable layout.
+ */
+#ifndef DBSCORE_COMMON_TABLE_PRINTER_H
+#define DBSCORE_COMMON_TABLE_PRINTER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dbscore {
+
+/** Column-aligned ASCII table builder. */
+class TablePrinter {
+ public:
+    /** @p headers defines the column count for all subsequent rows. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Adds a data row; must match the header arity. */
+    void AddRow(std::vector<std::string> cells);
+
+    /** Inserts a horizontal separator line before the next row. */
+    void AddSeparator();
+
+    /** Renders the table including a header rule. */
+    void Print(std::ostream& os) const;
+
+    std::string ToString() const;
+
+ private:
+    struct Row {
+        bool separator = false;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<std::string> headers_;
+    std::vector<Row> rows_;
+};
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_COMMON_TABLE_PRINTER_H

@@ -1,0 +1,130 @@
+#include "dbscore/common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::max<std::size_t>(
+            1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+        workers_.emplace_back([this] { WorkerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) {
+        w.join();
+    }
+}
+
+void
+ThreadPool::Enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::WorkerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (stop_ && tasks_.empty()) {
+                return;
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::ParallelFor(std::size_t count,
+                        const std::function<void(std::size_t)>& fn)
+{
+    ParallelForChunked(count, [&fn](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            fn(i);
+        }
+    });
+}
+
+void
+ThreadPool::ParallelForChunked(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn)
+{
+    if (count == 0) {
+        return;
+    }
+    const std::size_t num_chunks =
+        std::min(count, std::max<std::size_t>(1, size() * 4));
+    if (num_chunks <= 1) {
+        fn(0, count);
+        return;
+    }
+
+    std::atomic<std::size_t> remaining{num_chunks};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    const std::size_t chunk = (count + num_chunks - 1) / num_chunks;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+        const std::size_t begin = c * chunk;
+        const std::size_t end = std::min(count, begin + chunk);
+        Enqueue([&, begin, end] {
+            try {
+                if (begin < end) {
+                    fn(begin, end);
+                }
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error) {
+                    first_error = std::current_exception();
+                }
+            }
+            if (remaining.fetch_sub(1) == 1) {
+                std::lock_guard<std::mutex> lock(done_mutex);
+                done_cv.notify_all();
+            }
+        });
+    }
+
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return remaining.load() == 0; });
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+}
+
+ThreadPool&
+ThreadPool::Shared()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+}  // namespace dbscore

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A fixed-size worker pool with a blocking parallel-for.
+ *
+ * The functional scoring engines use this to actually compute predictions
+ * over large batches quickly. Note that pool size never influences
+ * *simulated* time: modeled latencies are computed from HardwareProfile
+ * parameters, not wall clock, so results are machine-independent.
+ */
+#ifndef DBSCORE_COMMON_THREAD_POOL_H
+#define DBSCORE_COMMON_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dbscore {
+
+/** A simple task-queue thread pool. */
+class ThreadPool {
+ public:
+    /** Creates @p num_threads workers; 0 means hardware_concurrency(). */
+    explicit ThreadPool(std::size_t num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Runs fn(i) for i in [0, count), split into contiguous chunks across
+     * the pool, and blocks until every index has been processed. Exceptions
+     * thrown by @p fn propagate (the first one captured is rethrown).
+     */
+    void ParallelFor(std::size_t count,
+                     const std::function<void(std::size_t)>& fn);
+
+    /**
+     * Chunked variant: runs fn(begin, end) on contiguous ranges. Lower
+     * dispatch overhead for tight per-row loops.
+     */
+    void ParallelForChunked(
+        std::size_t count,
+        const std::function<void(std::size_t, std::size_t)>& fn);
+
+    /** Process-wide shared pool (lazily constructed). */
+    static ThreadPool& Shared();
+
+ private:
+    void Enqueue(std::function<void()> task);
+    void WorkerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_COMMON_THREAD_POOL_H

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Constructs scoring engines from a hardware profile.
+ */
+#ifndef DBSCORE_CORE_BACKEND_FACTORY_H
+#define DBSCORE_CORE_BACKEND_FACTORY_H
+
+#include <memory>
+#include <vector>
+
+#include "dbscore/core/calibration.h"
+#include "dbscore/engines/scoring_engine.h"
+
+namespace dbscore {
+
+/** All backend kinds the paper evaluates, in legend order. */
+const std::vector<BackendKind>& AllBackends();
+
+/** Creates an engine of @p kind against @p profile (model not loaded). */
+std::unique_ptr<ScoringEngine> CreateEngine(BackendKind kind,
+                                            const HardwareProfile& profile);
+
+/**
+ * Creates an engine and loads @p model into it. Returns nullptr when the
+ * backend cannot host this model (e.g. RAPIDS with a multi-class model,
+ * FPGA with trees deeper than 10 levels) — mirroring the paper's plots,
+ * which simply omit the unsupported series.
+ */
+std::unique_ptr<ScoringEngine> CreateLoadedEngine(
+    BackendKind kind, const HardwareProfile& profile,
+    const TreeEnsemble& model, const ModelStats& stats);
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_CORE_BACKEND_FACTORY_H

@@ -1,0 +1,16 @@
+#include "dbscore/core/calibration.h"
+
+namespace dbscore {
+
+HardwareProfile
+HardwareProfile::Paper()
+{
+    // The component defaults already model the paper's parts; the
+    // profile exists so benches and ablations perturb one shared struct.
+    HardwareProfile p;
+    p.gpu_link = PcieLinkSpec{};   // gen3 x16
+    p.fpga_link = PcieLinkSpec{};  // gen3 x16
+    return p;
+}
+
+}  // namespace dbscore

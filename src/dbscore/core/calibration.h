@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The hardware profile: every calibration constant in one place.
+ *
+ * Paper() returns the profile calibrated against the paper's testbed
+ * (dual Xeon 8171M + Tesla P100 + Stratix 10 GX 2800 over PCIe 3.0 x16)
+ * and its reported anchors (Figures 7-11). EXPERIMENTS.md records how
+ * closely each anchor is reproduced. Ablation benches perturb individual
+ * fields of this struct.
+ */
+#ifndef DBSCORE_CORE_CALIBRATION_H
+#define DBSCORE_CORE_CALIBRATION_H
+
+#include "dbscore/engines/cpu/cpu_spec.h"
+#include "dbscore/engines/fpga/fpga_engine.h"
+#include "dbscore/engines/gpu/hummingbird_engine.h"
+#include "dbscore/engines/gpu/rapids_engine.h"
+#include "dbscore/fpgasim/fpga_spec.h"
+#include "dbscore/gpusim/gpu_spec.h"
+#include "dbscore/pcie/pcie.h"
+
+namespace dbscore {
+
+/** Full description of the modeled system. */
+struct HardwareProfile {
+    CpuSpec cpu;
+    GpuSpec gpu;
+    FpgaSpec fpga;
+    /** The GPU's host link (PCIe 3.0 x16 on the paper's NC6s_v2 VM). */
+    PcieLinkSpec gpu_link;
+    /** The FPGA's host link (PCIe 3.0 x16). */
+    PcieLinkSpec fpga_link;
+    RapidsParams rapids;
+    HummingbirdParams hummingbird;
+    FpgaOffloadParams fpga_offload;
+
+    /** Profile calibrated to the paper's testbed. */
+    static HardwareProfile Paper();
+};
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_CORE_CALIBRATION_H

@@ -1,0 +1,126 @@
+#include "dbscore/core/chunked_pipeline.h"
+
+#include <algorithm>
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+namespace {
+
+/** The three overlappable macro-stages of one chunk. */
+struct StageTimes {
+    SimTime s1_in;      ///< preprocessing + input transfer
+    SimTime s2_compute; ///< compute
+    SimTime s3_out;     ///< completion + result transfer
+};
+
+/**
+ * Marginal per-chunk stage costs: the growth of each component between
+ * a 1-row call and a chunk-sized call. Per-call fixed parts (model
+ * transfer, setup, software overhead, fixed preprocessing) cancel out.
+ */
+StageTimes
+MarginalStages(const OffloadBreakdown& one, const OffloadBreakdown& chunk)
+{
+    StageTimes stages;
+    stages.s1_in = (chunk.preprocessing - one.preprocessing) +
+                   (chunk.input_transfer - one.input_transfer);
+    stages.s2_compute = chunk.compute - one.compute;
+    stages.s3_out = (chunk.completion_signal - one.completion_signal) +
+                    (chunk.result_transfer - one.result_transfer);
+    // Clamp tiny negative float noise.
+    stages.s1_in = Max(stages.s1_in, SimTime());
+    stages.s2_compute = Max(stages.s2_compute, SimTime());
+    stages.s3_out = Max(stages.s3_out, SimTime());
+    return stages;
+}
+
+}  // namespace
+
+ChunkedEstimate
+EstimateChunked(const ScoringEngine& engine, std::size_t total_rows,
+                std::size_t chunk_rows)
+{
+    if (total_rows == 0 || chunk_rows == 0 || chunk_rows > total_rows) {
+        throw InvalidArgument("chunked plan: bad sizes");
+    }
+    const std::size_t num_chunks =
+        (total_rows + chunk_rows - 1) / chunk_rows;
+
+    OffloadBreakdown one = engine.Estimate(1);
+    OffloadBreakdown chunk = engine.Estimate(chunk_rows);
+    StageTimes stages = MarginalStages(one, chunk);
+
+    // Every chunk is a separate accelerator dispatch: it pays the setup
+    // (stage 1) and the completion signal (stage 3) again. This is what
+    // makes very small chunks lose.
+    stages.s1_in += one.setup;
+    stages.s3_out += one.completion_signal;
+
+    // One-time, non-overlappable costs: software overhead, the model
+    // transfer, fixed preprocessing, and the residual 1-row marginals.
+    SimTime fixed = one.software_overhead + one.preprocessing +
+                    one.input_transfer + one.compute +
+                    one.result_transfer;
+
+    SimTime slowest = Max(stages.s1_in,
+                          Max(stages.s2_compute, stages.s3_out));
+    int bottleneck = 1;
+    if (slowest == stages.s1_in) {
+        bottleneck = 0;
+    } else if (slowest == stages.s3_out) {
+        bottleneck = 2;
+    }
+
+    // Classic pipeline bound: fill with one chunk through all stages,
+    // then one result per 'slowest' interval.
+    SimTime pipeline = stages.s1_in + stages.s2_compute + stages.s3_out +
+                       slowest * static_cast<double>(num_chunks - 1);
+
+    ChunkedEstimate est;
+    est.chunk_rows = chunk_rows;
+    est.num_chunks = num_chunks;
+    est.total = fixed + pipeline;
+    est.bottleneck_stage = bottleneck;
+    return est;
+}
+
+ChunkedPlan
+PlanChunkedScoring(const ScoringEngine& engine, std::size_t total_rows,
+                   const std::vector<std::size_t>& candidates)
+{
+    if (total_rows == 0) {
+        throw InvalidArgument("chunked plan: no rows");
+    }
+    std::vector<std::size_t> sizes = candidates;
+    if (sizes.empty()) {
+        // Geometric ladder up to the whole batch.
+        for (std::size_t c = 1024; c < total_rows; c *= 4) {
+            sizes.push_back(c);
+        }
+        sizes.push_back(total_rows);
+    }
+
+    ChunkedPlan plan;
+    plan.unchunked = engine.Estimate(total_rows).Total();
+    bool first = true;
+    for (std::size_t c : sizes) {
+        if (c == 0 || c > total_rows) {
+            continue;
+        }
+        ChunkedEstimate est = EstimateChunked(engine, total_rows, c);
+        if (first || est.total < plan.best.total) {
+            plan.best = est;
+            first = false;
+        }
+        plan.candidates.push_back(est);
+    }
+    if (first) {
+        throw InvalidArgument("chunked plan: no valid chunk size");
+    }
+    plan.speedup = plan.unchunked / plan.best.total;
+    return plan;
+}
+
+}  // namespace dbscore

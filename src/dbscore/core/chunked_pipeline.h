@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Chunked, double-buffered offload planning.
+ *
+ * The paper's future-research section calls for exploring "the
+ * traditional techniques — pipelining, parallelism, etc." in accelerator
+ * integration. This planner models splitting one large scoring batch
+ * into chunks whose three macro-stages overlap across chunks
+ * (double buffering):
+ *
+ *   S1: host prep + input transfer     (chunk i+1 while i computes)
+ *   S2: accelerator compute
+ *   S3: completion + result transfer   (chunk i-1 while i computes)
+ *
+ * Per-call fixed costs (model transfer, setup, software overhead) are
+ * paid once; the steady-state rate is the slowest stage. The planner
+ * derives per-chunk marginal stage costs from an engine's own Estimate()
+ * model, so it works for any backend.
+ */
+#ifndef DBSCORE_CORE_CHUNKED_PIPELINE_H
+#define DBSCORE_CORE_CHUNKED_PIPELINE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "dbscore/engines/scoring_engine.h"
+
+namespace dbscore {
+
+/** Cost of scoring one batch with a given chunking. */
+struct ChunkedEstimate {
+    std::size_t chunk_rows = 0;
+    std::size_t num_chunks = 1;
+    /** Pipelined total with this chunking. */
+    SimTime total;
+    /** The stage that limits steady-state throughput (0=S1,1=S2,2=S3). */
+    int bottleneck_stage = 1;
+};
+
+/** Planner output: the best chunking found. */
+struct ChunkedPlan {
+    ChunkedEstimate best;
+    /** The engine's unchunked single-call estimate, for comparison. */
+    SimTime unchunked;
+    /** unchunked / best.total. */
+    double speedup = 1.0;
+    /** All evaluated candidates, in the order given. */
+    std::vector<ChunkedEstimate> candidates;
+};
+
+/**
+ * Evaluates one chunking of @p total_rows into chunks of @p chunk_rows
+ * against @p engine's cost model.
+ *
+ * @throws InvalidArgument for zero sizes or chunk_rows > total_rows
+ */
+ChunkedEstimate EstimateChunked(const ScoringEngine& engine,
+                                std::size_t total_rows,
+                                std::size_t chunk_rows);
+
+/**
+ * Tries a default geometric ladder of chunk sizes (or @p candidates if
+ * non-empty) and returns the best plan.
+ */
+ChunkedPlan PlanChunkedScoring(
+    const ScoringEngine& engine, std::size_t total_rows,
+    const std::vector<std::size_t>& candidates = {});
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_CORE_CHUNKED_PIPELINE_H

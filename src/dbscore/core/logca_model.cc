@@ -1,0 +1,79 @@
+#include "dbscore/core/logca_model.h"
+
+#include <limits>
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+LogCaModel
+LogCaModel::Fit(const OffloadScheduler& scheduler, std::size_t probe_small,
+                std::size_t probe_large)
+{
+    if (probe_small >= probe_large) {
+        throw InvalidArgument("logca: probe sizes must be increasing");
+    }
+    LogCaModel model;
+    for (BackendKind kind : scheduler.Available()) {
+        double t_small =
+            scheduler.EstimateFor(kind, probe_small).Total().seconds();
+        double t_large =
+            scheduler.EstimateFor(kind, probe_large).Total().seconds();
+        double b = (t_large - t_small) /
+                   static_cast<double>(probe_large - probe_small);
+        double a = t_small - b * static_cast<double>(probe_small);
+        model.entries_.push_back(Entry{kind, a, b});
+    }
+    return model;
+}
+
+const LogCaModel::Entry&
+LogCaModel::Find(BackendKind kind) const
+{
+    for (const auto& entry : entries_) {
+        if (entry.kind == kind) {
+            return entry;
+        }
+    }
+    throw NotFound(std::string("logca: backend not fitted: ") +
+                   BackendName(kind));
+}
+
+SimTime
+LogCaModel::Predict(BackendKind kind, std::size_t num_rows) const
+{
+    const Entry& e = Find(kind);
+    return SimTime::Seconds(e.a_seconds +
+                            e.b_seconds * static_cast<double>(num_rows));
+}
+
+BackendKind
+LogCaModel::Choose(std::size_t num_rows) const
+{
+    DBS_ASSERT(!entries_.empty());
+    BackendKind best = entries_.front().kind;
+    double best_time = std::numeric_limits<double>::infinity();
+    for (const auto& entry : entries_) {
+        double t = entry.a_seconds +
+                   entry.b_seconds * static_cast<double>(num_rows);
+        if (t < best_time) {
+            best_time = t;
+            best = entry.kind;
+        }
+    }
+    return best;
+}
+
+SimTime
+LogCaModel::Overhead(BackendKind kind) const
+{
+    return SimTime::Seconds(Find(kind).a_seconds);
+}
+
+SimTime
+LogCaModel::PerRecord(BackendKind kind) const
+{
+    return SimTime::Seconds(Find(kind).b_seconds);
+}
+
+}  // namespace dbscore

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * LogCA-style linear performance model.
+ *
+ * LogCA (Altaf & Wood, ISCA'17 — the paper's reference [42]) predicts
+ * accelerated-task latency with a small set of linear parameters:
+ * overhead o, per-byte link latency, and per-work-unit compute time.
+ * We fit the equivalent two-parameter affine model T(n) = a + b*n per
+ * backend by probing each engine's estimate at two sizes.
+ *
+ * This is deliberately coarser than the engines' own cost models (which
+ * have cache and coalescing nonlinearity); the scheduler-regret ablation
+ * compares decisions made from this model against the oracle.
+ */
+#ifndef DBSCORE_CORE_LOGCA_MODEL_H
+#define DBSCORE_CORE_LOGCA_MODEL_H
+
+#include <vector>
+
+#include "dbscore/core/scheduler.h"
+
+namespace dbscore {
+
+/** Affine per-backend latency model. */
+class LogCaModel {
+ public:
+    /**
+     * Fits T(n) = a + b*n for every backend available in @p scheduler by
+     * probing n = @p probe_small and n = @p probe_large.
+     */
+    static LogCaModel Fit(const OffloadScheduler& scheduler,
+                          std::size_t probe_small = 1,
+                          std::size_t probe_large = 100000);
+
+    /** Predicted latency. @throws NotFound for unfitted backends. */
+    SimTime Predict(BackendKind kind, std::size_t num_rows) const;
+
+    /** Backend with the lowest predicted latency at @p num_rows. */
+    BackendKind Choose(std::size_t num_rows) const;
+
+    /** Fixed cost a of one backend (the LogCA overhead term). */
+    SimTime Overhead(BackendKind kind) const;
+
+    /** Marginal per-record cost b of one backend. */
+    SimTime PerRecord(BackendKind kind) const;
+
+ private:
+    struct Entry {
+        BackendKind kind;
+        double a_seconds;
+        double b_seconds;
+    };
+
+    const Entry& Find(BackendKind kind) const;
+
+    std::vector<Entry> entries_;
+};
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_CORE_LOGCA_MODEL_H

@@ -1,0 +1,277 @@
+#include "dbscore/core/profile_io.h"
+
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+
+#include "dbscore/common/error.h"
+#include "dbscore/common/string_util.h"
+
+namespace dbscore {
+
+namespace {
+
+/** One tunable field: name plus typed get/set against a profile. */
+struct Field {
+    const char* key;
+    std::function<double(const HardwareProfile&)> get;
+    std::function<void(HardwareProfile&, double)> set;
+};
+
+/** The registry of every externally tunable profile field. */
+const std::vector<Field>&
+Fields()
+{
+    static const std::vector<Field> fields = {
+        // ---------------- CPU -------------------------------------------
+        {"cpu.max_threads",
+         [](const HardwareProfile& p) {
+             return static_cast<double>(p.cpu.max_threads);
+         },
+         [](HardwareProfile& p, double v) {
+             p.cpu.max_threads = static_cast<int>(v);
+         }},
+        {"cpu.clock_ghz",
+         [](const HardwareProfile& p) { return p.cpu.clock_hz / 1e9; },
+         [](HardwareProfile& p, double v) { p.cpu.clock_hz = v * 1e9; }},
+        {"cpu.llc_mib",
+         [](const HardwareProfile& p) {
+             return static_cast<double>(p.cpu.llc_bytes) / (1 << 20);
+         },
+         [](HardwareProfile& p, double v) {
+             p.cpu.llc_bytes =
+                 static_cast<std::uint64_t>(v * (1 << 20));
+         }},
+        {"cpu.sklearn_fixed_ms",
+         [](const HardwareProfile& p) {
+             return p.cpu.sklearn_fixed.millis();
+         },
+         [](HardwareProfile& p, double v) {
+             p.cpu.sklearn_fixed = SimTime::Millis(v);
+         }},
+        {"cpu.sklearn_per_node_ns",
+         [](const HardwareProfile& p) {
+             return p.cpu.sklearn_per_node_ns;
+         },
+         [](HardwareProfile& p, double v) {
+             p.cpu.sklearn_per_node_ns = v;
+         }},
+        {"cpu.onnx_fixed_us",
+         [](const HardwareProfile& p) {
+             return p.cpu.onnx_fixed.micros();
+         },
+         [](HardwareProfile& p, double v) {
+             p.cpu.onnx_fixed = SimTime::Micros(v);
+         }},
+        {"cpu.onnx_per_node_ns",
+         [](const HardwareProfile& p) { return p.cpu.onnx_per_node_ns; },
+         [](HardwareProfile& p, double v) {
+             p.cpu.onnx_per_node_ns = v;
+         }},
+        // ---------------- GPU -------------------------------------------
+        {"gpu.num_sms",
+         [](const HardwareProfile& p) {
+             return static_cast<double>(p.gpu.num_sms);
+         },
+         [](HardwareProfile& p, double v) {
+             p.gpu.num_sms = static_cast<int>(v);
+         }},
+        {"gpu.lanes_per_sm",
+         [](const HardwareProfile& p) {
+             return static_cast<double>(p.gpu.lanes_per_sm);
+         },
+         [](HardwareProfile& p, double v) {
+             p.gpu.lanes_per_sm = static_cast<int>(v);
+         }},
+        {"gpu.clock_ghz",
+         [](const HardwareProfile& p) { return p.gpu.clock_hz / 1e9; },
+         [](HardwareProfile& p, double v) { p.gpu.clock_hz = v * 1e9; }},
+        {"gpu.l2_mib",
+         [](const HardwareProfile& p) {
+             return static_cast<double>(p.gpu.l2_bytes) / (1 << 20);
+         },
+         [](HardwareProfile& p, double v) {
+             p.gpu.l2_bytes = static_cast<std::uint64_t>(v * (1 << 20));
+         }},
+        {"gpu.dram_gbps",
+         [](const HardwareProfile& p) {
+             return p.gpu.dram_bytes_per_second / 1e9;
+         },
+         [](HardwareProfile& p, double v) {
+             p.gpu.dram_bytes_per_second = v * 1e9;
+         }},
+        {"gpu.kernel_launch_us",
+         [](const HardwareProfile& p) {
+             return p.gpu.kernel_launch.micros();
+         },
+         [](HardwareProfile& p, double v) {
+             p.gpu.kernel_launch = SimTime::Micros(v);
+         }},
+        {"gpu.gemm_efficiency",
+         [](const HardwareProfile& p) { return p.gpu.gemm_efficiency; },
+         [](HardwareProfile& p, double v) { p.gpu.gemm_efficiency = v; }},
+        // ---------------- FPGA ------------------------------------------
+        {"fpga.clock_mhz",
+         [](const HardwareProfile& p) { return p.fpga.clock_hz / 1e6; },
+         [](HardwareProfile& p, double v) { p.fpga.clock_hz = v * 1e6; }},
+        {"fpga.bram_mib",
+         [](const HardwareProfile& p) {
+             return static_cast<double>(p.fpga.bram_bytes) / (1 << 20);
+         },
+         [](HardwareProfile& p, double v) {
+             p.fpga.bram_bytes = static_cast<std::uint64_t>(v * (1 << 20));
+         }},
+        {"fpga.num_pes",
+         [](const HardwareProfile& p) {
+             return static_cast<double>(p.fpga.num_pes);
+         },
+         [](HardwareProfile& p, double v) {
+             p.fpga.num_pes = static_cast<int>(v);
+         }},
+        {"fpga.max_tree_depth",
+         [](const HardwareProfile& p) {
+             return static_cast<double>(p.fpga.max_tree_depth);
+         },
+         [](HardwareProfile& p, double v) {
+             p.fpga.max_tree_depth = static_cast<int>(v);
+         }},
+        {"fpga.stream_floats_per_cycle",
+         [](const HardwareProfile& p) {
+             return static_cast<double>(p.fpga.stream_floats_per_cycle);
+         },
+         [](HardwareProfile& p, double v) {
+             p.fpga.stream_floats_per_cycle = static_cast<int>(v);
+         }},
+        {"fpga.software_overhead_ms",
+         [](const HardwareProfile& p) {
+             return p.fpga_offload.software_overhead.millis();
+         },
+         [](HardwareProfile& p, double v) {
+             p.fpga_offload.software_overhead = SimTime::Millis(v);
+         }},
+        // ---------------- links -----------------------------------------
+        {"gpu_link.generation",
+         [](const HardwareProfile& p) {
+             return static_cast<double>(p.gpu_link.generation);
+         },
+         [](HardwareProfile& p, double v) {
+             p.gpu_link.generation = static_cast<int>(v);
+         }},
+        {"gpu_link.lanes",
+         [](const HardwareProfile& p) {
+             return static_cast<double>(p.gpu_link.lanes);
+         },
+         [](HardwareProfile& p, double v) {
+             p.gpu_link.lanes = static_cast<int>(v);
+         }},
+        {"fpga_link.generation",
+         [](const HardwareProfile& p) {
+             return static_cast<double>(p.fpga_link.generation);
+         },
+         [](HardwareProfile& p, double v) {
+             p.fpga_link.generation = static_cast<int>(v);
+         }},
+        {"fpga_link.lanes",
+         [](const HardwareProfile& p) {
+             return static_cast<double>(p.fpga_link.lanes);
+         },
+         [](HardwareProfile& p, double v) {
+             p.fpga_link.lanes = static_cast<int>(v);
+         }},
+        // ---------------- frameworks ------------------------------------
+        {"rapids.preproc_fixed_ms",
+         [](const HardwareProfile& p) {
+             return p.rapids.preproc_fixed.millis();
+         },
+         [](HardwareProfile& p, double v) {
+             p.rapids.preproc_fixed = SimTime::Millis(v);
+         }},
+        {"rapids.cudf_conversion_gbps",
+         [](const HardwareProfile& p) {
+             return p.rapids.cudf_conversion_bw / 1e9;
+         },
+         [](HardwareProfile& p, double v) {
+             p.rapids.cudf_conversion_bw = v * 1e9;
+         }},
+        {"hummingbird.software_overhead_ms",
+         [](const HardwareProfile& p) {
+             return p.hummingbird.software_overhead.millis();
+         },
+         [](HardwareProfile& p, double v) {
+             p.hummingbird.software_overhead = SimTime::Millis(v);
+         }},
+    };
+    return fields;
+}
+
+}  // namespace
+
+std::string
+SerializeProfile(const HardwareProfile& profile)
+{
+    std::ostringstream os;
+    os << "# dbscore hardware profile\n";
+    for (const Field& field : Fields()) {
+        os << field.key << " = " << StrFormat("%g", field.get(profile))
+           << "\n";
+    }
+    return os.str();
+}
+
+HardwareProfile
+ParseProfile(const std::string& text)
+{
+    HardwareProfile profile = HardwareProfile::Paper();
+    std::istringstream is(text);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        std::string trimmed = Trim(line);
+        if (trimmed.empty() || trimmed[0] == '#') {
+            continue;
+        }
+        auto eq = trimmed.find('=');
+        if (eq == std::string::npos) {
+            throw ParseError(StrFormat(
+                "profile line %zu: expected 'key = value'", line_no));
+        }
+        std::string key = Trim(trimmed.substr(0, eq));
+        std::string value_text = Trim(trimmed.substr(eq + 1));
+        char* end = nullptr;
+        double value = std::strtod(value_text.c_str(), &end);
+        if (value_text.empty() ||
+            end != value_text.c_str() + value_text.size()) {
+            throw ParseError(StrFormat(
+                "profile line %zu: bad numeric value '%s'", line_no,
+                value_text.c_str()));
+        }
+        bool found = false;
+        for (const Field& field : Fields()) {
+            if (key == field.key) {
+                field.set(profile, value);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            throw ParseError(StrFormat(
+                "profile line %zu: unknown key '%s'", line_no,
+                key.c_str()));
+        }
+    }
+    return profile;
+}
+
+std::vector<std::string>
+ProfileKeys()
+{
+    std::vector<std::string> keys;
+    keys.reserve(Fields().size());
+    for (const Field& field : Fields()) {
+        keys.emplace_back(field.key);
+    }
+    return keys;
+}
+
+}  // namespace dbscore

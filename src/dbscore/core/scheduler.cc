@@ -1,0 +1,112 @@
+#include "dbscore/core/scheduler.h"
+
+#include <limits>
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+std::optional<BackendEstimate>
+SchedulerDecision::For(BackendKind kind) const
+{
+    for (const auto& est : all) {
+        if (est.kind == kind) {
+            return est;
+        }
+    }
+    return std::nullopt;
+}
+
+double
+SchedulerDecision::SpeedupOverCpu() const
+{
+    SimTime best_cpu = SimTime::Seconds(
+        std::numeric_limits<double>::infinity());
+    for (const auto& est : all) {
+        if (BackendDeviceClass(est.kind) == DeviceClass::kCpu) {
+            best_cpu = Min(best_cpu, est.Total());
+        }
+    }
+    return best_cpu / best_time;
+}
+
+OffloadScheduler::OffloadScheduler(const HardwareProfile& profile,
+                                   const TreeEnsemble& model,
+                                   const ModelStats& stats)
+{
+    for (BackendKind kind : AllBackends()) {
+        auto engine = CreateLoadedEngine(kind, profile, model, stats);
+        if (engine != nullptr) {
+            engines_.push_back(std::move(engine));
+        }
+    }
+    if (engines_.empty()) {
+        throw InvalidArgument("scheduler: no backend can host this model");
+    }
+}
+
+std::vector<BackendKind>
+OffloadScheduler::Available() const
+{
+    std::vector<BackendKind> kinds;
+    kinds.reserve(engines_.size());
+    for (const auto& engine : engines_) {
+        kinds.push_back(engine->kind());
+    }
+    return kinds;
+}
+
+bool
+OffloadScheduler::Has(BackendKind kind) const
+{
+    for (const auto& engine : engines_) {
+        if (engine->kind() == kind) {
+            return true;
+        }
+    }
+    return false;
+}
+
+ScoringEngine&
+OffloadScheduler::Engine(BackendKind kind) const
+{
+    for (const auto& engine : engines_) {
+        if (engine->kind() == kind) {
+            return *engine;
+        }
+    }
+    throw NotFound(std::string("scheduler: backend unavailable: ") +
+                   BackendName(kind));
+}
+
+SchedulerDecision
+OffloadScheduler::Choose(std::size_t num_rows) const
+{
+    SchedulerDecision decision;
+    decision.best_time = SimTime::Seconds(
+        std::numeric_limits<double>::infinity());
+    for (const auto& engine : engines_) {
+        BackendEstimate est{engine->kind(), engine->Estimate(num_rows)};
+        if (est.Total() < decision.best_time) {
+            decision.best_time = est.Total();
+            decision.best = est.kind;
+        }
+        decision.all.push_back(std::move(est));
+    }
+    return decision;
+}
+
+OffloadBreakdown
+OffloadScheduler::EstimateFor(BackendKind kind, std::size_t num_rows) const
+{
+    return Engine(kind).Estimate(num_rows);
+}
+
+double
+OffloadScheduler::Regret(BackendKind chosen, std::size_t num_rows) const
+{
+    SchedulerDecision decision = Choose(num_rows);
+    return EstimateFor(chosen, num_rows).Total() / decision.best_time;
+}
+
+}  // namespace dbscore

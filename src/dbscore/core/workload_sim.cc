@@ -1,0 +1,176 @@
+#include "dbscore/core/workload_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbscore/common/error.h"
+#include "dbscore/common/rng.h"
+#include "dbscore/common/stats.h"
+
+namespace dbscore {
+
+const char*
+WorkloadPolicyName(WorkloadPolicy policy)
+{
+    switch (policy) {
+      case WorkloadPolicy::kAlwaysCpu: return "always-CPU";
+      case WorkloadPolicy::kAlwaysFpga: return "always-FPGA";
+      case WorkloadPolicy::kServiceOptimal: return "service-optimal";
+      case WorkloadPolicy::kQueueAware: return "queue-aware";
+    }
+    return "?";
+}
+
+std::vector<WorkloadQuery>
+GenerateWorkload(const WorkloadConfig& config)
+{
+    if (config.num_queries == 0 || config.min_rows == 0 ||
+        config.min_rows > config.max_rows) {
+        throw InvalidArgument("workload: bad configuration");
+    }
+    Rng rng(config.seed);
+    std::vector<WorkloadQuery> queries;
+    queries.reserve(config.num_queries);
+    double now = 0.0;
+    const double log_min = std::log(static_cast<double>(config.min_rows));
+    const double log_max = std::log(static_cast<double>(config.max_rows));
+    for (std::size_t i = 0; i < config.num_queries; ++i) {
+        // Exponential inter-arrival gaps.
+        double u = std::max(1e-12, rng.NextDouble());
+        now += -std::log(u) * config.mean_interarrival.seconds();
+        WorkloadQuery q;
+        q.arrival = SimTime::Seconds(now);
+        q.num_rows = static_cast<std::size_t>(std::llround(
+            std::exp(rng.NextUniform(log_min, log_max))));
+        q.num_rows = std::max<std::size_t>(1, q.num_rows);
+        queries.push_back(q);
+    }
+    return queries;
+}
+
+namespace {
+
+/** Best available backend of one device class at @p rows, by service. */
+struct ClassChoice {
+    bool available = false;
+    BackendKind kind = BackendKind::kCpuSklearn;
+    SimTime service;
+};
+
+ClassChoice
+BestOfClass(const OffloadScheduler& scheduler, DeviceClass device,
+            std::size_t rows)
+{
+    ClassChoice choice;
+    for (BackendKind kind : scheduler.Available()) {
+        if (BackendDeviceClass(kind) != device) {
+            continue;
+        }
+        SimTime t = scheduler.EstimateFor(kind, rows).Total();
+        if (!choice.available || t < choice.service) {
+            choice.available = true;
+            choice.kind = kind;
+            choice.service = t;
+        }
+    }
+    return choice;
+}
+
+}  // namespace
+
+WorkloadReport
+SimulateWorkload(const OffloadScheduler& scheduler,
+                 const std::vector<WorkloadQuery>& queries,
+                 WorkloadPolicy policy)
+{
+    if (queries.empty()) {
+        throw InvalidArgument("workload: empty query stream");
+    }
+
+    double device_free[3] = {0.0, 0.0, 0.0};
+    double device_busy[3] = {0.0, 0.0, 0.0};
+    std::size_t device_count[3] = {0, 0, 0};
+
+    QuantileSketch latencies;
+    RunningStats latency_stats;
+    double makespan = 0.0;
+
+    for (const WorkloadQuery& query : queries) {
+        // Candidate per device class.
+        ClassChoice per_class[3] = {
+            BestOfClass(scheduler, DeviceClass::kCpu, query.num_rows),
+            BestOfClass(scheduler, DeviceClass::kGpu, query.num_rows),
+            BestOfClass(scheduler, DeviceClass::kFpga, query.num_rows),
+        };
+
+        int chosen = 0;
+        switch (policy) {
+          case WorkloadPolicy::kAlwaysCpu:
+            chosen = 0;
+            break;
+          case WorkloadPolicy::kAlwaysFpga:
+            chosen = 2;
+            break;
+          case WorkloadPolicy::kServiceOptimal: {
+            double best = 1e30;
+            for (int d = 0; d < 3; ++d) {
+                if (per_class[d].available &&
+                    per_class[d].service.seconds() < best) {
+                    best = per_class[d].service.seconds();
+                    chosen = d;
+                }
+            }
+            break;
+          }
+          case WorkloadPolicy::kQueueAware: {
+            double best = 1e30;
+            for (int d = 0; d < 3; ++d) {
+                if (!per_class[d].available) {
+                    continue;
+                }
+                double wait = std::max(
+                    0.0, device_free[d] - query.arrival.seconds());
+                double finish = wait + per_class[d].service.seconds();
+                if (finish < best) {
+                    best = finish;
+                    chosen = d;
+                }
+            }
+            break;
+          }
+        }
+        if (!per_class[chosen].available) {
+            chosen = 0;  // the CPU can always host the model
+        }
+        DBS_ASSERT(per_class[chosen].available);
+
+        double start = std::max(query.arrival.seconds(),
+                                device_free[chosen]);
+        double service = per_class[chosen].service.seconds();
+        double finish = start + service;
+        device_free[chosen] = finish;
+        device_busy[chosen] += service;
+        ++device_count[chosen];
+        makespan = std::max(makespan, finish);
+
+        double latency = finish - query.arrival.seconds();
+        latencies.Add(latency);
+        latency_stats.Add(latency);
+    }
+
+    WorkloadReport report;
+    report.policy = policy;
+    report.mean_latency = SimTime::Seconds(latency_stats.mean());
+    report.p95_latency = SimTime::Seconds(latencies.Quantile(0.95));
+    report.makespan = SimTime::Seconds(makespan);
+    const double total = static_cast<double>(queries.size());
+    report.cpu_share = device_count[0] / total;
+    report.gpu_share = device_count[1] / total;
+    report.fpga_share = device_count[2] / total;
+    report.cpu_utilization = device_busy[0] / makespan;
+    report.gpu_utilization = device_busy[1] / makespan;
+    report.fpga_utilization = device_busy[2] / makespan;
+    return report;
+}
+
+}  // namespace dbscore

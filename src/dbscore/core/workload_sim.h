@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Multi-query workload simulation with device contention.
+ *
+ * The paper's conclusion calls for "future research on performance
+ * models ... and scheduling" that accounts for both hardware and
+ * pipeline overheads. This module runs a stream of scoring queries
+ * (mixed batch sizes) through the backends, where each device (the CPU
+ * pool, the GPU, the FPGA) serves one query at a time, and compares
+ * scheduling policies end to end: queueing turns per-query-optimal
+ * choices into globally bad ones when everything piles onto the one
+ * "best" device.
+ */
+#ifndef DBSCORE_CORE_WORKLOAD_SIM_H
+#define DBSCORE_CORE_WORKLOAD_SIM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dbscore/core/scheduler.h"
+
+namespace dbscore {
+
+/** One scoring request in the stream. */
+struct WorkloadQuery {
+    SimTime arrival;
+    std::size_t num_rows = 1;
+};
+
+/** Scheduling policies the simulator compares. */
+enum class WorkloadPolicy {
+    kAlwaysCpu,       ///< never offload
+    kAlwaysFpga,      ///< always offload to the FPGA
+    kServiceOptimal,  ///< per-query minimum service time (ignores queues)
+    kQueueAware,      ///< minimize wait + service at dispatch time
+};
+
+const char* WorkloadPolicyName(WorkloadPolicy policy);
+
+/** Workload generation parameters. */
+struct WorkloadConfig {
+    std::size_t num_queries = 200;
+    /** Mean inter-arrival gap (exponential). */
+    SimTime mean_interarrival = SimTime::Millis(20.0);
+    /** Record counts drawn log-uniformly from [min_rows, max_rows]. */
+    std::size_t min_rows = 1;
+    std::size_t max_rows = 1000000;
+    std::uint64_t seed = 42;
+};
+
+/** Deterministically generates the query stream. */
+std::vector<WorkloadQuery> GenerateWorkload(const WorkloadConfig& config);
+
+/** Aggregate results of one simulated run. */
+struct WorkloadReport {
+    WorkloadPolicy policy;
+    SimTime mean_latency;   ///< wait + service, averaged
+    SimTime p95_latency;
+    SimTime makespan;       ///< last completion time
+    /** Fraction of queries sent to each device class. */
+    double cpu_share = 0.0;
+    double gpu_share = 0.0;
+    double fpga_share = 0.0;
+    /** Busy fraction of each device over the makespan. */
+    double cpu_utilization = 0.0;
+    double gpu_utilization = 0.0;
+    double fpga_utilization = 0.0;
+};
+
+/**
+ * Simulates the query stream under @p policy. Service times come from
+ * @p scheduler's engine estimates; each device class is a single
+ * exclusive resource (queries queue FIFO per device).
+ */
+WorkloadReport SimulateWorkload(const OffloadScheduler& scheduler,
+                                const std::vector<WorkloadQuery>& queries,
+                                WorkloadPolicy policy);
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_CORE_WORKLOAD_SIM_H

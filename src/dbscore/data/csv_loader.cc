@@ -1,0 +1,103 @@
+#include "dbscore/data/csv_loader.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "dbscore/common/csv.h"
+#include "dbscore/common/error.h"
+#include "dbscore/common/string_util.h"
+
+namespace dbscore {
+
+namespace {
+
+float
+ParseFloat(const std::string& s)
+{
+    const std::string trimmed = Trim(s);
+    if (trimmed.empty()) {
+        throw ParseError("csv dataset: empty numeric field");
+    }
+    char* end = nullptr;
+    float v = std::strtof(trimmed.c_str(), &end);
+    if (end != trimmed.c_str() + trimmed.size()) {
+        throw ParseError("csv dataset: bad numeric field '" + s + "'");
+    }
+    return v;
+}
+
+}  // namespace
+
+Dataset
+LoadCsvDataset(std::istream& in, const CsvLoadOptions& options)
+{
+    CsvDocument doc = ReadCsv(in, options.has_header);
+    if (doc.rows.empty()) {
+        throw ParseError("csv dataset: no data rows");
+    }
+    const std::size_t arity = doc.rows.front().size();
+    if (arity < 2) {
+        throw ParseError("csv dataset: need at least 1 feature + label");
+    }
+    std::size_t label_col =
+        options.label_column < 0
+            ? arity - 1
+            : static_cast<std::size_t>(options.label_column);
+    if (label_col >= arity) {
+        throw InvalidArgument("csv dataset: label column out of range");
+    }
+
+    const std::size_t num_features = arity - 1;
+
+    // First pass parses everything so class inference can precede
+    // Dataset construction.
+    std::vector<float> values;
+    std::vector<float> labels;
+    values.reserve(doc.rows.size() * num_features);
+    labels.reserve(doc.rows.size());
+    for (const auto& row : doc.rows) {
+        if (row.size() != arity) {
+            throw ParseError("csv dataset: ragged row");
+        }
+        for (std::size_t c = 0; c < arity; ++c) {
+            float v = ParseFloat(row[c]);
+            if (c == label_col) {
+                labels.push_back(v);
+            } else {
+                values.push_back(v);
+            }
+        }
+    }
+
+    int num_classes = options.num_classes;
+    if (options.task == Task::kClassification && num_classes == 0) {
+        float max_label = 0.0f;
+        for (float l : labels) {
+            if (l < 0.0f || l != std::floor(l)) {
+                throw ParseError(
+                    "csv dataset: class labels must be non-negative ints");
+            }
+            max_label = std::max(max_label, l);
+        }
+        num_classes = static_cast<int>(max_label) + 1;
+        if (num_classes < 2) {
+            num_classes = 2;
+        }
+    }
+    if (options.task == Task::kRegression) {
+        num_classes = 0;
+    }
+
+    Dataset data(options.name, options.task, num_features, num_classes);
+    if (options.has_header && doc.header.size() == arity) {
+        for (std::size_t c = 0; c < arity; ++c) {
+            if (c != label_col) {
+                data.feature_names().push_back(Trim(doc.header[c]));
+            }
+        }
+    }
+    data.Assign(std::move(values), std::move(labels));
+    return data;
+}
+
+}  // namespace dbscore

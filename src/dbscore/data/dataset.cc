@@ -1,0 +1,150 @@
+#include "dbscore/data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "dbscore/common/error.h"
+#include "dbscore/common/rng.h"
+
+namespace dbscore {
+
+const char*
+TaskName(Task task)
+{
+    return task == Task::kClassification ? "classification" : "regression";
+}
+
+Dataset::Dataset(std::string name, Task task, std::size_t num_features,
+                 int num_classes)
+    : name_(std::move(name)),
+      task_(task),
+      num_features_(num_features),
+      num_classes_(num_classes)
+{
+    if (num_features == 0) {
+        throw InvalidArgument("dataset: num_features must be positive");
+    }
+    if (task == Task::kClassification && num_classes < 2) {
+        throw InvalidArgument(
+            "dataset: classification requires >= 2 classes");
+    }
+    if (task == Task::kRegression && num_classes != 0) {
+        throw InvalidArgument("dataset: regression must have 0 classes");
+    }
+}
+
+void
+Dataset::AddRow(const std::vector<float>& features, float label)
+{
+    if (features.size() != num_features_) {
+        throw InvalidArgument("dataset: row arity mismatch");
+    }
+    values_.insert(values_.end(), features.begin(), features.end());
+    labels_.push_back(label);
+}
+
+void
+Dataset::Assign(std::vector<float> values, std::vector<float> labels)
+{
+    if (values.size() != labels.size() * num_features_) {
+        throw InvalidArgument("dataset: assign size mismatch");
+    }
+    values_ = std::move(values);
+    labels_ = std::move(labels);
+}
+
+const float*
+Dataset::Row(std::size_t i) const
+{
+    DBS_ASSERT(i < num_rows());
+    return values_.data() + i * num_features_;
+}
+
+float
+Dataset::At(std::size_t row, std::size_t col) const
+{
+    DBS_ASSERT(row < num_rows() && col < num_features_);
+    return values_[row * num_features_ + col];
+}
+
+float
+Dataset::Label(std::size_t i) const
+{
+    DBS_ASSERT(i < num_rows());
+    return labels_[i];
+}
+
+std::uint64_t
+Dataset::FeatureBytes() const
+{
+    return static_cast<std::uint64_t>(values_.size()) * sizeof(float);
+}
+
+Dataset
+Dataset::Slice(std::size_t begin, std::size_t end) const
+{
+    if (begin > end || end > num_rows()) {
+        throw InvalidArgument("dataset: slice out of range");
+    }
+    Dataset out(name_, task_, num_features_, num_classes_);
+    out.feature_names_ = feature_names_;
+    out.values_.assign(values_.begin() + begin * num_features_,
+                       values_.begin() + end * num_features_);
+    out.labels_.assign(labels_.begin() + begin, labels_.begin() + end);
+    return out;
+}
+
+Dataset
+Dataset::Replicate(std::size_t target_rows) const
+{
+    if (num_rows() == 0) {
+        throw InvalidArgument("dataset: cannot replicate an empty dataset");
+    }
+    Dataset out(name_, task_, num_features_, num_classes_);
+    out.feature_names_ = feature_names_;
+    out.values_.reserve(target_rows * num_features_);
+    out.labels_.reserve(target_rows);
+    for (std::size_t i = 0; i < target_rows; ++i) {
+        std::size_t src = i % num_rows();
+        const float* row = Row(src);
+        out.values_.insert(out.values_.end(), row, row + num_features_);
+        out.labels_.push_back(labels_[src]);
+    }
+    return out;
+}
+
+Dataset
+Dataset::Shuffled(std::uint64_t seed) const
+{
+    std::vector<std::size_t> perm(num_rows());
+    std::iota(perm.begin(), perm.end(), 0);
+    Rng rng(seed);
+    rng.Shuffle(perm);
+
+    Dataset out(name_, task_, num_features_, num_classes_);
+    out.feature_names_ = feature_names_;
+    out.values_.reserve(values_.size());
+    out.labels_.reserve(labels_.size());
+    for (std::size_t i : perm) {
+        const float* row = Row(i);
+        out.values_.insert(out.values_.end(), row, row + num_features_);
+        out.labels_.push_back(labels_[i]);
+    }
+    return out;
+}
+
+TrainTestSplit
+SplitTrainTest(const Dataset& data, double train_fraction, std::uint64_t seed)
+{
+    if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+        throw InvalidArgument("split: train_fraction must be in (0, 1)");
+    }
+    Dataset shuffled = data.Shuffled(seed);
+    auto cut = static_cast<std::size_t>(
+        static_cast<double>(data.num_rows()) * train_fraction);
+    cut = std::clamp<std::size_t>(cut, 1, data.num_rows() - 1);
+    return TrainTestSplit{shuffled.Slice(0, cut),
+                          shuffled.Slice(cut, data.num_rows())};
+}
+
+}  // namespace dbscore

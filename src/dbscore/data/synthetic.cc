@@ -1,0 +1,171 @@
+#include "dbscore/data/synthetic.h"
+
+#include <array>
+#include <cmath>
+
+#include "dbscore/common/error.h"
+#include "dbscore/common/rng.h"
+
+namespace dbscore {
+
+namespace {
+
+/** Published per-class feature means of Fisher's Iris. */
+constexpr std::array<std::array<double, 4>, 3> kIrisMeans = {{
+    {5.006, 3.428, 1.462, 0.246},   // setosa
+    {5.936, 2.770, 4.260, 1.326},   // versicolor
+    {6.588, 2.974, 5.552, 2.026},   // virginica
+}};
+
+/** Published per-class feature standard deviations of Fisher's Iris. */
+constexpr std::array<std::array<double, 4>, 3> kIrisStds = {{
+    {0.352, 0.379, 0.174, 0.105},
+    {0.516, 0.314, 0.470, 0.198},
+    {0.636, 0.322, 0.552, 0.275},
+}};
+
+const char* const kIrisFeatureNames[4] = {
+    "sepal_length", "sepal_width", "petal_length", "petal_width"};
+
+}  // namespace
+
+Dataset
+MakeIris(std::size_t num_rows, std::uint64_t seed)
+{
+    if (num_rows == 0) {
+        throw InvalidArgument("MakeIris: num_rows must be positive");
+    }
+    Dataset data("iris", Task::kClassification, 4, 3);
+    for (const char* name : kIrisFeatureNames) {
+        data.feature_names().emplace_back(name);
+    }
+    Rng rng(seed);
+    std::vector<float> row(4);
+    for (std::size_t i = 0; i < num_rows; ++i) {
+        int cls = static_cast<int>(i % 3);  // balanced classes
+        for (std::size_t f = 0; f < 4; ++f) {
+            double v = rng.NextGaussian(kIrisMeans[cls][f],
+                                        kIrisStds[cls][f]);
+            row[f] = static_cast<float>(std::max(0.05, v));
+        }
+        data.AddRow(row, static_cast<float>(cls));
+    }
+    return data;
+}
+
+Dataset
+MakeHiggs(std::size_t num_rows, std::uint64_t seed)
+{
+    if (num_rows == 0) {
+        throw InvalidArgument("MakeHiggs: num_rows must be positive");
+    }
+    constexpr std::size_t kLowLevel = 21;
+    constexpr std::size_t kHighLevel = 7;
+    constexpr std::size_t kFeatures = kLowLevel + kHighLevel;
+
+    Dataset data("higgs", Task::kClassification, kFeatures, 2);
+    for (std::size_t f = 0; f < kLowLevel; ++f) {
+        data.feature_names().push_back("kin_" + std::to_string(f));
+    }
+    for (std::size_t f = 0; f < kHighLevel; ++f) {
+        data.feature_names().push_back("derived_" + std::to_string(f));
+    }
+
+    Rng rng(seed);
+
+    // Fixed per-feature class-shift directions. Small magnitudes keep the
+    // classes heavily overlapped (weakly separable, like real HIGGS).
+    Rng dir_rng(seed ^ 0x5151515151515151ULL);
+    std::array<double, kLowLevel> shift{};
+    for (auto& s : shift) {
+        s = dir_rng.NextGaussian(0.0, 0.22);
+    }
+
+    std::vector<float> row(kFeatures);
+    std::array<double, kLowLevel> low{};
+    for (std::size_t i = 0; i < num_rows; ++i) {
+        int cls = static_cast<int>(rng.NextBelow(2));
+        double sign = cls == 1 ? 1.0 : -1.0;
+        // Two shared latent factors induce correlations between the
+        // kinematic features, like momenta of particles from one event.
+        double latent_a = rng.NextGaussian();
+        double latent_b = rng.NextGaussian();
+        for (std::size_t f = 0; f < kLowLevel; ++f) {
+            double mix = (f % 2 == 0) ? latent_a : latent_b;
+            low[f] = 0.6 * rng.NextGaussian() + 0.4 * mix +
+                     sign * shift[f];
+            row[f] = static_cast<float>(low[f]);
+        }
+        // High-level features: nonlinear combinations reminiscent of
+        // reconstructed invariant masses, plus noise.
+        double m0 = std::sqrt(low[0] * low[0] + low[1] * low[1]);
+        double m1 = std::sqrt(low[2] * low[2] + low[3] * low[3] +
+                              low[4] * low[4]);
+        double m2 = low[5] * low[6] - low[7] * low[8];
+        double m3 = std::fabs(low[9] + low[10] - low[11]);
+        double m4 = std::tanh(low[12] * low[13]);
+        double m5 = (low[14] + low[15] + low[16]) / 3.0;
+        double m6 = std::sqrt(std::fabs(low[17] * low[18])) +
+                    0.3 * low[19] * low[20];
+        const double high[kHighLevel] = {m0, m1, m2, m3, m4, m5, m6};
+        for (std::size_t f = 0; f < kHighLevel; ++f) {
+            row[kLowLevel + f] = static_cast<float>(
+                high[f] + 0.25 * rng.NextGaussian() + 0.12 * sign);
+        }
+        data.AddRow(row, static_cast<float>(cls));
+    }
+    return data;
+}
+
+Dataset
+MakeGaussianBlobs(std::size_t num_rows, std::size_t num_features,
+                  int num_classes, double separation, std::uint64_t seed)
+{
+    if (num_classes < 2) {
+        throw InvalidArgument("MakeGaussianBlobs: need >= 2 classes");
+    }
+    Dataset data("blobs", Task::kClassification, num_features, num_classes);
+    Rng rng(seed);
+    std::vector<float> row(num_features);
+    for (std::size_t i = 0; i < num_rows; ++i) {
+        int cls = static_cast<int>(i % static_cast<std::size_t>(num_classes));
+        for (std::size_t f = 0; f < num_features; ++f) {
+            // Centers march along a diagonal, one step per class.
+            double center = separation * cls * ((f % 2 == 0) ? 1.0 : -1.0);
+            row[f] = static_cast<float>(rng.NextGaussian(center, 1.0));
+        }
+        data.AddRow(row, static_cast<float>(cls));
+    }
+    return data;
+}
+
+Dataset
+MakeSyntheticRegression(std::size_t num_rows, std::size_t num_features,
+                        double noise_stddev, std::uint64_t seed)
+{
+    if (num_features < 2) {
+        throw InvalidArgument("MakeSyntheticRegression: need >= 2 features");
+    }
+    Dataset data("synth_reg", Task::kRegression, num_features, 0);
+    Rng rng(seed);
+    Rng coef_rng(seed ^ 0xabcdef0123456789ULL);
+    std::vector<double> coef(num_features);
+    for (auto& c : coef) {
+        // Sparse linear form: most coefficients are zero.
+        c = coef_rng.NextDouble() < 0.4 ? coef_rng.NextGaussian() : 0.0;
+    }
+    std::vector<float> row(num_features);
+    for (std::size_t i = 0; i < num_rows; ++i) {
+        double y = 0.0;
+        for (std::size_t f = 0; f < num_features; ++f) {
+            row[f] = static_cast<float>(rng.NextGaussian());
+            y += coef[f] * row[f];
+        }
+        y += 0.5 * row[0] * row[1];  // one interaction term
+        y += rng.NextGaussian(0.0, noise_stddev);
+        data.AddRow(row, static_cast<float>(y));
+    }
+    return data;
+}
+
+}  // namespace dbscore

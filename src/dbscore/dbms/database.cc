@@ -1,0 +1,174 @@
+#include "dbscore/dbms/database.h"
+
+#include "dbscore/common/error.h"
+#include "dbscore/common/string_util.h"
+
+namespace dbscore {
+
+namespace {
+constexpr const char* kModelsTable = "models";
+}  // namespace
+
+std::string
+Database::Key(const std::string& name)
+{
+    return ToLower(name);
+}
+
+Table&
+Database::CreateTable(const std::string& name, std::vector<ColumnDef> schema)
+{
+    auto [it, inserted] =
+        tables_.try_emplace(Key(name), Table(name, std::move(schema)));
+    if (!inserted) {
+        throw InvalidArgument("database: table '" + name +
+                              "' already exists");
+    }
+    return it->second;
+}
+
+bool
+Database::HasTable(const std::string& name) const
+{
+    return tables_.count(Key(name)) > 0;
+}
+
+Table&
+Database::GetTable(const std::string& name)
+{
+    auto it = tables_.find(Key(name));
+    if (it == tables_.end()) {
+        throw NotFound("database: no table '" + name + "'");
+    }
+    return it->second;
+}
+
+const Table&
+Database::GetTable(const std::string& name) const
+{
+    auto it = tables_.find(Key(name));
+    if (it == tables_.end()) {
+        throw NotFound("database: no table '" + name + "'");
+    }
+    return it->second;
+}
+
+void
+Database::DropTable(const std::string& name)
+{
+    if (tables_.erase(Key(name)) == 0) {
+        throw NotFound("database: no table '" + name + "'");
+    }
+}
+
+std::vector<std::string>
+Database::TableNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(tables_.size());
+    for (const auto& [key, table] : tables_) {
+        names.push_back(table.name());
+    }
+    return names;
+}
+
+Table&
+Database::StoreDataset(const std::string& table_name, const Dataset& dataset)
+{
+    std::vector<ColumnDef> schema;
+    schema.reserve(dataset.num_features() + 1);
+    for (std::size_t f = 0; f < dataset.num_features(); ++f) {
+        std::string col = f < dataset.feature_names().size()
+            ? dataset.feature_names()[f]
+            : "f" + std::to_string(f);
+        schema.push_back({std::move(col), ColumnType::kDouble});
+    }
+    schema.push_back({"label", ColumnType::kDouble});
+
+    Table& table = CreateTable(table_name, std::move(schema));
+    std::vector<Value> row(dataset.num_features() + 1);
+    for (std::size_t r = 0; r < dataset.num_rows(); ++r) {
+        const float* src = dataset.Row(r);
+        for (std::size_t f = 0; f < dataset.num_features(); ++f) {
+            row[f] = static_cast<double>(src[f]);
+        }
+        row[dataset.num_features()] =
+            static_cast<double>(dataset.Label(r));
+        table.AppendRow(row);
+    }
+    return table;
+}
+
+Dataset
+Database::LoadDataset(const std::string& table_name, Task task,
+                      int num_classes) const
+{
+    const Table& table = GetTable(table_name);
+    std::size_t label_col = table.ColumnIndex("label");
+    if (table.NumColumns() < 2) {
+        throw InvalidArgument("database: dataset table too narrow");
+    }
+    Dataset data(table_name, task, table.NumColumns() - 1, num_classes);
+    for (std::size_t c = 0; c < table.NumColumns(); ++c) {
+        if (c != label_col) {
+            data.feature_names().push_back(table.schema()[c].name);
+        }
+    }
+    std::vector<float> row(table.NumColumns() - 1);
+    for (std::size_t r = 0; r < table.NumRows(); ++r) {
+        std::size_t out = 0;
+        for (std::size_t c = 0; c < table.NumColumns(); ++c) {
+            if (c == label_col) {
+                continue;
+            }
+            row[out++] = static_cast<float>(ValueAsDouble(table.At(r, c)));
+        }
+        data.AddRow(row, static_cast<float>(
+                             ValueAsDouble(table.At(r, label_col))));
+    }
+    return data;
+}
+
+void
+Database::StoreModel(const std::string& model_name,
+                     const TreeEnsemble& ensemble)
+{
+    if (!HasTable(kModelsTable)) {
+        CreateTable(kModelsTable, {{"name", ColumnType::kString},
+                                   {"model", ColumnType::kBlob}});
+    }
+    Table& table = GetTable(kModelsTable);
+    table.AppendRow({model_name, ensemble.Serialize()});
+}
+
+const std::vector<std::uint8_t>&
+Database::ModelBlob(const std::string& model_name) const
+{
+    const Table& table = GetTable(kModelsTable);
+    std::size_t name_col = table.ColumnIndex("name");
+    std::size_t blob_col = table.ColumnIndex("model");
+    // Last write wins, like an upserted model catalog.
+    for (std::size_t r = table.NumRows(); r > 0; --r) {
+        if (EqualsIgnoreCase(
+                std::get<std::string>(table.At(r - 1, name_col)),
+                model_name)) {
+            return std::get<std::vector<std::uint8_t>>(
+                table.At(r - 1, blob_col));
+        }
+    }
+    throw NotFound("database: no model '" + model_name + "'");
+}
+
+TreeEnsemble
+Database::LoadModel(const std::string& model_name) const
+{
+    return TreeEnsemble::Deserialize(ModelBlob(model_name));
+}
+
+std::uint64_t
+Database::ModelBlobBytes(const std::string& model_name) const
+{
+    return ModelBlob(model_name).size();
+}
+
+}  // namespace dbscore

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Database catalog: named tables plus helpers for storing datasets and
+ * serialized models the way the paper's pipeline does.
+ */
+#ifndef DBSCORE_DBMS_DATABASE_H
+#define DBSCORE_DBMS_DATABASE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dbscore/data/dataset.h"
+#include "dbscore/dbms/table.h"
+#include "dbscore/forest/onnx_like.h"
+
+namespace dbscore {
+
+/** A named collection of tables. */
+class Database {
+ public:
+    /** @throws InvalidArgument if the table already exists */
+    Table& CreateTable(const std::string& name,
+                       std::vector<ColumnDef> schema);
+
+    bool HasTable(const std::string& name) const;
+
+    /** @throws NotFound */
+    Table& GetTable(const std::string& name);
+    const Table& GetTable(const std::string& name) const;
+
+    /** @throws NotFound */
+    void DropTable(const std::string& name);
+
+    std::vector<std::string> TableNames() const;
+
+    /**
+     * Stores @p dataset as a table with one FLOAT column per feature
+     * plus a FLOAT "label" column — how the paper keeps scoring data in
+     * the DBMS.
+     */
+    Table& StoreDataset(const std::string& table_name,
+                        const Dataset& dataset);
+
+    /** Reads a dataset table back into a Dataset (features + label). */
+    Dataset LoadDataset(const std::string& table_name, Task task,
+                        int num_classes) const;
+
+    /**
+     * Inserts a serialized model into the "models" table (created on
+     * first use: name VARCHAR, model VARBINARY), the paper's
+     * models-live-in-the-database arrangement.
+     */
+    void StoreModel(const std::string& model_name,
+                    const TreeEnsemble& ensemble);
+
+    /** Fetches and deserializes a model. @throws NotFound */
+    TreeEnsemble LoadModel(const std::string& model_name) const;
+
+    /** Serialized size of a stored model blob. @throws NotFound */
+    std::uint64_t ModelBlobBytes(const std::string& model_name) const;
+
+ private:
+    /** Case-insensitive name key. */
+    static std::string Key(const std::string& name);
+
+    const std::vector<std::uint8_t>&
+    ModelBlob(const std::string& model_name) const;
+
+    std::map<std::string, Table> tables_;
+};
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_DBMS_DATABASE_H

@@ -1,0 +1,55 @@
+#include "dbscore/dbms/external_runtime.h"
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+ExternalScriptRuntime::ExternalScriptRuntime(
+    const ExternalRuntimeParams& params)
+    : params_(params)
+{
+    if (params.channel_bytes_per_second <= 0.0 ||
+        params.model_deser_bytes_per_second <= 0.0) {
+        throw InvalidArgument("external runtime: bad bandwidth");
+    }
+}
+
+SimTime
+ExternalScriptRuntime::InvokeProcess()
+{
+    if (warm_) {
+        return params_.warm_invocation;
+    }
+    warm_ = true;
+    return params_.cold_invocation;
+}
+
+SimTime
+ExternalScriptRuntime::TransferToProcess(std::uint64_t bytes) const
+{
+    return TransferTime(bytes, params_.channel_bytes_per_second);
+}
+
+SimTime
+ExternalScriptRuntime::TransferFromProcess(std::uint64_t bytes) const
+{
+    return TransferTime(bytes, params_.channel_bytes_per_second);
+}
+
+SimTime
+ExternalScriptRuntime::ModelPreprocessing(std::uint64_t blob_bytes) const
+{
+    return params_.model_deser_fixed +
+           TransferTime(blob_bytes, params_.model_deser_bytes_per_second);
+}
+
+SimTime
+ExternalScriptRuntime::DataPreprocessing(std::uint64_t rows,
+                                         std::uint64_t cols) const
+{
+    return SimTime::Nanos(params_.data_preproc_ns_per_value *
+                          static_cast<double>(rows) *
+                          static_cast<double>(cols));
+}
+
+}  // namespace dbscore

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The external script runtime: our stand-in for SQL Server's
+ * sp_execute_external_script Python launchpad.
+ *
+ * The paper's Figure 11 identifies the application-pipeline overheads that
+ * prior accelerator work ignored: launching the external Python process,
+ * transparently copying data between the DBMS and that process, and the
+ * model/data pre-processing done inside the script. This class models each
+ * with explicit, perturbable costs; scripts themselves are C++ callables
+ * executed in-process (the language is irrelevant — the stage costs are
+ * the object of study).
+ */
+#ifndef DBSCORE_DBMS_EXTERNAL_RUNTIME_H
+#define DBSCORE_DBMS_EXTERNAL_RUNTIME_H
+
+#include <cstdint>
+
+#include "dbscore/common/sim_time.h"
+
+namespace dbscore {
+
+/** Pipeline-overhead cost parameters. */
+struct ExternalRuntimeParams {
+    /** First invocation: spawn the Python process, import libraries. */
+    SimTime cold_invocation = SimTime::Millis(350.0);
+    /** Re-use of a pooled warm process. */
+    SimTime warm_invocation = SimTime::Millis(60.0);
+    /**
+     * DBMS <-> external process data channel throughput. Row data is
+     * serialized through a local channel, far slower than a memcpy —
+     * this is the paper's "data transfer time" that dominates once
+     * scoring is accelerated.
+     */
+    double channel_bytes_per_second = 600e6;
+    /** Fixed model deserialization cost. */
+    SimTime model_deser_fixed = SimTime::Millis(2.0);
+    /** Model deserialization throughput (bytes/s). */
+    double model_deser_bytes_per_second = 100e6;
+    /** Per-feature-value cost of preparing the scoring matrix. */
+    double data_preproc_ns_per_value = 8.0;
+};
+
+/** Stage-cost model of one external runtime. */
+class ExternalScriptRuntime {
+ public:
+    explicit ExternalScriptRuntime(const ExternalRuntimeParams& params);
+
+    const ExternalRuntimeParams& params() const { return params_; }
+
+    /**
+     * Cost of invoking the external process. The first call is cold;
+     * later calls hit the warm pool until ResetPool().
+     */
+    SimTime InvokeProcess();
+
+    /** True if the next invocation will be warm. */
+    bool warm() const { return warm_; }
+
+    /** Simulates recycling the process pool (next invocation is cold). */
+    void ResetPool() { warm_ = false; }
+
+    /** DBMS -> process copy of @p bytes. */
+    SimTime TransferToProcess(std::uint64_t bytes) const;
+
+    /** process -> DBMS copy of @p bytes. */
+    SimTime TransferFromProcess(std::uint64_t bytes) const;
+
+    /** Model pre-processing: deserializing a @p blob_bytes model. */
+    SimTime ModelPreprocessing(std::uint64_t blob_bytes) const;
+
+    /** Data pre-processing: preparing a rows x cols scoring matrix. */
+    SimTime DataPreprocessing(std::uint64_t rows, std::uint64_t cols) const;
+
+ private:
+    ExternalRuntimeParams params_;
+    bool warm_ = false;
+};
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_DBMS_EXTERNAL_RUNTIME_H

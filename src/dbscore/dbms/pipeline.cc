@@ -1,0 +1,167 @@
+#include "dbscore/dbms/pipeline.h"
+
+#include <algorithm>
+
+#include "dbscore/common/error.h"
+#include "dbscore/core/scheduler.h"
+#include "dbscore/forest/model_stats.h"
+
+namespace dbscore {
+
+SimTime
+PipelineStageTimes::Total() const
+{
+    return NonScoring() + scoring.Total();
+}
+
+SimTime
+PipelineStageTimes::NonScoring() const
+{
+    return python_invocation + data_transfer + model_preprocessing +
+           data_preprocessing;
+}
+
+ScoringPipeline::ScoringPipeline(Database& db, const HardwareProfile& profile,
+                                 const ExternalRuntimeParams& runtime_params)
+    : db_(db), profile_(profile), runtime_(runtime_params)
+{
+}
+
+PipelineRunResult
+ScoringPipeline::RunScoringQuery(const std::string& model_name,
+                                 const std::string& data_table,
+                                 BackendKind backend,
+                                 std::optional<std::size_t> max_rows)
+{
+    PipelineRunResult result;
+    PipelineStageTimes& stages = result.stages;
+
+    // Stage 1: launch (or reuse) the external scripting process.
+    stages.python_invocation = runtime_.InvokeProcess();
+
+    // Stage 2: the DBMS copies the selected rows into the process.
+    const Table& table = db_.GetTable(data_table);
+    const std::size_t num_rows =
+        std::min<std::size_t>(table.NumRows(),
+                              max_rows.value_or(table.NumRows()));
+    if (num_rows == 0) {
+        throw InvalidArgument("pipeline: no rows to score in '" +
+                              data_table + "'");
+    }
+    std::uint64_t wire_bytes = 0;
+    for (std::size_t r = 0; r < num_rows; ++r) {
+        wire_bytes += table.RowWireBytes(r);
+    }
+    stages.data_transfer += runtime_.TransferToProcess(wire_bytes);
+
+    // Stage 3: the script deserializes the model (functionally real).
+    const std::uint64_t blob_bytes = db_.ModelBlobBytes(model_name);
+    TreeEnsemble ensemble = db_.LoadModel(model_name);
+    stages.model_preprocessing = runtime_.ModelPreprocessing(blob_bytes);
+
+    // Stage 4: feature extraction into the scoring matrix. The label
+    // column (if present) is excluded from the features.
+    std::size_t label_col = table.NumColumns();
+    for (std::size_t c = 0; c < table.NumColumns(); ++c) {
+        if (table.schema()[c].name == "label") {
+            label_col = c;
+        }
+    }
+    const std::size_t num_features =
+        table.NumColumns() - (label_col < table.NumColumns() ? 1 : 0);
+    if (num_features != ensemble.num_features) {
+        throw InvalidArgument("pipeline: table width does not match model");
+    }
+    std::vector<float> matrix(num_rows * num_features);
+    for (std::size_t r = 0; r < num_rows; ++r) {
+        std::size_t out = 0;
+        for (std::size_t c = 0; c < table.NumColumns(); ++c) {
+            if (c == label_col) {
+                continue;
+            }
+            matrix[r * num_features + out++] =
+                static_cast<float>(ValueAsDouble(table.At(r, c)));
+        }
+    }
+    stages.data_preprocessing =
+        runtime_.DataPreprocessing(num_rows, num_features);
+
+    // Stage 5: score on the chosen backend.
+    RandomForest forest = ensemble.ToForest();
+    Dataset probe("probe", ensemble.task,
+                  ensemble.num_features,
+                  ensemble.task == Task::kClassification
+                      ? ensemble.num_classes : 0);
+    // Use a slice of the actual rows as the path-length probe.
+    {
+        const std::size_t probe_rows = std::min<std::size_t>(num_rows, 256);
+        std::vector<float> values(
+            matrix.begin(),
+            matrix.begin() +
+                static_cast<std::ptrdiff_t>(probe_rows * num_features));
+        probe.Assign(std::move(values),
+                     std::vector<float>(probe_rows, 0.0f));
+    }
+    ModelStats stats = ComputeModelStats(forest, &probe);
+    auto engine = CreateLoadedEngine(backend, profile_, ensemble, stats);
+    if (engine == nullptr) {
+        throw CapacityError(std::string("pipeline: backend ") +
+                            BackendName(backend) +
+                            " cannot host this model");
+    }
+    ScoreResult score = engine->Score(matrix.data(), num_rows, num_features);
+    stages.scoring = score.breakdown;
+
+    // Stage 6: predictions copied back into the DBMS.
+    stages.data_transfer += runtime_.TransferFromProcess(
+        static_cast<std::uint64_t>(num_rows) * 8);
+
+    result.predictions = std::move(score.predictions);
+    return result;
+}
+
+PipelineStageTimes
+ScoringPipeline::EstimateQuery(const std::string& model_name,
+                               std::size_t num_rows, BackendKind backend)
+{
+    PipelineStageTimes stages;
+    stages.python_invocation = runtime_.InvokeProcess();
+
+    const std::uint64_t blob_bytes = db_.ModelBlobBytes(model_name);
+    TreeEnsemble ensemble = db_.LoadModel(model_name);
+    stages.model_preprocessing = runtime_.ModelPreprocessing(blob_bytes);
+
+    // Wire format: 8 bytes per numeric cell, features + label column.
+    const std::uint64_t wire_bytes =
+        static_cast<std::uint64_t>(num_rows) *
+        (ensemble.num_features + 1) * 8;
+    stages.data_transfer = runtime_.TransferToProcess(wire_bytes) +
+                           runtime_.TransferFromProcess(
+                               static_cast<std::uint64_t>(num_rows) * 8);
+    stages.data_preprocessing =
+        runtime_.DataPreprocessing(num_rows, ensemble.num_features);
+
+    RandomForest forest = ensemble.ToForest();
+    ModelStats stats = ComputeModelStats(forest, nullptr);
+    auto engine = CreateLoadedEngine(backend, profile_, ensemble, stats);
+    if (engine == nullptr) {
+        throw CapacityError(std::string("pipeline: backend ") +
+                            BackendName(backend) +
+                            " cannot host this model");
+    }
+    stages.scoring = engine->Estimate(num_rows);
+    return stages;
+}
+
+BackendKind
+ScoringPipeline::AdviseBackend(const std::string& model_name,
+                               std::size_t num_rows)
+{
+    TreeEnsemble ensemble = db_.LoadModel(model_name);
+    RandomForest forest = ensemble.ToForest();
+    ModelStats stats = ComputeModelStats(forest, nullptr);
+    OffloadScheduler scheduler(profile_, ensemble, stats);
+    return scheduler.Choose(num_rows).best;
+}
+
+}  // namespace dbscore

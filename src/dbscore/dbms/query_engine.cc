@@ -1,0 +1,331 @@
+#include "dbscore/dbms/query_engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dbscore/common/error.h"
+#include "dbscore/common/string_util.h"
+#include "dbscore/common/table_printer.h"
+
+namespace dbscore {
+
+std::string
+QueryResult::ToString() const
+{
+    std::ostringstream os;
+    if (!columns.empty()) {
+        TablePrinter table(columns);
+        for (const auto& row : rows) {
+            std::vector<std::string> cells;
+            cells.reserve(row.size());
+            for (const auto& value : row) {
+                cells.push_back(ValueToString(value));
+            }
+            table.AddRow(std::move(cells));
+        }
+        table.Print(os);
+    }
+    if (!message.empty()) {
+        os << message << "\n";
+    }
+    return os.str();
+}
+
+std::string
+GetStringParam(const ExecStatement& stmt, const std::string& name)
+{
+    auto it = stmt.params.find(ToLower(name));
+    if (it == stmt.params.end() ||
+        TypeOf(it->second) != ColumnType::kString) {
+        throw InvalidArgument("exec " + stmt.procedure +
+                              ": missing string parameter @" + name);
+    }
+    return std::get<std::string>(it->second);
+}
+
+std::optional<std::int64_t>
+GetIntParam(const ExecStatement& stmt, const std::string& name)
+{
+    auto it = stmt.params.find(ToLower(name));
+    if (it == stmt.params.end()) {
+        return std::nullopt;
+    }
+    if (TypeOf(it->second) != ColumnType::kInt64) {
+        throw InvalidArgument("exec " + stmt.procedure + ": @" + name +
+                              " must be an integer");
+    }
+    return std::get<std::int64_t>(it->second);
+}
+
+BackendKind
+ParseBackendName(const std::string& name)
+{
+    for (BackendKind kind :
+         {BackendKind::kCpuSklearn, BackendKind::kCpuOnnx,
+          BackendKind::kCpuOnnxMt, BackendKind::kGpuHummingbird,
+          BackendKind::kGpuRapids, BackendKind::kFpga,
+          BackendKind::kFpgaHybrid}) {
+        if (EqualsIgnoreCase(name, BackendName(kind))) {
+            return kind;
+        }
+    }
+    // Friendly aliases.
+    if (EqualsIgnoreCase(name, "cpu")) {
+        return BackendKind::kCpuSklearn;
+    }
+    if (EqualsIgnoreCase(name, "gpu")) {
+        return BackendKind::kGpuHummingbird;
+    }
+    throw InvalidArgument("unknown backend '" + name + "'");
+}
+
+namespace {
+
+/** The paper's Figure-3 analog: score a stored model over a table. */
+QueryResult
+SpScoreModel(QueryEngine& engine, const ExecStatement& stmt)
+{
+    const std::string model = GetStringParam(stmt, "model");
+    const std::string data = GetStringParam(stmt, "data");
+    std::optional<std::size_t> max_rows;
+    if (auto top = GetIntParam(stmt, "top"); top.has_value()) {
+        if (*top <= 0) {
+            throw InvalidArgument("sp_score_model: @top must be positive");
+        }
+        max_rows = static_cast<std::size_t>(*top);
+    }
+
+    BackendKind backend = BackendKind::kCpuSklearn;
+    if (stmt.params.count("backend") > 0) {
+        const std::string name = GetStringParam(stmt, "backend");
+        if (EqualsIgnoreCase(name, "auto")) {
+            // The paper's dynamic offloading decision, per query.
+            std::size_t rows = max_rows.value_or(
+                engine.db().GetTable(data).NumRows());
+            backend = engine.pipeline().AdviseBackend(model, rows);
+        } else {
+            backend = ParseBackendName(name);
+        }
+    }
+
+    PipelineRunResult run =
+        engine.pipeline().RunScoringQuery(model, data, backend, max_rows);
+
+    QueryResult result;
+    result.columns = {"row_id", "prediction"};
+    result.rows.reserve(run.predictions.size());
+    for (std::size_t i = 0; i < run.predictions.size(); ++i) {
+        result.rows.push_back({static_cast<std::int64_t>(i),
+                               static_cast<double>(run.predictions[i])});
+    }
+    result.modeled_time = run.stages.Total();
+    result.pipeline_stages = run.stages;
+    result.message = StrFormat(
+        "%zu rows scored on %s in %s (modeled)", run.predictions.size(),
+        BackendName(backend), run.stages.Total().ToString().c_str());
+    return result;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(Database& db, ScoringPipeline& pipeline)
+    : db_(db), pipeline_(pipeline)
+{
+    RegisterProcedure("sp_score_model", SpScoreModel);
+}
+
+void
+QueryEngine::RegisterProcedure(const std::string& name, StoredProcedure proc)
+{
+    procedures_[ToLower(name)] = std::move(proc);
+}
+
+QueryResult
+QueryEngine::Execute(const std::string& sql)
+{
+    Statement stmt = ParseSql(sql);
+    return std::visit(
+        [this](const auto& s) -> QueryResult {
+            using T = std::decay_t<decltype(s)>;
+            if constexpr (std::is_same_v<T, CreateTableStatement>) {
+                return ExecuteCreate(s);
+            } else if constexpr (std::is_same_v<T, InsertStatement>) {
+                return ExecuteInsert(s);
+            } else if constexpr (std::is_same_v<T, SelectStatement>) {
+                return ExecuteSelect(s);
+            } else {
+                return ExecuteExec(s);
+            }
+        },
+        stmt);
+}
+
+QueryResult
+QueryEngine::ExecuteCreate(const CreateTableStatement& stmt)
+{
+    db_.CreateTable(stmt.table, stmt.columns);
+    QueryResult result;
+    result.message = "table '" + stmt.table + "' created";
+    return result;
+}
+
+QueryResult
+QueryEngine::ExecuteInsert(const InsertStatement& stmt)
+{
+    Table& table = db_.GetTable(stmt.table);
+    for (const auto& row : stmt.rows) {
+        table.AppendRow(row);
+    }
+    QueryResult result;
+    result.message =
+        StrFormat("%zu row(s) inserted into '%s'", stmt.rows.size(),
+                  stmt.table.c_str());
+    return result;
+}
+
+namespace {
+
+/** Evaluates one aggregate over the selected rows of a table. */
+Value
+EvaluateAggregate(const Table& table, const AggregateItem& item,
+                  const std::vector<std::size_t>& rows)
+{
+    if (item.func == AggFunc::kCount && item.column.empty()) {
+        return static_cast<std::int64_t>(rows.size());
+    }
+    const std::size_t col = table.ColumnIndex(item.column);
+    switch (item.func) {
+      case AggFunc::kCount:
+        return static_cast<std::int64_t>(rows.size());
+      case AggFunc::kSum:
+      case AggFunc::kAvg: {
+        double sum = 0.0;
+        for (std::size_t r : rows) {
+            sum += ValueAsDouble(table.At(r, col));
+        }
+        if (item.func == AggFunc::kSum) {
+            return sum;
+        }
+        if (rows.empty()) {
+            throw InvalidArgument("AVG over zero rows");
+        }
+        return sum / static_cast<double>(rows.size());
+      }
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        if (rows.empty()) {
+            throw InvalidArgument(std::string(AggFuncName(item.func)) +
+                                  " over zero rows");
+        }
+        Value best = table.At(rows.front(), col);
+        for (std::size_t r : rows) {
+            int cmp = CompareValues(table.At(r, col), best);
+            if ((item.func == AggFunc::kMin && cmp < 0) ||
+                (item.func == AggFunc::kMax && cmp > 0)) {
+                best = table.At(r, col);
+            }
+        }
+        return best;
+      }
+    }
+    throw InvalidArgument("unknown aggregate");
+}
+
+}  // namespace
+
+QueryResult
+QueryEngine::ExecuteSelect(const SelectStatement& stmt)
+{
+    const Table& table = db_.GetTable(stmt.table);
+
+    std::vector<std::size_t> where_cols;
+    where_cols.reserve(stmt.where.size());
+    for (const auto& clause : stmt.where) {
+        where_cols.push_back(table.ColumnIndex(clause.column));
+    }
+
+    // Filter.
+    std::vector<std::size_t> matched;
+    for (std::size_t r = 0; r < table.NumRows(); ++r) {
+        bool keep = true;
+        for (std::size_t w = 0; w < stmt.where.size(); ++w) {
+            int cmp = CompareValues(table.At(r, where_cols[w]),
+                                    stmt.where[w].literal);
+            if (!EvalCompareOp(stmt.where[w].op, cmp)) {
+                keep = false;
+                break;
+            }
+        }
+        if (keep) {
+            matched.push_back(r);
+        }
+    }
+
+    QueryResult result;
+
+    // Aggregate queries collapse to a single row.
+    if (!stmt.aggregates.empty()) {
+        std::vector<Value> row;
+        for (const auto& item : stmt.aggregates) {
+            result.columns.push_back(
+                std::string(AggFuncName(item.func)) + "(" +
+                (item.column.empty() ? "*" : item.column) + ")");
+            row.push_back(EvaluateAggregate(table, item, matched));
+        }
+        result.rows.push_back(std::move(row));
+        result.message = "1 row(s)";
+        return result;
+    }
+
+    // ORDER BY (stable, so ties keep table order), then TOP.
+    if (stmt.order_by.has_value()) {
+        const std::size_t col = table.ColumnIndex(stmt.order_by->column);
+        const bool desc = stmt.order_by->descending;
+        std::stable_sort(matched.begin(), matched.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             int cmp = CompareValues(table.At(a, col),
+                                                     table.At(b, col));
+                             return desc ? cmp > 0 : cmp < 0;
+                         });
+    }
+    if (stmt.top.has_value() && matched.size() > *stmt.top) {
+        matched.resize(*stmt.top);
+    }
+
+    // Project.
+    std::vector<std::size_t> projection;
+    if (stmt.star) {
+        for (std::size_t c = 0; c < table.NumColumns(); ++c) {
+            projection.push_back(c);
+            result.columns.push_back(table.schema()[c].name);
+        }
+    } else {
+        for (const auto& name : stmt.columns) {
+            projection.push_back(table.ColumnIndex(name));
+            result.columns.push_back(name);
+        }
+    }
+    result.rows.reserve(matched.size());
+    for (std::size_t r : matched) {
+        std::vector<Value> row;
+        row.reserve(projection.size());
+        for (std::size_t c : projection) {
+            row.push_back(table.At(r, c));
+        }
+        result.rows.push_back(std::move(row));
+    }
+    result.message = StrFormat("%zu row(s)", result.rows.size());
+    return result;
+}
+
+QueryResult
+QueryEngine::ExecuteExec(const ExecStatement& stmt)
+{
+    auto it = procedures_.find(ToLower(stmt.procedure));
+    if (it == procedures_.end()) {
+        throw NotFound("no stored procedure '" + stmt.procedure + "'");
+    }
+    return it->second(*this, stmt);
+}
+
+}  // namespace dbscore

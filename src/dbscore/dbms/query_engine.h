@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The query engine: executes parsed SQL statements against a Database and
+ * dispatches EXEC statements to stored procedures.
+ *
+ * A built-in sp_score_model procedure mirrors the paper's Figure-3 stored
+ * procedure: it runs the full external-script scoring pipeline with
+ * parameters @model, @data, @backend and optional @top.
+ */
+#ifndef DBSCORE_DBMS_QUERY_ENGINE_H
+#define DBSCORE_DBMS_QUERY_ENGINE_H
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dbscore/dbms/database.h"
+#include "dbscore/dbms/pipeline.h"
+#include "dbscore/dbms/sql.h"
+
+namespace dbscore {
+
+/** Rows + metadata returned by Execute(). */
+struct QueryResult {
+    std::vector<std::string> columns;
+    std::vector<std::vector<Value>> rows;
+    /** Human-readable status for DDL/DML ("1 table created", ...). */
+    std::string message;
+    /** Modeled end-to-end time for pipeline-backed statements. */
+    SimTime modeled_time;
+    /** Stage breakdown when the statement ran the scoring pipeline. */
+    std::optional<PipelineStageTimes> pipeline_stages;
+
+    /** Renders an ASCII result table. */
+    std::string ToString() const;
+};
+
+class QueryEngine;
+
+/** A stored procedure: params in, result set out. */
+using StoredProcedure =
+    std::function<QueryResult(QueryEngine&, const ExecStatement&)>;
+
+/** Executes SQL text. */
+class QueryEngine {
+ public:
+    QueryEngine(Database& db, ScoringPipeline& pipeline);
+
+    Database& db() { return db_; }
+    ScoringPipeline& pipeline() { return pipeline_; }
+
+    /**
+     * Parses and executes one statement.
+     * @throws ParseError / NotFound / InvalidArgument / CapacityError
+     */
+    QueryResult Execute(const std::string& sql);
+
+    /** Registers (or replaces) a stored procedure. */
+    void RegisterProcedure(const std::string& name, StoredProcedure proc);
+
+ private:
+    QueryResult ExecuteCreate(const CreateTableStatement& stmt);
+    QueryResult ExecuteInsert(const InsertStatement& stmt);
+    QueryResult ExecuteSelect(const SelectStatement& stmt);
+    QueryResult ExecuteExec(const ExecStatement& stmt);
+
+    Database& db_;
+    ScoringPipeline& pipeline_;
+    std::map<std::string, StoredProcedure> procedures_;
+};
+
+/** Extracts a required string parameter. @throws InvalidArgument */
+std::string GetStringParam(const ExecStatement& stmt,
+                           const std::string& name);
+
+/** Extracts an optional integer parameter. */
+std::optional<std::int64_t> GetIntParam(const ExecStatement& stmt,
+                                        const std::string& name);
+
+/** Parses a backend name ("FPGA", "GPU_HB", ...). @throws InvalidArgument */
+BackendKind ParseBackendName(const std::string& name);
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_DBMS_QUERY_ENGINE_H

@@ -1,0 +1,478 @@
+#include "dbscore/dbms/sql.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "dbscore/common/error.h"
+#include "dbscore/common/string_util.h"
+
+namespace dbscore {
+
+const char*
+AggFuncName(AggFunc func)
+{
+    switch (func) {
+      case AggFunc::kCount: return "COUNT";
+      case AggFunc::kSum: return "SUM";
+      case AggFunc::kAvg: return "AVG";
+      case AggFunc::kMin: return "MIN";
+      case AggFunc::kMax: return "MAX";
+    }
+    return "?";
+}
+
+bool
+EvalCompareOp(CompareOp op, int cmp)
+{
+    switch (op) {
+      case CompareOp::kEq: return cmp == 0;
+      case CompareOp::kNe: return cmp != 0;
+      case CompareOp::kLt: return cmp < 0;
+      case CompareOp::kLe: return cmp <= 0;
+      case CompareOp::kGt: return cmp > 0;
+      case CompareOp::kGe: return cmp >= 0;
+    }
+    return false;
+}
+
+namespace {
+
+/** Token kinds produced by the lexer. */
+enum class TokKind {
+    kIdent,
+    kNumber,
+    kString,
+    kPunct,   ///< ( ) , = < > <= >= <> @ *
+    kEnd,
+};
+
+struct Token {
+    TokKind kind;
+    std::string text;
+    std::size_t pos;
+};
+
+/** Hand-rolled lexer over the statement text. */
+class Lexer {
+ public:
+    explicit Lexer(const std::string& text) : text_(text) { Advance(); }
+
+    const Token& Peek() const { return current_; }
+
+    Token
+    Take()
+    {
+        Token t = current_;
+        Advance();
+        return t;
+    }
+
+    [[noreturn]] void
+    Fail(const std::string& why) const
+    {
+        throw ParseError(StrFormat("sql: %s at position %zu", why.c_str(),
+                                   current_.pos));
+    }
+
+ private:
+    void
+    Advance()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+        current_.pos = pos_;
+        if (pos_ >= text_.size()) {
+            current_ = {TokKind::kEnd, "", pos_};
+            return;
+        }
+        char c = text_[pos_];
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t start = pos_;
+            while (pos_ < text_.size() &&
+                   (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                    text_[pos_] == '_')) {
+                ++pos_;
+            }
+            current_ = {TokKind::kIdent, text_.substr(start, pos_ - start),
+                        start};
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '-' && pos_ + 1 < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+            std::size_t start = pos_;
+            ++pos_;
+            while (pos_ < text_.size() &&
+                   (std::isdigit(
+                        static_cast<unsigned char>(text_[pos_])) ||
+                    text_[pos_] == '.' || text_[pos_] == 'e' ||
+                    text_[pos_] == 'E' ||
+                    ((text_[pos_] == '+' || text_[pos_] == '-') &&
+                     (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+                ++pos_;
+            }
+            current_ = {TokKind::kNumber, text_.substr(start, pos_ - start),
+                        start};
+            return;
+        }
+        if (c == '\'') {
+            std::size_t start = pos_++;
+            std::string value;
+            while (true) {
+                if (pos_ >= text_.size()) {
+                    throw ParseError("sql: unterminated string literal");
+                }
+                if (text_[pos_] == '\'') {
+                    if (pos_ + 1 < text_.size() &&
+                        text_[pos_ + 1] == '\'') {
+                        value.push_back('\'');
+                        pos_ += 2;
+                        continue;
+                    }
+                    ++pos_;
+                    break;
+                }
+                value.push_back(text_[pos_++]);
+            }
+            current_ = {TokKind::kString, std::move(value), start};
+            return;
+        }
+        // Two-character operators first.
+        if ((c == '<' || c == '>') && pos_ + 1 < text_.size()) {
+            char next = text_[pos_ + 1];
+            if (next == '=' || (c == '<' && next == '>')) {
+                current_ = {TokKind::kPunct, text_.substr(pos_, 2), pos_};
+                pos_ += 2;
+                return;
+            }
+        }
+        static const std::string kSingle = "(),=<>@*;";
+        if (kSingle.find(c) != std::string::npos) {
+            current_ = {TokKind::kPunct, std::string(1, c), pos_};
+            ++pos_;
+            return;
+        }
+        throw ParseError(StrFormat("sql: unexpected character '%c' at %zu",
+                                   c, pos_));
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+    Token current_;
+};
+
+/** Recursive-descent parser over the token stream. */
+class Parser {
+ public:
+    explicit Parser(const std::string& sql) : lex_(sql) {}
+
+    Statement
+    Parse()
+    {
+        Token head = ExpectIdent();
+        Statement stmt = [&]() -> Statement {
+            if (EqualsIgnoreCase(head.text, "CREATE")) {
+                return ParseCreate();
+            }
+            if (EqualsIgnoreCase(head.text, "INSERT")) {
+                return ParseInsert();
+            }
+            if (EqualsIgnoreCase(head.text, "SELECT")) {
+                return ParseSelect();
+            }
+            if (EqualsIgnoreCase(head.text, "EXEC") ||
+                EqualsIgnoreCase(head.text, "EXECUTE")) {
+                return ParseExec();
+            }
+            lex_.Fail("unsupported statement '" + head.text + "'");
+        }();
+        SkipOptionalSemicolon();
+        if (lex_.Peek().kind != TokKind::kEnd) {
+            lex_.Fail("trailing tokens after statement");
+        }
+        return stmt;
+    }
+
+ private:
+    Token
+    ExpectIdent()
+    {
+        if (lex_.Peek().kind != TokKind::kIdent) {
+            lex_.Fail("expected identifier");
+        }
+        return lex_.Take();
+    }
+
+    void
+    ExpectKeyword(const char* keyword)
+    {
+        Token t = ExpectIdent();
+        if (!EqualsIgnoreCase(t.text, keyword)) {
+            lex_.Fail(StrFormat("expected %s", keyword));
+        }
+    }
+
+    void
+    ExpectPunct(const char* punct)
+    {
+        if (lex_.Peek().kind != TokKind::kPunct ||
+            lex_.Peek().text != punct) {
+            lex_.Fail(StrFormat("expected '%s'", punct));
+        }
+        lex_.Take();
+    }
+
+    bool
+    TryPunct(const char* punct)
+    {
+        if (lex_.Peek().kind == TokKind::kPunct &&
+            lex_.Peek().text == punct) {
+            lex_.Take();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    SkipOptionalSemicolon()
+    {
+        TryPunct(";");
+    }
+
+    Value
+    ParseLiteral()
+    {
+        Token t = lex_.Take();
+        if (t.kind == TokKind::kString) {
+            return Value(t.text);
+        }
+        if (t.kind == TokKind::kNumber) {
+            if (t.text.find_first_of(".eE") == std::string::npos) {
+                return Value(static_cast<std::int64_t>(
+                    std::strtoll(t.text.c_str(), nullptr, 10)));
+            }
+            return Value(std::strtod(t.text.c_str(), nullptr));
+        }
+        lex_.Fail("expected literal");
+    }
+
+    ColumnType
+    ParseColumnType()
+    {
+        Token t = ExpectIdent();
+        if (EqualsIgnoreCase(t.text, "INT") ||
+            EqualsIgnoreCase(t.text, "BIGINT")) {
+            return ColumnType::kInt64;
+        }
+        if (EqualsIgnoreCase(t.text, "FLOAT") ||
+            EqualsIgnoreCase(t.text, "REAL") ||
+            EqualsIgnoreCase(t.text, "DOUBLE")) {
+            return ColumnType::kDouble;
+        }
+        if (EqualsIgnoreCase(t.text, "VARCHAR") ||
+            EqualsIgnoreCase(t.text, "TEXT") ||
+            EqualsIgnoreCase(t.text, "NVARCHAR")) {
+            SkipTypeArgs();
+            return ColumnType::kString;
+        }
+        if (EqualsIgnoreCase(t.text, "VARBINARY") ||
+            EqualsIgnoreCase(t.text, "BLOB")) {
+            SkipTypeArgs();
+            return ColumnType::kBlob;
+        }
+        lex_.Fail("unsupported column type '" + t.text + "'");
+    }
+
+    /** Consumes "(max)" / "(255)" style type arguments. */
+    void
+    SkipTypeArgs()
+    {
+        if (!TryPunct("(")) {
+            return;
+        }
+        while (lex_.Peek().kind != TokKind::kEnd && !TryPunct(")")) {
+            lex_.Take();
+        }
+    }
+
+    Statement
+    ParseCreate()
+    {
+        ExpectKeyword("TABLE");
+        CreateTableStatement stmt;
+        stmt.table = ExpectIdent().text;
+        ExpectPunct("(");
+        do {
+            ColumnDef def;
+            def.name = ExpectIdent().text;
+            def.type = ParseColumnType();
+            stmt.columns.push_back(std::move(def));
+        } while (TryPunct(","));
+        ExpectPunct(")");
+        return stmt;
+    }
+
+    Statement
+    ParseInsert()
+    {
+        ExpectKeyword("INTO");
+        InsertStatement stmt;
+        stmt.table = ExpectIdent().text;
+        ExpectKeyword("VALUES");
+        do {
+            ExpectPunct("(");
+            std::vector<Value> row;
+            do {
+                row.push_back(ParseLiteral());
+            } while (TryPunct(","));
+            ExpectPunct(")");
+            stmt.rows.push_back(std::move(row));
+        } while (TryPunct(","));
+        return stmt;
+    }
+
+    CompareOp
+    ParseCompareOp()
+    {
+        if (lex_.Peek().kind != TokKind::kPunct) {
+            lex_.Fail("expected comparison operator");
+        }
+        std::string op = lex_.Take().text;
+        if (op == "=") return CompareOp::kEq;
+        if (op == "<>") return CompareOp::kNe;
+        if (op == "<") return CompareOp::kLt;
+        if (op == "<=") return CompareOp::kLe;
+        if (op == ">") return CompareOp::kGt;
+        if (op == ">=") return CompareOp::kGe;
+        lex_.Fail("unsupported operator '" + op + "'");
+    }
+
+    Statement
+    ParseSelect()
+    {
+        SelectStatement stmt;
+        if (lex_.Peek().kind == TokKind::kIdent &&
+            EqualsIgnoreCase(lex_.Peek().text, "TOP")) {
+            lex_.Take();
+            Token n = lex_.Take();
+            if (n.kind != TokKind::kNumber) {
+                lex_.Fail("expected row count after TOP");
+            }
+            stmt.top = static_cast<std::size_t>(
+                std::strtoull(n.text.c_str(), nullptr, 10));
+        }
+        if (TryPunct("*")) {
+            stmt.star = true;
+        } else {
+            do {
+                ParseSelectItem(stmt);
+            } while (TryPunct(","));
+            if (!stmt.columns.empty() && !stmt.aggregates.empty()) {
+                lex_.Fail("cannot mix aggregates and plain columns "
+                          "without GROUP BY");
+            }
+        }
+        ExpectKeyword("FROM");
+        stmt.table = ExpectIdent().text;
+        if (lex_.Peek().kind == TokKind::kIdent &&
+            EqualsIgnoreCase(lex_.Peek().text, "WHERE")) {
+            lex_.Take();
+            do {
+                WhereClause clause;
+                clause.column = ExpectIdent().text;
+                clause.op = ParseCompareOp();
+                clause.literal = ParseLiteral();
+                stmt.where.push_back(std::move(clause));
+            } while (lex_.Peek().kind == TokKind::kIdent &&
+                     EqualsIgnoreCase(lex_.Peek().text, "AND") &&
+                     (lex_.Take(), true));
+        }
+        if (lex_.Peek().kind == TokKind::kIdent &&
+            EqualsIgnoreCase(lex_.Peek().text, "ORDER")) {
+            lex_.Take();
+            ExpectKeyword("BY");
+            OrderBy order;
+            order.column = ExpectIdent().text;
+            if (lex_.Peek().kind == TokKind::kIdent) {
+                if (EqualsIgnoreCase(lex_.Peek().text, "DESC")) {
+                    lex_.Take();
+                    order.descending = true;
+                } else if (EqualsIgnoreCase(lex_.Peek().text, "ASC")) {
+                    lex_.Take();
+                }
+            }
+            stmt.order_by = std::move(order);
+        }
+        return stmt;
+    }
+
+    /** Parses one select-list entry: a column or AGG(col | *). */
+    void
+    ParseSelectItem(SelectStatement& stmt)
+    {
+        Token ident = ExpectIdent();
+        AggFunc func;
+        bool is_agg = true;
+        if (EqualsIgnoreCase(ident.text, "COUNT")) {
+            func = AggFunc::kCount;
+        } else if (EqualsIgnoreCase(ident.text, "SUM")) {
+            func = AggFunc::kSum;
+        } else if (EqualsIgnoreCase(ident.text, "AVG")) {
+            func = AggFunc::kAvg;
+        } else if (EqualsIgnoreCase(ident.text, "MIN")) {
+            func = AggFunc::kMin;
+        } else if (EqualsIgnoreCase(ident.text, "MAX")) {
+            func = AggFunc::kMax;
+        } else {
+            is_agg = false;
+            func = AggFunc::kCount;  // unused
+        }
+        if (is_agg && TryPunct("(")) {
+            AggregateItem item;
+            item.func = func;
+            if (TryPunct("*")) {
+                if (func != AggFunc::kCount) {
+                    lex_.Fail("only COUNT accepts '*'");
+                }
+            } else {
+                item.column = ExpectIdent().text;
+            }
+            ExpectPunct(")");
+            stmt.aggregates.push_back(std::move(item));
+            return;
+        }
+        stmt.columns.push_back(ident.text);
+    }
+
+    Statement
+    ParseExec()
+    {
+        ExecStatement stmt;
+        stmt.procedure = ExpectIdent().text;
+        if (lex_.Peek().kind == TokKind::kPunct &&
+            lex_.Peek().text == "@") {
+            do {
+                ExpectPunct("@");
+                std::string param = ExpectIdent().text;
+                ExpectPunct("=");
+                stmt.params[ToLower(param)] = ParseLiteral();
+            } while (TryPunct(","));
+        }
+        return stmt;
+    }
+
+    Lexer lex_;
+};
+
+}  // namespace
+
+Statement
+ParseSql(const std::string& sql)
+{
+    Parser parser(sql);
+    return parser.Parse();
+}
+
+}  // namespace dbscore

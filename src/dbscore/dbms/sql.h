@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Parser for the T-SQL subset the scoring pipeline needs:
+ *
+ *   CREATE TABLE t (col TYPE, ...)
+ *   INSERT INTO t VALUES (lit, ...), (lit, ...)
+ *   SELECT [TOP n] * | col, ... FROM t [WHERE col op lit [AND ...]]
+ *   EXEC proc @param = lit, ...
+ *
+ * EXEC drives stored procedures like the paper's Figure-3 query, which
+ * executes a scoring script with @model_name/@dataset parameters.
+ */
+#ifndef DBSCORE_DBMS_SQL_H
+#define DBSCORE_DBMS_SQL_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dbscore/dbms/table.h"
+
+namespace dbscore {
+
+/** WHERE comparison operators. */
+enum class CompareOp {
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+};
+
+/** Evaluates @p op on the strcmp-style result of CompareValues. */
+bool EvalCompareOp(CompareOp op, int cmp);
+
+/** One "col op literal" conjunct. */
+struct WhereClause {
+    std::string column;
+    CompareOp op;
+    Value literal;
+};
+
+/** CREATE TABLE statement. */
+struct CreateTableStatement {
+    std::string table;
+    std::vector<ColumnDef> columns;
+};
+
+/** INSERT INTO ... VALUES statement. */
+struct InsertStatement {
+    std::string table;
+    std::vector<std::vector<Value>> rows;
+};
+
+/** Aggregate functions usable in a SELECT list. */
+enum class AggFunc {
+    kCount,
+    kSum,
+    kAvg,
+    kMin,
+    kMax,
+};
+
+/** Returns "COUNT", "SUM", ... */
+const char* AggFuncName(AggFunc func);
+
+/** One aggregate select item, e.g. AVG(price) or COUNT(*). */
+struct AggregateItem {
+    AggFunc func = AggFunc::kCount;
+    /** Aggregated column; empty means '*' (COUNT(*) only). */
+    std::string column;
+};
+
+/** ORDER BY clause. */
+struct OrderBy {
+    std::string column;
+    bool descending = false;
+};
+
+/**
+ * SELECT statement (single table, conjunctive WHERE, optional ORDER BY).
+ * Either plain columns (columns/star) or aggregates are populated, never
+ * both — mixing them without GROUP BY is rejected at parse time.
+ */
+struct SelectStatement {
+    bool star = false;
+    std::vector<std::string> columns;
+    std::vector<AggregateItem> aggregates;
+    std::string table;
+    std::vector<WhereClause> where;
+    std::optional<OrderBy> order_by;
+    std::optional<std::size_t> top;
+};
+
+/** EXEC stored-procedure statement. */
+struct ExecStatement {
+    std::string procedure;
+    std::map<std::string, Value> params;
+};
+
+/** Any parsed statement. */
+using Statement = std::variant<CreateTableStatement, InsertStatement,
+                               SelectStatement, ExecStatement>;
+
+/**
+ * Parses one SQL statement (a trailing ';' is allowed).
+ * @throws ParseError with position context on malformed input
+ */
+Statement ParseSql(const std::string& sql);
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_DBMS_SQL_H

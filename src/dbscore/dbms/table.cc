@@ -1,0 +1,80 @@
+#include "dbscore/dbms/table.h"
+
+#include "dbscore/common/error.h"
+#include "dbscore/common/string_util.h"
+
+namespace dbscore {
+
+Table::Table(std::string name, std::vector<ColumnDef> schema)
+    : name_(std::move(name)), schema_(std::move(schema))
+{
+    if (schema_.empty()) {
+        throw InvalidArgument("table: needs at least one column");
+    }
+    columns_.resize(schema_.size());
+}
+
+std::size_t
+Table::ColumnIndex(const std::string& column_name) const
+{
+    for (std::size_t i = 0; i < schema_.size(); ++i) {
+        if (EqualsIgnoreCase(schema_[i].name, column_name)) {
+            return i;
+        }
+    }
+    throw NotFound("table " + name_ + ": no column '" + column_name + "'");
+}
+
+void
+Table::AppendRow(std::vector<Value> row)
+{
+    if (row.size() != schema_.size()) {
+        throw InvalidArgument("table " + name_ + ": row arity mismatch");
+    }
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        ColumnType expected = schema_[i].type;
+        ColumnType got = TypeOf(row[i]);
+        if (got == expected) {
+            continue;
+        }
+        // Integer literals coerce into FLOAT columns.
+        if (expected == ColumnType::kDouble && got == ColumnType::kInt64) {
+            row[i] = static_cast<double>(std::get<std::int64_t>(row[i]));
+            continue;
+        }
+        throw InvalidArgument(
+            StrFormat("table %s: column %s expects %s, got %s",
+                      name_.c_str(), schema_[i].name.c_str(),
+                      ColumnTypeName(expected), ColumnTypeName(got)));
+    }
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        columns_[i].push_back(std::move(row[i]));
+    }
+    ++num_rows_;
+}
+
+const Value&
+Table::At(std::size_t row, std::size_t col) const
+{
+    DBS_ASSERT(row < num_rows_ && col < schema_.size());
+    return columns_[col][row];
+}
+
+const std::vector<Value>&
+Table::Column(std::size_t col) const
+{
+    DBS_ASSERT(col < schema_.size());
+    return columns_[col];
+}
+
+std::uint64_t
+Table::RowWireBytes(std::size_t row) const
+{
+    std::uint64_t bytes = 0;
+    for (std::size_t c = 0; c < schema_.size(); ++c) {
+        bytes += ValueWireBytes(At(row, c));
+    }
+    return bytes;
+}
+
+}  // namespace dbscore

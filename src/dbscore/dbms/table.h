@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Columnar table storage for the mini-DBMS.
+ */
+#ifndef DBSCORE_DBMS_TABLE_H
+#define DBSCORE_DBMS_TABLE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dbscore/dbms/value.h"
+
+namespace dbscore {
+
+/** One column's name and type. */
+struct ColumnDef {
+    std::string name;
+    ColumnType type;
+};
+
+/** A columnar table. */
+class Table {
+ public:
+    Table() = default;
+    Table(std::string name, std::vector<ColumnDef> schema);
+
+    const std::string& name() const { return name_; }
+    const std::vector<ColumnDef>& schema() const { return schema_; }
+    std::size_t NumColumns() const { return schema_.size(); }
+    std::size_t NumRows() const { return num_rows_; }
+
+    /**
+     * Index of column @p column_name (case-insensitive).
+     * @throws NotFound if absent
+     */
+    std::size_t ColumnIndex(const std::string& column_name) const;
+
+    /**
+     * Appends one row. Int literals coerce into FLOAT columns.
+     * @throws InvalidArgument on arity or type mismatch
+     */
+    void AppendRow(std::vector<Value> row);
+
+    const Value& At(std::size_t row, std::size_t col) const;
+
+    /** Whole column (for scans). */
+    const std::vector<Value>& Column(std::size_t col) const;
+
+    /** Approximate wire size of @p row in bytes. */
+    std::uint64_t RowWireBytes(std::size_t row) const;
+
+ private:
+    std::string name_;
+    std::vector<ColumnDef> schema_;
+    std::vector<std::vector<Value>> columns_;
+    std::size_t num_rows_ = 0;
+};
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_DBMS_TABLE_H

@@ -1,0 +1,134 @@
+#include "dbscore/engines/cpu/cpu_engines.h"
+
+#include <algorithm>
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+CpuEngineBase::CpuEngineBase(const CpuSpec& spec, int threads)
+    : spec_(spec), threads_(threads == 0 ? spec.max_threads : threads)
+{
+    if (threads_ < 1 || threads_ > spec_.max_threads) {
+        throw InvalidArgument("cpu engine: thread count out of range");
+    }
+}
+
+void
+CpuEngineBase::LoadModel(const TreeEnsemble& model, const ModelStats& stats)
+{
+    forest_ = model.ToForest();
+    stats_ = stats;
+    set_loaded(true);
+}
+
+double
+CpuEngineBase::AvgPath() const
+{
+    return std::max(1.0, stats_.avg_path_length);
+}
+
+ScoreResult
+CpuEngineBase::Score(const float* rows, std::size_t num_rows,
+                     std::size_t num_cols)
+{
+    RequireLoaded();
+    if (num_cols != stats_.num_features) {
+        throw InvalidArgument(Name() + ": row arity mismatch");
+    }
+    ScoreResult result;
+    result.predictions = forest_.PredictBatch(rows, num_rows, num_cols);
+    result.breakdown = Estimate(num_rows);
+    return result;
+}
+
+SklearnCpuEngine::SklearnCpuEngine(const CpuSpec& spec, int threads)
+    : CpuEngineBase(spec, threads)
+{
+}
+
+double
+CpuEngineBase::DataMissPerRecordNs(std::size_t num_rows) const
+{
+    // Batch feature matrix streamed during scoring: once it spills the
+    // LLC, every feature read pays a DRAM-latency fraction.
+    const CpuSpec& s = spec();
+    const ModelStats& m = stats();
+    const double batch_bytes = static_cast<double>(num_rows) *
+                               static_cast<double>(m.num_features) *
+                               sizeof(float);
+    const double miss = LlcMissFraction(batch_bytes,
+                                        static_cast<double>(s.llc_bytes),
+                                        s.llc_miss_asymptote);
+    return static_cast<double>(m.num_features) * miss *
+           s.data_miss_penalty_ns;
+}
+
+OffloadBreakdown
+SklearnCpuEngine::Estimate(std::size_t num_rows) const
+{
+    RequireLoaded();
+    const CpuSpec& s = spec();
+    const ModelStats& m = stats();
+
+    const double model_bytes =
+        static_cast<double>(m.total_nodes) * s.sklearn_node_bytes;
+    const double miss = LlcMissFraction(
+        model_bytes, static_cast<double>(s.llc_bytes),
+        s.llc_miss_asymptote);
+    const double per_node_ns =
+        s.sklearn_per_node_ns + miss * s.llc_miss_penalty_ns;
+
+    const double per_record_ns =
+        s.sklearn_per_value_ns * static_cast<double>(m.num_features) +
+        s.sklearn_per_record_ns + DataMissPerRecordNs(num_rows) +
+        static_cast<double>(m.num_trees) * AvgPath() * per_node_ns;
+
+    const double efficiency =
+        ThreadEfficiency(threads(), s.sklearn_thread_exponent);
+
+    OffloadBreakdown b;
+    b.software_overhead = s.sklearn_fixed;
+    b.compute = SimTime::Nanos(
+        static_cast<double>(num_rows) * per_record_ns / efficiency);
+    return b;
+}
+
+OnnxCpuEngine::OnnxCpuEngine(const CpuSpec& spec, int threads)
+    : CpuEngineBase(spec, threads)
+{
+}
+
+OffloadBreakdown
+OnnxCpuEngine::Estimate(std::size_t num_rows) const
+{
+    RequireLoaded();
+    const CpuSpec& s = spec();
+    const ModelStats& m = stats();
+
+    const double model_bytes =
+        static_cast<double>(m.total_nodes) * s.onnx_node_bytes;
+    const double miss = LlcMissFraction(
+        model_bytes, static_cast<double>(s.llc_bytes),
+        s.llc_miss_asymptote);
+    const double per_node_ns =
+        s.onnx_per_node_ns + miss * s.llc_miss_penalty_ns;
+
+    const double per_record_ns =
+        s.onnx_per_value_ns * static_cast<double>(m.num_features) +
+        s.onnx_per_record_ns + DataMissPerRecordNs(num_rows) +
+        static_cast<double>(m.num_trees) * AvgPath() * per_node_ns;
+
+    const double efficiency =
+        ThreadEfficiency(threads(), s.onnx_thread_exponent);
+
+    OffloadBreakdown b;
+    b.software_overhead =
+        s.onnx_fixed + s.onnx_thread_spawn * static_cast<double>(
+                                                 threads() - 1);
+    b.compute = SimTime::Nanos(
+        static_cast<double>(num_rows) * per_record_ns / efficiency);
+    return b;
+}
+
+}  // namespace dbscore

@@ -1,0 +1,30 @@
+#include "dbscore/engines/cpu/cpu_spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+double
+ThreadEfficiency(int threads, double exponent)
+{
+    if (threads < 1) {
+        throw InvalidArgument("cpu: thread count must be >= 1");
+    }
+    return std::max(1.0, std::pow(static_cast<double>(threads), exponent));
+}
+
+double
+LlcMissFraction(double working_set_bytes, double llc_bytes, double asymptote)
+{
+    DBS_ASSERT(llc_bytes > 0.0);
+    if (working_set_bytes <= 0.0) {
+        return 0.0;
+    }
+    double w = working_set_bytes / llc_bytes;
+    return asymptote * w / (w + 1.0);
+}
+
+}  // namespace dbscore

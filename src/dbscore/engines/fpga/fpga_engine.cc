@@ -1,0 +1,95 @@
+#include "dbscore/engines/fpga/fpga_engine.h"
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+namespace {
+
+/** Adjusts the device spec's node width for a quantized deployment. */
+FpgaSpec
+ApplyQuantization(FpgaSpec spec, const FpgaOffloadParams& params)
+{
+    if (params.quantization.has_value()) {
+        spec.node_bytes = static_cast<int>(
+            QuantizedNodeBytes(*params.quantization));
+    }
+    return spec;
+}
+
+}  // namespace
+
+FpgaScoringEngine::FpgaScoringEngine(const FpgaSpec& fpga_spec,
+                                     const PcieLinkSpec& link_spec,
+                                     const FpgaOffloadParams& params)
+    : engine_(ApplyQuantization(fpga_spec, params)),
+      link_(link_spec),
+      params_(params)
+{
+}
+
+void
+FpgaScoringEngine::LoadModel(const TreeEnsemble& model,
+                             const ModelStats& stats)
+{
+    RandomForest forest = model.ToForest();
+    if (params_.quantization.has_value()) {
+        forest = QuantizeForest(forest, *params_.quantization);
+    }
+    engine_.LoadModel(forest);
+    stats_ = stats;
+    set_loaded(true);
+}
+
+ScoreResult
+FpgaScoringEngine::Score(const float* rows, std::size_t num_rows,
+                         std::size_t num_cols)
+{
+    RequireLoaded();
+    ScoreResult result;
+    FpgaRunReport report;
+    result.predictions =
+        engine_.Score(rows, num_rows, num_cols, &report);
+    result.breakdown = Estimate(num_rows);
+    return result;
+}
+
+OffloadBreakdown
+FpgaScoringEngine::Estimate(std::size_t num_rows) const
+{
+    RequireLoaded();
+    const double passes = static_cast<double>(engine_.NumPasses());
+
+    OffloadBreakdown b;
+    // Model image into the PEs' tree memories; records themselves are
+    // streamed during scoring (overlap), matching the paper — unless the
+    // overlap ablation turns that off, in which case every pass pays an
+    // up-front record transfer.
+    b.input_transfer = link_.TransferLatency(engine_.ModelBytes());
+    if (!params_.overlap_record_streaming) {
+        const std::uint64_t record_bytes =
+            static_cast<std::uint64_t>(num_rows) * stats_.num_features *
+            sizeof(float);
+        b.input_transfer +=
+            link_.TransferLatency(record_bytes) * passes;
+    }
+    b.setup = params_.csr.WriteMany(
+                  static_cast<std::uint64_t>(params_.setup_csr_writes)) *
+              passes;
+    b.compute = SimTime::Cycles(
+        static_cast<double>(
+            engine_.CyclesFor(num_rows, stats_.num_features)),
+        engine_.spec().clock_hz);
+    b.completion_signal = params_.interrupt.latency * passes;
+
+    const std::uint64_t result_bytes =
+        static_cast<std::uint64_t>(num_rows) * sizeof(float);
+    const std::uint64_t chunks = std::max<std::uint64_t>(
+        1, (result_bytes + engine_.spec().result_buffer_bytes - 1) /
+               engine_.spec().result_buffer_bytes);
+    b.result_transfer = link_.ChunkedTransferLatency(result_bytes, chunks);
+    b.software_overhead = params_.software_overhead;
+    return b;
+}
+
+}  // namespace dbscore

@@ -1,0 +1,250 @@
+#include "dbscore/engines/fpga/hybrid_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbscore/common/error.h"
+#include "dbscore/common/string_util.h"
+#include "dbscore/common/thread_pool.h"
+
+namespace dbscore {
+
+namespace {
+
+/** Continues a traversal from @p node down to a leaf. */
+float
+FinishTraversal(const DecisionTree& tree, std::int32_t node,
+                const float* row)
+{
+    while (!tree.IsLeaf(node)) {
+        node = row[tree.Feature(node)] <= tree.Threshold(node)
+            ? tree.Left(node)
+            : tree.Right(node);
+    }
+    return tree.LeafValue(node);
+}
+
+/** Accumulates continuation statistics of one tree at @p cut levels. */
+void
+CollectContinuations(const DecisionTree& tree, std::size_t cut,
+                     double& prob_sum, double& weighted_tail)
+{
+    struct Frame {
+        std::int32_t node;
+        std::size_t depth;
+    };
+    std::vector<Frame> stack{{0, 0}};
+    while (!stack.empty()) {
+        auto [node, depth] = stack.back();
+        stack.pop_back();
+        if (tree.IsLeaf(node)) {
+            continue;
+        }
+        if (depth == cut) {
+            // A continued traversal reaches this subtree with
+            // probability 2^-cut under uniform branching.
+            double p = std::pow(0.5, static_cast<double>(cut));
+            // Expected tail length ~ 0.9 x subtree depth (paths rarely
+            // all reach the bottom), matching ModelStats' convention.
+            std::size_t tail = 0;
+            std::vector<Frame> sub{{node, 0}};
+            while (!sub.empty()) {
+                auto [n2, d2] = sub.back();
+                sub.pop_back();
+                tail = std::max(tail, d2);
+                if (!tree.IsLeaf(n2)) {
+                    sub.push_back({tree.Left(n2), d2 + 1});
+                    sub.push_back({tree.Right(n2), d2 + 1});
+                }
+            }
+            prob_sum += p;
+            weighted_tail += p * 0.9 * static_cast<double>(tail);
+            continue;
+        }
+        stack.push_back({tree.Left(node), depth + 1});
+        stack.push_back({tree.Right(node), depth + 1});
+    }
+}
+
+}  // namespace
+
+HybridFpgaCpuEngine::HybridFpgaCpuEngine(const FpgaSpec& fpga_spec,
+                                         const PcieLinkSpec& link_spec,
+                                         const FpgaOffloadParams& params,
+                                         const CpuSpec& cpu_spec)
+    : fpga_spec_(fpga_spec),
+      link_(link_spec),
+      params_(params),
+      cpu_spec_(cpu_spec)
+{
+}
+
+void
+HybridFpgaCpuEngine::LoadModel(const TreeEnsemble& model,
+                               const ModelStats& stats)
+{
+    RandomForest forest = model.ToForest();
+    const auto cut = static_cast<std::size_t>(fpga_spec_.max_tree_depth);
+
+    std::vector<TreeMemoryImage> images;
+    images.reserve(forest.NumTrees());
+    double prob_sum = 0.0;
+    double weighted_tail = 0.0;
+    for (const auto& tree : forest.trees()) {
+        images.push_back(LayoutTreeTop(tree, cut));
+        CollectContinuations(tree, cut, prob_sum, weighted_tail);
+    }
+
+    const std::uint64_t per_tree =
+        images.front().NumSlots() *
+        static_cast<std::uint64_t>(fpga_spec_.node_bytes);
+    const std::uint64_t widest_pass = std::min<std::uint64_t>(
+        images.size(), static_cast<std::uint64_t>(fpga_spec_.num_pes));
+    const std::uint64_t used =
+        widest_pass * per_tree + fpga_spec_.result_buffer_bytes;
+    if (used > fpga_spec_.bram_bytes) {
+        throw CapacityError(StrFormat(
+            "fpga hybrid: model needs %s of BRAM but only %s available",
+            HumanBytes(used).c_str(),
+            HumanBytes(fpga_spec_.bram_bytes).c_str()));
+    }
+
+    forest_ = std::move(forest);
+    stats_ = stats;
+    images_ = std::move(images);
+    const double trees = static_cast<double>(forest_.NumTrees());
+    continuation_fraction_ = prob_sum / trees;
+    mean_tail_depth_ = prob_sum > 0.0 ? weighted_tail / prob_sum : 0.0;
+    set_loaded(true);
+}
+
+double
+HybridFpgaCpuEngine::ContinuationFraction() const
+{
+    RequireLoaded();
+    return continuation_fraction_;
+}
+
+double
+HybridFpgaCpuEngine::MeanTailDepth() const
+{
+    RequireLoaded();
+    return mean_tail_depth_;
+}
+
+ScoreResult
+HybridFpgaCpuEngine::Score(const float* rows, std::size_t num_rows,
+                           std::size_t num_cols)
+{
+    RequireLoaded();
+    if (num_cols != stats_.num_features) {
+        throw InvalidArgument(Name() + ": row arity mismatch");
+    }
+
+    ScoreResult result;
+    result.predictions.resize(num_rows);
+    const bool classify = forest_.task() == Task::kClassification;
+
+    auto worker = [&](std::size_t begin, std::size_t end) {
+        std::vector<int> votes;
+        for (std::size_t r = begin; r < end; ++r) {
+            const float* row = rows + r * num_cols;
+            votes.clear();
+            double sum = 0.0;
+            for (std::size_t t = 0; t < images_.size(); ++t) {
+                PartialWalkResult partial =
+                    WalkTreeImagePartial(images_[t], row);
+                float value = partial.continued
+                    ? FinishTraversal(forest_.Tree(t),
+                                      partial.resume_node, row)
+                    : partial.value;
+                if (classify) {
+                    votes.push_back(static_cast<int>(std::lround(value)));
+                } else {
+                    sum += value;
+                }
+            }
+            result.predictions[r] = classify
+                ? static_cast<float>(
+                      MajorityVote(votes, forest_.num_classes()))
+                : static_cast<float>(
+                      sum / static_cast<double>(images_.size()));
+        }
+    };
+    if (num_rows >= 4096) {
+        ThreadPool::Shared().ParallelForChunked(num_rows, worker);
+    } else {
+        worker(0, num_rows);
+    }
+    result.breakdown = Estimate(num_rows);
+    return result;
+}
+
+OffloadBreakdown
+HybridFpgaCpuEngine::Estimate(std::size_t num_rows) const
+{
+    RequireLoaded();
+    const double n = static_cast<double>(num_rows);
+    const double trees = static_cast<double>(images_.size());
+    const auto pes = static_cast<std::uint64_t>(fpga_spec_.num_pes);
+    const std::uint64_t passes = (images_.size() + pes - 1) / pes;
+
+    OffloadBreakdown b;
+
+    std::uint64_t model_bytes = 0;
+    for (const auto& image : images_) {
+        model_bytes += image.NumSlots() *
+                       static_cast<std::uint64_t>(fpga_spec_.node_bytes);
+    }
+    b.input_transfer = link_.TransferLatency(model_bytes);
+    b.setup = params_.csr.WriteMany(
+                  static_cast<std::uint64_t>(params_.setup_csr_writes)) *
+              static_cast<double>(passes);
+
+    // FPGA part: identical pipelining to the plain engine.
+    const auto width =
+        static_cast<std::uint64_t>(fpga_spec_.stream_floats_per_cycle);
+    const std::uint64_t stream_cycles = std::max<std::uint64_t>(
+        1, (stats_.num_features + width - 1) / width);
+    const std::uint64_t cycles =
+        passes *
+        (static_cast<std::uint64_t>(fpga_spec_.pipeline_fill_cycles) +
+         static_cast<std::uint64_t>(num_rows) * stream_cycles);
+    SimTime fpga_compute =
+        SimTime::Cycles(static_cast<double>(cycles), fpga_spec_.clock_hz);
+
+    // CPU part: finish the cut traversals and run the final vote. Uses
+    // the sklearn-engine cost model at full thread count.
+    const double model_bytes_cpu = static_cast<double>(
+        stats_.total_nodes) * cpu_spec_.sklearn_node_bytes;
+    const double miss = LlcMissFraction(
+        model_bytes_cpu, static_cast<double>(cpu_spec_.llc_bytes),
+        cpu_spec_.llc_miss_asymptote);
+    const double per_node_ns = cpu_spec_.sklearn_per_node_ns +
+                               miss * cpu_spec_.llc_miss_penalty_ns;
+    const double vote_ns = 2.0;
+    const double per_record_ns =
+        trees * continuation_fraction_ * mean_tail_depth_ * per_node_ns +
+        trees * vote_ns;
+    const double efficiency = ThreadEfficiency(
+        cpu_spec_.max_threads, cpu_spec_.sklearn_thread_exponent);
+    SimTime cpu_compute =
+        SimTime::Nanos(n * per_record_ns / efficiency);
+
+    b.compute = fpga_compute + cpu_compute;
+    b.completion_signal =
+        params_.interrupt.latency * static_cast<double>(passes);
+
+    // Partial results: one 4-byte word per (record, tree) comes back.
+    const std::uint64_t result_bytes =
+        static_cast<std::uint64_t>(num_rows) * images_.size() *
+        sizeof(float);
+    const std::uint64_t chunks = std::max<std::uint64_t>(
+        1, (result_bytes + fpga_spec_.result_buffer_bytes - 1) /
+               fpga_spec_.result_buffer_bytes);
+    b.result_transfer = link_.ChunkedTransferLatency(result_bytes, chunks);
+    b.software_overhead = params_.software_overhead;
+    return b;
+}
+
+}  // namespace dbscore

@@ -1,0 +1,71 @@
+#include "dbscore/engines/gpu/rapids_engine.h"
+
+#include <algorithm>
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+RapidsFilEngine::RapidsFilEngine(const GpuDeviceModel& device,
+                                 const RapidsParams& params)
+    : device_(device), params_(params)
+{
+}
+
+void
+RapidsFilEngine::LoadModel(const TreeEnsemble& model, const ModelStats& stats)
+{
+    if (model.task == Task::kClassification && model.num_classes > 2) {
+        throw CapacityError(
+            "GPU_RAPIDS: only binary classifiers are supported");
+    }
+    forest_ = model.ToForest();
+    stats_ = stats;
+    set_loaded(true);
+}
+
+ScoreResult
+RapidsFilEngine::Score(const float* rows, std::size_t num_rows,
+                       std::size_t num_cols)
+{
+    RequireLoaded();
+    if (num_cols != stats_.num_features) {
+        throw InvalidArgument(Name() + ": row arity mismatch");
+    }
+    ScoreResult result;
+    result.predictions = forest_.PredictBatch(rows, num_rows, num_cols);
+    result.breakdown = Estimate(num_rows);
+    return result;
+}
+
+OffloadBreakdown
+RapidsFilEngine::Estimate(std::size_t num_rows) const
+{
+    RequireLoaded();
+    const double n = static_cast<double>(num_rows);
+    const std::uint64_t data_bytes =
+        static_cast<std::uint64_t>(num_rows) * stats_.num_features *
+        sizeof(float);
+    const double model_bytes =
+        static_cast<double>(stats_.total_nodes) * params_.node_bytes;
+    const double avg_path = std::max(1.0, stats_.avg_path_length);
+    const double visits =
+        n * static_cast<double>(stats_.num_trees) * avg_path;
+
+    OffloadBreakdown b;
+    b.preprocessing = params_.preproc_fixed +
+        TransferTime(data_bytes, params_.cudf_conversion_bw);
+    b.input_transfer =
+        device_.HostToDevice(data_bytes) +
+        device_.HostToDevice(static_cast<std::uint64_t>(model_bytes));
+    b.setup = device_.spec().kernel_launch;
+    b.compute = device_.TraversalKernelTime(visits, avg_path, model_bytes);
+    b.completion_signal = device_.spec().sync_latency;
+    b.result_transfer =
+        device_.DeviceToHost(static_cast<std::uint64_t>(num_rows) *
+                             sizeof(float));
+    b.software_overhead = params_.software_overhead;
+    return b;
+}
+
+}  // namespace dbscore

@@ -1,0 +1,80 @@
+#include "dbscore/engines/scoring_engine.h"
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+const char*
+BackendName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::kCpuSklearn: return "CPU_SKLearn";
+      case BackendKind::kCpuOnnx: return "CPU_ONNX";
+      case BackendKind::kCpuOnnxMt: return "CPU_ONNX_52th";
+      case BackendKind::kGpuHummingbird: return "GPU_HB";
+      case BackendKind::kGpuRapids: return "GPU_RAPIDS";
+      case BackendKind::kFpga: return "FPGA";
+      case BackendKind::kFpgaHybrid: return "FPGA_HYBRID";
+    }
+    return "?";
+}
+
+DeviceClass
+BackendDeviceClass(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::kCpuSklearn:
+      case BackendKind::kCpuOnnx:
+      case BackendKind::kCpuOnnxMt:
+        return DeviceClass::kCpu;
+      case BackendKind::kGpuHummingbird:
+      case BackendKind::kGpuRapids:
+        return DeviceClass::kGpu;
+      case BackendKind::kFpga:
+      case BackendKind::kFpgaHybrid:
+        return DeviceClass::kFpga;
+    }
+    return DeviceClass::kCpu;
+}
+
+SimTime
+OffloadBreakdown::Total() const
+{
+    return preprocessing + input_transfer + setup + compute +
+           completion_signal + result_transfer + software_overhead;
+}
+
+SimTime
+OffloadBreakdown::OverheadO() const
+{
+    return setup + completion_signal + software_overhead;
+}
+
+SimTime
+OffloadBreakdown::TransferL() const
+{
+    return input_transfer + result_transfer;
+}
+
+OffloadBreakdown&
+OffloadBreakdown::operator+=(const OffloadBreakdown& other)
+{
+    preprocessing += other.preprocessing;
+    input_transfer += other.input_transfer;
+    setup += other.setup;
+    compute += other.compute;
+    completion_signal += other.completion_signal;
+    result_transfer += other.result_transfer;
+    software_overhead += other.software_overhead;
+    return *this;
+}
+
+void
+ScoringEngine::RequireLoaded() const
+{
+    if (!loaded_) {
+        throw InvalidArgument(Name() + ": no model loaded");
+    }
+}
+
+}  // namespace dbscore

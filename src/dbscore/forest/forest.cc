@@ -1,0 +1,155 @@
+#include "dbscore/forest/forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbscore/common/error.h"
+#include "dbscore/common/thread_pool.h"
+
+namespace dbscore {
+
+RandomForest::RandomForest(Task task, std::size_t num_features,
+                           int num_classes)
+    : task_(task), num_features_(num_features), num_classes_(num_classes)
+{
+    if (num_features == 0) {
+        throw InvalidArgument("forest: num_features must be positive");
+    }
+    if (task == Task::kClassification && num_classes < 2) {
+        throw InvalidArgument("forest: classification needs >= 2 classes");
+    }
+    if (task == Task::kRegression && num_classes != 0) {
+        throw InvalidArgument("forest: regression must have 0 classes");
+    }
+}
+
+void
+RandomForest::AddTree(DecisionTree tree)
+{
+    if (tree.Empty()) {
+        throw InvalidArgument("forest: cannot add an empty tree");
+    }
+    trees_.push_back(std::move(tree));
+}
+
+const DecisionTree&
+RandomForest::Tree(std::size_t i) const
+{
+    DBS_ASSERT(i < trees_.size());
+    return trees_[i];
+}
+
+int
+MajorityVote(const std::vector<int>& votes, int num_classes)
+{
+    DBS_ASSERT(num_classes >= 2);
+    DBS_ASSERT(!votes.empty());
+    std::vector<int> counts(static_cast<std::size_t>(num_classes), 0);
+    for (int v : votes) {
+        DBS_ASSERT(v >= 0 && v < num_classes);
+        ++counts[static_cast<std::size_t>(v)];
+    }
+    int best = 0;
+    for (int c = 1; c < num_classes; ++c) {
+        // Strict > keeps the lowest class id on ties.
+        if (counts[static_cast<std::size_t>(c)] >
+            counts[static_cast<std::size_t>(best)]) {
+            best = c;
+        }
+    }
+    return best;
+}
+
+float
+RandomForest::Predict(const float* row) const
+{
+    DBS_ASSERT_MSG(!trees_.empty(), "predict on an untrained forest");
+    if (task_ == Task::kRegression) {
+        double sum = 0.0;
+        for (const auto& tree : trees_) {
+            sum += tree.Predict(row);
+        }
+        return static_cast<float>(sum / static_cast<double>(trees_.size()));
+    }
+    std::vector<int> votes;
+    votes.reserve(trees_.size());
+    for (const auto& tree : trees_) {
+        votes.push_back(static_cast<int>(std::lround(tree.Predict(row))));
+    }
+    return static_cast<float>(MajorityVote(votes, num_classes_));
+}
+
+std::vector<float>
+RandomForest::PredictBatch(const float* rows, std::size_t num_rows,
+                           std::size_t num_cols) const
+{
+    if (num_cols != num_features_) {
+        throw InvalidArgument("forest: row arity mismatch");
+    }
+    std::vector<float> out(num_rows);
+    auto worker = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            out[i] = Predict(rows + i * num_cols);
+        }
+    };
+    if (num_rows >= 4096) {
+        ThreadPool::Shared().ParallelForChunked(num_rows, worker);
+    } else {
+        worker(0, num_rows);
+    }
+    return out;
+}
+
+std::vector<float>
+RandomForest::PredictBatch(const Dataset& data) const
+{
+    return PredictBatch(data.values().data(), data.num_rows(),
+                        data.num_features());
+}
+
+double
+RandomForest::Accuracy(const Dataset& data) const
+{
+    DBS_ASSERT(data.num_rows() > 0);
+    std::vector<float> preds = PredictBatch(data);
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+        if (preds[i] == data.Label(i)) {
+            ++hits;
+        }
+    }
+    return static_cast<double>(hits) / static_cast<double>(preds.size());
+}
+
+std::size_t
+RandomForest::MaxDepth() const
+{
+    std::size_t depth = 0;
+    for (const auto& tree : trees_) {
+        depth = std::max(depth, tree.Depth());
+    }
+    return depth;
+}
+
+std::size_t
+RandomForest::TotalNodes() const
+{
+    std::size_t nodes = 0;
+    for (const auto& tree : trees_) {
+        nodes += tree.NumNodes();
+    }
+    return nodes;
+}
+
+void
+RandomForest::Validate() const
+{
+    if (trees_.empty()) {
+        throw ParseError("forest: no trees");
+    }
+    for (const auto& tree : trees_) {
+        tree.Validate(num_features_);
+    }
+}
+
+}  // namespace dbscore

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Random forest model: an ensemble of decision trees plus task metadata.
+ *
+ * Prediction combines per-tree outputs exactly as the paper describes:
+ * majority vote for classification (ties broken toward the lowest class id,
+ * the convention every engine in this repository follows) and the mean for
+ * regression.
+ */
+#ifndef DBSCORE_FOREST_FOREST_H
+#define DBSCORE_FOREST_FOREST_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dbscore/data/dataset.h"
+#include "dbscore/forest/tree.h"
+
+namespace dbscore {
+
+/** A trained random forest. */
+class RandomForest {
+ public:
+    RandomForest() = default;
+
+    /**
+     * @param task classification or regression
+     * @param num_features input arity every row must match
+     * @param num_classes classification class count; 0 for regression
+     */
+    RandomForest(Task task, std::size_t num_features, int num_classes);
+
+    void AddTree(DecisionTree tree);
+
+    Task task() const { return task_; }
+    std::size_t num_features() const { return num_features_; }
+    int num_classes() const { return num_classes_; }
+    std::size_t NumTrees() const { return trees_.size(); }
+
+    const DecisionTree& Tree(std::size_t i) const;
+    const std::vector<DecisionTree>& trees() const { return trees_; }
+
+    /**
+     * Reference single-row prediction: the ground truth every scoring
+     * engine is tested against.
+     */
+    float Predict(const float* row) const;
+
+    /** Reference batch prediction over a dataset's rows. */
+    std::vector<float> PredictBatch(const Dataset& data) const;
+
+    /** Batch prediction over a raw row-major buffer. */
+    std::vector<float> PredictBatch(const float* rows, std::size_t num_rows,
+                                    std::size_t num_cols) const;
+
+    /** Fraction of rows whose prediction matches the dataset label. */
+    double Accuracy(const Dataset& data) const;
+
+    /** Deepest tree depth across the ensemble. */
+    std::size_t MaxDepth() const;
+
+    /** Total node count across the ensemble. */
+    std::size_t TotalNodes() const;
+
+    /** Validates every tree structurally. @throws ParseError */
+    void Validate() const;
+
+ private:
+    Task task_ = Task::kClassification;
+    std::size_t num_features_ = 0;
+    int num_classes_ = 0;
+    std::vector<DecisionTree> trees_;
+};
+
+/**
+ * Combines per-tree votes into a final classification using majority vote
+ * with lowest-class-id tie breaking. Exposed so accelerator simulators can
+ * reuse the exact semantics.
+ *
+ * @param votes one predicted class id per tree
+ * @param num_classes total class count
+ */
+int MajorityVote(const std::vector<int>& votes, int num_classes);
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_FOREST_FOREST_H

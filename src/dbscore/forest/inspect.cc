@@ -1,0 +1,129 @@
+#include "dbscore/forest/inspect.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dbscore/common/error.h"
+#include "dbscore/common/rng.h"
+#include "dbscore/common/string_util.h"
+
+namespace dbscore {
+
+namespace {
+
+void
+RenderNode(const DecisionTree& tree, std::int32_t node,
+           const std::vector<std::string>& names, std::size_t depth,
+           std::size_t max_depth, std::ostringstream& os)
+{
+    const std::string indent(depth * 2, ' ');
+    if (tree.IsLeaf(node)) {
+        os << indent << "leaf -> " << StrFormat("%g", tree.LeafValue(node))
+           << "\n";
+        return;
+    }
+    if (depth >= max_depth) {
+        os << indent << "...\n";
+        return;
+    }
+    auto f = static_cast<std::size_t>(tree.Feature(node));
+    std::string name = f < names.size()
+        ? names[f]
+        : "f" + std::to_string(f);
+    os << indent << "[" << name << " <= "
+       << StrFormat("%g", tree.Threshold(node)) << "]\n";
+    os << indent << "  yes:\n";
+    RenderNode(tree, tree.Left(node), names, depth + 2, max_depth, os);
+    os << indent << "  no:\n";
+    RenderNode(tree, tree.Right(node), names, depth + 2, max_depth, os);
+}
+
+/** Quality score: accuracy for classification, negative MSE otherwise. */
+double
+Quality(const RandomForest& forest, const std::vector<float>& values,
+        const Dataset& data)
+{
+    auto preds = forest.PredictBatch(values.data(), data.num_rows(),
+                                     data.num_features());
+    if (forest.task() == Task::kClassification) {
+        std::size_t hits = 0;
+        for (std::size_t i = 0; i < preds.size(); ++i) {
+            if (preds[i] == data.Label(i)) {
+                ++hits;
+            }
+        }
+        return static_cast<double>(hits) /
+               static_cast<double>(preds.size());
+    }
+    double mse = 0.0;
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+        double err = preds[i] - data.Label(i);
+        mse += err * err;
+    }
+    return -mse / static_cast<double>(preds.size());
+}
+
+}  // namespace
+
+std::string
+RenderTree(const DecisionTree& tree,
+           const std::vector<std::string>& feature_names,
+           std::size_t max_depth)
+{
+    if (tree.Empty()) {
+        throw InvalidArgument("render: empty tree");
+    }
+    std::ostringstream os;
+    RenderNode(tree, 0, feature_names, 0, max_depth, os);
+    return os.str();
+}
+
+std::vector<FeatureImportance>
+ComputePermutationImportance(const RandomForest& forest,
+                             const Dataset& data, std::uint64_t seed)
+{
+    if (data.num_rows() == 0 ||
+        data.num_features() != forest.num_features()) {
+        throw InvalidArgument("importance: data does not match model");
+    }
+    const std::size_t rows = data.num_rows();
+    const std::size_t cols = data.num_features();
+
+    std::vector<float> values = data.values();
+    const double baseline = Quality(forest, values, data);
+
+    Rng rng(seed);
+    std::vector<FeatureImportance> out;
+    out.reserve(cols);
+    std::vector<float> column(rows);
+    for (std::size_t f = 0; f < cols; ++f) {
+        for (std::size_t r = 0; r < rows; ++r) {
+            column[r] = values[r * cols + f];
+        }
+        // Shuffle the column, score, restore.
+        std::vector<float> shuffled = column;
+        rng.Shuffle(shuffled);
+        for (std::size_t r = 0; r < rows; ++r) {
+            values[r * cols + f] = shuffled[r];
+        }
+        double degraded = Quality(forest, values, data);
+        for (std::size_t r = 0; r < rows; ++r) {
+            values[r * cols + f] = column[r];
+        }
+
+        FeatureImportance fi;
+        fi.feature = f;
+        fi.name = f < data.feature_names().size()
+            ? data.feature_names()[f]
+            : "f" + std::to_string(f);
+        fi.importance = baseline - degraded;
+        out.push_back(std::move(fi));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FeatureImportance& a, const FeatureImportance& b) {
+                  return a.importance > b.importance;
+              });
+    return out;
+}
+
+}  // namespace dbscore

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Model inspection utilities: human-readable tree rendering and
+ * permutation feature importance.
+ */
+#ifndef DBSCORE_FOREST_INSPECT_H
+#define DBSCORE_FOREST_INSPECT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dbscore/data/dataset.h"
+#include "dbscore/forest/forest.h"
+
+namespace dbscore {
+
+/**
+ * Renders a tree as indented ASCII, e.g.
+ *
+ *   [f2 <= 2.45]
+ *     yes: leaf -> 0
+ *     no:  [f3 <= 1.75]
+ *       yes: leaf -> 1
+ *       no:  leaf -> 2
+ *
+ * @param feature_names optional names (falls back to f<i>)
+ * @param max_depth nodes deeper than this render as "..."
+ */
+std::string RenderTree(const DecisionTree& tree,
+                       const std::vector<std::string>& feature_names = {},
+                       std::size_t max_depth = 6);
+
+/** One feature's permutation importance. */
+struct FeatureImportance {
+    std::size_t feature = 0;
+    std::string name;
+    /**
+     * Drop in accuracy (classification) or rise in MSE relative to the
+     * baseline (regression) when the feature's column is shuffled.
+     */
+    double importance = 0.0;
+};
+
+/**
+ * Permutation importance of every feature: shuffle one column at a time
+ * (deterministically, by @p seed) and measure how much the model's
+ * quality degrades. Features the model never uses score ~0.
+ *
+ * Results are sorted by importance, descending.
+ *
+ * @throws InvalidArgument on arity mismatch or empty data
+ */
+std::vector<FeatureImportance> ComputePermutationImportance(
+    const RandomForest& forest, const Dataset& data,
+    std::uint64_t seed = 42);
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_FOREST_INSPECT_H

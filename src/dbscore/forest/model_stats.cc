@@ -1,0 +1,51 @@
+#include "dbscore/forest/model_stats.h"
+
+#include <algorithm>
+
+#include "dbscore/forest/onnx_like.h"
+
+namespace dbscore {
+
+ModelStats
+ComputeModelStats(const RandomForest& forest, const Dataset* probe)
+{
+    ModelStats s;
+    s.task = forest.task();
+    s.num_trees = forest.NumTrees();
+    s.num_features = forest.num_features();
+    s.num_classes = forest.num_classes();
+    s.max_depth = forest.MaxDepth();
+    s.total_nodes = forest.TotalNodes();
+    for (const auto& tree : forest.trees()) {
+        s.total_leaves += tree.NumLeaves();
+    }
+    s.avg_nodes_per_tree = s.num_trees == 0
+        ? 0.0
+        : static_cast<double>(s.total_nodes) /
+              static_cast<double>(s.num_trees);
+
+    if (probe != nullptr && probe->num_rows() > 0 &&
+        probe->num_features() == forest.num_features()) {
+        const std::size_t sample =
+            std::min<std::size_t>(probe->num_rows(), 2048);
+        std::uint64_t edges = 0;
+        std::uint64_t traversals = 0;
+        for (std::size_t i = 0; i < sample; ++i) {
+            const float* row = probe->Row(i);
+            for (const auto& tree : forest.trees()) {
+                edges += tree.PathLength(row);
+                ++traversals;
+            }
+        }
+        s.avg_path_length = traversals == 0
+            ? 0.0
+            : static_cast<double>(edges) / static_cast<double>(traversals);
+    } else {
+        s.avg_path_length = static_cast<double>(s.max_depth) * 0.9;
+    }
+
+    s.serialized_bytes = TreeEnsemble::FromForest(forest).ByteSize();
+    return s;
+}
+
+}  // namespace dbscore

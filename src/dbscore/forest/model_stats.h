@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Model-complexity statistics.
+ *
+ * The paper's offload decision hinges on "model complexity" — tree count,
+ * depth, node counts, and the average traversal path length actually
+ * exercised by the data. The timing models consume these numbers.
+ */
+#ifndef DBSCORE_FOREST_MODEL_STATS_H
+#define DBSCORE_FOREST_MODEL_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dbscore/data/dataset.h"
+#include "dbscore/forest/forest.h"
+
+namespace dbscore {
+
+/** Aggregate statistics over one forest. */
+struct ModelStats {
+    Task task = Task::kClassification;
+    std::size_t num_trees = 0;
+    std::size_t num_features = 0;
+    int num_classes = 0;
+    std::size_t max_depth = 0;
+    std::size_t total_nodes = 0;
+    std::size_t total_leaves = 0;
+    double avg_nodes_per_tree = 0.0;
+    /**
+     * Mean root-to-leaf edges per tree traversal. Measured on the probe
+     * data when available, otherwise estimated as max_depth * 0.9 (paths
+     * in trained trees rarely all reach the depth cap).
+     */
+    double avg_path_length = 0.0;
+    /** Size of the serialized ONNX-like blob in bytes. */
+    std::uint64_t serialized_bytes = 0;
+};
+
+/**
+ * Computes model statistics.
+ *
+ * @param forest model to analyze
+ * @param probe optional dataset sample for measuring avg_path_length;
+ *        at most 2048 rows are probed
+ */
+ModelStats ComputeModelStats(const RandomForest& forest,
+                             const Dataset* probe = nullptr);
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_FOREST_MODEL_STATS_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * ONNX-like flattened tree-ensemble exchange format.
+ *
+ * The paper's flow converts Scikit-learn models to ONNX
+ * (TreeEnsembleClassifier / TreeEnsembleRegressor) before storing them in
+ * the database and extracting them for the FPGA. This mirrors that
+ * representation: all trees flattened into parallel attribute arrays keyed
+ * by (tree_id, node_id), with BRANCH_LEQ decision semantics.
+ */
+#ifndef DBSCORE_FOREST_ONNX_LIKE_H
+#define DBSCORE_FOREST_ONNX_LIKE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dbscore/forest/forest.h"
+
+namespace dbscore {
+
+/** Node role in the flattened ensemble. */
+enum class NodeMode : std::uint8_t {
+    kBranchLeq = 0,  ///< go to true-branch when x[f] <= threshold
+    kLeaf = 1,
+};
+
+/** Flattened ensemble, one entry per node across all trees. */
+struct TreeEnsemble {
+    Task task = Task::kClassification;
+    std::uint32_t num_features = 0;
+    std::int32_t num_classes = 0;
+
+    std::vector<std::int32_t> tree_ids;
+    std::vector<std::int32_t> node_ids;        ///< node index within tree
+    std::vector<NodeMode> modes;
+    std::vector<std::int32_t> feature_ids;     ///< valid for branches
+    std::vector<float> thresholds;
+    std::vector<std::int32_t> true_children;   ///< node id within tree
+    std::vector<std::int32_t> false_children;
+    std::vector<float> leaf_values;            ///< valid for leaves
+
+    std::size_t NumNodes() const { return tree_ids.size(); }
+    std::size_t NumTrees() const;
+
+    /** Approximate in-memory/wire size, used by transfer cost models. */
+    std::uint64_t ByteSize() const;
+
+    /** Flattens a forest into ensemble attribute arrays. */
+    static TreeEnsemble FromForest(const RandomForest& forest);
+
+    /**
+     * Rebuilds a forest; validates structure.
+     * @throws ParseError on inconsistent arrays.
+     */
+    RandomForest ToForest() const;
+
+    /** Serializes to an opaque blob (the DBMS VARBINARY payload). */
+    std::vector<std::uint8_t> Serialize() const;
+
+    /** @throws ParseError on malformed input. */
+    static TreeEnsemble Deserialize(std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_FOREST_ONNX_LIKE_H

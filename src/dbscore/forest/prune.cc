@@ -1,0 +1,140 @@
+#include "dbscore/forest/prune.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+namespace {
+
+/**
+ * Probability-weighted outcome of the subtree rooted at @p node: the
+ * class with the largest summed reach probability (classification,
+ * ties toward the lowest class id) or the weighted mean (regression).
+ */
+float
+CollapsedValue(const DecisionTree& tree, std::int32_t node, Task task,
+               int num_classes)
+{
+    std::vector<double> class_weight(
+        task == Task::kClassification
+            ? static_cast<std::size_t>(num_classes)
+            : 0,
+        0.0);
+    double weighted_sum = 0.0;
+    double total_weight = 0.0;
+
+    struct Frame {
+        std::int32_t node;
+        double weight;
+    };
+    std::vector<Frame> stack{{node, 1.0}};
+    while (!stack.empty()) {
+        Frame frame = stack.back();
+        stack.pop_back();
+        if (tree.IsLeaf(frame.node)) {
+            float value = tree.LeafValue(frame.node);
+            if (task == Task::kClassification) {
+                auto cls = static_cast<std::size_t>(std::lround(value));
+                DBS_ASSERT(cls < class_weight.size());
+                class_weight[cls] += frame.weight;
+            } else {
+                weighted_sum += frame.weight * value;
+            }
+            total_weight += frame.weight;
+            continue;
+        }
+        stack.push_back({tree.Left(frame.node), frame.weight * 0.5});
+        stack.push_back({tree.Right(frame.node), frame.weight * 0.5});
+    }
+    DBS_ASSERT(total_weight > 0.0);
+
+    if (task == Task::kClassification) {
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < class_weight.size(); ++c) {
+            if (class_weight[c] > class_weight[best]) {
+                best = c;
+            }
+        }
+        return static_cast<float>(best);
+    }
+    return static_cast<float>(weighted_sum / total_weight);
+}
+
+/** Copies @p node into @p out, collapsing below @p depth_left levels. */
+std::int32_t
+CopyPruned(const DecisionTree& tree, std::int32_t node,
+           std::size_t depth_left, Task task, int num_classes,
+           DecisionTree& out)
+{
+    if (tree.IsLeaf(node)) {
+        return out.AddLeafNode(tree.LeafValue(node));
+    }
+    if (depth_left == 0) {
+        return out.AddLeafNode(
+            CollapsedValue(tree, node, task, num_classes));
+    }
+    std::int32_t id =
+        out.AddDecisionNode(tree.Feature(node), tree.Threshold(node));
+    std::int32_t left = CopyPruned(tree, tree.Left(node), depth_left - 1,
+                                   task, num_classes, out);
+    std::int32_t right = CopyPruned(tree, tree.Right(node),
+                                    depth_left - 1, task, num_classes,
+                                    out);
+    out.SetChildren(id, left, right);
+    return id;
+}
+
+}  // namespace
+
+DecisionTree
+PruneTreeToDepth(const DecisionTree& tree, std::size_t max_depth,
+                 Task task, int num_classes)
+{
+    if (max_depth == 0) {
+        throw InvalidArgument("prune: max_depth must be positive");
+    }
+    if (tree.Empty()) {
+        throw InvalidArgument("prune: empty tree");
+    }
+    DecisionTree out;
+    CopyPruned(tree, 0, max_depth, task, num_classes, out);
+    return out;
+}
+
+RandomForest
+PruneForestToDepth(const RandomForest& forest, std::size_t max_depth)
+{
+    RandomForest out(forest.task(), forest.num_features(),
+                     forest.num_classes());
+    for (const auto& tree : forest.trees()) {
+        out.AddTree(PruneTreeToDepth(tree, max_depth, forest.task(),
+                                     forest.num_classes()));
+    }
+    return out;
+}
+
+double
+PruningDisagreement(const RandomForest& forest, std::size_t max_depth,
+                    const Dataset& data)
+{
+    if (data.num_rows() == 0 ||
+        data.num_features() != forest.num_features()) {
+        throw InvalidArgument("prune: data does not match model");
+    }
+    RandomForest pruned = PruneForestToDepth(forest, max_depth);
+    auto a = forest.PredictBatch(data);
+    auto b = pruned.PredictBatch(data);
+    std::size_t differ = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) {
+            ++differ;
+        }
+    }
+    return static_cast<double>(differ) / static_cast<double>(a.size());
+}
+
+}  // namespace dbscore

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Depth pruning of trained trees.
+ *
+ * The paper's FPGA engine "does not support processing trees with more
+ * than 10 levels, they need to be processed by the CPU". Besides the
+ * hybrid FPGA+CPU extension, the other practical answer is pruning: cut
+ * every subtree below the limit and replace it with its most likely
+ * outcome. Pruned models fit the plain FPGA engine unchanged, trading a
+ * (usually small) accuracy loss for full offload.
+ *
+ * Collapsed subtrees predict their probability-weighted outcome: each
+ * leaf inside the cut subtree is weighted by its reach probability under
+ * uniform branching (2^-depth-below-the-cut), a data-free approximation
+ * of the training distribution.
+ */
+#ifndef DBSCORE_FOREST_PRUNE_H
+#define DBSCORE_FOREST_PRUNE_H
+
+#include <cstddef>
+
+#include "dbscore/forest/forest.h"
+
+namespace dbscore {
+
+/**
+ * Returns @p tree cut to at most @p max_depth levels.
+ *
+ * @param task decides how collapsed subtrees vote (majority class vs
+ *        weighted mean)
+ * @param num_classes class count for classification trees
+ * @throws InvalidArgument for max_depth == 0
+ */
+DecisionTree PruneTreeToDepth(const DecisionTree& tree,
+                              std::size_t max_depth, Task task,
+                              int num_classes);
+
+/** Prunes every tree of @p forest to @p max_depth levels. */
+RandomForest PruneForestToDepth(const RandomForest& forest,
+                                std::size_t max_depth);
+
+/**
+ * Fraction of probed rows whose forest prediction changes after pruning
+ * to @p max_depth — the accuracy cost of fitting the FPGA.
+ */
+double PruningDisagreement(const RandomForest& forest,
+                           std::size_t max_depth, const Dataset& data);
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_FOREST_PRUNE_H

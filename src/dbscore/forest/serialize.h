@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Binary serialization of random forest models.
+ *
+ * This is the "serialized binary form" the paper stores in database tables:
+ * the DBMS keeps models as opaque VARBINARY blobs, and model pre-processing
+ * in the pipeline is exactly the deserialization implemented here.
+ *
+ * Format (little-endian):
+ *   magic "DBSF", u32 version,
+ *   u8 task, u32 num_features, u32 num_classes, u32 num_trees,
+ *   then per tree: u32 num_nodes followed by the node arrays
+ *   (i32 feature, f32 threshold, i32 left, i32 right, f32 value).
+ */
+#ifndef DBSCORE_FOREST_SERIALIZE_H
+#define DBSCORE_FOREST_SERIALIZE_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dbscore/forest/forest.h"
+
+namespace dbscore {
+
+/** Append-only little-endian byte buffer writer. */
+class ByteWriter {
+ public:
+    void PutU8(std::uint8_t v);
+    void PutU32(std::uint32_t v);
+    void PutU64(std::uint64_t v);
+    void PutI32(std::int32_t v);
+    void PutF32(float v);
+    void PutF64(double v);
+    /** Length-prefixed (u32) string. */
+    void PutString(const std::string& s);
+    void PutBytes(const void* data, std::size_t size);
+
+    const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+    std::vector<std::uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/** Bounds-checked little-endian reader. @throws ParseError on overrun. */
+class ByteReader {
+ public:
+    explicit ByteReader(std::span<const std::uint8_t> bytes)
+        : bytes_(bytes) {}
+
+    std::uint8_t GetU8();
+    std::uint32_t GetU32();
+    std::uint64_t GetU64();
+    std::int32_t GetI32();
+    float GetF32();
+    double GetF64();
+    std::string GetString();
+    void GetBytes(void* out, std::size_t size);
+
+    std::size_t remaining() const { return bytes_.size() - pos_; }
+    bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+    void Require(std::size_t n) const;
+
+    std::span<const std::uint8_t> bytes_;
+    std::size_t pos_ = 0;
+};
+
+/** Serializes a forest to the DBSF binary format. */
+std::vector<std::uint8_t> SerializeForest(const RandomForest& forest);
+
+/**
+ * Parses a DBSF blob back into a forest and validates the structure.
+ * @throws ParseError on malformed input.
+ */
+RandomForest DeserializeForest(std::span<const std::uint8_t> bytes);
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_FOREST_SERIALIZE_H

@@ -1,0 +1,407 @@
+#include "dbscore/forest/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "dbscore/common/error.h"
+#include "dbscore/common/rng.h"
+#include "dbscore/common/thread_pool.h"
+
+namespace dbscore {
+
+namespace {
+
+/** Per-tree builder state; owns scratch buffers reused across nodes. */
+class TreeBuilder {
+ public:
+    TreeBuilder(const Dataset& data, const ForestTrainerConfig& config,
+                Rng rng)
+        : data_(data),
+          config_(config),
+          rng_(rng),
+          num_classes_(std::max(data.num_classes(), 0)),
+          class_counts_(static_cast<std::size_t>(
+              std::max(data.num_classes(), 2)))
+    {
+        std::size_t f = data_.num_features();
+        double fraction = config.max_features_fraction;
+        if (fraction <= 0.0) {
+            if (data_.task() == Task::kClassification) {
+                features_per_split_ = static_cast<std::size_t>(
+                    std::lround(std::sqrt(static_cast<double>(f))));
+            } else {
+                features_per_split_ = f / 3;
+            }
+        } else {
+            features_per_split_ = static_cast<std::size_t>(
+                std::lround(fraction * static_cast<double>(f)));
+        }
+        features_per_split_ = std::clamp<std::size_t>(
+            features_per_split_, 1, f);
+        all_features_.resize(f);
+        std::iota(all_features_.begin(), all_features_.end(), 0);
+    }
+
+    DecisionTree
+    Build()
+    {
+        std::vector<std::size_t> indices = SampleRows();
+        DecisionTree tree;
+        BuildNode(tree, indices, 0, indices.size(), 0);
+        return tree;
+    }
+
+ private:
+    struct SplitChoice {
+        bool found = false;
+        std::size_t feature = 0;
+        float threshold = 0.0f;
+        double impurity_decrease = 0.0;
+        std::size_t left_count = 0;
+    };
+
+    std::vector<std::size_t>
+    SampleRows()
+    {
+        const std::size_t n = data_.num_rows();
+        std::vector<std::size_t> indices(n);
+        if (config_.bootstrap) {
+            for (auto& idx : indices) {
+                idx = static_cast<std::size_t>(rng_.NextBelow(n));
+            }
+        } else {
+            std::iota(indices.begin(), indices.end(), 0);
+        }
+        return indices;
+    }
+
+    /** Recursively builds the subtree over indices [begin, end). */
+    std::int32_t
+    BuildNode(DecisionTree& tree, std::vector<std::size_t>& indices,
+              std::size_t begin, std::size_t end, std::size_t depth)
+    {
+        const std::size_t count = end - begin;
+        DBS_ASSERT(count > 0);
+        if (depth >= config_.max_depth ||
+            count < config_.min_samples_split || IsPure(indices, begin, end)) {
+            return tree.AddLeafNode(LeafValue(indices, begin, end));
+        }
+
+        SplitChoice split = FindBestSplit(indices, begin, end);
+        if (!split.found) {
+            return tree.AddLeafNode(LeafValue(indices, begin, end));
+        }
+
+        // Partition indices in place around the chosen split.
+        auto mid_it = std::partition(
+            indices.begin() + static_cast<std::ptrdiff_t>(begin),
+            indices.begin() + static_cast<std::ptrdiff_t>(end),
+            [&](std::size_t row) {
+                return data_.At(row, split.feature) <= split.threshold;
+            });
+        std::size_t mid = static_cast<std::size_t>(
+            mid_it - indices.begin());
+        DBS_ASSERT(mid > begin && mid < end);
+
+        std::int32_t node = tree.AddDecisionNode(
+            static_cast<std::int32_t>(split.feature), split.threshold);
+        std::int32_t left = BuildNode(tree, indices, begin, mid, depth + 1);
+        std::int32_t right = BuildNode(tree, indices, mid, end, depth + 1);
+        tree.SetChildren(node, left, right);
+        return node;
+    }
+
+    bool
+    IsPure(const std::vector<std::size_t>& indices, std::size_t begin,
+           std::size_t end) const
+    {
+        const float first = data_.Label(indices[begin]);
+        for (std::size_t i = begin + 1; i < end; ++i) {
+            if (data_.Label(indices[i]) != first) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    float
+    LeafValue(const std::vector<std::size_t>& indices, std::size_t begin,
+              std::size_t end)
+    {
+        if (data_.task() == Task::kRegression) {
+            double sum = 0.0;
+            for (std::size_t i = begin; i < end; ++i) {
+                sum += data_.Label(indices[i]);
+            }
+            return static_cast<float>(
+                sum / static_cast<double>(end - begin));
+        }
+        std::fill(class_counts_.begin(), class_counts_.end(), 0);
+        for (std::size_t i = begin; i < end; ++i) {
+            auto cls = static_cast<std::size_t>(data_.Label(indices[i]));
+            DBS_ASSERT(cls < class_counts_.size());
+            ++class_counts_[cls];
+        }
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < class_counts_.size(); ++c) {
+            if (class_counts_[c] > class_counts_[best]) {
+                best = c;
+            }
+        }
+        return static_cast<float>(best);
+    }
+
+    SplitChoice
+    FindBestSplit(const std::vector<std::size_t>& indices, std::size_t begin,
+                  std::size_t end)
+    {
+        // Random feature subset: partial Fisher-Yates over all_features_.
+        const std::size_t f = all_features_.size();
+        for (std::size_t i = 0; i < features_per_split_; ++i) {
+            std::size_t j = i + static_cast<std::size_t>(
+                rng_.NextBelow(f - i));
+            std::swap(all_features_[i], all_features_[j]);
+        }
+
+        SplitChoice best;
+        for (std::size_t i = 0; i < features_per_split_; ++i) {
+            EvaluateFeature(all_features_[i], indices, begin, end, best);
+        }
+        return best;
+    }
+
+    /** Sorts the node's rows by one feature and scans split boundaries. */
+    void
+    EvaluateFeature(std::size_t feature,
+                    const std::vector<std::size_t>& indices,
+                    std::size_t begin, std::size_t end, SplitChoice& best)
+    {
+        const std::size_t count = end - begin;
+        sorted_.resize(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            std::size_t row = indices[begin + i];
+            sorted_[i] = {data_.At(row, feature), data_.Label(row)};
+        }
+        std::sort(sorted_.begin(), sorted_.end(),
+                  [](const auto& a, const auto& b) {
+                      return a.first < b.first;
+                  });
+        if (sorted_.front().first == sorted_.back().first) {
+            return;  // constant feature at this node
+        }
+
+        if (data_.task() == Task::kClassification) {
+            ScanClassification(feature, best);
+        } else {
+            ScanRegression(feature, best);
+        }
+    }
+
+    void
+    ScanClassification(std::size_t feature, SplitChoice& best)
+    {
+        const std::size_t count = sorted_.size();
+        const std::size_t k = class_counts_.size();
+        left_counts_.assign(k, 0);
+        right_counts_.assign(k, 0);
+        for (const auto& [value, label] : sorted_) {
+            (void)value;
+            ++right_counts_[static_cast<std::size_t>(label)];
+        }
+        const double parent = GiniImpurityCounts(right_counts_, count);
+
+        std::size_t left_n = 0;
+        for (std::size_t i = 0; i + 1 < count; ++i) {
+            auto cls = static_cast<std::size_t>(sorted_[i].second);
+            ++left_counts_[cls];
+            --right_counts_[cls];
+            ++left_n;
+            if (sorted_[i].first == sorted_[i + 1].first) {
+                continue;  // cannot split between equal values
+            }
+            std::size_t right_n = count - left_n;
+            if (left_n < config_.min_samples_leaf ||
+                right_n < config_.min_samples_leaf) {
+                continue;
+            }
+            double gini_l = GiniImpurityCounts(left_counts_, left_n);
+            double gini_r = GiniImpurityCounts(right_counts_, right_n);
+            double weighted =
+                (gini_l * static_cast<double>(left_n) +
+                 gini_r * static_cast<double>(right_n)) /
+                static_cast<double>(count);
+            double decrease = parent - weighted;
+            if (decrease > best.impurity_decrease + 1e-12 || !best.found) {
+                if (decrease <= 1e-12) {
+                    continue;
+                }
+                best.found = true;
+                best.feature = feature;
+                best.threshold = MidThreshold(sorted_[i].first,
+                                              sorted_[i + 1].first);
+                best.impurity_decrease = decrease;
+                best.left_count = left_n;
+            }
+        }
+    }
+
+    void
+    ScanRegression(std::size_t feature, SplitChoice& best)
+    {
+        const std::size_t count = sorted_.size();
+        double total_sum = 0.0;
+        double total_sq = 0.0;
+        for (const auto& [value, label] : sorted_) {
+            (void)value;
+            total_sum += label;
+            total_sq += static_cast<double>(label) * label;
+        }
+        const double n = static_cast<double>(count);
+        const double parent_var = total_sq / n -
+            (total_sum / n) * (total_sum / n);
+
+        double left_sum = 0.0;
+        double left_sq = 0.0;
+        for (std::size_t i = 0; i + 1 < count; ++i) {
+            double label = sorted_[i].second;
+            left_sum += label;
+            left_sq += label * label;
+            if (sorted_[i].first == sorted_[i + 1].first) {
+                continue;
+            }
+            std::size_t left_n = i + 1;
+            std::size_t right_n = count - left_n;
+            if (left_n < config_.min_samples_leaf ||
+                right_n < config_.min_samples_leaf) {
+                continue;
+            }
+            double ln = static_cast<double>(left_n);
+            double rn = static_cast<double>(right_n);
+            double right_sum = total_sum - left_sum;
+            double right_sq = total_sq - left_sq;
+            double var_l = left_sq / ln - (left_sum / ln) * (left_sum / ln);
+            double var_r = right_sq / rn -
+                (right_sum / rn) * (right_sum / rn);
+            double weighted = (var_l * ln + var_r * rn) / n;
+            double decrease = parent_var - weighted;
+            if (decrease > best.impurity_decrease + 1e-12 || !best.found) {
+                if (decrease <= 1e-12) {
+                    continue;
+                }
+                best.found = true;
+                best.feature = feature;
+                best.threshold = MidThreshold(sorted_[i].first,
+                                              sorted_[i + 1].first);
+                best.impurity_decrease = decrease;
+                best.left_count = left_n;
+            }
+        }
+    }
+
+    static double
+    GiniImpurityCounts(const std::vector<std::size_t>& counts,
+                       std::size_t total)
+    {
+        double sum_sq = 0.0;
+        const double n = static_cast<double>(total);
+        for (std::size_t c : counts) {
+            double p = static_cast<double>(c) / n;
+            sum_sq += p * p;
+        }
+        return 1.0 - sum_sq;
+    }
+
+    /**
+     * Splitting threshold halfway between adjacent distinct values;
+     * nudged down if rounding would put the left value on the right.
+     */
+    static float
+    MidThreshold(float lo, float hi)
+    {
+        float mid = lo + (hi - lo) * 0.5f;
+        if (mid >= hi) {
+            mid = lo;
+        }
+        return mid;
+    }
+
+    const Dataset& data_;
+    const ForestTrainerConfig& config_;
+    Rng rng_;
+    int num_classes_;
+    std::size_t features_per_split_ = 1;
+    std::vector<std::size_t> all_features_;
+    std::vector<std::pair<float, float>> sorted_;  // (value, label)
+    std::vector<std::size_t> class_counts_;
+    std::vector<std::size_t> left_counts_;
+    std::vector<std::size_t> right_counts_;
+};
+
+}  // namespace
+
+double
+GiniImpurity(const std::vector<std::size_t>& counts)
+{
+    std::size_t total = 0;
+    for (std::size_t c : counts) {
+        total += c;
+    }
+    if (total == 0) {
+        return 0.0;
+    }
+    double sum_sq = 0.0;
+    for (std::size_t c : counts) {
+        double p = static_cast<double>(c) / static_cast<double>(total);
+        sum_sq += p * p;
+    }
+    return 1.0 - sum_sq;
+}
+
+RandomForest
+TrainForest(const Dataset& train, const ForestTrainerConfig& config)
+{
+    if (train.num_rows() == 0) {
+        throw InvalidArgument("train: empty dataset");
+    }
+    if (config.num_trees == 0) {
+        throw InvalidArgument("train: num_trees must be positive");
+    }
+    if (config.max_depth == 0) {
+        throw InvalidArgument("train: max_depth must be positive");
+    }
+    if (train.task() == Task::kClassification) {
+        for (std::size_t i = 0; i < train.num_rows(); ++i) {
+            float label = train.Label(i);
+            if (label < 0.0f ||
+                label >= static_cast<float>(train.num_classes()) ||
+                label != std::floor(label)) {
+                throw InvalidArgument("train: label out of class range");
+            }
+        }
+    }
+
+    RandomForest forest(train.task(), train.num_features(),
+                        train.num_classes());
+
+    // Pre-fork one RNG per tree so the result is identical whether trees
+    // are built serially or in parallel.
+    Rng root(config.seed);
+    std::vector<Rng> tree_rngs;
+    tree_rngs.reserve(config.num_trees);
+    for (std::size_t t = 0; t < config.num_trees; ++t) {
+        tree_rngs.push_back(root.Fork());
+    }
+
+    std::vector<DecisionTree> trees(config.num_trees);
+    ThreadPool::Shared().ParallelFor(config.num_trees, [&](std::size_t t) {
+        TreeBuilder builder(train, config, tree_rngs[t]);
+        trees[t] = builder.Build();
+    });
+    for (auto& tree : trees) {
+        forest.AddTree(std::move(tree));
+    }
+    return forest;
+}
+
+}  // namespace dbscore

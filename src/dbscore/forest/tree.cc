@@ -1,0 +1,152 @@
+#include "dbscore/forest/tree.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+std::size_t
+DecisionTree::Idx(std::int32_t n) const
+{
+    DBS_ASSERT(n >= 0 && static_cast<std::size_t>(n) < NumNodes());
+    return static_cast<std::size_t>(n);
+}
+
+std::int32_t
+DecisionTree::AddDecisionNode(std::int32_t feature, float threshold)
+{
+    DBS_ASSERT(feature >= 0);
+    feature_.push_back(feature);
+    threshold_.push_back(threshold);
+    left_.push_back(-1);
+    right_.push_back(-1);
+    value_.push_back(0.0f);
+    return static_cast<std::int32_t>(NumNodes() - 1);
+}
+
+std::int32_t
+DecisionTree::AddLeafNode(float value)
+{
+    feature_.push_back(kLeafFeature);
+    threshold_.push_back(0.0f);
+    left_.push_back(-1);
+    right_.push_back(-1);
+    value_.push_back(value);
+    return static_cast<std::int32_t>(NumNodes() - 1);
+}
+
+void
+DecisionTree::SetChildren(std::int32_t node, std::int32_t left,
+                          std::int32_t right)
+{
+    DBS_ASSERT(!IsLeaf(node));
+    left_[Idx(node)] = left;
+    right_[Idx(node)] = right;
+}
+
+float
+DecisionTree::Predict(const float* row) const
+{
+    return value_[static_cast<std::size_t>(PredictLeaf(row))];
+}
+
+std::int32_t
+DecisionTree::PredictLeaf(const float* row) const
+{
+    DBS_ASSERT(!Empty());
+    std::int32_t node = 0;
+    while (feature_[static_cast<std::size_t>(node)] != kLeafFeature) {
+        const auto i = static_cast<std::size_t>(node);
+        node = row[feature_[i]] <= threshold_[i] ? left_[i] : right_[i];
+    }
+    return node;
+}
+
+std::size_t
+DecisionTree::PathLength(const float* row) const
+{
+    DBS_ASSERT(!Empty());
+    std::int32_t node = 0;
+    std::size_t edges = 0;
+    while (feature_[static_cast<std::size_t>(node)] != kLeafFeature) {
+        const auto i = static_cast<std::size_t>(node);
+        node = row[feature_[i]] <= threshold_[i] ? left_[i] : right_[i];
+        ++edges;
+    }
+    return edges;
+}
+
+std::size_t
+DecisionTree::Depth() const
+{
+    if (Empty()) {
+        return 0;
+    }
+    std::size_t max_depth = 0;
+    std::vector<std::pair<std::int32_t, std::size_t>> stack{{0, 0}};
+    while (!stack.empty()) {
+        auto [node, depth] = stack.back();
+        stack.pop_back();
+        max_depth = std::max(max_depth, depth);
+        if (!IsLeaf(node)) {
+            stack.push_back({Left(node), depth + 1});
+            stack.push_back({Right(node), depth + 1});
+        }
+    }
+    return max_depth;
+}
+
+std::size_t
+DecisionTree::NumLeaves() const
+{
+    std::size_t leaves = 0;
+    for (std::int32_t f : feature_) {
+        if (f == kLeafFeature) {
+            ++leaves;
+        }
+    }
+    return leaves;
+}
+
+void
+DecisionTree::Validate(std::size_t num_features) const
+{
+    if (Empty()) {
+        throw ParseError("tree: empty");
+    }
+    const std::size_t n = NumNodes();
+    std::vector<int> visits(n, 0);
+    std::vector<std::int32_t> stack{0};
+    std::size_t seen = 0;
+    while (!stack.empty()) {
+        std::int32_t node = stack.back();
+        stack.pop_back();
+        if (node < 0 || static_cast<std::size_t>(node) >= n) {
+            throw ParseError("tree: child id out of range");
+        }
+        if (++visits[static_cast<std::size_t>(node)] > 1) {
+            throw ParseError("tree: node reachable more than once");
+        }
+        ++seen;
+        const auto i = static_cast<std::size_t>(node);
+        if (feature_[i] == kLeafFeature) {
+            continue;
+        }
+        if (feature_[i] < 0 ||
+            static_cast<std::size_t>(feature_[i]) >= num_features) {
+            throw ParseError("tree: feature id out of range");
+        }
+        if (left_[i] < 0 || right_[i] < 0) {
+            throw ParseError("tree: decision node missing a child");
+        }
+        stack.push_back(left_[i]);
+        stack.push_back(right_[i]);
+    }
+    if (seen != n) {
+        throw ParseError("tree: unreachable nodes present");
+    }
+}
+
+}  // namespace dbscore

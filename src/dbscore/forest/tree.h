@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Binary decision tree with structure-of-arrays node storage.
+ *
+ * Semantics follow Scikit-learn's convention: at a decision node the input
+ * goes left when x[feature] <= threshold, otherwise right. Leaf nodes carry
+ * a single float value: the predicted class id for classification trees or
+ * the mean target for regression trees.
+ */
+#ifndef DBSCORE_FOREST_TREE_H
+#define DBSCORE_FOREST_TREE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dbscore {
+
+/** Sentinel feature id marking a leaf node. */
+inline constexpr std::int32_t kLeafFeature = -1;
+
+/** A single decision tree. Node 0 is the root. */
+class DecisionTree {
+ public:
+    /**
+     * Appends a decision node and returns its id. Children may be added
+     * later; set them with SetChildren.
+     */
+    std::int32_t AddDecisionNode(std::int32_t feature, float threshold);
+
+    /** Appends a leaf node carrying @p value and returns its id. */
+    std::int32_t AddLeafNode(float value);
+
+    /** Wires children of decision node @p node. */
+    void SetChildren(std::int32_t node, std::int32_t left,
+                     std::int32_t right);
+
+    std::size_t NumNodes() const { return feature_.size(); }
+    bool Empty() const { return feature_.empty(); }
+
+    bool
+    IsLeaf(std::int32_t node) const
+    {
+        return feature_[static_cast<std::size_t>(node)] == kLeafFeature;
+    }
+
+    std::int32_t Feature(std::int32_t n) const { return feature_[Idx(n)]; }
+    float Threshold(std::int32_t n) const { return threshold_[Idx(n)]; }
+    std::int32_t Left(std::int32_t n) const { return left_[Idx(n)]; }
+    std::int32_t Right(std::int32_t n) const { return right_[Idx(n)]; }
+    float LeafValue(std::int32_t n) const { return value_[Idx(n)]; }
+
+    /** Raw arrays, used by engines that recompile the tree. */
+    const std::vector<std::int32_t>& features() const { return feature_; }
+    const std::vector<float>& thresholds() const { return threshold_; }
+    const std::vector<std::int32_t>& lefts() const { return left_; }
+    const std::vector<std::int32_t>& rights() const { return right_; }
+    const std::vector<float>& values() const { return value_; }
+
+    /** Root-to-leaf traversal; returns the reached leaf's value. */
+    float Predict(const float* row) const;
+
+    /** Id of the leaf reached by @p row. */
+    std::int32_t PredictLeaf(const float* row) const;
+
+    /** Number of edges on the longest root-to-leaf path (leaf-only = 0). */
+    std::size_t Depth() const;
+
+    std::size_t NumLeaves() const;
+
+    /** Number of edges traversed to classify @p row. */
+    std::size_t PathLength(const float* row) const;
+
+    /**
+     * Structural validation: every node reachable exactly once from the
+     * root, child ids in range, decision nodes have two children.
+     *
+     * @throws ParseError when the structure is corrupt (used after
+     *         deserialization; internal builders assert instead).
+     */
+    void Validate(std::size_t num_features) const;
+
+ private:
+    std::size_t Idx(std::int32_t n) const;
+
+    std::vector<std::int32_t> feature_;
+    std::vector<float> threshold_;
+    std::vector<std::int32_t> left_;
+    std::vector<std::int32_t> right_;
+    std::vector<float> value_;
+};
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_FOREST_TREE_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * FPGA device description.
+ *
+ * Defaults model the paper's accelerator: an Intel Stratix 10 GX 2800 with
+ * ~28.6 MB of BRAM, a 250 MHz inference-engine clock, 128 processing
+ * elements (one tree each, up to 10 levels), the 4-word-per-node tree
+ * memory layout of Figure 4b, and a pipelined input streamer that admits
+ * one new record per cycle once its features have been delivered.
+ */
+#ifndef DBSCORE_FPGASIM_FPGA_SPEC_H
+#define DBSCORE_FPGASIM_FPGA_SPEC_H
+
+#include <cstdint>
+#include <string>
+
+#include "dbscore/common/sim_time.h"
+
+namespace dbscore {
+
+/** Static FPGA parameters. */
+struct FpgaSpec {
+    std::string name = "Intel Stratix 10 GX 2800";
+    double clock_hz = 250e6;
+    /** Total on-chip BRAM available (paper: ~28.6 MB). */
+    std::uint64_t bram_bytes = 28600ull * 1024;
+    /** Processing elements; each scores one tree per pass. */
+    int num_pes = 128;
+    /** Deepest tree the engine supports (paper limit). */
+    int max_tree_depth = 10;
+    /** Bytes per tree node in BRAM: 4 words x 4 bytes (Fig. 4b). */
+    int node_bytes = 16;
+    /**
+     * Feature words the input broadcast bus delivers per cycle. A record
+     * with F features occupies ceil(F / width) streaming cycles, so wide
+     * datasets (HIGGS) score slower than narrow ones (IRIS).
+     */
+    int stream_floats_per_cycle = 4;
+    /** Pipeline fill/drain cycles per engine pass. */
+    int pipeline_fill_cycles = 32;
+    /** On-chip result memory drained back to the host in chunks. */
+    std::uint64_t result_buffer_bytes = 2ull * 1024 * 1024;
+};
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_FPGASIM_FPGA_SPEC_H

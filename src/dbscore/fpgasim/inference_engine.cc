@@ -1,0 +1,165 @@
+#include "dbscore/fpgasim/inference_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbscore/common/error.h"
+#include "dbscore/common/string_util.h"
+#include "dbscore/common/thread_pool.h"
+
+namespace dbscore {
+
+FpgaInferenceEngine::FpgaInferenceEngine(const FpgaSpec& spec) : spec_(spec)
+{
+    if (spec.num_pes <= 0 || spec.clock_hz <= 0.0 ||
+        spec.stream_floats_per_cycle <= 0) {
+        throw InvalidArgument("fpga: bad device parameters");
+    }
+}
+
+void
+FpgaInferenceEngine::LoadModel(const RandomForest& forest)
+{
+    const auto max_depth = static_cast<std::size_t>(spec_.max_tree_depth);
+    for (const auto& tree : forest.trees()) {
+        if (tree.Depth() > max_depth) {
+            throw CapacityError(StrFormat(
+                "fpga: tree depth %zu exceeds the supported %d levels; "
+                "deeper trees must be processed by the CPU",
+                tree.Depth(), spec_.max_tree_depth));
+        }
+    }
+
+    std::vector<TreeMemoryImage> images;
+    images.reserve(forest.NumTrees());
+    for (const auto& tree : forest.trees()) {
+        images.push_back(LayoutTree(tree, max_depth));
+    }
+
+    // BRAM budget: one pass holds up to num_pes tree images plus the
+    // result buffer. BRAM footprint is counted at spec_.node_bytes per
+    // node (16 for the paper's float words, less for quantized formats)
+    // even though the functional images always hold floats.
+    const std::uint64_t per_tree =
+        images.front().NumSlots() *
+        static_cast<std::uint64_t>(spec_.node_bytes);
+    const std::uint64_t widest_pass =
+        std::min<std::uint64_t>(images.size(),
+                                static_cast<std::uint64_t>(spec_.num_pes));
+    const std::uint64_t used =
+        widest_pass * per_tree + spec_.result_buffer_bytes;
+    if (used > spec_.bram_bytes) {
+        throw CapacityError(StrFormat(
+            "fpga: model needs %s of BRAM but only %s is available",
+            HumanBytes(used).c_str(),
+            HumanBytes(spec_.bram_bytes).c_str()));
+    }
+
+    task_ = forest.task();
+    num_classes_ = forest.num_classes();
+    num_features_ = forest.num_features();
+    images_ = std::move(images);
+}
+
+std::uint64_t
+FpgaInferenceEngine::NumPasses() const
+{
+    DBS_ASSERT(loaded());
+    const auto pes = static_cast<std::uint64_t>(spec_.num_pes);
+    return (images_.size() + pes - 1) / pes;
+}
+
+std::uint64_t
+FpgaInferenceEngine::ModelBytes() const
+{
+    DBS_ASSERT(loaded());
+    std::uint64_t bytes = 0;
+    for (const auto& image : images_) {
+        bytes += image.NumSlots() *
+                 static_cast<std::uint64_t>(spec_.node_bytes);
+    }
+    return bytes;
+}
+
+std::uint64_t
+FpgaInferenceEngine::BramBytesUsed() const
+{
+    DBS_ASSERT(loaded());
+    const std::uint64_t widest_pass =
+        std::min<std::uint64_t>(images_.size(),
+                                static_cast<std::uint64_t>(spec_.num_pes));
+    return widest_pass * images_.front().NumSlots() *
+               static_cast<std::uint64_t>(spec_.node_bytes) +
+           spec_.result_buffer_bytes;
+}
+
+std::uint64_t
+FpgaInferenceEngine::StreamCyclesPerRecord(std::size_t num_features) const
+{
+    const auto width =
+        static_cast<std::uint64_t>(spec_.stream_floats_per_cycle);
+    return std::max<std::uint64_t>(
+        1, (num_features + width - 1) / width);
+}
+
+std::uint64_t
+FpgaInferenceEngine::CyclesFor(std::uint64_t num_records,
+                               std::size_t num_features) const
+{
+    DBS_ASSERT(loaded());
+    const std::uint64_t per_pass =
+        static_cast<std::uint64_t>(spec_.pipeline_fill_cycles) +
+        num_records * StreamCyclesPerRecord(num_features);
+    return NumPasses() * per_pass;
+}
+
+std::vector<float>
+FpgaInferenceEngine::Score(const float* rows, std::size_t num_rows,
+                           std::size_t num_cols,
+                           FpgaRunReport* report) const
+{
+    if (!loaded()) {
+        throw InvalidArgument("fpga: no model loaded");
+    }
+    if (num_cols != num_features_) {
+        throw InvalidArgument("fpga: row arity mismatch");
+    }
+
+    std::vector<float> preds(num_rows);
+    const bool classify = task_ == Task::kClassification;
+
+    auto worker = [&](std::size_t begin, std::size_t end) {
+        std::vector<int> votes;
+        for (std::size_t r = begin; r < end; ++r) {
+            const float* row = rows + r * num_cols;
+            votes.clear();
+            double sum = 0.0;
+            for (const auto& image : images_) {
+                float value = WalkTreeImage(image, row);
+                if (classify) {
+                    votes.push_back(static_cast<int>(std::lround(value)));
+                } else {
+                    sum += value;
+                }
+            }
+            preds[r] = classify
+                ? static_cast<float>(MajorityVote(votes, num_classes_))
+                : static_cast<float>(
+                      sum / static_cast<double>(images_.size()));
+        }
+    };
+    if (num_rows >= 4096) {
+        ThreadPool::Shared().ParallelForChunked(num_rows, worker);
+    } else {
+        worker(0, num_rows);
+    }
+
+    if (report != nullptr) {
+        report->passes = NumPasses();
+        report->stream_cycles_per_record = StreamCyclesPerRecord(num_cols);
+        report->total_cycles = CyclesFor(num_rows, num_cols);
+    }
+    return preds;
+}
+
+}  // namespace dbscore

@@ -1,0 +1,98 @@
+#include "dbscore/fpgasim/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+namespace {
+
+void
+ValidateSpec(const QuantizationSpec& spec)
+{
+    if (spec.total_bits < 4 || spec.total_bits > 32 ||
+        spec.fraction_bits < 0 || spec.fraction_bits >= spec.total_bits) {
+        throw InvalidArgument("quantize: bad fixed-point format");
+    }
+}
+
+}  // namespace
+
+double
+QuantizationStep(const QuantizationSpec& spec)
+{
+    ValidateSpec(spec);
+    return std::pow(2.0, -spec.fraction_bits);
+}
+
+float
+QuantizeValue(float value, const QuantizationSpec& spec)
+{
+    ValidateSpec(spec);
+    const double scale = std::pow(2.0, spec.fraction_bits);
+    const double max_code =
+        std::pow(2.0, spec.total_bits - 1) - 1.0;  // signed
+    double code = std::nearbyint(static_cast<double>(value) * scale);
+    code = std::clamp(code, -max_code - 1.0, max_code);
+    return static_cast<float>(code / scale);
+}
+
+RandomForest
+QuantizeForest(const RandomForest& forest, const QuantizationSpec& spec)
+{
+    ValidateSpec(spec);
+    RandomForest out(forest.task(), forest.num_features(),
+                     forest.num_classes());
+    const bool quantize_leaves = forest.task() == Task::kRegression;
+    for (const auto& tree : forest.trees()) {
+        DecisionTree q;
+        for (std::size_t i = 0; i < tree.NumNodes(); ++i) {
+            auto node = static_cast<std::int32_t>(i);
+            if (tree.IsLeaf(node)) {
+                float value = tree.LeafValue(node);
+                q.AddLeafNode(quantize_leaves ? QuantizeValue(value, spec)
+                                              : value);
+            } else {
+                std::int32_t id = q.AddDecisionNode(
+                    tree.Feature(node),
+                    QuantizeValue(tree.Threshold(node), spec));
+                q.SetChildren(id, tree.Left(node), tree.Right(node));
+            }
+        }
+        out.AddTree(std::move(q));
+    }
+    return out;
+}
+
+std::uint64_t
+QuantizedNodeBytes(const QuantizationSpec& spec)
+{
+    ValidateSpec(spec);
+    const std::uint64_t word_bytes =
+        (static_cast<std::uint64_t>(spec.total_bits) + 7) / 8;
+    return 4 * word_bytes;
+}
+
+double
+QuantizationDisagreement(const RandomForest& original,
+                         const RandomForest& quantized,
+                         const Dataset& data)
+{
+    if (data.num_rows() == 0 ||
+        data.num_features() != original.num_features()) {
+        throw InvalidArgument("quantize: data does not match model");
+    }
+    auto a = original.PredictBatch(data);
+    auto b = quantized.PredictBatch(data);
+    std::size_t differ = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) {
+            ++differ;
+        }
+    }
+    return static_cast<double>(differ) / static_cast<double>(a.size());
+}
+
+}  // namespace dbscore

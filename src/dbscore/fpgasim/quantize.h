@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fixed-point quantization of tree models for FPGA deployment.
+ *
+ * The paper's engine stores 4 x 32-bit words per node and notes that
+ * "as the model gets more complex ... the FPGA memory resources become
+ * the limiting factor". Real FPGA inference engines shrink that
+ * footprint by storing comparison values in fixed point. This module
+ * quantizes a forest's thresholds (and regression leaf values) to a
+ * signed Qm.n format so the BRAM-capacity trade-off can be studied:
+ * narrower words -> more trees per pass -> fewer passes, at some
+ * accuracy cost.
+ */
+#ifndef DBSCORE_FPGASIM_QUANTIZE_H
+#define DBSCORE_FPGASIM_QUANTIZE_H
+
+#include <cstdint>
+
+#include "dbscore/forest/forest.h"
+
+namespace dbscore {
+
+/** Signed fixed-point format Q(total-frac-1).(frac). */
+struct QuantizationSpec {
+    /** Total bits per stored word, sign included (4..32). */
+    int total_bits = 16;
+    /** Fractional bits. */
+    int fraction_bits = 8;
+};
+
+/** Smallest representable step (2^-fraction_bits). */
+double QuantizationStep(const QuantizationSpec& spec);
+
+/**
+ * Rounds @p value to the nearest representable fixed-point value,
+ * clamping to the format's range.
+ *
+ * @throws InvalidArgument for nonsensical bit widths
+ */
+float QuantizeValue(float value, const QuantizationSpec& spec);
+
+/**
+ * Returns a copy of @p forest with every threshold (and, for regression,
+ * every leaf value) quantized. Classification leaf class ids are already
+ * integers and pass through unchanged.
+ */
+RandomForest QuantizeForest(const RandomForest& forest,
+                            const QuantizationSpec& spec);
+
+/**
+ * Bytes per node in a quantized Fig.-4b layout: four words of
+ * ceil(total_bits / 8) bytes each.
+ */
+std::uint64_t QuantizedNodeBytes(const QuantizationSpec& spec);
+
+/**
+ * Fraction of rows whose prediction changes after quantization — the
+ * accuracy cost of the narrower format.
+ */
+double QuantizationDisagreement(const RandomForest& original,
+                                const RandomForest& quantized,
+                                const Dataset& data);
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_FPGASIM_QUANTIZE_H

@@ -1,0 +1,111 @@
+#include "dbscore/fpgasim/tree_layout.h"
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+namespace {
+
+constexpr float kLeafMarker = -1.0f;
+constexpr float kContinuationMarker = -2.0f;
+
+/** Writes @p tree's node @p node into image slot @p slot recursively. */
+void
+PlaceNode(const DecisionTree& tree, std::int32_t node, std::size_t slot,
+          std::size_t depth_left, bool truncate, TreeMemoryImage& image)
+{
+    float* w = image.words.data() + slot * 4;
+    if (tree.IsLeaf(node)) {
+        w[0] = kLeafMarker;
+        w[1] = 0.0f;
+        w[2] = 0.0f;
+        w[3] = tree.LeafValue(node);
+        return;
+    }
+    if (depth_left == 0) {
+        if (truncate) {
+            w[0] = kContinuationMarker;
+            w[1] = 0.0f;
+            w[2] = 0.0f;
+            w[3] = static_cast<float>(node);
+            return;
+        }
+        throw CapacityError(
+            "fpga layout: tree deeper than the padded depth");
+    }
+    const std::size_t left = 2 * slot + 1;
+    const std::size_t right = 2 * slot + 2;
+    w[0] = static_cast<float>(left);
+    w[1] = static_cast<float>(right);
+    w[2] = static_cast<float>(tree.Feature(node));
+    w[3] = tree.Threshold(node);
+    PlaceNode(tree, tree.Left(node), left, depth_left - 1, truncate,
+              image);
+    PlaceNode(tree, tree.Right(node), right, depth_left - 1, truncate,
+              image);
+}
+
+TreeMemoryImage
+LayoutImpl(const DecisionTree& tree, std::size_t depth, bool truncate)
+{
+    if (tree.Empty()) {
+        throw InvalidArgument("fpga layout: empty tree");
+    }
+    TreeMemoryImage image;
+    image.depth = depth;
+    image.words.assign(FullTreeSlots(depth) * 4, 0.0f);
+    PlaceNode(tree, 0, 0, depth, truncate, image);
+    return image;
+}
+
+}  // namespace
+
+std::size_t
+FullTreeSlots(std::size_t depth)
+{
+    return (std::size_t{1} << (depth + 1)) - 1;
+}
+
+TreeMemoryImage
+LayoutTree(const DecisionTree& tree, std::size_t depth)
+{
+    return LayoutImpl(tree, depth, /*truncate=*/false);
+}
+
+TreeMemoryImage
+LayoutTreeTop(const DecisionTree& tree, std::size_t depth)
+{
+    return LayoutImpl(tree, depth, /*truncate=*/true);
+}
+
+float
+WalkTreeImage(const TreeMemoryImage& image, const float* row)
+{
+    PartialWalkResult result = WalkTreeImagePartial(image, row);
+    DBS_ASSERT_MSG(!result.continued,
+                   "full walk hit a continuation slot");
+    return result.value;
+}
+
+PartialWalkResult
+WalkTreeImagePartial(const TreeMemoryImage& image, const float* row)
+{
+    std::size_t slot = 0;
+    const std::size_t num_slots = image.NumSlots();
+    for (;;) {
+        DBS_ASSERT(slot < num_slots);
+        const float* w = image.words.data() + slot * 4;
+        if (w[0] == kLeafMarker) {
+            return PartialWalkResult{w[3], false, -1};
+        }
+        if (w[0] == kContinuationMarker) {
+            return PartialWalkResult{
+                0.0f, true, static_cast<std::int32_t>(w[3])};
+        }
+        const auto feature = static_cast<std::size_t>(w[2]);
+        slot = static_cast<std::size_t>(
+            row[feature] <= w[3] ? w[0] : w[1]);
+    }
+}
+
+}  // namespace dbscore

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The Figure-4b tree memory layout.
+ *
+ * Each node occupies four 32-bit words in a PE's BRAM tree memory:
+ *
+ *   word 0: left-child slot index, or a negative value marking a leaf
+ *   word 1: right-child slot index
+ *   word 2: comparison attribute (feature id)
+ *   word 3: comparison value (threshold), or the leaf's output value
+ *
+ * The layout assumes a full binary tree with no missing nodes: slot s's
+ * children live at 2s+1 and 2s+2, and a depth-d tree reserves 2^(d+1)-1
+ * slots whether or not the real tree fills them — exactly the BRAM
+ * footprint rule the paper describes ("each tree consumes a memory
+ * footprint equaling 2^10 words").
+ */
+#ifndef DBSCORE_FPGASIM_TREE_LAYOUT_H
+#define DBSCORE_FPGASIM_TREE_LAYOUT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dbscore/forest/tree.h"
+
+namespace dbscore {
+
+/** One tree's BRAM image. */
+struct TreeMemoryImage {
+    /** Padded depth the image was laid out for. */
+    std::size_t depth = 0;
+    /** 4 floats per slot, 2^(depth+1)-1 slots, heap order. */
+    std::vector<float> words;
+
+    std::size_t NumSlots() const { return words.size() / 4; }
+    std::uint64_t ByteSize() const { return words.size() * sizeof(float); }
+};
+
+/** Number of node slots a full binary tree of @p depth reserves. */
+std::size_t FullTreeSlots(std::size_t depth);
+
+/**
+ * Lays a tree out into the Fig.-4b memory image padded to @p depth.
+ *
+ * @throws CapacityError if the tree is deeper than @p depth
+ */
+TreeMemoryImage LayoutTree(const DecisionTree& tree, std::size_t depth);
+
+/**
+ * Lays out only the top @p depth levels. Internal nodes that would sit
+ * below the cut become *continuation slots* (word 0 = -2, word 3 = the
+ * original tree node id), implementing the paper's proposed extension:
+ * "send the results of processing 10 levels of trees back to the CPU so
+ * that the rest of the operation ... be done on the CPU".
+ */
+TreeMemoryImage LayoutTreeTop(const DecisionTree& tree, std::size_t depth);
+
+/**
+ * Functionally walks a memory image exactly as a PE would: fetch the
+ * 4-word node at the current slot, stop on a negative word 0, otherwise
+ * compare row[word2] against word3 and move to the word-0/word-1 slot.
+ *
+ * The image must be continuation-free (from LayoutTree).
+ */
+float WalkTreeImage(const TreeMemoryImage& image, const float* row);
+
+/** Outcome of a partial walk over a possibly truncated image. */
+struct PartialWalkResult {
+    /** Leaf value when !continued; undefined otherwise. */
+    float value = 0.0f;
+    /** True when the walk hit a continuation slot. */
+    bool continued = false;
+    /** Original tree node id to resume from when continued. */
+    std::int32_t resume_node = -1;
+};
+
+/** Walks a (possibly truncated) image; see PartialWalkResult. */
+PartialWalkResult WalkTreeImagePartial(const TreeMemoryImage& image,
+                                       const float* row);
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_FPGASIM_TREE_LAYOUT_H

@@ -1,0 +1,116 @@
+#include "dbscore/gpusim/gpu_device.h"
+
+#include <algorithm>
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+GpuDeviceModel::GpuDeviceModel(const GpuSpec& spec,
+                               const PcieLinkSpec& link_spec)
+    : spec_(spec), link_(link_spec)
+{
+    if (spec.num_sms <= 0 || spec.lanes_per_sm <= 0 ||
+        spec.clock_hz <= 0.0) {
+        throw InvalidArgument("gpu: bad device parameters");
+    }
+}
+
+SimTime
+GpuDeviceModel::HostToDevice(std::uint64_t bytes) const
+{
+    return link_.TransferLatency(bytes);
+}
+
+SimTime
+GpuDeviceModel::DeviceToHost(std::uint64_t bytes) const
+{
+    return link_.TransferLatency(bytes);
+}
+
+double
+GpuDeviceModel::L2MissFraction(double bytes) const
+{
+    if (bytes <= 0.0) {
+        return 0.0;
+    }
+    double w = bytes / static_cast<double>(spec_.l2_bytes);
+    return spec_.l2_miss_asymptote * w / (w + 1.0);
+}
+
+SimTime
+GpuDeviceModel::KernelTime(double flops, double bytes, double compute_eff,
+                           double memory_eff) const
+{
+    DBS_ASSERT(compute_eff > 0.0 && memory_eff > 0.0);
+    SimTime compute = SimTime::Seconds(
+        flops / (spec_.PeakFlops() * compute_eff));
+    SimTime memory = SimTime::Seconds(
+        bytes / (spec_.dram_bytes_per_second * memory_eff));
+    return Max(compute, memory);
+}
+
+double
+GpuDeviceModel::GatherUtilization(std::size_t tensor_width) const
+{
+    double w = static_cast<double>(std::max<std::size_t>(tensor_width, 1));
+    return spec_.gather_efficiency * w / (w + 5.0);
+}
+
+SimTime
+GpuDeviceModel::LedgerTime(const CostLedger& ledger,
+                           std::size_t tensor_width) const
+{
+    SimTime total;
+
+    const OpCost& gemm = ledger.Cost(OpKind::kGemm);
+    total += KernelTime(static_cast<double>(gemm.flops),
+                        static_cast<double>(gemm.bytes_read +
+                                            gemm.bytes_written),
+                        spec_.gemm_efficiency, spec_.streaming_efficiency);
+
+    const double gather_util = GatherUtilization(tensor_width);
+    const OpCost& gather = ledger.Cost(OpKind::kGather);
+    total += KernelTime(static_cast<double>(gather.flops),
+                        static_cast<double>(gather.bytes_read +
+                                            gather.bytes_written),
+                        spec_.gemm_efficiency, gather_util);
+
+    OpCost streaming;
+    streaming += ledger.Cost(OpKind::kCompare);
+    streaming += ledger.Cost(OpKind::kReduce);
+    streaming += ledger.Cost(OpKind::kElementwise);
+    total += KernelTime(static_cast<double>(streaming.flops),
+                        static_cast<double>(streaming.bytes_read +
+                                            streaming.bytes_written),
+                        spec_.gemm_efficiency, spec_.streaming_efficiency);
+
+    total += spec_.kernel_launch *
+             static_cast<double>(ledger.TotalInvocations());
+    return total;
+}
+
+SimTime
+GpuDeviceModel::TraversalKernelTime(double visits, double avg_path,
+                                    double model_bytes) const
+{
+    // Warp-divergence inflation: deeper traversals fan threads of one
+    // warp across more distinct paths (paper Section IV-C1).
+    const double divergence = 1.0 + 0.1 * std::max(0.0, avg_path - 1.0);
+    const double cycles_per_visit = 4.0;
+    SimTime compute = SimTime::Seconds(
+        visits * cycles_per_visit * divergence /
+        (static_cast<double>(spec_.TotalLanes()) * spec_.clock_hz));
+
+    // Node fetches that spill L2 go to DRAM (16-byte nodes).
+    const double node_bytes = 16.0;
+    const double dram_bytes =
+        visits * node_bytes * L2MissFraction(model_bytes);
+    SimTime memory = SimTime::Seconds(
+        dram_bytes /
+        (spec_.dram_bytes_per_second * spec_.streaming_efficiency));
+
+    return Max(compute, memory);
+}
+
+}  // namespace dbscore

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Analytic GPU device model.
+ *
+ * Kernels are costed with a roofline: execution time is the max of the
+ * compute time (FLOPs over achievable FLOP/s) and the memory time (bytes
+ * over achievable bandwidth), plus a per-launch overhead. An L2 working-set
+ * model decides how much node traffic spills to DRAM — the mechanism behind
+ * the paper's observation that growing models/data hurt the GPU through
+ * cache misses and memory traffic (Section IV-C3).
+ */
+#ifndef DBSCORE_GPUSIM_GPU_DEVICE_H
+#define DBSCORE_GPUSIM_GPU_DEVICE_H
+
+#include <cstdint>
+
+#include "dbscore/common/sim_time.h"
+#include "dbscore/gpusim/gpu_spec.h"
+#include "dbscore/pcie/pcie.h"
+#include "dbscore/tensor/ops.h"
+
+namespace dbscore {
+
+/** One simulated GPU attached over PCIe. */
+class GpuDeviceModel {
+ public:
+    GpuDeviceModel(const GpuSpec& spec, const PcieLinkSpec& link_spec);
+
+    const GpuSpec& spec() const { return spec_; }
+    const PcieLink& link() const { return link_; }
+
+    /** Host-to-device DMA latency. */
+    SimTime HostToDevice(std::uint64_t bytes) const;
+
+    /** Device-to-host DMA latency. */
+    SimTime DeviceToHost(std::uint64_t bytes) const;
+
+    /** Expected L2 miss fraction for a working set of @p bytes. */
+    double L2MissFraction(double bytes) const;
+
+    /**
+     * Roofline kernel time (no launch overhead):
+     * max(flops / (peak * compute_eff), bytes / (bw * memory_eff)).
+     */
+    SimTime KernelTime(double flops, double bytes, double compute_eff,
+                       double memory_eff) const;
+
+    /**
+     * Bandwidth utilization of gather-style kernels over tensors whose
+     * minor dimension is @p tensor_width lanes wide. Skinny tensors
+     * (e.g. a single-tree ensemble) cannot fill memory transactions and
+     * run latency-bound: u = gather_eff * w / (w + 5).
+     */
+    double GatherUtilization(std::size_t tensor_width) const;
+
+    /**
+     * Total device time for a compiled tensor program described by a cost
+     * ledger: each op kind priced by its roofline class, plus one launch
+     * per recorded invocation.
+     *
+     * @param ledger op-level costs of the program
+     * @param tensor_width minor dimension for gather utilization
+     */
+    SimTime LedgerTime(const CostLedger& ledger,
+                       std::size_t tensor_width) const;
+
+    /**
+     * RAPIDS-FIL-style traversal kernel: @p visits node evaluations with
+     * average path length @p avg_path (deeper paths diverge more within a
+     * warp) against a resident model of @p model_bytes.
+     */
+    SimTime TraversalKernelTime(double visits, double avg_path,
+                                double model_bytes) const;
+
+ private:
+    GpuSpec spec_;
+    PcieLink link_;
+};
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_GPUSIM_GPU_DEVICE_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * GPU device description.
+ *
+ * Defaults model the NVIDIA Tesla P100 the paper uses (Azure NC6s_v2):
+ * 56 SMs x 64 FP32 lanes at ~1.3 GHz (~9.3 TFLOP/s), 4 MB L2, HBM2 with
+ * ~550 GB/s sustained bandwidth, PCIe 3.0 x16 host link.
+ */
+#ifndef DBSCORE_GPUSIM_GPU_SPEC_H
+#define DBSCORE_GPUSIM_GPU_SPEC_H
+
+#include <cstdint>
+#include <string>
+
+#include "dbscore/common/sim_time.h"
+
+namespace dbscore {
+
+/** Static GPU hardware parameters. */
+struct GpuSpec {
+    std::string name = "NVIDIA Tesla P100";
+    int num_sms = 56;
+    int lanes_per_sm = 64;
+    double clock_hz = 1.303e9;
+    std::uint64_t l2_bytes = 4ull * 1024 * 1024;
+    /** Sustained HBM bandwidth (bytes/s); peak is 732 GB/s. */
+    double dram_bytes_per_second = 550e9;
+    /** Host-side cost of launching one kernel. */
+    SimTime kernel_launch = SimTime::Micros(8.0);
+    /** Device->host completion synchronization. */
+    SimTime sync_latency = SimTime::Micros(10.0);
+
+    /** Fraction of peak FLOP/s dense GEMM kernels achieve. */
+    double gemm_efficiency = 0.45;
+    /** Bandwidth fraction achieved by coalesced streaming kernels. */
+    double streaming_efficiency = 0.85;
+    /**
+     * Asymptotic bandwidth fraction for gather-style kernels at full
+     * occupancy; scaled down further for skinny tensors (see
+     * GpuDeviceModel::GatherUtilization).
+     */
+    double gather_efficiency = 0.8;
+    /** L2 miss asymptote for working sets much larger than L2. */
+    double l2_miss_asymptote = 0.9;
+
+    /** Total FP32 lanes. */
+    int TotalLanes() const { return num_sms * lanes_per_sm; }
+
+    /** Peak FP32 throughput (2 FLOPs per lane-cycle via FMA). */
+    double
+    PeakFlops() const
+    {
+        return 2.0 * TotalLanes() * clock_hz;
+    }
+};
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_GPUSIM_GPU_SPEC_H

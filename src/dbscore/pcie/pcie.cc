@@ -1,0 +1,49 @@
+#include "dbscore/pcie/pcie.h"
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+double
+PcieRawLaneBandwidth(int generation)
+{
+    // GT/s per lane scaled by the line-code efficiency.
+    switch (generation) {
+      case 1: return 2.5e9 / 10.0;          // 8b/10b -> 250 MB/s
+      case 2: return 5.0e9 / 10.0;          // 500 MB/s
+      case 3: return 8.0e9 * (128.0 / 130.0) / 8.0;   // ~984.6 MB/s
+      case 4: return 16.0e9 * (128.0 / 130.0) / 8.0;  // ~1969 MB/s
+      case 5: return 32.0e9 * (128.0 / 130.0) / 8.0;  // ~3938 MB/s
+      default:
+        throw InvalidArgument("pcie: unsupported generation");
+    }
+}
+
+PcieLink::PcieLink(const PcieLinkSpec& spec) : spec_(spec)
+{
+    if (spec.lanes <= 0 || spec.lanes > 32) {
+        throw InvalidArgument("pcie: bad lane count");
+    }
+    if (spec.efficiency <= 0.0 || spec.efficiency > 1.0) {
+        throw InvalidArgument("pcie: efficiency must be in (0, 1]");
+    }
+    bytes_per_second_ = PcieRawLaneBandwidth(spec.generation) *
+                        spec.lanes * spec.efficiency;
+}
+
+SimTime
+PcieLink::TransferLatency(std::uint64_t bytes) const
+{
+    return spec_.dma_setup + TransferTime(bytes, bytes_per_second_);
+}
+
+SimTime
+PcieLink::ChunkedTransferLatency(std::uint64_t bytes,
+                                 std::uint64_t chunks) const
+{
+    DBS_ASSERT(chunks > 0);
+    return spec_.dma_setup * static_cast<double>(chunks) +
+           TransferTime(bytes, bytes_per_second_);
+}
+
+}  // namespace dbscore

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * PCIe link, CSR, and interrupt cost models.
+ *
+ * These model the "intrinsic hardware limits" side of the paper's offload
+ * overheads (Section IV-E): moving data over PCIe (the L component of
+ * Figure 6), programming the accelerator through Control/Status Registers,
+ * and signaling completion back with an interrupt. The paper observes that
+ * CSR-based FPGA setup is cheaper than the interrupt-based completion
+ * signal; the default constants preserve that ordering.
+ */
+#ifndef DBSCORE_PCIE_PCIE_H
+#define DBSCORE_PCIE_PCIE_H
+
+#include <cstdint>
+
+#include "dbscore/common/sim_time.h"
+
+namespace dbscore {
+
+/** Static description of one PCIe link. */
+struct PcieLinkSpec {
+    /** PCIe generation, 1-5. Gen 3 x16 is the paper's configuration. */
+    int generation = 3;
+    int lanes = 16;
+    /**
+     * Fraction of raw line rate achieved by DMA payloads after protocol
+     * framing/TLP overhead. ~0.76 yields ~12 GB/s on gen3 x16.
+     */
+    double efficiency = 0.76;
+    /** Fixed cost to program and launch one DMA descriptor. */
+    SimTime dma_setup = SimTime::Micros(4.0);
+};
+
+/** Models data movement over one PCIe link. */
+class PcieLink {
+ public:
+    explicit PcieLink(const PcieLinkSpec& spec);
+
+    const PcieLinkSpec& spec() const { return spec_; }
+
+    /** Sustained payload bandwidth in bytes/second. */
+    double BytesPerSecond() const { return bytes_per_second_; }
+
+    /**
+     * Latency of one DMA transfer of @p bytes: descriptor setup plus the
+     * wire time. Zero-byte transfers still pay the setup cost.
+     */
+    SimTime TransferLatency(std::uint64_t bytes) const;
+
+    /**
+     * Latency when the transfer is split into @p chunks DMA descriptors
+     * (each pays the setup floor; wire time unchanged).
+     */
+    SimTime ChunkedTransferLatency(std::uint64_t bytes,
+                                   std::uint64_t chunks) const;
+
+ private:
+    PcieLinkSpec spec_;
+    double bytes_per_second_;
+};
+
+/**
+ * Per-lane raw bandwidth for a PCIe generation in bytes/second
+ * (after line coding: 8b/10b for gen1-2, 128b/130b for gen3+).
+ *
+ * @throws InvalidArgument for generations outside 1-5.
+ */
+double PcieRawLaneBandwidth(int generation);
+
+/** MMIO Control/Status Register access costs. */
+struct CsrModel {
+    /** Posted write latency as observed by the CPU. */
+    SimTime write_latency = SimTime::Micros(0.3);
+    /** Non-posted read round trip. */
+    SimTime read_latency = SimTime::Micros(0.9);
+
+    /** Cost of programming @p count registers. */
+    SimTime
+    WriteMany(std::uint64_t count) const
+    {
+        return write_latency * static_cast<double>(count);
+    }
+};
+
+/**
+ * Device-to-host completion interrupt (MSI-X): wire + kernel interrupt
+ * handling + waking the user thread. More expensive than a CSR write,
+ * matching the paper's observation.
+ */
+struct InterruptModel {
+    SimTime latency = SimTime::Micros(12.0);
+};
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_PCIE_PCIE_H

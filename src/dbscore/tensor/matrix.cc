@@ -1,0 +1,61 @@
+#include "dbscore/tensor/matrix.h"
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+{
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data))
+{
+    if (data_.size() != rows * cols) {
+        throw InvalidArgument("matrix: storage size mismatch");
+    }
+}
+
+Matrix
+Matrix::Zeros(std::size_t rows, std::size_t cols)
+{
+    return Matrix(rows, cols);
+}
+
+Matrix
+Matrix::FromBuffer(const float* data, std::size_t rows, std::size_t cols)
+{
+    return Matrix(rows, cols,
+                  std::vector<float>(data, data + rows * cols));
+}
+
+float&
+Matrix::At(std::size_t r, std::size_t c)
+{
+    DBS_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+}
+
+float
+Matrix::At(std::size_t r, std::size_t c) const
+{
+    DBS_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+}
+
+const float*
+Matrix::RowPtr(std::size_t r) const
+{
+    DBS_ASSERT(r < rows_);
+    return data_.data() + r * cols_;
+}
+
+float*
+Matrix::RowPtr(std::size_t r)
+{
+    DBS_ASSERT(r < rows_);
+    return data_.data() + r * cols_;
+}
+
+}  // namespace dbscore

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Dense float32 row-major matrix.
+ *
+ * This is the tensor substrate that the Hummingbird-style compiler lowers
+ * tree ensembles into. It runs on the host for functional results; the
+ * GPU device model separately converts the op-level cost ledger into
+ * simulated kernel times.
+ */
+#ifndef DBSCORE_TENSOR_MATRIX_H
+#define DBSCORE_TENSOR_MATRIX_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dbscore {
+
+/** Dense row-major float matrix. */
+class Matrix {
+ public:
+    Matrix() = default;
+
+    /** Allocates rows x cols zeros. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Wraps existing storage; @p data must have rows*cols entries. */
+    Matrix(std::size_t rows, std::size_t cols, std::vector<float> data);
+
+    static Matrix Zeros(std::size_t rows, std::size_t cols);
+
+    /** Copies @p rows x @p cols floats from an external buffer. */
+    static Matrix FromBuffer(const float* data, std::size_t rows,
+                             std::size_t cols);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    std::uint64_t ByteSize() const { return data_.size() * sizeof(float); }
+
+    float& At(std::size_t r, std::size_t c);
+    float At(std::size_t r, std::size_t c) const;
+
+    const float* RowPtr(std::size_t r) const;
+    float* RowPtr(std::size_t r);
+
+    const std::vector<float>& data() const { return data_; }
+    std::vector<float>& data() { return data_; }
+
+    bool operator==(const Matrix& other) const = default;
+
+ private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_TENSOR_MATRIX_H

@@ -1,0 +1,249 @@
+#include "dbscore/tensor/ops.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dbscore/common/error.h"
+#include "dbscore/common/thread_pool.h"
+
+namespace dbscore {
+
+const char*
+OpKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::kGemm: return "gemm";
+      case OpKind::kCompare: return "compare";
+      case OpKind::kGather: return "gather";
+      case OpKind::kReduce: return "reduce";
+      case OpKind::kElementwise: return "elementwise";
+      case OpKind::kNumKinds: break;
+    }
+    return "?";
+}
+
+OpCost&
+OpCost::operator+=(const OpCost& other)
+{
+    flops += other.flops;
+    bytes_read += other.bytes_read;
+    bytes_written += other.bytes_written;
+    invocations += other.invocations;
+    return *this;
+}
+
+void
+CostLedger::Record(OpKind kind, const OpCost& cost)
+{
+    DBS_ASSERT(kind != OpKind::kNumKinds);
+    costs_[static_cast<int>(kind)] += cost;
+}
+
+const OpCost&
+CostLedger::Cost(OpKind kind) const
+{
+    DBS_ASSERT(kind != OpKind::kNumKinds);
+    return costs_[static_cast<int>(kind)];
+}
+
+OpCost
+CostLedger::Total() const
+{
+    OpCost total;
+    for (const auto& c : costs_) {
+        total += c;
+    }
+    return total;
+}
+
+void
+CostLedger::Clear()
+{
+    costs_.fill(OpCost{});
+}
+
+std::string
+CostLedger::Summary() const
+{
+    std::ostringstream os;
+    for (int k = 0; k < static_cast<int>(OpKind::kNumKinds); ++k) {
+        const OpCost& c = costs_[k];
+        if (c.invocations == 0) {
+            continue;
+        }
+        os << OpKindName(static_cast<OpKind>(k)) << ": "
+           << c.invocations << " calls, " << c.flops << " flops, "
+           << c.bytes_read + c.bytes_written << " bytes\n";
+    }
+    return os.str();
+}
+
+namespace {
+
+/** Records a cost entry when a ledger is present. */
+void
+Record(CostLedger* ledger, OpKind kind, std::uint64_t flops,
+       std::uint64_t read, std::uint64_t written)
+{
+    if (ledger != nullptr) {
+        ledger->Record(kind, OpCost{flops, read, written, 1});
+    }
+}
+
+}  // namespace
+
+Matrix
+MatMul(const Matrix& a, const Matrix& b, CostLedger* ledger)
+{
+    if (a.cols() != b.rows()) {
+        throw InvalidArgument("matmul: inner dimensions differ");
+    }
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t n = b.cols();
+    Matrix c(m, n);
+
+    // i-k-j loop order keeps both B and C accesses sequential; chunk rows
+    // across the pool for large inputs.
+    auto worker = [&](std::size_t row_begin, std::size_t row_end) {
+        for (std::size_t i = row_begin; i < row_end; ++i) {
+            const float* arow = a.RowPtr(i);
+            float* crow = c.RowPtr(i);
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                const float av = arow[kk];
+                if (av == 0.0f) {
+                    continue;  // tree matrices are sparse one-hots
+                }
+                const float* brow = b.RowPtr(kk);
+                for (std::size_t j = 0; j < n; ++j) {
+                    crow[j] += av * brow[j];
+                }
+            }
+        }
+    };
+    if (m * k * n > (1u << 20)) {
+        ThreadPool::Shared().ParallelForChunked(m, worker);
+    } else {
+        worker(0, m);
+    }
+
+    Record(ledger, OpKind::kGemm,
+           static_cast<std::uint64_t>(2) * m * k * n,
+           (static_cast<std::uint64_t>(m) * k + static_cast<std::uint64_t>(k) * n) * sizeof(float),
+           static_cast<std::uint64_t>(m) * n * sizeof(float));
+    return c;
+}
+
+Matrix
+LessEqualRow(const Matrix& x, const Matrix& thresholds, CostLedger* ledger)
+{
+    if (thresholds.rows() != 1 || thresholds.cols() != x.cols()) {
+        throw InvalidArgument("less_equal_row: threshold shape mismatch");
+    }
+    Matrix out(x.rows(), x.cols());
+    const float* th = thresholds.RowPtr(0);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const float* row = x.RowPtr(r);
+        float* orow = out.RowPtr(r);
+        for (std::size_t c = 0; c < x.cols(); ++c) {
+            orow[c] = row[c] <= th[c] ? 1.0f : 0.0f;
+        }
+    }
+    Record(ledger, OpKind::kCompare, x.size(),
+           x.ByteSize() + thresholds.ByteSize(), out.ByteSize());
+    return out;
+}
+
+Matrix
+EqualsRow(const Matrix& x, const Matrix& expected, CostLedger* ledger)
+{
+    if (expected.rows() != 1 || expected.cols() != x.cols()) {
+        throw InvalidArgument("equals_row: expected shape mismatch");
+    }
+    Matrix out(x.rows(), x.cols());
+    const float* ex = expected.RowPtr(0);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const float* row = x.RowPtr(r);
+        float* orow = out.RowPtr(r);
+        for (std::size_t c = 0; c < x.cols(); ++c) {
+            orow[c] = row[c] == ex[c] ? 1.0f : 0.0f;
+        }
+    }
+    Record(ledger, OpKind::kCompare, x.size(),
+           x.ByteSize() + expected.ByteSize(), out.ByteSize());
+    return out;
+}
+
+Matrix
+GatherColumns(const Matrix& x, const std::vector<std::int32_t>& index,
+              CostLedger* ledger)
+{
+    for (std::int32_t idx : index) {
+        if (idx < 0 || static_cast<std::size_t>(idx) >= x.cols()) {
+            throw InvalidArgument("gather: column index out of range");
+        }
+    }
+    Matrix out(x.rows(), index.size());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const float* row = x.RowPtr(r);
+        float* orow = out.RowPtr(r);
+        for (std::size_t j = 0; j < index.size(); ++j) {
+            orow[j] = row[index[j]];
+        }
+    }
+    Record(ledger, OpKind::kGather, 0,
+           out.ByteSize() + index.size() * sizeof(std::int32_t),
+           out.ByteSize());
+    return out;
+}
+
+std::vector<std::int32_t>
+ArgMaxRows(const Matrix& x, CostLedger* ledger)
+{
+    if (x.cols() == 0) {
+        throw InvalidArgument("argmax: empty rows");
+    }
+    std::vector<std::int32_t> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const float* row = x.RowPtr(r);
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < x.cols(); ++c) {
+            if (row[c] > row[best]) {  // strict > keeps lowest index on tie
+                best = c;
+            }
+        }
+        out[r] = static_cast<std::int32_t>(best);
+    }
+    Record(ledger, OpKind::kReduce, x.size(), x.ByteSize(),
+           out.size() * sizeof(std::int32_t));
+    return out;
+}
+
+Matrix
+Add(const Matrix& a, const Matrix& b, CostLedger* ledger)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols()) {
+        throw InvalidArgument("add: shape mismatch");
+    }
+    Matrix out(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        out.data()[i] = a.data()[i] + b.data()[i];
+    }
+    Record(ledger, OpKind::kElementwise, a.size(),
+           a.ByteSize() + b.ByteSize(), out.ByteSize());
+    return out;
+}
+
+Matrix
+Scale(const Matrix& a, float k, CostLedger* ledger)
+{
+    Matrix out(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        out.data()[i] = a.data()[i] * k;
+    }
+    Record(ledger, OpKind::kElementwise, a.size(), a.ByteSize(),
+           out.ByteSize());
+    return out;
+}
+
+}  // namespace dbscore

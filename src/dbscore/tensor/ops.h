@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tensor operations plus an op-level cost ledger.
+ *
+ * Every op optionally records (FLOPs, bytes read, bytes written) into a
+ * CostLedger. The GPU device model turns the ledger into simulated kernel
+ * time, which is how the Hummingbird engine's "more instructions and more
+ * L2/DRAM traffic, but perfectly regular" behaviour (paper Section IV-C1)
+ * emerges from first principles rather than hand-tuned constants.
+ */
+#ifndef DBSCORE_TENSOR_OPS_H
+#define DBSCORE_TENSOR_OPS_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "dbscore/tensor/matrix.h"
+
+namespace dbscore {
+
+/** Kinds of tensor kernels the compiler can emit. */
+enum class OpKind : int {
+    kGemm = 0,
+    kCompare,
+    kGather,
+    kReduce,
+    kElementwise,
+    kNumKinds,
+};
+
+/** Returns a short name like "gemm". */
+const char* OpKindName(OpKind kind);
+
+/** Resource cost of one kernel invocation. */
+struct OpCost {
+    std::uint64_t flops = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+    std::uint64_t invocations = 0;
+
+    OpCost& operator+=(const OpCost& other);
+};
+
+/** Accumulates kernel costs per op kind over a compiled program run. */
+class CostLedger {
+ public:
+    void Record(OpKind kind, const OpCost& cost);
+
+    const OpCost& Cost(OpKind kind) const;
+    OpCost Total() const;
+
+    /** Total kernel invocations (one simulated launch each). */
+    std::uint64_t TotalInvocations() const { return Total().invocations; }
+
+    void Clear();
+
+    std::string Summary() const;
+
+ private:
+    std::array<OpCost, static_cast<int>(OpKind::kNumKinds)> costs_{};
+};
+
+/**
+ * C = A * B. Blocked and multithreaded on the host.
+ * Records a kGemm entry when @p ledger is non-null.
+ *
+ * @throws InvalidArgument on shape mismatch.
+ */
+Matrix MatMul(const Matrix& a, const Matrix& b, CostLedger* ledger = nullptr);
+
+/**
+ * Row-broadcast comparison: out[r][c] = (x[r][c] <= thresholds[0][c]).
+ * @p thresholds must be 1 x x.cols().
+ */
+Matrix LessEqualRow(const Matrix& x, const Matrix& thresholds,
+                    CostLedger* ledger = nullptr);
+
+/**
+ * Row-broadcast equality: out[r][c] = (x[r][c] == expected[0][c]).
+ */
+Matrix EqualsRow(const Matrix& x, const Matrix& expected,
+                 CostLedger* ledger = nullptr);
+
+/**
+ * Column gather: out[r][j] = x[r][index[j]] for each of the requested
+ * columns. Used by tree compilers to pick the feature each node tests.
+ */
+Matrix GatherColumns(const Matrix& x, const std::vector<std::int32_t>& index,
+                     CostLedger* ledger = nullptr);
+
+/** out[r] = argmax over columns of x's row r; ties -> lowest index. */
+std::vector<std::int32_t> ArgMaxRows(const Matrix& x,
+                                     CostLedger* ledger = nullptr);
+
+/** Elementwise sum of two equal-shape matrices. */
+Matrix Add(const Matrix& a, const Matrix& b, CostLedger* ledger = nullptr);
+
+/** Multiplies every element by a scalar. */
+Matrix Scale(const Matrix& a, float k, CostLedger* ledger = nullptr);
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_TENSOR_OPS_H

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the bench harness utilities (bench_util): the model cache,
+ * sweep grids, crossover search, and the CSV dumper used by the
+ * figure-regeneration binaries.
+ */
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "bench_util.h"
+#include "dbscore/common/csv.h"
+#include "dbscore/common/error.h"
+
+namespace dbscore::bench {
+namespace {
+
+TEST(BenchUtilTest, DatasetDescriptors)
+{
+    EXPECT_STREQ(DatasetName(DatasetKind::kIris), "IRIS");
+    EXPECT_STREQ(DatasetName(DatasetKind::kHiggs), "HIGGS");
+    EXPECT_EQ(DatasetFeatures(DatasetKind::kIris), 4u);
+    EXPECT_EQ(DatasetFeatures(DatasetKind::kHiggs), 28u);
+    EXPECT_EQ(TrainingData(DatasetKind::kIris).num_features(), 4u);
+    EXPECT_EQ(TrainingData(DatasetKind::kHiggs).num_features(), 28u);
+}
+
+TEST(BenchUtilTest, ModelCacheReturnsSameObject)
+{
+    const BenchModel& a = GetModel(DatasetKind::kIris, 4, 6);
+    const BenchModel& b = GetModel(DatasetKind::kIris, 4, 6);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.forest.NumTrees(), 4u);
+    EXPECT_LE(a.forest.MaxDepth(), 6u);
+    const BenchModel& c = GetModel(DatasetKind::kIris, 4, 10);
+    EXPECT_NE(&a, &c);
+}
+
+TEST(BenchUtilTest, SweepAndBestTimes)
+{
+    EXPECT_EQ(RecordSweep().front(), 1u);
+    EXPECT_EQ(RecordSweep().back(), 1000000u);
+
+    auto sched = MakeScheduler(GetModel(DatasetKind::kHiggs, 8, 8));
+    SimTime cpu = BestCpuTime(sched, 1000);
+    SimTime accel = BestAcceleratorTime(sched, 1000);
+    EXPECT_GT(cpu.seconds(), 0.0);
+    EXPECT_GT(accel.seconds(), 0.0);
+    // The scheduler's oracle equals the min of the two class bests.
+    SimTime best = sched.Choose(1000).best_time;
+    EXPECT_DOUBLE_EQ(best.seconds(), Min(cpu, accel).seconds());
+}
+
+TEST(BenchUtilTest, CrossoverIsConsistentWithClassBests)
+{
+    auto sched = MakeScheduler(GetModel(DatasetKind::kHiggs, 128, 10));
+    std::size_t crossover = FindCpuCrossover(sched);
+    ASSERT_GT(crossover, 0u);
+    EXPECT_LT(BestAcceleratorTime(sched, crossover).seconds(),
+              BestCpuTime(sched, crossover).seconds());
+    // Just below the crossover grid point the CPU still wins (use the
+    // point one decade down where available).
+    if (crossover > 10) {
+        std::size_t below = crossover / 10;
+        EXPECT_LE(BestCpuTime(sched, below).seconds(),
+                  BestAcceleratorTime(sched, below).seconds() * 1.5);
+    }
+}
+
+TEST(BenchUtilTest, CsvDumpRoundTrips)
+{
+    const std::string path = "/tmp/dbscore_bench_util_test.csv";
+    std::vector<std::vector<SimTime>> series = {
+        {SimTime::Millis(1), SimTime::Millis(10)},
+        {SimTime::Micros(5), SimTime::Micros(50)},
+    };
+    DumpSeriesCsv(path, {100, 1000}, {"FPGA", "GPU_HB"}, series);
+
+    std::ifstream in(path);
+    CsvDocument doc = ReadCsv(in);
+    ASSERT_EQ(doc.header.size(), 3u);
+    EXPECT_EQ(doc.header[1], "FPGA");
+    ASSERT_EQ(doc.rows.size(), 2u);
+    EXPECT_EQ(doc.rows[0][0], "100");
+    EXPECT_NEAR(std::stod(doc.rows[1][1]), 0.01, 1e-12);
+    EXPECT_NEAR(std::stod(doc.rows[0][2]), 5e-6, 1e-15);
+    std::remove(path.c_str());
+
+    EXPECT_THROW(DumpSeriesCsv("/nonexistent-dir/x.csv", {1}, {"a"},
+                               {{SimTime::Millis(1)}}),
+                 InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dbscore::bench

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Unit tests for dbscore/common: SimTime, Rng, ThreadPool, stats, strings,
+ * tables, and CSV parsing.
+ */
+#include <atomic>
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "dbscore/common/csv.h"
+#include "dbscore/common/error.h"
+#include "dbscore/common/rng.h"
+#include "dbscore/common/sim_time.h"
+#include "dbscore/common/stats.h"
+#include "dbscore/common/string_util.h"
+#include "dbscore/common/table_printer.h"
+#include "dbscore/common/thread_pool.h"
+
+namespace dbscore {
+namespace {
+
+TEST(SimTimeTest, UnitConversionsRoundTrip)
+{
+    SimTime t = SimTime::Millis(1.5);
+    EXPECT_DOUBLE_EQ(t.seconds(), 1.5e-3);
+    EXPECT_DOUBLE_EQ(t.micros(), 1500.0);
+    EXPECT_DOUBLE_EQ(t.nanos(), 1.5e6);
+    EXPECT_DOUBLE_EQ(SimTime::Nanos(250.0).micros(), 0.25);
+}
+
+TEST(SimTimeTest, Arithmetic)
+{
+    SimTime a = SimTime::Micros(10);
+    SimTime b = SimTime::Micros(30);
+    EXPECT_DOUBLE_EQ((a + b).micros(), 40.0);
+    EXPECT_DOUBLE_EQ((b - a).micros(), 20.0);
+    EXPECT_DOUBLE_EQ((a * 3).micros(), 30.0);
+    EXPECT_DOUBLE_EQ((3.0 * a).micros(), 30.0);
+    EXPECT_DOUBLE_EQ(b / a, 3.0);
+    EXPECT_LT(a, b);
+    EXPECT_EQ(Max(a, b), b);
+    EXPECT_EQ(Min(a, b), a);
+}
+
+TEST(SimTimeTest, CyclesAtClock)
+{
+    // 250 MHz: 1 cycle = 4 ns, matching the paper's FPGA clock.
+    EXPECT_DOUBLE_EQ(SimTime::Cycles(1.0, 250e6).nanos(), 4.0);
+    EXPECT_DOUBLE_EQ(SimTime::Cycles(1e6, 250e6).millis(), 4.0);
+}
+
+TEST(SimTimeTest, ToStringPicksUnit)
+{
+    EXPECT_EQ(SimTime::Seconds(2.0).ToString(), "2 s");
+    EXPECT_NE(SimTime::Millis(1.5).ToString().find("ms"), std::string::npos);
+    EXPECT_NE(SimTime::Nanos(12.0).ToString().find("ns"), std::string::npos);
+}
+
+TEST(SimTimeTest, TransferTime)
+{
+    // 12 GB/s moving 12 MB takes 1 ms.
+    SimTime t = TransferTime(12'000'000, 12e9);
+    EXPECT_NEAR(t.millis(), 1.0, 1e-9);
+}
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.Next(), b.Next());
+    }
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.Next() == b.Next()) {
+            ++same;
+        }
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.NextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(RngTest, NextBelowRespectsBound)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(rng.NextBelow(17), 17u);
+    }
+    // A bound of 1 always yields 0.
+    EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, NextBelowIsRoughlyUniform)
+{
+    Rng rng(11);
+    constexpr int kBuckets = 8;
+    constexpr int kDraws = 80000;
+    int counts[kBuckets] = {};
+    for (int i = 0; i < kDraws; ++i) {
+        ++counts[rng.NextBelow(kBuckets)];
+    }
+    for (int c : counts) {
+        EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+    }
+}
+
+TEST(RngTest, GaussianMoments)
+{
+    Rng rng(13);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i) {
+        stats.Add(rng.NextGaussian());
+    }
+    EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+    EXPECT_NEAR(stats.Stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStream)
+{
+    Rng a(77);
+    Rng child = a.Fork();
+    // The fork should not replay the parent's future outputs.
+    EXPECT_NE(child.Next(), a.Next());
+}
+
+TEST(RngTest, ShufflePreservesElements)
+{
+    Rng rng(5);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto original = v;
+    rng.Shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, original);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 10000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelFor(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPoolTest, ChunkedCoversRangeOnce)
+{
+    ThreadPool pool(3);
+    constexpr std::size_t kN = 5000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelForChunked(kN, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+            hits[i].fetch_add(1);
+        }
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(hits[i].load(), 1);
+    }
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop)
+{
+    ThreadPool pool(2);
+    bool called = false;
+    pool.ParallelFor(0, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.ParallelFor(100,
+                         [](std::size_t i) {
+                             if (i == 57) {
+                                 throw InvalidArgument("boom");
+                             }
+                         }),
+        InvalidArgument);
+}
+
+TEST(RunningStatsTest, BasicMoments)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        s.Add(v);
+    }
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.Stddev(), 2.138, 1e-3);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(QuantileSketchTest, MedianAndExtremes)
+{
+    QuantileSketch q;
+    for (int i = 1; i <= 101; ++i) {
+        q.Add(i);
+    }
+    EXPECT_DOUBLE_EQ(q.Median(), 51.0);
+    EXPECT_DOUBLE_EQ(q.Quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(q.Quantile(1.0), 101.0);
+}
+
+TEST(StringUtilTest, TrimAndSplit)
+{
+    EXPECT_EQ(Trim("  abc \t\n"), "abc");
+    EXPECT_EQ(Trim(""), "");
+    auto parts = Split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, CaseHelpers)
+{
+    EXPECT_EQ(ToLower("SeLeCt"), "select");
+    EXPECT_EQ(ToUpper("abc"), "ABC");
+    EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+    EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+    EXPECT_TRUE(StartsWith("dbscore", "dbs"));
+}
+
+TEST(StringUtilTest, HumanCountAndBytes)
+{
+    EXPECT_EQ(HumanCount(1), "1");
+    EXPECT_EQ(HumanCount(1000), "1K");
+    EXPECT_EQ(HumanCount(1000000), "1M");
+    EXPECT_EQ(HumanCount(1234), "1234");
+    EXPECT_EQ(HumanBytes(512), "512 B");
+    EXPECT_EQ(HumanBytes(MiB(4)), "4.0 MiB");
+}
+
+TEST(StringUtilTest, StrFormat)
+{
+    EXPECT_EQ(StrFormat("%d-%s-%.1f", 3, "x", 2.5), "3-x-2.5");
+}
+
+TEST(TablePrinterTest, AlignsColumns)
+{
+    TablePrinter table({"name", "value"});
+    table.AddRow({"a", "1"});
+    table.AddRow({"longer", "22"});
+    std::string out = table.ToString();
+    EXPECT_NE(out.find("| name   |"), std::string::npos);
+    EXPECT_NE(out.find("| longer |"), std::string::npos);
+}
+
+TEST(CsvTest, ParsesSimpleDocument)
+{
+    std::istringstream in("a,b,c\n1,2,3\n4,5,6\n");
+    CsvDocument doc = ReadCsv(in);
+    ASSERT_EQ(doc.header.size(), 3u);
+    ASSERT_EQ(doc.rows.size(), 2u);
+    EXPECT_EQ(doc.rows[1][2], "6");
+}
+
+TEST(CsvTest, HandlesQuotedFields)
+{
+    std::istringstream in("x,y\n\"a,b\",\"he said \"\"hi\"\"\"\n");
+    CsvDocument doc = ReadCsv(in);
+    ASSERT_EQ(doc.rows.size(), 1u);
+    EXPECT_EQ(doc.rows[0][0], "a,b");
+    EXPECT_EQ(doc.rows[0][1], "he said \"hi\"");
+}
+
+TEST(CsvTest, SkipsBlankLinesAndCrlf)
+{
+    std::istringstream in("h1,h2\r\n\r\n1,2\r\n");
+    CsvDocument doc = ReadCsv(in);
+    ASSERT_EQ(doc.rows.size(), 1u);
+    EXPECT_EQ(doc.rows[0][0], "1");
+}
+
+TEST(CsvTest, ThrowsOnUnterminatedQuote)
+{
+    std::istringstream in("a\n\"unterminated\n");
+    EXPECT_THROW(ReadCsv(in), ParseError);
+}
+
+TEST(CsvTest, RoundTripsThroughWriter)
+{
+    std::ostringstream out;
+    WriteCsvRow(out, {"plain", "with,comma", "with\"quote"});
+    std::istringstream in("c1,c2,c3\n" + out.str());
+    CsvDocument doc = ReadCsv(in);
+    ASSERT_EQ(doc.rows.size(), 1u);
+    EXPECT_EQ(doc.rows[0][1], "with,comma");
+    EXPECT_EQ(doc.rows[0][2], "with\"quote");
+}
+
+TEST(ErrorTest, ExceptionHierarchy)
+{
+    EXPECT_THROW(throw InvalidArgument("x"), Error);
+    EXPECT_THROW(throw CapacityError("x"), Error);
+    EXPECT_THROW(throw ParseError("x"), Error);
+    try {
+        throw CapacityError("tree too deep");
+    } catch (const Error& e) {
+        EXPECT_STREQ(e.what(), "tree too deep");
+    }
+}
+
+}  // namespace
+}  // namespace dbscore

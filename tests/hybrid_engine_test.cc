@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the hybrid FPGA+CPU deep-tree engine (the paper's proposed
+ * Section III-B extension) and the truncated tree-layout machinery.
+ */
+#include <gtest/gtest.h>
+
+#include "dbscore/common/error.h"
+#include "dbscore/core/backend_factory.h"
+#include "dbscore/data/synthetic.h"
+#include "dbscore/engines/fpga/fpga_engine.h"
+#include "dbscore/engines/fpga/hybrid_engine.h"
+#include "dbscore/forest/model_stats.h"
+#include "dbscore/forest/trainer.h"
+#include "dbscore/fpgasim/tree_layout.h"
+
+namespace dbscore {
+namespace {
+
+struct DeepFixture {
+    Dataset data;
+    RandomForest forest;
+    TreeEnsemble ensemble;
+    ModelStats stats;
+    std::vector<float> reference;
+};
+
+DeepFixture
+MakeDeepFixture(std::size_t trees, std::size_t depth, std::uint64_t seed)
+{
+    DeepFixture f{MakeHiggs(4000, seed), {}, {}, {}, {}};
+    ForestTrainerConfig config;
+    config.num_trees = trees;
+    config.max_depth = depth;
+    config.seed = seed;
+    f.forest = TrainForest(f.data, config);
+    f.ensemble = TreeEnsemble::FromForest(f.forest);
+    f.stats = ComputeModelStats(f.forest, &f.data);
+    f.reference = f.forest.PredictBatch(f.data);
+    return f;
+}
+
+HybridFpgaCpuEngine
+MakeHybrid()
+{
+    HardwareProfile profile = HardwareProfile::Paper();
+    return HybridFpgaCpuEngine(profile.fpga, profile.fpga_link,
+                               profile.fpga_offload, profile.cpu);
+}
+
+TEST(TruncatedLayoutTest, PartialWalkMatchesTreeTopLevels)
+{
+    auto f = MakeDeepFixture(1, 14, 60);
+    const DecisionTree& tree = f.forest.Tree(0);
+    ASSERT_GT(tree.Depth(), 10u);
+    TreeMemoryImage image = LayoutTreeTop(tree, 10);
+
+    for (std::size_t r = 0; r < 500; ++r) {
+        const float* row = f.data.Row(r);
+        PartialWalkResult partial = WalkTreeImagePartial(image, row);
+        if (partial.continued) {
+            // Resuming from the reported node must land on the same leaf
+            // the full tree reaches.
+            std::int32_t node = partial.resume_node;
+            ASSERT_GE(node, 0);
+            while (!tree.IsLeaf(node)) {
+                node = row[tree.Feature(node)] <= tree.Threshold(node)
+                    ? tree.Left(node)
+                    : tree.Right(node);
+            }
+            ASSERT_FLOAT_EQ(tree.LeafValue(node), tree.Predict(row));
+        } else {
+            ASSERT_FLOAT_EQ(partial.value, tree.Predict(row));
+        }
+    }
+}
+
+TEST(TruncatedLayoutTest, ShallowTreesHaveNoContinuations)
+{
+    auto f = MakeDeepFixture(1, 4, 61);
+    TreeMemoryImage image = LayoutTreeTop(f.forest.Tree(0), 10);
+    for (std::size_t r = 0; r < 200; ++r) {
+        EXPECT_FALSE(WalkTreeImagePartial(image, f.data.Row(r)).continued);
+    }
+}
+
+TEST(TruncatedLayoutTest, FullWalkAssertsOnContinuation)
+{
+    // WalkTreeImage is only legal on continuation-free images; the
+    // truncated variant must be walked with WalkTreeImagePartial.
+    auto f = MakeDeepFixture(1, 14, 62);
+    TreeMemoryImage full = LayoutTree(f.forest.Tree(0), 14);
+    for (std::size_t r = 0; r < 100; ++r) {
+        EXPECT_FLOAT_EQ(WalkTreeImage(full, f.data.Row(r)),
+                        f.forest.Tree(0).Predict(f.data.Row(r)));
+    }
+}
+
+TEST(HybridEngineTest, MatchesReferenceOnDeepTrees)
+{
+    auto f = MakeDeepFixture(8, 14, 63);
+    ASSERT_GT(f.forest.MaxDepth(), 10u);
+
+    // The plain FPGA engine must refuse this model...
+    FpgaScoringEngine plain(FpgaSpec{}, PcieLinkSpec{},
+                            FpgaOffloadParams{});
+    EXPECT_THROW(plain.LoadModel(f.ensemble, f.stats), CapacityError);
+
+    // ...while the hybrid engine hosts it and reproduces the reference.
+    HybridFpgaCpuEngine hybrid = MakeHybrid();
+    hybrid.LoadModel(f.ensemble, f.stats);
+    auto result = hybrid.Score(f.data.values().data(), f.data.num_rows(),
+                               f.data.num_features());
+    EXPECT_EQ(result.predictions, f.reference);
+    EXPECT_GT(hybrid.ContinuationFraction(), 0.0);
+    EXPECT_GT(hybrid.MeanTailDepth(), 0.0);
+}
+
+TEST(HybridEngineTest, MatchesReferenceOnShallowTrees)
+{
+    auto f = MakeDeepFixture(6, 6, 64);
+    HybridFpgaCpuEngine hybrid = MakeHybrid();
+    hybrid.LoadModel(f.ensemble, f.stats);
+    EXPECT_EQ(hybrid
+                  .Score(f.data.values().data(), f.data.num_rows(),
+                         f.data.num_features())
+                  .predictions,
+              f.reference);
+    // No deep tails -> no continuations, no CPU tail cost.
+    EXPECT_DOUBLE_EQ(hybrid.ContinuationFraction(), 0.0);
+}
+
+TEST(HybridEngineTest, EstimateMatchesScoreBreakdown)
+{
+    auto f = MakeDeepFixture(4, 12, 65);
+    HybridFpgaCpuEngine hybrid = MakeHybrid();
+    hybrid.LoadModel(f.ensemble, f.stats);
+    auto result = hybrid.Score(f.data.values().data(), f.data.num_rows(),
+                               f.data.num_features());
+    EXPECT_DOUBLE_EQ(
+        result.breakdown.Total().seconds(),
+        hybrid.Estimate(f.data.num_rows()).Total().seconds());
+}
+
+TEST(HybridEngineTest, PartialResultTransferScalesWithTrees)
+{
+    // The hybrid design ships one word per (record, tree) back to the
+    // host — its distinguishing overhead vs the plain engine.
+    auto small = MakeDeepFixture(2, 12, 66);
+    auto large = MakeDeepFixture(16, 12, 66);
+    HybridFpgaCpuEngine a = MakeHybrid();
+    HybridFpgaCpuEngine b = MakeHybrid();
+    a.LoadModel(small.ensemble, small.stats);
+    b.LoadModel(large.ensemble, large.stats);
+    EXPECT_GT(b.Estimate(100000).result_transfer.seconds(),
+              4.0 * a.Estimate(100000).result_transfer.seconds());
+}
+
+TEST(HybridEngineTest, BeatsCpuForDeepComplexModelsAtScale)
+{
+    // The point of the extension: deep models (which the plain FPGA
+    // cannot host at all) still benefit from partial offloading.
+    auto f = MakeDeepFixture(32, 13, 67);
+    HybridFpgaCpuEngine hybrid = MakeHybrid();
+    hybrid.LoadModel(f.ensemble, f.stats);
+
+    HardwareProfile profile = HardwareProfile::Paper();
+    auto cpu = CreateLoadedEngine(BackendKind::kCpuOnnxMt, profile,
+                                  f.ensemble, f.stats);
+    ASSERT_NE(cpu, nullptr);
+    EXPECT_LT(hybrid.Estimate(1000000).Total().seconds(),
+              cpu->Estimate(1000000).Total().seconds());
+    // But not for tiny batches, where its offload overheads dominate.
+    EXPECT_GT(hybrid.Estimate(1).Total().seconds(),
+              cpu->Estimate(1).Total().seconds());
+}
+
+TEST(HybridEngineTest, FactoryAndNaming)
+{
+    HardwareProfile profile = HardwareProfile::Paper();
+    auto engine = CreateEngine(BackendKind::kFpgaHybrid, profile);
+    ASSERT_NE(engine, nullptr);
+    EXPECT_EQ(engine->kind(), BackendKind::kFpgaHybrid);
+    EXPECT_EQ(engine->Name(), "FPGA_HYBRID");
+    EXPECT_EQ(BackendDeviceClass(BackendKind::kFpgaHybrid),
+              DeviceClass::kFpga);
+    // Not part of the paper's six measured series.
+    for (BackendKind kind : AllBackends()) {
+        EXPECT_NE(kind, BackendKind::kFpgaHybrid);
+    }
+}
+
+TEST(HybridEngineTest, RejectsBramOverflow)
+{
+    auto f = MakeDeepFixture(64, 12, 68);
+    HardwareProfile profile = HardwareProfile::Paper();
+    FpgaSpec tiny = profile.fpga;
+    tiny.bram_bytes = 3 * 1024 * 1024;
+    HybridFpgaCpuEngine hybrid(tiny, profile.fpga_link,
+                               profile.fpga_offload, profile.cpu);
+    EXPECT_THROW(hybrid.LoadModel(f.ensemble, f.stats), CapacityError);
+}
+
+}  // namespace
+}  // namespace dbscore

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for model inspection: tree rendering and permutation feature
+ * importance.
+ */
+#include <gtest/gtest.h>
+
+#include "dbscore/common/error.h"
+#include "dbscore/common/rng.h"
+#include "dbscore/data/synthetic.h"
+#include "dbscore/forest/inspect.h"
+#include "dbscore/forest/trainer.h"
+
+namespace dbscore {
+namespace {
+
+DecisionTree
+SmallTree()
+{
+    DecisionTree t;
+    std::int32_t root = t.AddDecisionNode(2, 2.45f);
+    std::int32_t l0 = t.AddLeafNode(0.0f);
+    std::int32_t inner = t.AddDecisionNode(3, 1.75f);
+    std::int32_t l1 = t.AddLeafNode(1.0f);
+    std::int32_t l2 = t.AddLeafNode(2.0f);
+    t.SetChildren(root, l0, inner);
+    t.SetChildren(inner, l1, l2);
+    return t;
+}
+
+TEST(RenderTreeTest, ShowsStructureAndNames)
+{
+    DecisionTree t = SmallTree();
+    std::string out =
+        RenderTree(t, {"sl", "sw", "petal_length", "petal_width"});
+    EXPECT_NE(out.find("[petal_length <= 2.45]"), std::string::npos);
+    EXPECT_NE(out.find("[petal_width <= 1.75]"), std::string::npos);
+    EXPECT_NE(out.find("leaf -> 0"), std::string::npos);
+    EXPECT_NE(out.find("leaf -> 2"), std::string::npos);
+}
+
+TEST(RenderTreeTest, FallsBackToIndexNames)
+{
+    std::string out = RenderTree(SmallTree());
+    EXPECT_NE(out.find("[f2 <= 2.45]"), std::string::npos);
+}
+
+TEST(RenderTreeTest, TruncatesAtMaxDepth)
+{
+    std::string out = RenderTree(SmallTree(), {}, 1);
+    EXPECT_NE(out.find("..."), std::string::npos);
+    EXPECT_EQ(out.find("leaf -> 2"), std::string::npos);
+    EXPECT_THROW(RenderTree(DecisionTree{}), InvalidArgument);
+}
+
+TEST(ImportanceTest, InformativeFeaturesRankAboveNoise)
+{
+    // IRIS: petal length/width (features 2, 3) carry nearly all the
+    // signal; sepal width (feature 1) is the weakest.
+    Dataset iris = MakeIris(600, 30);
+    ForestTrainerConfig config;
+    config.num_trees = 25;
+    config.max_depth = 8;
+    RandomForest forest = TrainForest(iris, config);
+
+    auto importances = ComputePermutationImportance(forest, iris, 5);
+    ASSERT_EQ(importances.size(), 4u);
+    // Sorted descending.
+    for (std::size_t i = 1; i < importances.size(); ++i) {
+        EXPECT_GE(importances[i - 1].importance,
+                  importances[i].importance);
+    }
+    // A petal feature tops the ranking.
+    EXPECT_TRUE(importances[0].feature == 2 ||
+                importances[0].feature == 3)
+        << "top feature was " << importances[0].name;
+    EXPECT_GT(importances[0].importance, 0.1);
+}
+
+TEST(ImportanceTest, PureNoiseFeatureScoresNearZero)
+{
+    // Append a noise column to IRIS; its importance must be ~0.
+    Dataset iris = MakeIris(400, 31);
+    Dataset with_noise("iris+noise", Task::kClassification, 5, 3);
+    Rng rng(31);
+    std::vector<float> row(5);
+    for (std::size_t r = 0; r < iris.num_rows(); ++r) {
+        for (std::size_t c = 0; c < 4; ++c) {
+            row[c] = iris.At(r, c);
+        }
+        row[4] = static_cast<float>(rng.NextGaussian());
+        with_noise.AddRow(row, iris.Label(r));
+    }
+    ForestTrainerConfig config;
+    config.num_trees = 20;
+    config.max_depth = 8;
+    RandomForest forest = TrainForest(with_noise, config);
+
+    auto importances =
+        ComputePermutationImportance(forest, with_noise, 6);
+    for (const auto& fi : importances) {
+        if (fi.feature == 4) {
+            EXPECT_LT(fi.importance, 0.05) << "noise feature matters?";
+        }
+    }
+}
+
+TEST(ImportanceTest, WorksForRegression)
+{
+    Dataset data = MakeSyntheticRegression(800, 5, 0.05, 32);
+    ForestTrainerConfig config;
+    config.num_trees = 20;
+    config.max_depth = 8;
+    RandomForest forest = TrainForest(data, config);
+    auto importances = ComputePermutationImportance(forest, data, 7);
+    ASSERT_EQ(importances.size(), 5u);
+    // The interaction features x0, x1 always matter in this generator.
+    double x0 = 0.0;
+    for (const auto& fi : importances) {
+        if (fi.feature == 0) {
+            x0 = fi.importance;
+        }
+    }
+    EXPECT_GT(x0, 0.0);
+}
+
+TEST(ImportanceTest, RejectsMismatchedData)
+{
+    Dataset iris = MakeIris(100, 33);
+    ForestTrainerConfig config;
+    config.num_trees = 3;
+    config.max_depth = 4;
+    RandomForest forest = TrainForest(iris, config);
+    Dataset wrong = MakeHiggs(50, 33);
+    EXPECT_THROW(ComputePermutationImportance(forest, wrong),
+                 InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dbscore

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Cross-module integration tests: flows a downstream user would run,
+ * stitched across CSV ingestion, training, the DBMS, quantized FPGA
+ * deployment, and the scheduler.
+ */
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "dbscore/common/csv.h"
+#include "dbscore/common/string_util.h"
+#include "dbscore/core/backend_factory.h"
+#include "dbscore/core/scheduler.h"
+#include "dbscore/data/csv_loader.h"
+#include "dbscore/data/synthetic.h"
+#include "dbscore/dbms/query_engine.h"
+#include "dbscore/engines/fpga/fpga_engine.h"
+#include "dbscore/forest/gbdt.h"
+#include "dbscore/forest/model_stats.h"
+#include "dbscore/forest/trainer.h"
+#include "dbscore/fpgasim/quantize.h"
+
+namespace dbscore {
+namespace {
+
+/** Serializes a dataset to CSV text (features + label). */
+std::string
+DatasetToCsv(const Dataset& data)
+{
+    std::ostringstream out;
+    std::vector<std::string> header = data.feature_names();
+    header.push_back("label");
+    WriteCsvRow(out, header);
+    std::vector<std::string> row(data.num_features() + 1);
+    for (std::size_t r = 0; r < data.num_rows(); ++r) {
+        for (std::size_t c = 0; c < data.num_features(); ++c) {
+            row[c] = StrFormat("%.6f", data.At(r, c));
+        }
+        row[data.num_features()] =
+            StrFormat("%d", static_cast<int>(data.Label(r)));
+        WriteCsvRow(out, row);
+    }
+    return out.str();
+}
+
+TEST(IntegrationTest, CsvToDbmsToEveryBackend)
+{
+    // CSV -> Dataset -> train -> store in DBMS -> SQL-score on several
+    // backends -> identical predictions everywhere.
+    Dataset original = MakeIris(300, 100);
+    std::istringstream csv(DatasetToCsv(original));
+    Dataset loaded = LoadCsvDataset(csv, CsvLoadOptions{});
+    ASSERT_EQ(loaded.num_rows(), original.num_rows());
+    ASSERT_EQ(loaded.num_classes(), 3);
+
+    ForestTrainerConfig config;
+    config.num_trees = 12;
+    config.max_depth = 8;
+    RandomForest forest = TrainForest(loaded, config);
+    auto reference = forest.PredictBatch(loaded);
+
+    Database db;
+    db.StoreDataset("data", loaded);
+    db.StoreModel("model", TreeEnsemble::FromForest(forest));
+    ScoringPipeline pipeline(db, HardwareProfile::Paper(), {});
+    QueryEngine sql(db, pipeline);
+
+    for (const char* backend :
+         {"CPU_SKLearn", "CPU_ONNX", "GPU_HB", "FPGA", "FPGA_HYBRID"}) {
+        QueryResult result = sql.Execute(StrFormat(
+            "EXEC sp_score_model @model = 'model', @data = 'data', "
+            "@backend = '%s'",
+            backend));
+        ASSERT_EQ(result.rows.size(), reference.size()) << backend;
+        for (std::size_t i = 0; i < reference.size(); ++i) {
+            ASSERT_DOUBLE_EQ(std::get<double>(result.rows[i][1]),
+                             static_cast<double>(reference[i]))
+                << backend << " row " << i;
+        }
+    }
+}
+
+TEST(IntegrationTest, QuantizedFpgaEngineEndToEnd)
+{
+    Dataset higgs = MakeHiggs(1500, 101);
+    ForestTrainerConfig config;
+    config.num_trees = 32;
+    config.max_depth = 10;
+    RandomForest forest = TrainForest(higgs, config);
+    TreeEnsemble ensemble = TreeEnsemble::FromForest(forest);
+    ModelStats stats = ComputeModelStats(forest, &higgs);
+
+    HardwareProfile profile = HardwareProfile::Paper();
+    FpgaOffloadParams quantized_params = profile.fpga_offload;
+    quantized_params.quantization = QuantizationSpec{16, 8};
+
+    FpgaScoringEngine full(profile.fpga, profile.fpga_link,
+                           profile.fpga_offload);
+    FpgaScoringEngine quantized(profile.fpga, profile.fpga_link,
+                                quantized_params);
+    full.LoadModel(ensemble, stats);
+    quantized.LoadModel(ensemble, stats);
+
+    // Functional: the quantized engine reproduces the quantized model.
+    RandomForest qforest = QuantizeForest(forest, {16, 8});
+    auto result = quantized.Score(higgs.values().data(), higgs.num_rows(),
+                                  higgs.num_features());
+    EXPECT_EQ(result.predictions, qforest.PredictBatch(higgs));
+    // ...and stays close to the float model.
+    EXPECT_LT(QuantizationDisagreement(forest, qforest, higgs), 0.05);
+
+    // Accounting: half the model bytes, half the BRAM, cheaper transfer.
+    EXPECT_EQ(quantized.device().ModelBytes() * 2,
+              full.device().ModelBytes());
+    EXPECT_LT(quantized.device().BramBytesUsed(),
+              full.device().BramBytesUsed());
+    EXPECT_LT(quantized.Estimate(1).input_transfer.seconds(),
+              full.Estimate(1).input_transfer.seconds());
+}
+
+TEST(IntegrationTest, QuantizationLetsBiggerModelsFit)
+{
+    // A model that overflows a small BRAM at 16 B/node fits at 8 B/node.
+    Dataset higgs = MakeHiggs(2000, 102);
+    ForestTrainerConfig config;
+    config.num_trees = 96;
+    config.max_depth = 10;
+    RandomForest forest = TrainForest(higgs, config);
+    TreeEnsemble ensemble = TreeEnsemble::FromForest(forest);
+    ModelStats stats = ComputeModelStats(forest, &higgs);
+
+    HardwareProfile profile = HardwareProfile::Paper();
+    FpgaSpec small = profile.fpga;
+    small.bram_bytes = 4 * 1024 * 1024;  // 96 trees x 32 KiB > 3 MiB + buf
+
+    FpgaScoringEngine full(small, profile.fpga_link,
+                           profile.fpga_offload);
+    EXPECT_THROW(full.LoadModel(ensemble, stats), CapacityError);
+
+    FpgaOffloadParams qparams = profile.fpga_offload;
+    qparams.quantization = QuantizationSpec{16, 8};
+    FpgaScoringEngine quantized(small, profile.fpga_link, qparams);
+    EXPECT_NO_THROW(quantized.LoadModel(ensemble, stats));
+}
+
+TEST(IntegrationTest, GbdtThroughDbmsPipeline)
+{
+    // Boosted models flow through the same VARBINARY + SQL path.
+    Dataset higgs = MakeHiggs(800, 103);
+    GbdtConfig config;
+    config.num_trees = 16;
+    config.max_depth = 4;
+    GradientBoostedModel gbdt = TrainGbdtClassifier(higgs, config);
+
+    Database db;
+    db.StoreDataset("h", higgs);
+    db.StoreModel("gb", gbdt.ToTreeEnsemble());
+    ScoringPipeline pipeline(db, HardwareProfile::Paper(), {});
+    QueryEngine sql(db, pipeline);
+
+    QueryResult result = sql.Execute(
+        "EXEC sp_score_model @model = 'gb', @data = 'h', "
+        "@backend = 'FPGA', @top = 100");
+    ASSERT_EQ(result.rows.size(), 100u);
+    for (std::size_t i = 0; i < 100; ++i) {
+        float margin = static_cast<float>(
+            std::get<double>(result.rows[i][1]));
+        EXPECT_EQ(
+            static_cast<float>(GradientBoostedModel::MarginToClass(margin)),
+            gbdt.Predict(higgs.Row(i)))
+            << "row " << i;
+    }
+}
+
+TEST(IntegrationTest, SchedulerAgreesWithPipelineAuto)
+{
+    Dataset higgs = MakeHiggs(1200, 104);
+    ForestTrainerConfig config;
+    config.num_trees = 64;
+    config.max_depth = 10;
+    RandomForest forest = TrainForest(higgs, config);
+    TreeEnsemble ensemble = TreeEnsemble::FromForest(forest);
+
+    Database db;
+    db.StoreModel("m", ensemble);
+    ScoringPipeline pipeline(db, HardwareProfile::Paper(), {});
+
+    ModelStats stats = ComputeModelStats(forest, nullptr);
+    OffloadScheduler sched(HardwareProfile::Paper(), ensemble, stats);
+    for (std::size_t n : {std::size_t{10}, std::size_t{1000000}}) {
+        EXPECT_EQ(pipeline.AdviseBackend("m", n), sched.Choose(n).best)
+            << "n=" << n;
+    }
+}
+
+}  // namespace
+}  // namespace dbscore

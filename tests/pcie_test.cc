@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the PCIe link, CSR, and interrupt models.
+ */
+#include <gtest/gtest.h>
+
+#include "dbscore/common/error.h"
+#include "dbscore/pcie/pcie.h"
+
+namespace dbscore {
+namespace {
+
+TEST(PcieTest, RawLaneBandwidths)
+{
+    EXPECT_DOUBLE_EQ(PcieRawLaneBandwidth(1), 250e6);
+    EXPECT_DOUBLE_EQ(PcieRawLaneBandwidth(2), 500e6);
+    EXPECT_NEAR(PcieRawLaneBandwidth(3), 984.6e6, 1e6);
+    EXPECT_NEAR(PcieRawLaneBandwidth(4), 1969.2e6, 2e6);
+    EXPECT_THROW(PcieRawLaneBandwidth(0), InvalidArgument);
+    EXPECT_THROW(PcieRawLaneBandwidth(9), InvalidArgument);
+}
+
+TEST(PcieTest, Gen3x16MatchesPaperBallpark)
+{
+    // The paper's link: PCIe 3.0 x16 -> ~12 GB/s effective.
+    PcieLink link(PcieLinkSpec{});
+    EXPECT_NEAR(link.BytesPerSecond(), 12e9, 0.5e9);
+}
+
+TEST(PcieTest, TransferLatencyHasFloorAndSlope)
+{
+    PcieLink link(PcieLinkSpec{});
+    SimTime tiny = link.TransferLatency(64);
+    SimTime big = link.TransferLatency(120'000'000);
+    // Tiny transfers are dominated by the DMA setup floor.
+    EXPECT_NEAR(tiny.micros(), link.spec().dma_setup.micros(), 0.1);
+    // 120 MB at ~12 GB/s is ~10 ms.
+    EXPECT_NEAR(big.millis(), 10.0, 1.0);
+    EXPECT_GT(big, tiny);
+}
+
+TEST(PcieTest, ChunkedTransferPaysPerChunkSetup)
+{
+    PcieLink link(PcieLinkSpec{});
+    SimTime one = link.ChunkedTransferLatency(1'000'000, 1);
+    SimTime ten = link.ChunkedTransferLatency(1'000'000, 10);
+    EXPECT_NEAR((ten - one).micros(), 9 * link.spec().dma_setup.micros(),
+                0.01);
+}
+
+TEST(PcieTest, GenerationScalesBandwidth)
+{
+    PcieLinkSpec gen1{.generation = 1, .lanes = 4};
+    PcieLinkSpec gen4{.generation = 4, .lanes = 16};
+    PcieLink slow(gen1);
+    PcieLink fast(gen4);
+    EXPECT_GT(fast.BytesPerSecond(), 25.0 * slow.BytesPerSecond());
+}
+
+TEST(PcieTest, RejectsBadSpecs)
+{
+    PcieLinkSpec bad_lanes{.lanes = 0};
+    EXPECT_THROW(PcieLink{bad_lanes}, InvalidArgument);
+    PcieLinkSpec bad_eff;
+    bad_eff.efficiency = 1.5;
+    EXPECT_THROW(PcieLink{bad_eff}, InvalidArgument);
+}
+
+TEST(CsrTest, WritesCheaperThanInterrupt)
+{
+    // The paper: CSR-based FPGA setup costs less than the
+    // interrupt-driven completion signal.
+    CsrModel csr;
+    InterruptModel intr;
+    EXPECT_LT(csr.WriteMany(8), intr.latency);
+    EXPECT_DOUBLE_EQ(csr.WriteMany(10).micros(),
+                     10 * csr.write_latency.micros());
+}
+
+}  // namespace
+}  // namespace dbscore

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the chunked-pipeline planner and the workload simulator.
+ */
+#include <gtest/gtest.h>
+
+#include "dbscore/common/error.h"
+#include "dbscore/core/backend_factory.h"
+#include "dbscore/core/chunked_pipeline.h"
+#include "dbscore/core/workload_sim.h"
+#include "dbscore/data/synthetic.h"
+#include "dbscore/forest/trainer.h"
+
+namespace dbscore {
+namespace {
+
+struct PlannerFixture {
+    Dataset data;
+    TreeEnsemble ensemble;
+    ModelStats stats;
+    HardwareProfile profile = HardwareProfile::Paper();
+
+    PlannerFixture() : data(MakeHiggs(3000, 90))
+    {
+        ForestTrainerConfig config;
+        config.num_trees = 64;
+        config.max_depth = 10;
+        config.seed = 90;
+        RandomForest forest = TrainForest(data, config);
+        ensemble = TreeEnsemble::FromForest(forest);
+        stats = ComputeModelStats(forest, &data);
+    }
+
+    std::unique_ptr<ScoringEngine>
+    Engine(BackendKind kind) const
+    {
+        auto engine = CreateLoadedEngine(kind, profile, ensemble, stats);
+        EXPECT_NE(engine, nullptr);
+        return engine;
+    }
+};
+
+// ------------------------------------------------- chunked pipeline --
+
+TEST(ChunkedPipelineTest, SingleChunkMatchesPipelineIdentity)
+{
+    PlannerFixture f;
+    auto gpu = f.Engine(BackendKind::kGpuHummingbird);
+    ChunkedEstimate whole = EstimateChunked(*gpu, 100000, 100000);
+    EXPECT_EQ(whole.num_chunks, 1u);
+    // One chunk: total = fixed + all three stages once, which matches
+    // the engine's own estimate to within the 1-row residual.
+    SimTime direct = gpu->Estimate(100000).Total();
+    EXPECT_NEAR(whole.total.seconds(), direct.seconds(),
+                gpu->Estimate(1).Total().seconds() + 1e-9);
+}
+
+TEST(ChunkedPipelineTest, ChunkingOverlapsTransfersWithCompute)
+{
+    PlannerFixture f;
+    // The GPU moves 112 MB for 1M HIGGS records; overlapping that with
+    // compute must beat the sequential single call.
+    auto gpu = f.Engine(BackendKind::kGpuHummingbird);
+    ChunkedPlan plan = PlanChunkedScoring(*gpu, 1000000);
+    EXPECT_GT(plan.speedup, 1.05);
+    EXPECT_LT(plan.best.chunk_rows, 1000000u);
+    EXPECT_GT(plan.best.num_chunks, 1u);
+}
+
+TEST(ChunkedPipelineTest, TooSmallChunksPayFixedCosts)
+{
+    PlannerFixture f;
+    auto fpga = f.Engine(BackendKind::kFpga);
+    // The planner's candidates must show tiny chunks are NOT optimal:
+    // compare the best plan against a 256-row chunking.
+    ChunkedPlan plan = PlanChunkedScoring(
+        *fpga, 1000000, {256, 16384, 262144, 1000000});
+    ChunkedEstimate tiny = EstimateChunked(*fpga, 1000000, 256);
+    EXPECT_GT(tiny.total.seconds(), plan.best.total.seconds());
+}
+
+TEST(ChunkedPipelineTest, ReportsBottleneckStage)
+{
+    PlannerFixture f;
+    auto gpu = f.Engine(BackendKind::kGpuRapids);
+    ChunkedEstimate est = EstimateChunked(*gpu, 1000000, 65536);
+    EXPECT_GE(est.bottleneck_stage, 0);
+    EXPECT_LE(est.bottleneck_stage, 2);
+}
+
+TEST(ChunkedPipelineTest, RejectsBadInputs)
+{
+    PlannerFixture f;
+    auto cpu = f.Engine(BackendKind::kCpuSklearn);
+    EXPECT_THROW(EstimateChunked(*cpu, 0, 1), InvalidArgument);
+    EXPECT_THROW(EstimateChunked(*cpu, 10, 0), InvalidArgument);
+    EXPECT_THROW(EstimateChunked(*cpu, 10, 11), InvalidArgument);
+    EXPECT_THROW(PlanChunkedScoring(*cpu, 0), InvalidArgument);
+    EXPECT_THROW(PlanChunkedScoring(*cpu, 100, {0, 200}),
+                 InvalidArgument);
+}
+
+// ------------------------------------------------ workload simulator --
+
+TEST(WorkloadSimTest, GeneratorIsDeterministicAndOrdered)
+{
+    WorkloadConfig config;
+    config.num_queries = 50;
+    auto a = GenerateWorkload(config);
+    auto b = GenerateWorkload(config);
+    ASSERT_EQ(a.size(), 50u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].arrival.seconds(), b[i].arrival.seconds());
+        EXPECT_EQ(a[i].num_rows, b[i].num_rows);
+        if (i > 0) {
+            EXPECT_GE(a[i].arrival.seconds(), a[i - 1].arrival.seconds());
+        }
+        EXPECT_GE(a[i].num_rows, config.min_rows);
+        EXPECT_LE(a[i].num_rows, config.max_rows + 1);
+    }
+    config.num_queries = 0;
+    EXPECT_THROW(GenerateWorkload(config), InvalidArgument);
+}
+
+TEST(WorkloadSimTest, PolicyShares)
+{
+    PlannerFixture f;
+    OffloadScheduler sched(f.profile, f.ensemble, f.stats);
+    WorkloadConfig config;
+    config.num_queries = 120;
+    auto queries = GenerateWorkload(config);
+
+    WorkloadReport cpu =
+        SimulateWorkload(sched, queries, WorkloadPolicy::kAlwaysCpu);
+    EXPECT_DOUBLE_EQ(cpu.cpu_share, 1.0);
+    EXPECT_DOUBLE_EQ(cpu.fpga_share, 0.0);
+
+    WorkloadReport fpga =
+        SimulateWorkload(sched, queries, WorkloadPolicy::kAlwaysFpga);
+    EXPECT_DOUBLE_EQ(fpga.fpga_share, 1.0);
+
+    WorkloadReport oracle = SimulateWorkload(
+        sched, queries, WorkloadPolicy::kServiceOptimal);
+    // The mixed stream must use more than one device class.
+    EXPECT_GT(oracle.cpu_share, 0.0);
+    EXPECT_GT(oracle.fpga_share + oracle.gpu_share, 0.0);
+}
+
+TEST(WorkloadSimTest, SmartPoliciesBeatStaticOnes)
+{
+    PlannerFixture f;
+    OffloadScheduler sched(f.profile, f.ensemble, f.stats);
+    WorkloadConfig config;
+    config.num_queries = 200;
+    auto queries = GenerateWorkload(config);
+
+    auto mean = [&](WorkloadPolicy policy) {
+        return SimulateWorkload(sched, queries, policy)
+            .mean_latency.seconds();
+    };
+    double always_cpu = mean(WorkloadPolicy::kAlwaysCpu);
+    double service = mean(WorkloadPolicy::kServiceOptimal);
+    double queue_aware = mean(WorkloadPolicy::kQueueAware);
+
+    EXPECT_LT(service, always_cpu);
+    // Queue awareness can only help (it may equal service-optimal when
+    // queues never form, but never hurt by construction on this stream).
+    EXPECT_LE(queue_aware, service * 1.0001);
+}
+
+TEST(WorkloadSimTest, QueueAwareWinsUnderFlood)
+{
+    // Flood the system (2 ms mean gap, queries up to 1M records):
+    // per-query-optimal choices pile everything on one device, while the
+    // queue-aware policy spills to idle backends.
+    PlannerFixture f;
+    OffloadScheduler sched(f.profile, f.ensemble, f.stats);
+    WorkloadConfig config;
+    config.num_queries = 250;
+    config.mean_interarrival = SimTime::Millis(2.0);
+    config.seed = 9;
+    auto queries = GenerateWorkload(config);
+
+    WorkloadReport service = SimulateWorkload(
+        sched, queries, WorkloadPolicy::kServiceOptimal);
+    WorkloadReport aware = SimulateWorkload(
+        sched, queries, WorkloadPolicy::kQueueAware);
+    EXPECT_LT(aware.mean_latency.seconds(),
+              0.95 * service.mean_latency.seconds());
+    // And it actually uses more than one device class.
+    EXPECT_GT(aware.gpu_share + aware.cpu_share, 0.05);
+}
+
+TEST(WorkloadSimTest, ReportInvariants)
+{
+    PlannerFixture f;
+    OffloadScheduler sched(f.profile, f.ensemble, f.stats);
+    WorkloadConfig config;
+    config.num_queries = 80;
+    auto queries = GenerateWorkload(config);
+    WorkloadReport r =
+        SimulateWorkload(sched, queries, WorkloadPolicy::kQueueAware);
+    EXPECT_NEAR(r.cpu_share + r.gpu_share + r.fpga_share, 1.0, 1e-9);
+    EXPECT_GE(r.p95_latency.seconds(), r.mean_latency.seconds() * 0.5);
+    EXPECT_GE(r.makespan.seconds(),
+              queries.back().arrival.seconds());
+    for (double u :
+         {r.cpu_utilization, r.gpu_utilization, r.fpga_utilization}) {
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+    EXPECT_THROW(SimulateWorkload(sched, {}, WorkloadPolicy::kAlwaysCpu),
+                 InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dbscore

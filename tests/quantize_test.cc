@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for fixed-point model quantization.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dbscore/common/error.h"
+#include "dbscore/data/synthetic.h"
+#include "dbscore/forest/trainer.h"
+#include "dbscore/fpgasim/quantize.h"
+
+namespace dbscore {
+namespace {
+
+TEST(QuantizeValueTest, RoundsToGrid)
+{
+    QuantizationSpec q88{16, 8};
+    EXPECT_DOUBLE_EQ(QuantizationStep(q88), 1.0 / 256.0);
+    EXPECT_FLOAT_EQ(QuantizeValue(1.0f, q88), 1.0f);
+    EXPECT_FLOAT_EQ(QuantizeValue(0.00390625f, q88), 0.00390625f);
+    // Values between grid points snap to the nearest.
+    EXPECT_NEAR(QuantizeValue(0.005f, q88), 0.00390625f, 1e-9);
+    EXPECT_NEAR(QuantizeValue(1.2345f, q88), 1.2345f, 1.0 / 512.0 + 1e-9);
+    // Negative values too.
+    EXPECT_NEAR(QuantizeValue(-2.7182f, q88), -2.7182f,
+                1.0 / 512.0 + 1e-9);
+}
+
+TEST(QuantizeValueTest, ClampsToRange)
+{
+    QuantizationSpec q44{8, 4};  // range ~[-8, 7.9375]
+    EXPECT_FLOAT_EQ(QuantizeValue(100.0f, q44), 127.0f / 16.0f);
+    EXPECT_FLOAT_EQ(QuantizeValue(-100.0f, q44), -8.0f);
+}
+
+TEST(QuantizeValueTest, RejectsBadFormats)
+{
+    EXPECT_THROW(QuantizeValue(1.0f, {3, 1}), InvalidArgument);
+    EXPECT_THROW(QuantizeValue(1.0f, {40, 8}), InvalidArgument);
+    EXPECT_THROW(QuantizeValue(1.0f, {16, 16}), InvalidArgument);
+    EXPECT_THROW(QuantizeValue(1.0f, {16, -1}), InvalidArgument);
+}
+
+TEST(QuantizedNodeBytesTest, FourWordsPerNode)
+{
+    EXPECT_EQ(QuantizedNodeBytes({32, 16}), 16u);
+    EXPECT_EQ(QuantizedNodeBytes({16, 8}), 8u);
+    EXPECT_EQ(QuantizedNodeBytes({8, 4}), 4u);
+    EXPECT_EQ(QuantizedNodeBytes({12, 6}), 8u);  // rounds up to bytes
+}
+
+TEST(QuantizeForestTest, StructurePreservedThresholdsSnapped)
+{
+    Dataset iris = MakeIris(300, 70);
+    ForestTrainerConfig config;
+    config.num_trees = 6;
+    config.max_depth = 8;
+    RandomForest forest = TrainForest(iris, config);
+
+    QuantizationSpec spec{16, 8};
+    RandomForest q = QuantizeForest(forest, spec);
+    ASSERT_EQ(q.NumTrees(), forest.NumTrees());
+    EXPECT_NO_THROW(q.Validate());
+    const double step = QuantizationStep(spec);
+    for (std::size_t t = 0; t < q.NumTrees(); ++t) {
+        const DecisionTree& tree = q.Tree(t);
+        for (std::size_t i = 0; i < tree.NumNodes(); ++i) {
+            auto node = static_cast<std::int32_t>(i);
+            if (!tree.IsLeaf(node)) {
+                double scaled = tree.Threshold(node) / step;
+                EXPECT_NEAR(scaled, std::round(scaled), 1e-4);
+                // Within half a step of the original.
+                EXPECT_NEAR(tree.Threshold(node),
+                            forest.Tree(t).Threshold(node),
+                            step / 2 + 1e-6);
+            } else {
+                // Classification leaves pass through untouched.
+                EXPECT_FLOAT_EQ(tree.LeafValue(node),
+                                forest.Tree(t).LeafValue(node));
+            }
+        }
+    }
+}
+
+TEST(QuantizeForestTest, DisagreementGrowsAsBitsShrink)
+{
+    Dataset higgs = MakeHiggs(3000, 71);
+    ForestTrainerConfig config;
+    config.num_trees = 16;
+    config.max_depth = 10;
+    RandomForest forest = TrainForest(higgs, config);
+
+    double d16 = QuantizationDisagreement(
+        forest, QuantizeForest(forest, {16, 8}), higgs);
+    double d8 = QuantizationDisagreement(
+        forest, QuantizeForest(forest, {8, 4}), higgs);
+    double d6 = QuantizationDisagreement(
+        forest, QuantizeForest(forest, {6, 4}), higgs);
+    EXPECT_LT(d16, 0.05);
+    EXPECT_LE(d16, d8 + 1e-12);
+    EXPECT_LE(d8, d6 + 1e-12);
+    EXPECT_GT(d6, 0.0);  // 6-bit thresholds must visibly hurt
+}
+
+TEST(QuantizeForestTest, RegressionLeavesQuantized)
+{
+    Dataset data = MakeSyntheticRegression(500, 4, 0.1, 72);
+    ForestTrainerConfig config;
+    config.num_trees = 5;
+    config.max_depth = 6;
+    RandomForest forest = TrainForest(data, config);
+    QuantizationSpec spec{16, 8};
+    RandomForest q = QuantizeForest(forest, spec);
+    const double step = QuantizationStep(spec);
+    const DecisionTree& tree = q.Tree(0);
+    for (std::size_t i = 0; i < tree.NumNodes(); ++i) {
+        auto node = static_cast<std::int32_t>(i);
+        if (tree.IsLeaf(node)) {
+            double scaled = tree.LeafValue(node) / step;
+            EXPECT_NEAR(scaled, std::round(scaled), 1e-4);
+        }
+    }
+}
+
+TEST(QuantizeForestTest, DisagreementRejectsMismatchedData)
+{
+    Dataset iris = MakeIris(100, 73);
+    ForestTrainerConfig config;
+    config.num_trees = 2;
+    config.max_depth = 4;
+    RandomForest forest = TrainForest(iris, config);
+    Dataset wrong = MakeHiggs(50, 73);
+    EXPECT_THROW(QuantizationDisagreement(forest, forest, wrong),
+                 InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dbscore
