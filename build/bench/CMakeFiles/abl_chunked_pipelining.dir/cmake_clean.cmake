@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_chunked_pipelining.dir/abl_chunked_pipelining.cc.o"
+  "CMakeFiles/abl_chunked_pipelining.dir/abl_chunked_pipelining.cc.o.d"
+  "abl_chunked_pipelining"
+  "abl_chunked_pipelining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_chunked_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fpga_pe_sweep.dir/abl_fpga_pe_sweep.cc.o"
+  "CMakeFiles/abl_fpga_pe_sweep.dir/abl_fpga_pe_sweep.cc.o.d"
+  "abl_fpga_pe_sweep"
+  "abl_fpga_pe_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fpga_pe_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

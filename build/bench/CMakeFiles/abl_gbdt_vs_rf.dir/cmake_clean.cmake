@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gbdt_vs_rf.dir/abl_gbdt_vs_rf.cc.o"
+  "CMakeFiles/abl_gbdt_vs_rf.dir/abl_gbdt_vs_rf.cc.o.d"
+  "abl_gbdt_vs_rf"
+  "abl_gbdt_vs_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gbdt_vs_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_gbdt_vs_rf.
+# This may be replaced when dependencies are built.

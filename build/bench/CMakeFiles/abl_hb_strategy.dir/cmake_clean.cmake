@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hb_strategy.dir/abl_hb_strategy.cc.o"
+  "CMakeFiles/abl_hb_strategy.dir/abl_hb_strategy.cc.o.d"
+  "abl_hb_strategy"
+  "abl_hb_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hb_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hybrid_deep_trees.dir/abl_hybrid_deep_trees.cc.o"
+  "CMakeFiles/abl_hybrid_deep_trees.dir/abl_hybrid_deep_trees.cc.o.d"
+  "abl_hybrid_deep_trees"
+  "abl_hybrid_deep_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hybrid_deep_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_integration.dir/abl_integration.cc.o"
+  "CMakeFiles/abl_integration.dir/abl_integration.cc.o.d"
+  "abl_integration"
+  "abl_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_pcie_sweep.cc" "bench/CMakeFiles/abl_pcie_sweep.dir/abl_pcie_sweep.cc.o" "gcc" "bench/CMakeFiles/abl_pcie_sweep.dir/abl_pcie_sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/dbscore_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/dbms/CMakeFiles/dbscore_dbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/core/CMakeFiles/dbscore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/engines/CMakeFiles/dbscore_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/gpusim/CMakeFiles/dbscore_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/tensor/CMakeFiles/dbscore_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/pcie/CMakeFiles/dbscore_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/fpgasim/CMakeFiles/dbscore_fpgasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/forest/CMakeFiles/dbscore_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/data/CMakeFiles/dbscore_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/common/CMakeFiles/dbscore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pcie_sweep.dir/abl_pcie_sweep.cc.o"
+  "CMakeFiles/abl_pcie_sweep.dir/abl_pcie_sweep.cc.o.d"
+  "abl_pcie_sweep"
+  "abl_pcie_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pcie_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

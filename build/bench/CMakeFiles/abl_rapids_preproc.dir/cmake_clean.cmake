@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rapids_preproc.dir/abl_rapids_preproc.cc.o"
+  "CMakeFiles/abl_rapids_preproc.dir/abl_rapids_preproc.cc.o.d"
+  "abl_rapids_preproc"
+  "abl_rapids_preproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rapids_preproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

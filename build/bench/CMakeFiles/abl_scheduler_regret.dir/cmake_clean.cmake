@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_scheduler_regret.dir/abl_scheduler_regret.cc.o"
+  "CMakeFiles/abl_scheduler_regret.dir/abl_scheduler_regret.cc.o.d"
+  "abl_scheduler_regret"
+  "abl_scheduler_regret.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scheduler_regret.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_workload_scheduling.dir/abl_workload_scheduling.cc.o"
+  "CMakeFiles/abl_workload_scheduling.dir/abl_workload_scheduling.cc.o.d"
+  "abl_workload_scheduling"
+  "abl_workload_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_workload_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

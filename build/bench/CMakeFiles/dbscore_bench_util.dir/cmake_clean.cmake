@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscore_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/dbscore_bench_util.dir/bench_util.cc.o.d"
+  "libdbscore_bench_util.a"
+  "libdbscore_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscore_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

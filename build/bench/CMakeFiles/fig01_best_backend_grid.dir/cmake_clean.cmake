@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_best_backend_grid.dir/fig01_best_backend_grid.cc.o"
+  "CMakeFiles/fig01_best_backend_grid.dir/fig01_best_backend_grid.cc.o.d"
+  "fig01_best_backend_grid"
+  "fig01_best_backend_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_best_backend_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_fpga_breakdown.dir/fig07_fpga_breakdown.cc.o"
+  "CMakeFiles/fig07_fpga_breakdown.dir/fig07_fpga_breakdown.cc.o.d"
+  "fig07_fpga_breakdown"
+  "fig07_fpga_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_fpga_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_e2e_query_breakdown.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_advisor.dir/backend_advisor.cpp.o"
+  "CMakeFiles/backend_advisor.dir/backend_advisor.cpp.o.d"
+  "backend_advisor"
+  "backend_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

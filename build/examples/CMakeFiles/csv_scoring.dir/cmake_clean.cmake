@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_scoring.dir/csv_scoring.cpp.o"
+  "CMakeFiles/csv_scoring.dir/csv_scoring.cpp.o.d"
+  "csv_scoring"
+  "csv_scoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

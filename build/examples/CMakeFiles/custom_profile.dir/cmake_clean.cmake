@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_profile.dir/custom_profile.cpp.o"
+  "CMakeFiles/custom_profile.dir/custom_profile.cpp.o.d"
+  "custom_profile"
+  "custom_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

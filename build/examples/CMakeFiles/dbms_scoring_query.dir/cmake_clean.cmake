@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbms_scoring_query.dir/dbms_scoring_query.cpp.o"
+  "CMakeFiles/dbms_scoring_query.dir/dbms_scoring_query.cpp.o.d"
+  "dbms_scoring_query"
+  "dbms_scoring_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbms_scoring_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("dbscore/common")
+subdirs("dbscore/data")
+subdirs("dbscore/forest")
+subdirs("dbscore/tensor")
+subdirs("dbscore/pcie")
+subdirs("dbscore/gpusim")
+subdirs("dbscore/fpgasim")
+subdirs("dbscore/engines")
+subdirs("dbscore/dbms")
+subdirs("dbscore/core")

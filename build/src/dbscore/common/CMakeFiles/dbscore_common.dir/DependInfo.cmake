@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbscore/common/csv.cc" "src/dbscore/common/CMakeFiles/dbscore_common.dir/csv.cc.o" "gcc" "src/dbscore/common/CMakeFiles/dbscore_common.dir/csv.cc.o.d"
+  "/root/repo/src/dbscore/common/error.cc" "src/dbscore/common/CMakeFiles/dbscore_common.dir/error.cc.o" "gcc" "src/dbscore/common/CMakeFiles/dbscore_common.dir/error.cc.o.d"
+  "/root/repo/src/dbscore/common/logging.cc" "src/dbscore/common/CMakeFiles/dbscore_common.dir/logging.cc.o" "gcc" "src/dbscore/common/CMakeFiles/dbscore_common.dir/logging.cc.o.d"
+  "/root/repo/src/dbscore/common/rng.cc" "src/dbscore/common/CMakeFiles/dbscore_common.dir/rng.cc.o" "gcc" "src/dbscore/common/CMakeFiles/dbscore_common.dir/rng.cc.o.d"
+  "/root/repo/src/dbscore/common/stats.cc" "src/dbscore/common/CMakeFiles/dbscore_common.dir/stats.cc.o" "gcc" "src/dbscore/common/CMakeFiles/dbscore_common.dir/stats.cc.o.d"
+  "/root/repo/src/dbscore/common/string_util.cc" "src/dbscore/common/CMakeFiles/dbscore_common.dir/string_util.cc.o" "gcc" "src/dbscore/common/CMakeFiles/dbscore_common.dir/string_util.cc.o.d"
+  "/root/repo/src/dbscore/common/table_printer.cc" "src/dbscore/common/CMakeFiles/dbscore_common.dir/table_printer.cc.o" "gcc" "src/dbscore/common/CMakeFiles/dbscore_common.dir/table_printer.cc.o.d"
+  "/root/repo/src/dbscore/common/thread_pool.cc" "src/dbscore/common/CMakeFiles/dbscore_common.dir/thread_pool.cc.o" "gcc" "src/dbscore/common/CMakeFiles/dbscore_common.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

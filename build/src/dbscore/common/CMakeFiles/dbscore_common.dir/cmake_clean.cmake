@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscore_common.dir/csv.cc.o"
+  "CMakeFiles/dbscore_common.dir/csv.cc.o.d"
+  "CMakeFiles/dbscore_common.dir/error.cc.o"
+  "CMakeFiles/dbscore_common.dir/error.cc.o.d"
+  "CMakeFiles/dbscore_common.dir/logging.cc.o"
+  "CMakeFiles/dbscore_common.dir/logging.cc.o.d"
+  "CMakeFiles/dbscore_common.dir/rng.cc.o"
+  "CMakeFiles/dbscore_common.dir/rng.cc.o.d"
+  "CMakeFiles/dbscore_common.dir/stats.cc.o"
+  "CMakeFiles/dbscore_common.dir/stats.cc.o.d"
+  "CMakeFiles/dbscore_common.dir/string_util.cc.o"
+  "CMakeFiles/dbscore_common.dir/string_util.cc.o.d"
+  "CMakeFiles/dbscore_common.dir/table_printer.cc.o"
+  "CMakeFiles/dbscore_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/dbscore_common.dir/thread_pool.cc.o"
+  "CMakeFiles/dbscore_common.dir/thread_pool.cc.o.d"
+  "libdbscore_common.a"
+  "libdbscore_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscore_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbscore/core/backend_factory.cc" "src/dbscore/core/CMakeFiles/dbscore_core.dir/backend_factory.cc.o" "gcc" "src/dbscore/core/CMakeFiles/dbscore_core.dir/backend_factory.cc.o.d"
+  "/root/repo/src/dbscore/core/calibration.cc" "src/dbscore/core/CMakeFiles/dbscore_core.dir/calibration.cc.o" "gcc" "src/dbscore/core/CMakeFiles/dbscore_core.dir/calibration.cc.o.d"
+  "/root/repo/src/dbscore/core/chunked_pipeline.cc" "src/dbscore/core/CMakeFiles/dbscore_core.dir/chunked_pipeline.cc.o" "gcc" "src/dbscore/core/CMakeFiles/dbscore_core.dir/chunked_pipeline.cc.o.d"
+  "/root/repo/src/dbscore/core/logca_model.cc" "src/dbscore/core/CMakeFiles/dbscore_core.dir/logca_model.cc.o" "gcc" "src/dbscore/core/CMakeFiles/dbscore_core.dir/logca_model.cc.o.d"
+  "/root/repo/src/dbscore/core/profile_io.cc" "src/dbscore/core/CMakeFiles/dbscore_core.dir/profile_io.cc.o" "gcc" "src/dbscore/core/CMakeFiles/dbscore_core.dir/profile_io.cc.o.d"
+  "/root/repo/src/dbscore/core/report.cc" "src/dbscore/core/CMakeFiles/dbscore_core.dir/report.cc.o" "gcc" "src/dbscore/core/CMakeFiles/dbscore_core.dir/report.cc.o.d"
+  "/root/repo/src/dbscore/core/scheduler.cc" "src/dbscore/core/CMakeFiles/dbscore_core.dir/scheduler.cc.o" "gcc" "src/dbscore/core/CMakeFiles/dbscore_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/dbscore/core/workload_sim.cc" "src/dbscore/core/CMakeFiles/dbscore_core.dir/workload_sim.cc.o" "gcc" "src/dbscore/core/CMakeFiles/dbscore_core.dir/workload_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbscore/engines/CMakeFiles/dbscore_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/gpusim/CMakeFiles/dbscore_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/tensor/CMakeFiles/dbscore_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/pcie/CMakeFiles/dbscore_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/fpgasim/CMakeFiles/dbscore_fpgasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/forest/CMakeFiles/dbscore_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/data/CMakeFiles/dbscore_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/common/CMakeFiles/dbscore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

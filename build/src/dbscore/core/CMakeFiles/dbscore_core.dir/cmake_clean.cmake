@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscore_core.dir/backend_factory.cc.o"
+  "CMakeFiles/dbscore_core.dir/backend_factory.cc.o.d"
+  "CMakeFiles/dbscore_core.dir/calibration.cc.o"
+  "CMakeFiles/dbscore_core.dir/calibration.cc.o.d"
+  "CMakeFiles/dbscore_core.dir/chunked_pipeline.cc.o"
+  "CMakeFiles/dbscore_core.dir/chunked_pipeline.cc.o.d"
+  "CMakeFiles/dbscore_core.dir/logca_model.cc.o"
+  "CMakeFiles/dbscore_core.dir/logca_model.cc.o.d"
+  "CMakeFiles/dbscore_core.dir/profile_io.cc.o"
+  "CMakeFiles/dbscore_core.dir/profile_io.cc.o.d"
+  "CMakeFiles/dbscore_core.dir/report.cc.o"
+  "CMakeFiles/dbscore_core.dir/report.cc.o.d"
+  "CMakeFiles/dbscore_core.dir/scheduler.cc.o"
+  "CMakeFiles/dbscore_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/dbscore_core.dir/workload_sim.cc.o"
+  "CMakeFiles/dbscore_core.dir/workload_sim.cc.o.d"
+  "libdbscore_core.a"
+  "libdbscore_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscore_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbscore/data/csv_loader.cc" "src/dbscore/data/CMakeFiles/dbscore_data.dir/csv_loader.cc.o" "gcc" "src/dbscore/data/CMakeFiles/dbscore_data.dir/csv_loader.cc.o.d"
+  "/root/repo/src/dbscore/data/dataset.cc" "src/dbscore/data/CMakeFiles/dbscore_data.dir/dataset.cc.o" "gcc" "src/dbscore/data/CMakeFiles/dbscore_data.dir/dataset.cc.o.d"
+  "/root/repo/src/dbscore/data/synthetic.cc" "src/dbscore/data/CMakeFiles/dbscore_data.dir/synthetic.cc.o" "gcc" "src/dbscore/data/CMakeFiles/dbscore_data.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbscore/common/CMakeFiles/dbscore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

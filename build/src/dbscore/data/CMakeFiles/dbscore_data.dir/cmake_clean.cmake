@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscore_data.dir/csv_loader.cc.o"
+  "CMakeFiles/dbscore_data.dir/csv_loader.cc.o.d"
+  "CMakeFiles/dbscore_data.dir/dataset.cc.o"
+  "CMakeFiles/dbscore_data.dir/dataset.cc.o.d"
+  "CMakeFiles/dbscore_data.dir/synthetic.cc.o"
+  "CMakeFiles/dbscore_data.dir/synthetic.cc.o.d"
+  "libdbscore_data.a"
+  "libdbscore_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscore_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscore_dbms.dir/database.cc.o"
+  "CMakeFiles/dbscore_dbms.dir/database.cc.o.d"
+  "CMakeFiles/dbscore_dbms.dir/external_runtime.cc.o"
+  "CMakeFiles/dbscore_dbms.dir/external_runtime.cc.o.d"
+  "CMakeFiles/dbscore_dbms.dir/pipeline.cc.o"
+  "CMakeFiles/dbscore_dbms.dir/pipeline.cc.o.d"
+  "CMakeFiles/dbscore_dbms.dir/query_engine.cc.o"
+  "CMakeFiles/dbscore_dbms.dir/query_engine.cc.o.d"
+  "CMakeFiles/dbscore_dbms.dir/sql.cc.o"
+  "CMakeFiles/dbscore_dbms.dir/sql.cc.o.d"
+  "CMakeFiles/dbscore_dbms.dir/table.cc.o"
+  "CMakeFiles/dbscore_dbms.dir/table.cc.o.d"
+  "CMakeFiles/dbscore_dbms.dir/value.cc.o"
+  "CMakeFiles/dbscore_dbms.dir/value.cc.o.d"
+  "libdbscore_dbms.a"
+  "libdbscore_dbms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscore_dbms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

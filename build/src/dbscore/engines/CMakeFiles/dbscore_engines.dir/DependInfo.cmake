@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbscore/engines/cpu/cpu_engines.cc" "src/dbscore/engines/CMakeFiles/dbscore_engines.dir/cpu/cpu_engines.cc.o" "gcc" "src/dbscore/engines/CMakeFiles/dbscore_engines.dir/cpu/cpu_engines.cc.o.d"
+  "/root/repo/src/dbscore/engines/cpu/cpu_spec.cc" "src/dbscore/engines/CMakeFiles/dbscore_engines.dir/cpu/cpu_spec.cc.o" "gcc" "src/dbscore/engines/CMakeFiles/dbscore_engines.dir/cpu/cpu_spec.cc.o.d"
+  "/root/repo/src/dbscore/engines/fpga/fpga_engine.cc" "src/dbscore/engines/CMakeFiles/dbscore_engines.dir/fpga/fpga_engine.cc.o" "gcc" "src/dbscore/engines/CMakeFiles/dbscore_engines.dir/fpga/fpga_engine.cc.o.d"
+  "/root/repo/src/dbscore/engines/fpga/hybrid_engine.cc" "src/dbscore/engines/CMakeFiles/dbscore_engines.dir/fpga/hybrid_engine.cc.o" "gcc" "src/dbscore/engines/CMakeFiles/dbscore_engines.dir/fpga/hybrid_engine.cc.o.d"
+  "/root/repo/src/dbscore/engines/gpu/hummingbird_engine.cc" "src/dbscore/engines/CMakeFiles/dbscore_engines.dir/gpu/hummingbird_engine.cc.o" "gcc" "src/dbscore/engines/CMakeFiles/dbscore_engines.dir/gpu/hummingbird_engine.cc.o.d"
+  "/root/repo/src/dbscore/engines/gpu/rapids_engine.cc" "src/dbscore/engines/CMakeFiles/dbscore_engines.dir/gpu/rapids_engine.cc.o" "gcc" "src/dbscore/engines/CMakeFiles/dbscore_engines.dir/gpu/rapids_engine.cc.o.d"
+  "/root/repo/src/dbscore/engines/scoring_engine.cc" "src/dbscore/engines/CMakeFiles/dbscore_engines.dir/scoring_engine.cc.o" "gcc" "src/dbscore/engines/CMakeFiles/dbscore_engines.dir/scoring_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbscore/common/CMakeFiles/dbscore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/data/CMakeFiles/dbscore_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/forest/CMakeFiles/dbscore_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/tensor/CMakeFiles/dbscore_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/pcie/CMakeFiles/dbscore_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/gpusim/CMakeFiles/dbscore_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/fpgasim/CMakeFiles/dbscore_fpgasim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

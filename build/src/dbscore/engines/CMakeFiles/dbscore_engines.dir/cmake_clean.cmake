@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscore_engines.dir/cpu/cpu_engines.cc.o"
+  "CMakeFiles/dbscore_engines.dir/cpu/cpu_engines.cc.o.d"
+  "CMakeFiles/dbscore_engines.dir/cpu/cpu_spec.cc.o"
+  "CMakeFiles/dbscore_engines.dir/cpu/cpu_spec.cc.o.d"
+  "CMakeFiles/dbscore_engines.dir/fpga/fpga_engine.cc.o"
+  "CMakeFiles/dbscore_engines.dir/fpga/fpga_engine.cc.o.d"
+  "CMakeFiles/dbscore_engines.dir/fpga/hybrid_engine.cc.o"
+  "CMakeFiles/dbscore_engines.dir/fpga/hybrid_engine.cc.o.d"
+  "CMakeFiles/dbscore_engines.dir/gpu/hummingbird_engine.cc.o"
+  "CMakeFiles/dbscore_engines.dir/gpu/hummingbird_engine.cc.o.d"
+  "CMakeFiles/dbscore_engines.dir/gpu/rapids_engine.cc.o"
+  "CMakeFiles/dbscore_engines.dir/gpu/rapids_engine.cc.o.d"
+  "CMakeFiles/dbscore_engines.dir/scoring_engine.cc.o"
+  "CMakeFiles/dbscore_engines.dir/scoring_engine.cc.o.d"
+  "libdbscore_engines.a"
+  "libdbscore_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscore_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

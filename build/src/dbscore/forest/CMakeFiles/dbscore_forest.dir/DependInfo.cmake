@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbscore/forest/forest.cc" "src/dbscore/forest/CMakeFiles/dbscore_forest.dir/forest.cc.o" "gcc" "src/dbscore/forest/CMakeFiles/dbscore_forest.dir/forest.cc.o.d"
+  "/root/repo/src/dbscore/forest/gbdt.cc" "src/dbscore/forest/CMakeFiles/dbscore_forest.dir/gbdt.cc.o" "gcc" "src/dbscore/forest/CMakeFiles/dbscore_forest.dir/gbdt.cc.o.d"
+  "/root/repo/src/dbscore/forest/inspect.cc" "src/dbscore/forest/CMakeFiles/dbscore_forest.dir/inspect.cc.o" "gcc" "src/dbscore/forest/CMakeFiles/dbscore_forest.dir/inspect.cc.o.d"
+  "/root/repo/src/dbscore/forest/model_stats.cc" "src/dbscore/forest/CMakeFiles/dbscore_forest.dir/model_stats.cc.o" "gcc" "src/dbscore/forest/CMakeFiles/dbscore_forest.dir/model_stats.cc.o.d"
+  "/root/repo/src/dbscore/forest/onnx_like.cc" "src/dbscore/forest/CMakeFiles/dbscore_forest.dir/onnx_like.cc.o" "gcc" "src/dbscore/forest/CMakeFiles/dbscore_forest.dir/onnx_like.cc.o.d"
+  "/root/repo/src/dbscore/forest/prune.cc" "src/dbscore/forest/CMakeFiles/dbscore_forest.dir/prune.cc.o" "gcc" "src/dbscore/forest/CMakeFiles/dbscore_forest.dir/prune.cc.o.d"
+  "/root/repo/src/dbscore/forest/serialize.cc" "src/dbscore/forest/CMakeFiles/dbscore_forest.dir/serialize.cc.o" "gcc" "src/dbscore/forest/CMakeFiles/dbscore_forest.dir/serialize.cc.o.d"
+  "/root/repo/src/dbscore/forest/trainer.cc" "src/dbscore/forest/CMakeFiles/dbscore_forest.dir/trainer.cc.o" "gcc" "src/dbscore/forest/CMakeFiles/dbscore_forest.dir/trainer.cc.o.d"
+  "/root/repo/src/dbscore/forest/tree.cc" "src/dbscore/forest/CMakeFiles/dbscore_forest.dir/tree.cc.o" "gcc" "src/dbscore/forest/CMakeFiles/dbscore_forest.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbscore/common/CMakeFiles/dbscore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/data/CMakeFiles/dbscore_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscore_forest.dir/forest.cc.o"
+  "CMakeFiles/dbscore_forest.dir/forest.cc.o.d"
+  "CMakeFiles/dbscore_forest.dir/gbdt.cc.o"
+  "CMakeFiles/dbscore_forest.dir/gbdt.cc.o.d"
+  "CMakeFiles/dbscore_forest.dir/inspect.cc.o"
+  "CMakeFiles/dbscore_forest.dir/inspect.cc.o.d"
+  "CMakeFiles/dbscore_forest.dir/model_stats.cc.o"
+  "CMakeFiles/dbscore_forest.dir/model_stats.cc.o.d"
+  "CMakeFiles/dbscore_forest.dir/onnx_like.cc.o"
+  "CMakeFiles/dbscore_forest.dir/onnx_like.cc.o.d"
+  "CMakeFiles/dbscore_forest.dir/prune.cc.o"
+  "CMakeFiles/dbscore_forest.dir/prune.cc.o.d"
+  "CMakeFiles/dbscore_forest.dir/serialize.cc.o"
+  "CMakeFiles/dbscore_forest.dir/serialize.cc.o.d"
+  "CMakeFiles/dbscore_forest.dir/trainer.cc.o"
+  "CMakeFiles/dbscore_forest.dir/trainer.cc.o.d"
+  "CMakeFiles/dbscore_forest.dir/tree.cc.o"
+  "CMakeFiles/dbscore_forest.dir/tree.cc.o.d"
+  "libdbscore_forest.a"
+  "libdbscore_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscore_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbscore/fpgasim/inference_engine.cc" "src/dbscore/fpgasim/CMakeFiles/dbscore_fpgasim.dir/inference_engine.cc.o" "gcc" "src/dbscore/fpgasim/CMakeFiles/dbscore_fpgasim.dir/inference_engine.cc.o.d"
+  "/root/repo/src/dbscore/fpgasim/quantize.cc" "src/dbscore/fpgasim/CMakeFiles/dbscore_fpgasim.dir/quantize.cc.o" "gcc" "src/dbscore/fpgasim/CMakeFiles/dbscore_fpgasim.dir/quantize.cc.o.d"
+  "/root/repo/src/dbscore/fpgasim/tree_layout.cc" "src/dbscore/fpgasim/CMakeFiles/dbscore_fpgasim.dir/tree_layout.cc.o" "gcc" "src/dbscore/fpgasim/CMakeFiles/dbscore_fpgasim.dir/tree_layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbscore/common/CMakeFiles/dbscore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/forest/CMakeFiles/dbscore_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/data/CMakeFiles/dbscore_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscore_fpgasim.dir/inference_engine.cc.o"
+  "CMakeFiles/dbscore_fpgasim.dir/inference_engine.cc.o.d"
+  "CMakeFiles/dbscore_fpgasim.dir/quantize.cc.o"
+  "CMakeFiles/dbscore_fpgasim.dir/quantize.cc.o.d"
+  "CMakeFiles/dbscore_fpgasim.dir/tree_layout.cc.o"
+  "CMakeFiles/dbscore_fpgasim.dir/tree_layout.cc.o.d"
+  "libdbscore_fpgasim.a"
+  "libdbscore_fpgasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscore_fpgasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscore_gpusim.dir/gpu_device.cc.o"
+  "CMakeFiles/dbscore_gpusim.dir/gpu_device.cc.o.d"
+  "libdbscore_gpusim.a"
+  "libdbscore_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscore_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

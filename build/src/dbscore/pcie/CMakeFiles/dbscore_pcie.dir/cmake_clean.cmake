@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscore_pcie.dir/pcie.cc.o"
+  "CMakeFiles/dbscore_pcie.dir/pcie.cc.o.d"
+  "libdbscore_pcie.a"
+  "libdbscore_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscore_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscore_tensor.dir/matrix.cc.o"
+  "CMakeFiles/dbscore_tensor.dir/matrix.cc.o.d"
+  "CMakeFiles/dbscore_tensor.dir/ops.cc.o"
+  "CMakeFiles/dbscore_tensor.dir/ops.cc.o.d"
+  "libdbscore_tensor.a"
+  "libdbscore_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscore_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

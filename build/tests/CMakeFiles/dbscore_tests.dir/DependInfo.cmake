@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bench_util_test.cc" "tests/CMakeFiles/dbscore_tests.dir/bench_util_test.cc.o" "gcc" "tests/CMakeFiles/dbscore_tests.dir/bench_util_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/dbscore_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/dbscore_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/dbscore_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/dbscore_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/dbscore_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/dbscore_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/dbms_test.cc" "tests/CMakeFiles/dbscore_tests.dir/dbms_test.cc.o" "gcc" "tests/CMakeFiles/dbscore_tests.dir/dbms_test.cc.o.d"
+  "/root/repo/tests/engines_test.cc" "tests/CMakeFiles/dbscore_tests.dir/engines_test.cc.o" "gcc" "tests/CMakeFiles/dbscore_tests.dir/engines_test.cc.o.d"
+  "/root/repo/tests/forest_test.cc" "tests/CMakeFiles/dbscore_tests.dir/forest_test.cc.o" "gcc" "tests/CMakeFiles/dbscore_tests.dir/forest_test.cc.o.d"
+  "/root/repo/tests/gbdt_test.cc" "tests/CMakeFiles/dbscore_tests.dir/gbdt_test.cc.o" "gcc" "tests/CMakeFiles/dbscore_tests.dir/gbdt_test.cc.o.d"
+  "/root/repo/tests/hybrid_engine_test.cc" "tests/CMakeFiles/dbscore_tests.dir/hybrid_engine_test.cc.o" "gcc" "tests/CMakeFiles/dbscore_tests.dir/hybrid_engine_test.cc.o.d"
+  "/root/repo/tests/inspect_test.cc" "tests/CMakeFiles/dbscore_tests.dir/inspect_test.cc.o" "gcc" "tests/CMakeFiles/dbscore_tests.dir/inspect_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/dbscore_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/dbscore_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/pcie_test.cc" "tests/CMakeFiles/dbscore_tests.dir/pcie_test.cc.o" "gcc" "tests/CMakeFiles/dbscore_tests.dir/pcie_test.cc.o.d"
+  "/root/repo/tests/planner_test.cc" "tests/CMakeFiles/dbscore_tests.dir/planner_test.cc.o" "gcc" "tests/CMakeFiles/dbscore_tests.dir/planner_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/dbscore_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/dbscore_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/prune_profile_test.cc" "tests/CMakeFiles/dbscore_tests.dir/prune_profile_test.cc.o" "gcc" "tests/CMakeFiles/dbscore_tests.dir/prune_profile_test.cc.o.d"
+  "/root/repo/tests/quantize_test.cc" "tests/CMakeFiles/dbscore_tests.dir/quantize_test.cc.o" "gcc" "tests/CMakeFiles/dbscore_tests.dir/quantize_test.cc.o.d"
+  "/root/repo/tests/tensor_test.cc" "tests/CMakeFiles/dbscore_tests.dir/tensor_test.cc.o" "gcc" "tests/CMakeFiles/dbscore_tests.dir/tensor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbscore/common/CMakeFiles/dbscore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/data/CMakeFiles/dbscore_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/forest/CMakeFiles/dbscore_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/tensor/CMakeFiles/dbscore_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/pcie/CMakeFiles/dbscore_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/gpusim/CMakeFiles/dbscore_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/fpgasim/CMakeFiles/dbscore_fpgasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/engines/CMakeFiles/dbscore_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/core/CMakeFiles/dbscore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscore/dbms/CMakeFiles/dbscore_dbms.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/dbscore_bench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
