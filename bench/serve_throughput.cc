@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Serving-layer sweep: offered load x coalescing window.
+ *
+ * Replays the same generated request trace through ScoringService at
+ * several offered loads (mean inter-arrival gaps) and coalescing
+ * windows, including window = 0 (the uncoalesced baseline where every
+ * request pays its own process invocation and transfer). Reports
+ * modeled throughput, latency quantiles, mean batch size, and the
+ * fleet-wide invocation overhead, showing where micro-batching turns
+ * the paper's per-call overheads from dominant to amortized.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "dbscore/common/string_util.h"
+#include "dbscore/common/table_printer.h"
+#include "dbscore/core/workload_sim.h"
+#include "dbscore/serve/scoring_service.h"
+
+namespace dbscore::bench {
+namespace {
+
+using serve::ScoreRequest;
+using serve::ScoringService;
+using serve::ServiceConfig;
+using serve::ServiceSnapshot;
+
+ServiceSnapshot
+Replay(const BenchModel& model, const std::vector<WorkloadQuery>& queries,
+       SimTime window)
+{
+    ServiceConfig config;
+    config.coalescer.window = window;
+    config.coalescer.max_batch_requests = 64;
+    config.admission_capacity = queries.size();
+
+    ScoringService service(HardwareProfile::Paper(), config);
+    service.RegisterModel("higgs", model.ensemble, model.stats);
+    service.Start();
+    for (const ScoreRequest& request :
+         serve::RequestsFromWorkload(queries, "higgs")) {
+        service.Submit(request);
+    }
+    service.Drain();
+    service.Stop();
+    return service.Stats();
+}
+
+void
+Run()
+{
+    const BenchModel& model = GetModel(DatasetKind::kHiggs, 128, 10);
+
+    WorkloadConfig wl;
+    wl.num_queries = 400;
+    wl.min_rows = 16;
+    wl.max_rows = 4096;
+    wl.seed = 11;
+
+    TablePrinter table({"mean gap", "window", "batches", "mean reqs/batch",
+                        "p50 latency", "p95 latency", "throughput",
+                        "invocation total"});
+    for (double gap_ms : {0.25, 1.0, 4.0}) {
+        wl.mean_interarrival = SimTime::Millis(gap_ms);
+        auto queries = GenerateWorkload(wl);
+        for (double window_ms : {0.0, 1.0, 5.0, 20.0}) {
+            ServiceSnapshot snap =
+                Replay(model, queries, SimTime::Millis(window_ms));
+            table.AddRow({StrFormat("%.2f ms", gap_ms),
+                          window_ms == 0.0
+                              ? "off"
+                              : StrFormat("%.0f ms", window_ms),
+                          StrFormat("%zu", snap.batches),
+                          StrFormat("%.1f", snap.batch_requests.mean),
+                          SimTime::Seconds(snap.latency.p50).ToString(),
+                          SimTime::Seconds(snap.latency.p95).ToString(),
+                          StrFormat("%.0f req/s", snap.ThroughputRps()),
+                          snap.stage_totals.invocation.ToString()});
+        }
+    }
+    std::cout << "Serving-layer sweep: offered load x coalescing window\n"
+                 "(HIGGS 128t/10d, 400 requests of 16..4096 rows, "
+                 "queue-aware placement)\n";
+    table.Print(std::cout);
+    std::cout
+        << "\nAt high offered load (small gaps) the uncoalesced baseline "
+           "pays one warm\nprocess invocation per request and queues "
+           "behind its own overhead; widening\nthe window amortizes "
+           "invocation + transfer across batchmates, raising\nthroughput "
+           "and cutting tail latency. At low load wider windows only "
+           "add\ncoalesce delay -- the window is a knob, not a free "
+           "lunch.\n";
+}
+
+}  // namespace
+}  // namespace dbscore::bench
+
+int
+main()
+{
+    dbscore::bench::Run();
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Serving-layer demo: many concurrent client threads score against one
+ * registered model through ScoringService.
+ *
+ * Shows the full lifecycle — register, start, submit from several
+ * threads, read per-request stage splits, snapshot fleet metrics — and
+ * contrasts a coalescing service against the uncoalesced baseline on
+ * the same burst of requests.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/scoring_service
+ */
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "dbscore/data/synthetic.h"
+#include "dbscore/forest/model_stats.h"
+#include "dbscore/forest/trainer.h"
+#include "dbscore/serve/scoring_service.h"
+
+int
+main()
+{
+    using namespace dbscore;
+    using namespace dbscore::serve;
+
+    // 1. Train a model and collect the stats the engines need.
+    Dataset higgs = MakeHiggs(2000, /*seed=*/3);
+    ForestTrainerConfig trainer;
+    trainer.num_trees = 64;
+    trainer.max_depth = 10;
+    RandomForest forest = TrainForest(higgs, trainer);
+    TreeEnsemble ensemble = TreeEnsemble::FromForest(forest);
+    ModelStats stats = ComputeModelStats(forest, &higgs);
+
+    // 2. Stand up the service: 2 ms coalescing window, queue-aware
+    //    placement across CPU/GPU/FPGA, bounded admission queue.
+    ServiceConfig config;
+    config.coalescer.window = SimTime::Millis(2.0);
+    config.admission_capacity = 256;
+
+    ScoringService service(HardwareProfile::Paper(), config);
+    service.RegisterModel("higgs-64x10", ensemble, stats);
+    service.Start();
+
+    // 3. Eight client threads each fire a burst of requests. Arrivals
+    //    are left empty, so the service stamps its modeled clock; the
+    //    coalescer merges same-model requests that land together.
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 8; ++c) {
+        clients.emplace_back([&service, c] {
+            for (int i = 0; i < 4; ++i) {
+                ScoreRequest request;
+                request.model_id = "higgs-64x10";
+                request.num_rows = 256 * (c + 1);
+                ScoreReply reply = service.ScoreSync(request);
+                if (c == 0 && i == 0) {
+                    std::cout
+                        << "first reply: " << RequestStatusName(reply.status)
+                        << " on " << BackendName(reply.backend) << ", rode a "
+                        << reply.batch_requests << "-request batch, latency "
+                        << reply.timing.latency << " (invocation share "
+                        << reply.timing.invocation_share << ")\n";
+                }
+            }
+        });
+    }
+    for (auto& t : clients) t.join();
+    service.Stop();
+
+    // 4. The stats snapshot is the service's flight recorder.
+    std::cout << "\n-- coalescing service --\n"
+              << service.Stats().ToString();
+
+    // 5. Same burst, window = 0: every request pays its own process
+    //    invocation and transfer. Compare stage totals and latency.
+    ServiceConfig solo = config;
+    solo.coalescer.window = SimTime();
+    ScoringService baseline(HardwareProfile::Paper(), solo);
+    baseline.RegisterModel("higgs-64x10", ensemble, stats);
+    baseline.Start();
+    std::vector<std::thread> again;
+    for (int c = 0; c < 8; ++c) {
+        again.emplace_back([&baseline, c] {
+            for (int i = 0; i < 4; ++i) {
+                ScoreRequest request;
+                request.model_id = "higgs-64x10";
+                request.num_rows = 256 * (c + 1);
+                baseline.ScoreSync(request);
+            }
+        });
+    }
+    for (auto& t : again) t.join();
+    baseline.Stop();
+    std::cout << "\n-- uncoalesced baseline --\n"
+              << baseline.Stats().ToString();
+    return 0;
+}

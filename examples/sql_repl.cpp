@@ -21,14 +21,17 @@
 #include "dbscore/common/string_util.h"
 #include "dbscore/data/synthetic.h"
 #include "dbscore/dbms/query_engine.h"
+#include "dbscore/forest/model_stats.h"
 #include "dbscore/forest/trainer.h"
+#include "dbscore/serve/scoring_service.h"
+#include "dbscore/serve/service_proc.h"
 
 namespace {
 
 using namespace dbscore;
 
 void
-LoadDemoData(Database& db)
+LoadDemoData(Database& db, serve::ScoringService& service)
 {
     Dataset iris = MakeIris(600, 1);
     Dataset higgs = MakeHiggs(2000, 1);
@@ -38,10 +41,14 @@ LoadDemoData(Database& db)
     ForestTrainerConfig config;
     config.num_trees = 32;
     config.max_depth = 10;
-    db.StoreModel("iris_rf",
-                  TreeEnsemble::FromForest(TrainForest(iris, config)));
-    db.StoreModel("higgs_rf",
-                  TreeEnsemble::FromForest(TrainForest(higgs, config)));
+    RandomForest iris_rf = TrainForest(iris, config);
+    RandomForest higgs_rf = TrainForest(higgs, config);
+    db.StoreModel("iris_rf", TreeEnsemble::FromForest(iris_rf));
+    db.StoreModel("higgs_rf", TreeEnsemble::FromForest(higgs_rf));
+    service.RegisterModel("iris_rf", TreeEnsemble::FromForest(iris_rf),
+                          ComputeModelStats(iris_rf, &iris));
+    service.RegisterModel("higgs_rf", TreeEnsemble::FromForest(higgs_rf),
+                          ComputeModelStats(higgs_rf, &higgs));
 }
 
 }  // namespace
@@ -50,18 +57,24 @@ int
 main()
 {
     Database db;
-    LoadDemoData(db);
     HardwareProfile profile = HardwareProfile::Paper();
+    serve::ScoringService service(profile, serve::ServiceConfig{});
+    LoadDemoData(db, service);
+    service.Start();
     ExternalRuntimeParams runtime_params;
     ScoringPipeline pipeline(db, profile, runtime_params);
     QueryEngine engine(db, pipeline);
+    serve::RegisterServeProcedures(engine, service);
 
     std::cout << "dbscore SQL shell. Tables:";
     for (const auto& name : db.TableNames()) {
         std::cout << " " << name;
     }
     std::cout << "\nTry: EXEC sp_score_model @model = 'iris_rf', "
-                 "@data = 'iris_data', @backend = 'auto', @top = 5\n";
+                 "@data = 'iris_data', @backend = 'auto', @top = 5\n"
+                 "     EXEC sp_score_service @model = 'higgs_rf', "
+                 "@rows = 4096\n"
+                 "     EXEC sp_serve_stats\n";
 
     std::string line;
     while (true) {

@@ -13,6 +13,7 @@ ThreadPool::ThreadPool(std::size_t num_threads)
         num_threads = std::max<std::size_t>(
             1, std::thread::hardware_concurrency());
     }
+    size_ = num_threads;
     workers_.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i) {
         workers_.emplace_back([this] { WorkerLoop(); });
@@ -21,14 +22,45 @@ ThreadPool::ThreadPool(std::size_t num_threads)
 
 ThreadPool::~ThreadPool()
 {
+    Shutdown();
+}
+
+void
+ThreadPool::Shutdown()
+{
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stop_ = true;
     }
     cv_.notify_all();
+    // Idempotent teardown: a second Shutdown (or the destructor after an
+    // explicit Shutdown) finds nothing joinable and returns immediately.
     for (auto& w : workers_) {
-        w.join();
+        if (w.joinable()) {
+            w.join();
+        }
     }
+    workers_.clear();
+}
+
+bool
+ThreadPool::stopped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stop_;
+}
+
+void
+ThreadPool::Submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_) {
+            throw InvalidArgument("thread pool: Submit after Shutdown");
+        }
+        tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
 }
 
 void
@@ -80,7 +112,7 @@ ThreadPool::ParallelForChunked(
     }
     const std::size_t num_chunks =
         std::min(count, std::max<std::size_t>(1, size() * 4));
-    if (num_chunks <= 1) {
+    if (num_chunks <= 1 || stopped()) {
         fn(0, count);
         return;
     }

@@ -26,12 +26,33 @@ class ThreadPool {
  public:
     /** Creates @p num_threads workers; 0 means hardware_concurrency(). */
     explicit ThreadPool(std::size_t num_threads = 0);
+
+    /** Equivalent to Shutdown(); never throws and never hangs. */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
 
-    std::size_t size() const { return workers_.size(); }
+    std::size_t size() const { return size_; }
+
+    /**
+     * Stops accepting work, runs already-queued tasks to completion, and
+     * joins every worker. Idempotent: safe to call repeatedly and again
+     * from the destructor, including after a partially constructed pool —
+     * only joinable workers are joined, so teardown can never hang on a
+     * thread that was already reaped.
+     */
+    void Shutdown();
+
+    /** True once Shutdown() has begun. */
+    bool stopped() const;
+
+    /**
+     * Enqueues one standalone task. Long-running tasks (e.g. service
+     * worker loops) each permanently occupy one worker, so size the pool
+     * accordingly. @throws InvalidArgument after Shutdown().
+     */
+    void Submit(std::function<void()> task);
 
     /**
      * Runs fn(i) for i in [0, count), split into contiguous chunks across
@@ -43,7 +64,9 @@ class ThreadPool {
 
     /**
      * Chunked variant: runs fn(begin, end) on contiguous ranges. Lower
-     * dispatch overhead for tight per-row loops.
+     * dispatch overhead for tight per-row loops. After Shutdown() the
+     * whole range runs inline on the calling thread instead of hanging
+     * on a dead queue.
      */
     void ParallelForChunked(
         std::size_t count,
@@ -57,8 +80,9 @@ class ThreadPool {
     void WorkerLoop();
 
     std::vector<std::thread> workers_;
+    std::size_t size_ = 0;
     std::queue<std::function<void()>> tasks_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable cv_;
     bool stop_ = false;
 };

@@ -109,4 +109,21 @@ OffloadScheduler::Regret(BackendKind chosen, std::size_t num_rows) const
     return EstimateFor(chosen, num_rows).Total() / decision.best_time;
 }
 
+std::optional<BackendEstimate>
+BestOfClass(const OffloadScheduler& scheduler, DeviceClass device,
+            std::size_t num_rows)
+{
+    std::optional<BackendEstimate> best;
+    for (BackendKind kind : scheduler.Available()) {
+        if (BackendDeviceClass(kind) != device) {
+            continue;
+        }
+        BackendEstimate est{kind, scheduler.EstimateFor(kind, num_rows)};
+        if (!best || est.Total() < best->Total()) {
+            best = std::move(est);
+        }
+    }
+    return best;
+}
+
 }  // namespace dbscore

@@ -83,6 +83,16 @@ class OffloadScheduler {
     std::vector<std::unique_ptr<ScoringEngine>> engines_;
 };
 
+/**
+ * Lowest-latency backend of one device class at @p num_rows, or nullopt
+ * when no backend of that class hosts the model. The workload simulator
+ * and the serving layer's placement policies both pick per *device*
+ * (the contended resource), then use the best engine variant on it.
+ */
+std::optional<BackendEstimate> BestOfClass(const OffloadScheduler& scheduler,
+                                           DeviceClass device,
+                                           std::size_t num_rows);
+
 }  // namespace dbscore
 
 #endif  // DBSCORE_CORE_SCHEDULER_H

@@ -48,36 +48,6 @@ GenerateWorkload(const WorkloadConfig& config)
     return queries;
 }
 
-namespace {
-
-/** Best available backend of one device class at @p rows, by service. */
-struct ClassChoice {
-    bool available = false;
-    BackendKind kind = BackendKind::kCpuSklearn;
-    SimTime service;
-};
-
-ClassChoice
-BestOfClass(const OffloadScheduler& scheduler, DeviceClass device,
-            std::size_t rows)
-{
-    ClassChoice choice;
-    for (BackendKind kind : scheduler.Available()) {
-        if (BackendDeviceClass(kind) != device) {
-            continue;
-        }
-        SimTime t = scheduler.EstimateFor(kind, rows).Total();
-        if (!choice.available || t < choice.service) {
-            choice.available = true;
-            choice.kind = kind;
-            choice.service = t;
-        }
-    }
-    return choice;
-}
-
-}  // namespace
-
 WorkloadReport
 SimulateWorkload(const OffloadScheduler& scheduler,
                  const std::vector<WorkloadQuery>& queries,
@@ -97,7 +67,7 @@ SimulateWorkload(const OffloadScheduler& scheduler,
 
     for (const WorkloadQuery& query : queries) {
         // Candidate per device class.
-        ClassChoice per_class[3] = {
+        std::optional<BackendEstimate> per_class[3] = {
             BestOfClass(scheduler, DeviceClass::kCpu, query.num_rows),
             BestOfClass(scheduler, DeviceClass::kGpu, query.num_rows),
             BestOfClass(scheduler, DeviceClass::kFpga, query.num_rows),
@@ -114,9 +84,9 @@ SimulateWorkload(const OffloadScheduler& scheduler,
           case WorkloadPolicy::kServiceOptimal: {
             double best = 1e30;
             for (int d = 0; d < 3; ++d) {
-                if (per_class[d].available &&
-                    per_class[d].service.seconds() < best) {
-                    best = per_class[d].service.seconds();
+                if (per_class[d] &&
+                    per_class[d]->Total().seconds() < best) {
+                    best = per_class[d]->Total().seconds();
                     chosen = d;
                 }
             }
@@ -125,12 +95,12 @@ SimulateWorkload(const OffloadScheduler& scheduler,
           case WorkloadPolicy::kQueueAware: {
             double best = 1e30;
             for (int d = 0; d < 3; ++d) {
-                if (!per_class[d].available) {
+                if (!per_class[d]) {
                     continue;
                 }
                 double wait = std::max(
                     0.0, device_free[d] - query.arrival.seconds());
-                double finish = wait + per_class[d].service.seconds();
+                double finish = wait + per_class[d]->Total().seconds();
                 if (finish < best) {
                     best = finish;
                     chosen = d;
@@ -139,14 +109,14 @@ SimulateWorkload(const OffloadScheduler& scheduler,
             break;
           }
         }
-        if (!per_class[chosen].available) {
+        if (!per_class[chosen]) {
             chosen = 0;  // the CPU can always host the model
         }
-        DBS_ASSERT(per_class[chosen].available);
+        DBS_ASSERT(per_class[chosen].has_value());
 
         double start = std::max(query.arrival.seconds(),
                                 device_free[chosen]);
-        double service = per_class[chosen].service.seconds();
+        double service = per_class[chosen]->Total().seconds();
         double finish = start + service;
         device_free[chosen] = finish;
         device_busy[chosen] += service;

@@ -14,14 +14,53 @@ ExternalScriptRuntime::ExternalScriptRuntime(
     }
 }
 
-SimTime
-ExternalScriptRuntime::InvokeProcess()
+InvocationCost
+ExternalScriptRuntime::Invoke()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (params_.pool_recycle_every > 0 &&
+        since_recycle_ >= params_.pool_recycle_every) {
+        warm_ = false;
+        since_recycle_ = 0;
+    }
+    ++invocations_;
+    ++since_recycle_;
     if (warm_) {
-        return params_.warm_invocation;
+        return {params_.warm_invocation, false};
     }
     warm_ = true;
-    return params_.cold_invocation;
+    ++cold_invocations_;
+    return {params_.cold_invocation, true};
+}
+
+bool
+ExternalScriptRuntime::warm() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return warm_ && !(params_.pool_recycle_every > 0 &&
+                      since_recycle_ >= params_.pool_recycle_every);
+}
+
+void
+ExternalScriptRuntime::ResetPool()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    warm_ = false;
+    since_recycle_ = 0;
+}
+
+std::size_t
+ExternalScriptRuntime::invocations() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return invocations_;
+}
+
+std::size_t
+ExternalScriptRuntime::cold_invocations() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cold_invocations_;
 }
 
 SimTime

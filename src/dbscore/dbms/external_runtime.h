@@ -14,7 +14,9 @@
 #ifndef DBSCORE_DBMS_EXTERNAL_RUNTIME_H
 #define DBSCORE_DBMS_EXTERNAL_RUNTIME_H
 
+#include <cstddef>
 #include <cstdint>
+#include <mutex>
 
 #include "dbscore/common/sim_time.h"
 
@@ -39,9 +41,33 @@ struct ExternalRuntimeParams {
     double model_deser_bytes_per_second = 100e6;
     /** Per-feature-value cost of preparing the scoring matrix. */
     double data_preproc_ns_per_value = 8.0;
+    /**
+     * Pool-recycling hook: after this many invocations the warm process
+     * pool is torn down and the next invocation pays the cold cost again
+     * (SQL Server recycles pooled satellite processes under memory
+     * pressure and resource-governor limits). 0 disables recycling.
+     */
+    std::size_t pool_recycle_every = 0;
 };
 
-/** Stage-cost model of one external runtime. */
+/** One invocation's cost, with the warm/cold decision made explicit. */
+struct InvocationCost {
+    SimTime cost;
+    bool cold = false;
+};
+
+/**
+ * Stage-cost model of one external runtime.
+ *
+ * Thread-safety: one instance models exactly one warm-process pool, and
+ * its warm/cold invocation state is guarded by an internal mutex, so
+ * concurrent Invoke()/ResetPool() calls are safe and every invocation is
+ * attributed exactly once (exactly one caller observes each cold start).
+ * The pure cost functions (TransferToProcess, TransferFromProcess, and
+ * the preprocessing estimators) are const and stateless. Components
+ * that want independent pools — e.g. one per
+ * device worker in dbscore::serve — should each own their own instance.
+ */
 class ExternalScriptRuntime {
  public:
     explicit ExternalScriptRuntime(const ExternalRuntimeParams& params);
@@ -50,15 +76,25 @@ class ExternalScriptRuntime {
 
     /**
      * Cost of invoking the external process. The first call is cold;
-     * later calls hit the warm pool until ResetPool().
+     * later calls hit the warm pool until ResetPool() or until the
+     * pool_recycle_every hook forces a recycle.
      */
-    SimTime InvokeProcess();
+    InvocationCost Invoke();
+
+    /** Invoke() for callers that only need the cost. */
+    SimTime InvokeProcess() { return Invoke().cost; }
 
     /** True if the next invocation will be warm. */
-    bool warm() const { return warm_; }
+    bool warm() const;
 
     /** Simulates recycling the process pool (next invocation is cold). */
-    void ResetPool() { warm_ = false; }
+    void ResetPool();
+
+    /** Total invocations served by this runtime instance. */
+    std::size_t invocations() const;
+
+    /** Invocations that paid the cold-start cost. */
+    std::size_t cold_invocations() const;
 
     /** DBMS -> process copy of @p bytes. */
     SimTime TransferToProcess(std::uint64_t bytes) const;
@@ -74,7 +110,12 @@ class ExternalScriptRuntime {
 
  private:
     ExternalRuntimeParams params_;
+    mutable std::mutex mutex_;
     bool warm_ = false;
+    std::size_t invocations_ = 0;
+    std::size_t cold_invocations_ = 0;
+    /** Invocations since the pool last went cold (recycling hook). */
+    std::size_t since_recycle_ = 0;
 };
 
 }  // namespace dbscore

@@ -1,0 +1,457 @@
+#include "dbscore/serve/scoring_service.h"
+
+#include <utility>
+
+#include "dbscore/common/error.h"
+
+namespace dbscore::serve {
+
+namespace {
+
+/** Row-proportional share of an engine breakdown. */
+OffloadBreakdown
+ScaleBreakdown(const OffloadBreakdown& b, double k)
+{
+    OffloadBreakdown s;
+    s.preprocessing = b.preprocessing * k;
+    s.input_transfer = b.input_transfer * k;
+    s.setup = b.setup * k;
+    s.compute = b.compute * k;
+    s.completion_signal = b.completion_signal * k;
+    s.result_transfer = b.result_transfer * k;
+    s.software_overhead = b.software_overhead * k;
+    return s;
+}
+
+}  // namespace
+
+ScoringService::ScoringService(const HardwareProfile& profile,
+                               ServiceConfig config)
+    : profile_(profile), config_(std::move(config))
+{
+    if (config_.admission_capacity == 0) {
+        throw InvalidArgument("service: zero admission capacity");
+    }
+    // Validate the coalescer config eagerly (the dispatcher constructs
+    // its own instance later).
+    BatchCoalescer validate(config_.coalescer);
+    for (Device& d : devices_) {
+        d.runtime =
+            std::make_unique<ExternalScriptRuntime>(config_.runtime_params);
+    }
+}
+
+ScoringService::~ScoringService()
+{
+    Stop();
+}
+
+void
+ScoringService::RegisterModel(const std::string& id,
+                              const TreeEnsemble& model,
+                              const ModelStats& stats)
+{
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    if (running_) {
+        throw InvalidArgument("service: RegisterModel while running");
+    }
+    if (models_.count(id) != 0) {
+        throw InvalidArgument("service: duplicate model id: " + id);
+    }
+    models_.emplace(id,
+                    std::make_unique<ModelEntry>(profile_, model, stats));
+}
+
+std::vector<BackendKind>
+ScoringService::BackendsFor(const std::string& id) const
+{
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    auto it = models_.find(id);
+    if (it == models_.end()) {
+        throw NotFound("service: unknown model: " + id);
+    }
+    return it->second->scheduler.Available();
+}
+
+void
+ScoringService::Start()
+{
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    if (running_) {
+        return;
+    }
+    if (stop_requested_ || threads_ != nullptr) {
+        throw InvalidArgument("service: cannot restart a stopped service");
+    }
+    if (models_.empty()) {
+        throw InvalidArgument("service: Start with no registered models");
+    }
+    running_ = true;
+    threads_ = std::make_unique<ThreadPool>(4);
+    threads_->Submit([this] { DispatcherLoop(); });
+    for (int d = 0; d < 3; ++d) {
+        threads_->Submit([this, d] { WorkerLoop(d); });
+    }
+}
+
+bool
+ScoringService::running() const
+{
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    return running_;
+}
+
+void
+ScoringService::Stop()
+{
+    bool was_running = false;
+    std::deque<PendingRequest> orphaned;
+    {
+        std::lock_guard<std::mutex> lock(admission_mutex_);
+        if (stop_requested_) {
+            return;  // idempotent
+        }
+        stop_requested_ = true;
+        was_running = running_;
+        if (!was_running) {
+            // Never started: nobody will ever serve the queue.
+            orphaned.swap(admission_);
+        }
+    }
+    admission_cv_.notify_all();
+
+    if (was_running) {
+        // 1. Dispatcher drains the admission queue, flushes open
+        //    batches, and exits.
+        {
+            std::unique_lock<std::mutex> lock(admission_mutex_);
+            settled_cv_.wait(lock, [this] { return dispatcher_done_; });
+        }
+        // 2. Workers drain their batch queues and exit.
+        for (Device& d : devices_) {
+            {
+                std::lock_guard<std::mutex> lock(d.mutex);
+                d.stop = true;
+            }
+            d.cv.notify_all();
+        }
+        threads_->Shutdown();
+    }
+
+    for (PendingRequest& r : orphaned) {
+        ScoreReply reply;
+        reply.status = RequestStatus::kRejected;
+        reply.finish = r.request.arrival.value_or(SimTime());
+        reply.error = "service stopped before Start";
+        const SimTime finish = reply.finish;
+        stats_.RecordRejected();
+        r.handle->Fulfill(std::move(reply));
+        SettleOne(finish);
+    }
+
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    running_ = false;
+}
+
+void
+ScoringService::Drain()
+{
+    std::unique_lock<std::mutex> lock(admission_mutex_);
+    settled_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+SimTime
+ScoringService::StampArrival(const std::optional<SimTime>& arrival)
+{
+    // Caller holds admission_mutex_.
+    if (arrival.has_value()) {
+        modeled_now_ = Max(modeled_now_, *arrival);
+        return *arrival;
+    }
+    return modeled_now_;
+}
+
+PendingScorePtr
+ScoringService::Submit(ScoreRequest request)
+{
+    auto handle = std::make_shared<PendingScore>();
+    stats_.RecordSubmitted();
+
+    std::string reject_reason;
+    {
+        std::lock_guard<std::mutex> lock(admission_mutex_);
+        if (stop_requested_) {
+            reject_reason = "service is stopped";
+        } else if (models_.count(request.model_id) == 0) {
+            reject_reason = "unknown model: " + request.model_id;
+        } else if (request.num_rows == 0) {
+            reject_reason = "zero rows";
+        } else if (in_flight_ >= config_.admission_capacity) {
+            reject_reason = "admission queue full";
+        } else {
+            request.arrival = StampArrival(request.arrival);
+            ++in_flight_;
+            admission_.push_back(PendingRequest{std::move(request), handle});
+            stats_.RecordAdmitted();
+        }
+    }
+
+    if (!reject_reason.empty()) {
+        ScoreReply reply;
+        reply.status = RequestStatus::kRejected;
+        reply.error = std::move(reject_reason);
+        stats_.RecordRejected();
+        handle->Fulfill(std::move(reply));
+    } else {
+        admission_cv_.notify_one();
+    }
+    return handle;
+}
+
+ScoreReply
+ScoringService::ScoreSync(ScoreRequest request)
+{
+    return Submit(std::move(request))->Wait();
+}
+
+void
+ScoringService::SettleOne(SimTime finish)
+{
+    {
+        std::lock_guard<std::mutex> lock(admission_mutex_);
+        DBS_ASSERT(in_flight_ > 0);
+        --in_flight_;
+        modeled_now_ = Max(modeled_now_, finish);
+    }
+    settled_cv_.notify_all();
+}
+
+void
+ScoringService::DispatcherLoop()
+{
+    BatchCoalescer coalescer(config_.coalescer);
+    std::deque<PendingRequest> grabbed;
+    for (;;) {
+        bool stopping = false;
+        grabbed.clear();
+        {
+            std::unique_lock<std::mutex> lock(admission_mutex_);
+            auto ready = [this] {
+                return stop_requested_ || !admission_.empty();
+            };
+            if (coalescer.open_batches() > 0) {
+                // Open batches must not outlive an idle flush interval,
+                // or a lone synchronous caller would hang.
+                admission_cv_.wait_for(lock, config_.flush_interval,
+                                       ready);
+            } else {
+                admission_cv_.wait(lock, ready);
+            }
+            grabbed.swap(admission_);
+            stopping = stop_requested_;
+        }
+        if (grabbed.empty()) {
+            // Idle tick (or stop): strand no open batch.
+            for (Batch& batch : coalescer.Flush()) {
+                PlaceAndEnqueue(std::move(batch));
+            }
+            if (stopping) {
+                break;
+            }
+            continue;
+        }
+        for (PendingRequest& r : grabbed) {
+            for (Batch& batch : coalescer.Add(std::move(r))) {
+                PlaceAndEnqueue(std::move(batch));
+            }
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(admission_mutex_);
+        dispatcher_done_ = true;
+    }
+    settled_cv_.notify_all();
+}
+
+void
+ScoringService::PlaceAndEnqueue(Batch batch)
+{
+    const ModelEntry& entry = *models_.at(batch.model_id);
+    const std::size_t rows = batch.total_rows;
+    std::optional<BackendEstimate> per_class[3] = {
+        BestOfClass(entry.scheduler, DeviceClass::kCpu, rows),
+        BestOfClass(entry.scheduler, DeviceClass::kGpu, rows),
+        BestOfClass(entry.scheduler, DeviceClass::kFpga, rows),
+    };
+
+    int chosen = 0;
+    switch (config_.policy) {
+      case WorkloadPolicy::kAlwaysCpu:
+        chosen = 0;
+        break;
+      case WorkloadPolicy::kAlwaysFpga:
+        chosen = 2;
+        break;
+      case WorkloadPolicy::kServiceOptimal: {
+        double best = 1e30;
+        for (int d = 0; d < 3; ++d) {
+            if (per_class[d] && per_class[d]->Total().seconds() < best) {
+                best = per_class[d]->Total().seconds();
+                chosen = d;
+            }
+        }
+        break;
+      }
+      case WorkloadPolicy::kQueueAware: {
+        double best = 1e30;
+        for (int d = 0; d < 3; ++d) {
+            if (!per_class[d]) {
+                continue;
+            }
+            SimTime free_at;
+            {
+                std::lock_guard<std::mutex> lock(devices_[d].mutex);
+                free_at = devices_[d].free_at;
+            }
+            double wait = std::max(
+                0.0, (free_at - batch.ready).seconds());
+            double finish = wait + per_class[d]->Total().seconds();
+            if (finish < best) {
+                best = finish;
+                chosen = d;
+            }
+        }
+        break;
+      }
+    }
+    if (!per_class[chosen]) {
+        chosen = 0;  // the CPU can always host the model
+    }
+    DBS_ASSERT(per_class[chosen].has_value());
+
+    Device& device = devices_[chosen];
+    {
+        std::lock_guard<std::mutex> lock(device.mutex);
+        device.queue.emplace_back(std::move(batch),
+                                  per_class[chosen]->kind);
+    }
+    device.cv.notify_one();
+}
+
+void
+ScoringService::WorkerLoop(int device_index)
+{
+    Device& device = devices_[device_index];
+    const auto device_class = static_cast<DeviceClass>(device_index);
+    for (;;) {
+        std::pair<Batch, BackendKind> work;
+        {
+            std::unique_lock<std::mutex> lock(device.mutex);
+            device.cv.wait(lock, [&device] {
+                return device.stop || !device.queue.empty();
+            });
+            if (device.queue.empty()) {
+                return;  // stop requested and fully drained
+            }
+            work = std::move(device.queue.front());
+            device.queue.pop_front();
+        }
+        ExecuteBatch(device, device_class, work.first, work.second);
+    }
+}
+
+void
+ScoringService::ExecuteBatch(Device& device, DeviceClass device_class,
+                             Batch& batch, BackendKind kind)
+{
+    const ModelEntry& entry = *models_.at(batch.model_id);
+    SimTime start;
+    {
+        std::lock_guard<std::mutex> lock(device.mutex);
+        start = Max(batch.ready, device.free_at);
+    }
+
+    // Deadline admission at dispatch: members whose modeled start
+    // already overruns their deadline expire instead of scoring (and
+    // shrink the dispatched batch).
+    std::vector<PendingRequest> live;
+    live.reserve(batch.members.size());
+    std::size_t rows = 0;
+    for (PendingRequest& m : batch.members) {
+        const SimTime arrival = *m.request.arrival;
+        if (m.request.deadline.has_value() &&
+            start > arrival + *m.request.deadline) {
+            ScoreReply reply;
+            reply.status = RequestStatus::kExpired;
+            reply.finish = start;
+            reply.timing.latency = start - arrival;
+            reply.error = "deadline expired before dispatch";
+            stats_.RecordExpired(arrival, start);
+            m.handle->Fulfill(std::move(reply));
+            SettleOne(start);
+            continue;
+        }
+        rows += m.request.num_rows;
+        live.push_back(std::move(m));
+    }
+    if (live.empty()) {
+        return;  // nothing dispatched; the device stays free
+    }
+
+    // Batch cost: one external-process invocation + one DBMS<->process
+    // round trip + one engine dispatch for the whole coalesced batch —
+    // the amortization the paper's per-query pipeline forgoes.
+    ExternalScriptRuntime& runtime = *device.runtime;
+    const InvocationCost invocation = runtime.Invoke();
+    const SimTime model_pre =
+        invocation.cold ? runtime.ModelPreprocessing(entry.model_bytes)
+                        : SimTime();
+    const std::uint64_t bytes_in =
+        static_cast<std::uint64_t>(rows) * entry.num_cols * sizeof(float);
+    const std::uint64_t bytes_out =
+        static_cast<std::uint64_t>(rows) * sizeof(float);
+    const SimTime transfer = runtime.TransferToProcess(bytes_in) +
+                             runtime.TransferFromProcess(bytes_out);
+    const SimTime data_pre = runtime.DataPreprocessing(rows, entry.num_cols);
+    const OffloadBreakdown scoring =
+        entry.scheduler.EstimateFor(kind, rows);
+    const SimTime service = invocation.cost + model_pre + transfer +
+                            data_pre + scoring.Total();
+    const SimTime finish = start + service;
+
+    {
+        std::lock_guard<std::mutex> lock(device.mutex);
+        device.free_at = Max(device.free_at, finish);
+    }
+    stats_.RecordBatch(device_class, live.size(), rows, service,
+                       invocation.cold);
+
+    const double n = static_cast<double>(live.size());
+    for (PendingRequest& m : live) {
+        const SimTime arrival = *m.request.arrival;
+        const double share =
+            static_cast<double>(m.request.num_rows) /
+            static_cast<double>(rows);
+        ScoreReply reply;
+        reply.status = RequestStatus::kCompleted;
+        reply.backend = kind;
+        reply.finish = finish;
+        reply.batch_requests = live.size();
+        reply.batch_rows = rows;
+        reply.cold_invocation = invocation.cold;
+        RequestTiming& t = reply.timing;
+        t.coalesce_delay = Max(SimTime(), batch.ready - arrival);
+        t.queue_wait = start - batch.ready;
+        t.invocation_share = invocation.cost / n;
+        t.model_preproc_share = model_pre / n;
+        t.transfer_share = transfer * share;
+        t.data_preproc_share = data_pre * share;
+        t.scoring_share = ScaleBreakdown(scoring, share);
+        t.latency = finish - arrival;
+        stats_.RecordCompleted(t, arrival, finish, m.request.num_rows);
+        m.handle->Fulfill(std::move(reply));
+        SettleOne(finish);
+    }
+}
+
+}  // namespace dbscore::serve

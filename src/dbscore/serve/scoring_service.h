@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The concurrent scoring service.
+ *
+ * ScoringService is the serving layer the ROADMAP's production north
+ * star needs and the paper's conclusion argues for: a front door that
+ * accepts scoring requests from many client threads, applies admission
+ * control (bounded queue, reject-on-full backpressure, deadline expiry),
+ * coalesces same-model requests into micro-batches to amortize the
+ * paper's invocation/transfer/preprocessing overheads, and drives the
+ * per-device worker loops under a queue-aware placement policy.
+ *
+ * Concurrency vs. time: the *machinery* is real — client threads block
+ * on real condition variables, a dispatcher thread and one worker
+ * thread per device class run on a dedicated ThreadPool — while all
+ * *latencies* are modeled SimTime, exactly like the rest of dbscore.
+ * Requests carry modeled arrival stamps (trace replay) or are stamped
+ * with the service's modeled clock (live callers); each device advances
+ * a modeled free-at horizon as batches dispatch. Results are therefore
+ * machine-independent: wall-clock thread interleaving can change which
+ * requests share a batch, but never how a given batch is costed.
+ */
+#ifndef DBSCORE_SERVE_SCORING_SERVICE_H
+#define DBSCORE_SERVE_SCORING_SERVICE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dbscore/common/thread_pool.h"
+#include "dbscore/core/scheduler.h"
+#include "dbscore/core/workload_sim.h"
+#include "dbscore/dbms/external_runtime.h"
+#include "dbscore/serve/batch_coalescer.h"
+#include "dbscore/serve/request.h"
+#include "dbscore/serve/service_stats.h"
+
+namespace dbscore::serve {
+
+/** Service configuration. */
+struct ServiceConfig {
+    /** Micro-batching policy; window zero = uncoalesced baseline. */
+    CoalescerConfig coalescer;
+    /**
+     * Admission-queue capacity. Submissions beyond this many unserved
+     * requests are rejected immediately (backpressure) rather than
+     * queued without bound.
+     */
+    std::size_t admission_capacity = 1024;
+    /** Placement policy across device classes (workload_sim semantics). */
+    WorkloadPolicy policy = WorkloadPolicy::kQueueAware;
+    /** Stage costs of each device worker's external runtime instance. */
+    ExternalRuntimeParams runtime_params;
+    /**
+     * Wall-clock idle interval after which open batches are flushed, so
+     * a lone synchronous caller is never stranded waiting for
+     * batchmates that will not come. Liveness only — it never enters
+     * the modeled times.
+     */
+    std::chrono::milliseconds flush_interval{2};
+};
+
+/** Accepts, batches, places, and "executes" scoring requests. */
+class ScoringService {
+ public:
+    ScoringService(const HardwareProfile& profile, ServiceConfig config);
+
+    /** Stops the service (idempotent, joins all threads). */
+    ~ScoringService();
+
+    ScoringService(const ScoringService&) = delete;
+    ScoringService& operator=(const ScoringService&) = delete;
+
+    /**
+     * Registers a model under @p id, loading it into every viable
+     * backend. Must precede Start(); the registry is immutable while
+     * the service runs so workers read it lock-free.
+     * @throws InvalidArgument when running or @p id is taken
+     */
+    void RegisterModel(const std::string& id, const TreeEnsemble& model,
+                       const ModelStats& stats);
+
+    /** Backends available for a registered model. */
+    std::vector<BackendKind> BackendsFor(const std::string& id) const;
+
+    /** Launches the dispatcher and device worker threads. */
+    void Start();
+
+    /**
+     * Drains in-flight requests, then stops every thread. Idempotent;
+     * called by the destructor.
+     */
+    void Stop();
+
+    /** Blocks until every submitted request reached a terminal state. */
+    void Drain();
+
+    bool running() const;
+
+    /**
+     * Submits one request. Never blocks on scoring: returns a handle
+     * that is fulfilled later (or immediately, with kRejected, under
+     * backpressure or when the service is not running / the model is
+     * unknown). Thread-safe.
+     */
+    PendingScorePtr Submit(ScoreRequest request);
+
+    /** Submit + Wait convenience for synchronous callers. */
+    ScoreReply ScoreSync(ScoreRequest request);
+
+    /** Consistent metrics snapshot; callable while running. */
+    ServiceSnapshot Stats() const { return stats_.Snapshot(); }
+
+    const ServiceConfig& config() const { return config_; }
+
+ private:
+    /** Everything the workers need to cost one model's dispatches. */
+    struct ModelEntry {
+        OffloadScheduler scheduler;
+        std::size_t num_cols = 0;
+        std::uint64_t model_bytes = 0;
+
+        ModelEntry(const HardwareProfile& profile,
+                   const TreeEnsemble& model, const ModelStats& stats)
+            : scheduler(profile, model, stats),
+              num_cols(stats.num_features),
+              model_bytes(stats.serialized_bytes) {}
+    };
+
+    /** One device class's queue, worker state, and modeled horizon. */
+    struct Device {
+        std::deque<std::pair<Batch, BackendKind>> queue;
+        std::mutex mutex;
+        std::condition_variable cv;
+        /** Modeled time at which the device next goes idle. */
+        SimTime free_at;
+        /** This worker's warm-process pool. */
+        std::unique_ptr<ExternalScriptRuntime> runtime;
+        /** Worker exits once set and the queue is drained. */
+        bool stop = false;
+    };
+
+    void DispatcherLoop();
+    void WorkerLoop(int device_index);
+    void PlaceAndEnqueue(Batch batch);
+    void ExecuteBatch(Device& device, DeviceClass device_class,
+                      Batch& batch, BackendKind kind);
+    /** Marks one admitted request terminal; advances the modeled clock. */
+    void SettleOne(SimTime finish);
+    SimTime StampArrival(const std::optional<SimTime>& arrival);
+
+    HardwareProfile profile_;
+    ServiceConfig config_;
+    std::map<std::string, std::unique_ptr<ModelEntry>> models_;
+
+    // Admission queue (bounded) feeding the dispatcher.
+    mutable std::mutex admission_mutex_;
+    std::condition_variable admission_cv_;
+    std::deque<PendingRequest> admission_;
+    /** Admitted but not yet settled (for capacity accounting). */
+    std::size_t in_flight_ = 0;
+    /** Monotonic modeled clock for unstamped (live) arrivals. */
+    SimTime modeled_now_;
+    bool stop_requested_ = false;
+    bool running_ = false;
+    bool dispatcher_done_ = false;
+
+    Device devices_[3];
+
+    // Drain/Stop coordination.
+    mutable std::mutex settled_mutex_;
+    std::condition_variable settled_cv_;
+
+    ServiceStats stats_;
+    std::unique_ptr<ThreadPool> threads_;
+};
+
+}  // namespace dbscore::serve
+
+#endif  // DBSCORE_SERVE_SCORING_SERVICE_H

@@ -1,0 +1,100 @@
+#include "dbscore/serve/service_proc.h"
+
+#include "dbscore/common/error.h"
+#include "dbscore/common/string_util.h"
+
+namespace dbscore::serve {
+
+namespace {
+
+QueryResult
+SpScoreService(ScoringService& service, const ExecStatement& stmt)
+{
+    ScoreRequest request;
+    request.model_id = GetStringParam(stmt, "model");
+    auto rows = GetIntParam(stmt, "rows");
+    if (!rows.has_value() || *rows <= 0) {
+        throw InvalidArgument(
+            "sp_score_service: @rows must be a positive integer");
+    }
+    request.num_rows = static_cast<std::size_t>(*rows);
+    if (auto deadline = GetIntParam(stmt, "deadline_ms");
+        deadline.has_value()) {
+        if (*deadline <= 0) {
+            throw InvalidArgument(
+                "sp_score_service: @deadline_ms must be positive");
+        }
+        request.deadline =
+            SimTime::Millis(static_cast<double>(*deadline));
+    }
+
+    ScoreReply reply = service.ScoreSync(std::move(request));
+    if (reply.status == RequestStatus::kRejected) {
+        throw InvalidArgument("sp_score_service: rejected: " + reply.error);
+    }
+
+    QueryResult result;
+    result.columns = {"status",        "backend",       "batch_requests",
+                      "batch_rows",    "latency_ms",    "coalesce_ms",
+                      "queue_wait_ms", "invocation_ms"};
+    const RequestTiming& t = reply.timing;
+    result.rows.push_back(
+        {std::string(RequestStatusName(reply.status)),
+         std::string(reply.status == RequestStatus::kCompleted
+                         ? BackendName(reply.backend)
+                         : "-"),
+         static_cast<std::int64_t>(reply.batch_requests),
+         static_cast<std::int64_t>(reply.batch_rows), t.latency.millis(),
+         t.coalesce_delay.millis(), t.queue_wait.millis(),
+         t.invocation_share.millis()});
+    result.modeled_time = t.latency;
+    result.message = StrFormat(
+        "%s in %s (modeled), batch of %zu request(s)",
+        RequestStatusName(reply.status), t.latency.ToString().c_str(),
+        reply.batch_requests);
+    return result;
+}
+
+QueryResult
+SpServeStats(ScoringService& service)
+{
+    ServiceSnapshot snap = service.Stats();
+    QueryResult result;
+    result.columns = {"metric", "value"};
+    auto add = [&result](const std::string& metric, double value) {
+        result.rows.push_back({metric, value});
+    };
+    add("submitted", static_cast<double>(snap.submitted));
+    add("admitted", static_cast<double>(snap.admitted));
+    add("completed", static_cast<double>(snap.completed));
+    add("rejected", static_cast<double>(snap.rejected));
+    add("expired", static_cast<double>(snap.expired));
+    add("batches", static_cast<double>(snap.batches));
+    add("mean_batch_requests", snap.batch_requests.mean);
+    add("latency_p50_ms", snap.latency.p50 * 1e3);
+    add("latency_p95_ms", snap.latency.p95 * 1e3);
+    add("latency_p99_ms", snap.latency.p99 * 1e3);
+    add("throughput_rps", snap.ThroughputRps());
+    result.message =
+        StrFormat("%zu metrics", result.rows.size());
+    return result;
+}
+
+}  // namespace
+
+void
+RegisterServeProcedures(QueryEngine& engine, ScoringService& service)
+{
+    engine.RegisterProcedure(
+        "sp_score_service",
+        [&service](QueryEngine&, const ExecStatement& stmt) {
+            return SpScoreService(service, stmt);
+        });
+    engine.RegisterProcedure(
+        "sp_serve_stats",
+        [&service](QueryEngine&, const ExecStatement&) {
+            return SpServeStats(service);
+        });
+}
+
+}  // namespace dbscore::serve

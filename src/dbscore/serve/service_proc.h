@@ -1,0 +1,37 @@
+/**
+ * @file
+ * DBMS entry point for the scoring service.
+ *
+ * Where sp_score_model runs the paper's per-query pipeline (cold
+ * process, private data copy, solo dispatch), sp_score_service routes
+ * the same ask through the shared ScoringService: the request may be
+ * coalesced with concurrent sessions' requests, rides a warm per-device
+ * process pool, and is answered with its share of the batch's modeled
+ * stage breakdown — the difference between the two procedures *is* the
+ * serving layer's amortization.
+ */
+#ifndef DBSCORE_SERVE_SERVICE_PROC_H
+#define DBSCORE_SERVE_SERVICE_PROC_H
+
+#include "dbscore/dbms/query_engine.h"
+#include "dbscore/serve/scoring_service.h"
+
+namespace dbscore::serve {
+
+/**
+ * Registers two stored procedures on @p engine against @p service
+ * (which must outlive the engine and be Start()ed before use):
+ *
+ *   EXEC sp_score_service @model = '<id>', @rows = N
+ *        [, @deadline_ms = D]
+ *     Submits one request and blocks for its reply; returns one row of
+ *     modeled timing (status, backend, batch size, latency, wait).
+ *
+ *   EXEC sp_serve_stats
+ *     Returns the service's live counters as rows of (metric, value).
+ */
+void RegisterServeProcedures(QueryEngine& engine, ScoringService& service);
+
+}  // namespace dbscore::serve
+
+#endif  // DBSCORE_SERVE_SERVICE_PROC_H

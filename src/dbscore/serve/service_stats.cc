@@ -1,0 +1,192 @@
+#include "dbscore/serve/service_stats.h"
+
+#include <sstream>
+
+#include "dbscore/common/string_util.h"
+
+namespace dbscore::serve {
+
+namespace {
+
+DistSummary
+Summarize(const RunningStats& stats, const QuantileSketch& sketch)
+{
+    DistSummary s;
+    s.count = stats.count();
+    if (s.count == 0) {
+        return s;
+    }
+    s.mean = stats.mean();
+    s.max = stats.max();
+    s.p50 = sketch.Quantile(0.50);
+    s.p95 = sketch.Quantile(0.95);
+    s.p99 = sketch.Quantile(0.99);
+    return s;
+}
+
+}  // namespace
+
+SimTime
+ServiceSnapshot::Makespan() const
+{
+    if (completed + expired == 0) {
+        return SimTime();
+    }
+    return Max(SimTime(), last_finish - first_arrival);
+}
+
+double
+ServiceSnapshot::ThroughputRps() const
+{
+    SimTime span = Makespan();
+    if (span.is_zero()) {
+        return 0.0;
+    }
+    return static_cast<double>(completed) / span.seconds();
+}
+
+double
+ServiceSnapshot::RowThroughput() const
+{
+    SimTime span = Makespan();
+    if (span.is_zero()) {
+        return 0.0;
+    }
+    std::size_t rows = 0;
+    for (const DeviceServeStats& d : device) {
+        rows += d.rows;
+    }
+    return static_cast<double>(rows) / span.seconds();
+}
+
+std::string
+ServiceSnapshot::ToString() const
+{
+    std::ostringstream os;
+    os << StrFormat(
+        "requests: %zu submitted, %zu admitted, %zu completed, "
+        "%zu rejected, %zu expired\n",
+        submitted, admitted, completed, rejected, expired);
+    os << StrFormat(
+        "batches:  %zu dispatched, mean %.1f requests / %.0f rows, "
+        "p95 %.0f requests\n",
+        batches, batch_requests.mean, batch_rows.mean, batch_requests.p95);
+    os << "latency:  p50 " << SimTime::Seconds(latency.p50)
+       << ", p95 " << SimTime::Seconds(latency.p95)
+       << ", p99 " << SimTime::Seconds(latency.p99)
+       << ", max " << SimTime::Seconds(latency.max) << "\n";
+    os << StrFormat(
+        "load:     %.1f req/s, %.3g rows/s over makespan ",
+        ThroughputRps(), RowThroughput())
+       << Makespan() << "\n";
+    static const char* kDeviceNames[3] = {"CPU ", "GPU ", "FPGA"};
+    for (int d = 0; d < 3; ++d) {
+        if (device[d].batches == 0) {
+            continue;
+        }
+        os << StrFormat(
+            "%s:     %zu batches, %zu requests, %zu rows, %zu cold, busy ",
+            kDeviceNames[d], device[d].batches, device[d].requests,
+            device[d].rows, device[d].cold_invocations)
+           << device[d].busy << "\n";
+    }
+    return os.str();
+}
+
+void
+ServiceStats::RecordSubmitted()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++totals_.submitted;
+}
+
+void
+ServiceStats::RecordAdmitted()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++totals_.admitted;
+}
+
+void
+ServiceStats::RecordRejected()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++totals_.rejected;
+}
+
+void
+ServiceStats::RecordExpired(SimTime arrival, SimTime finish)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++totals_.expired;
+    if (!any_arrival_ || arrival < totals_.first_arrival) {
+        totals_.first_arrival = arrival;
+        any_arrival_ = true;
+    }
+    totals_.last_finish = Max(totals_.last_finish, finish);
+}
+
+void
+ServiceStats::RecordBatch(DeviceClass device, std::size_t num_requests,
+                          std::size_t num_rows, SimTime busy, bool cold)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++totals_.batches;
+    DeviceServeStats& d = totals_.device[static_cast<int>(device)];
+    ++d.batches;
+    d.requests += num_requests;
+    d.rows += num_rows;
+    d.busy += busy;
+    if (cold) {
+        ++d.cold_invocations;
+    }
+    batch_request_stats_.Add(static_cast<double>(num_requests));
+    batch_request_sketch_.Add(static_cast<double>(num_requests));
+    batch_row_stats_.Add(static_cast<double>(num_rows));
+    batch_row_sketch_.Add(static_cast<double>(num_rows));
+}
+
+void
+ServiceStats::RecordCompleted(const RequestTiming& timing, SimTime arrival,
+                              SimTime finish, std::size_t rows)
+{
+    (void)rows;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++totals_.completed;
+    if (!any_arrival_ || arrival < totals_.first_arrival) {
+        totals_.first_arrival = arrival;
+        any_arrival_ = true;
+    }
+    totals_.last_finish = Max(totals_.last_finish, finish);
+    latency_stats_.Add(timing.latency.seconds());
+    latency_sketch_.Add(timing.latency.seconds());
+    StageTotals& st = totals_.stage_totals;
+    st.coalesce_delay += timing.coalesce_delay;
+    st.queue_wait += timing.queue_wait;
+    st.invocation += timing.invocation_share;
+    st.model_preprocessing += timing.model_preproc_share;
+    st.transfer += timing.transfer_share;
+    st.data_preprocessing += timing.data_preproc_share;
+    st.scoring += timing.scoring_share.Total();
+}
+
+ServiceSnapshot
+ServiceStats::Snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ServiceSnapshot snap = totals_;
+    snap.latency = Summarize(latency_stats_, latency_sketch_);
+    snap.batch_requests =
+        Summarize(batch_request_stats_, batch_request_sketch_);
+    snap.batch_rows = Summarize(batch_row_stats_, batch_row_sketch_);
+    return snap;
+}
+
+std::size_t
+ServiceStats::Settled() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return totals_.completed + totals_.rejected + totals_.expired;
+}
+
+}  // namespace dbscore::serve

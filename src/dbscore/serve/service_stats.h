@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Thread-safe serving metrics.
+ *
+ * ServiceStats is the service's flight recorder: admission counters,
+ * end-to-end latency quantiles, per-stage modeled-time totals (the
+ * paper's Figure-11 taxonomy aggregated across the fleet), per-device
+ * dispatch accounting, and the coalesced-batch size distribution. Any
+ * thread may record; any thread may Snapshot() while the service runs —
+ * snapshots are consistent copies taken under one lock.
+ */
+#ifndef DBSCORE_SERVE_SERVICE_STATS_H
+#define DBSCORE_SERVE_SERVICE_STATS_H
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+#include "dbscore/common/stats.h"
+#include "dbscore/serve/request.h"
+
+namespace dbscore::serve {
+
+/** Count + moments + tail quantiles of one recorded distribution. */
+struct DistSummary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+/** Per-device-class dispatch accounting. */
+struct DeviceServeStats {
+    std::size_t batches = 0;
+    std::size_t requests = 0;
+    std::size_t rows = 0;
+    std::size_t cold_invocations = 0;
+    /** Modeled busy time accumulated on this device. */
+    SimTime busy;
+};
+
+/** Fleet-wide modeled time spent in each pipeline stage. */
+struct StageTotals {
+    SimTime coalesce_delay;
+    SimTime queue_wait;
+    SimTime invocation;
+    SimTime model_preprocessing;
+    SimTime transfer;
+    SimTime data_preprocessing;
+    SimTime scoring;
+};
+
+/** A consistent copy of every counter at one instant. */
+struct ServiceSnapshot {
+    std::size_t submitted = 0;
+    std::size_t admitted = 0;
+    std::size_t rejected = 0;
+    std::size_t expired = 0;
+    std::size_t completed = 0;
+    std::size_t batches = 0;
+
+    /** End-to-end modeled latency of completed requests, seconds. */
+    DistSummary latency;
+    /** Requests per dispatched batch. */
+    DistSummary batch_requests;
+    /** Rows per dispatched batch. */
+    DistSummary batch_rows;
+
+    StageTotals stage_totals;
+    /** Indexed by DeviceClass (kCpu, kGpu, kFpga). */
+    DeviceServeStats device[3];
+
+    /** Earliest arrival and latest completion seen (modeled). */
+    SimTime first_arrival;
+    SimTime last_finish;
+
+    /** last_finish - first_arrival; zero before the first completion. */
+    SimTime Makespan() const;
+
+    /** Completed requests per modeled second over the makespan. */
+    double ThroughputRps() const;
+
+    /** Scored rows per modeled second over the makespan. */
+    double RowThroughput() const;
+
+    /** Multi-line human-readable rendering. */
+    std::string ToString() const;
+};
+
+/** Thread-safe accumulator behind ServiceSnapshot. */
+class ServiceStats {
+ public:
+    void RecordSubmitted();
+    void RecordAdmitted();
+    void RecordRejected();
+    void RecordExpired(SimTime arrival, SimTime finish);
+
+    /** One coalesced dispatch on @p device. */
+    void RecordBatch(DeviceClass device, std::size_t num_requests,
+                     std::size_t num_rows, SimTime busy, bool cold);
+
+    /** One completed member of a dispatched batch. */
+    void RecordCompleted(const RequestTiming& timing, SimTime arrival,
+                         SimTime finish, std::size_t rows);
+
+    ServiceSnapshot Snapshot() const;
+
+    /** Requests that reached a terminal state (done + rejected + expired). */
+    std::size_t Settled() const;
+
+ private:
+    mutable std::mutex mutex_;
+    ServiceSnapshot totals_;
+    bool any_arrival_ = false;
+    RunningStats latency_stats_;
+    QuantileSketch latency_sketch_;
+    RunningStats batch_request_stats_;
+    QuantileSketch batch_request_sketch_;
+    RunningStats batch_row_stats_;
+    QuantileSketch batch_row_sketch_;
+};
+
+}  // namespace dbscore::serve
+
+#endif  // DBSCORE_SERVE_SERVICE_STATS_H

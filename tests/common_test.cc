@@ -197,6 +197,43 @@ TEST(ThreadPoolTest, PropagatesExceptions)
         InvalidArgument);
 }
 
+TEST(ThreadPoolTest, ShutdownIsIdempotent)
+{
+    ThreadPool pool(3);
+    EXPECT_FALSE(pool.stopped());
+    pool.Shutdown();
+    EXPECT_TRUE(pool.stopped());
+    pool.Shutdown();  // second call must be a harmless no-op
+    pool.Shutdown();
+    EXPECT_TRUE(pool.stopped());
+    // The destructor runs Shutdown() a fourth time; must not hang.
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrowsAndParallelForRunsInline)
+{
+    ThreadPool pool(2);
+    pool.Shutdown();
+    EXPECT_THROW(pool.Submit([] {}), InvalidArgument);
+    // Parallel loops on a dead pool degrade to inline execution rather
+    // than hanging on a queue no worker will ever drain.
+    std::atomic<int> count{0};
+    pool.ParallelFor(100, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitRunsStandaloneTasks)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 8; ++i) {
+            pool.Submit([&count] { ++count; });
+        }
+        // Destructor = Shutdown(): drains queued tasks before joining.
+    }
+    EXPECT_EQ(count.load(), 8);
+}
+
 TEST(RunningStatsTest, BasicMoments)
 {
     RunningStats s;

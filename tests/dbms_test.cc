@@ -4,6 +4,9 @@
  * query engine, the external runtime cost model, and the end-to-end
  * scoring pipeline.
  */
+#include <atomic>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "dbscore/common/error.h"
@@ -217,6 +220,66 @@ TEST(ExternalRuntimeTest, StageCostsScale)
     EXPECT_DOUBLE_EQ(rt.DataPreprocessing(1000, 28).nanos(),
                      1000 * 28 *
                          ExternalRuntimeParams{}.data_preproc_ns_per_value);
+}
+
+TEST(ExternalRuntimeTest, ExplicitInvocationAccounting)
+{
+    ExternalScriptRuntime rt{ExternalRuntimeParams{}};
+    InvocationCost first = rt.Invoke();
+    EXPECT_TRUE(first.cold);
+    InvocationCost second = rt.Invoke();
+    EXPECT_FALSE(second.cold);
+    EXPECT_GT(first.cost, second.cost * 5.0);
+    EXPECT_EQ(rt.invocations(), 2u);
+    EXPECT_EQ(rt.cold_invocations(), 1u);
+    rt.ResetPool();
+    EXPECT_TRUE(rt.Invoke().cold);
+    EXPECT_EQ(rt.cold_invocations(), 2u);
+}
+
+TEST(ExternalRuntimeTest, PoolRecyclingHook)
+{
+    ExternalRuntimeParams params;
+    params.pool_recycle_every = 3;
+    ExternalScriptRuntime rt{params};
+    // cold, warm, warm | cold, warm, warm | cold ...
+    EXPECT_TRUE(rt.Invoke().cold);
+    EXPECT_FALSE(rt.Invoke().cold);
+    EXPECT_FALSE(rt.Invoke().cold);
+    EXPECT_FALSE(rt.warm());  // recycle due: next invocation is cold
+    EXPECT_TRUE(rt.Invoke().cold);
+    EXPECT_TRUE(rt.warm());
+    EXPECT_FALSE(rt.Invoke().cold);
+    EXPECT_EQ(rt.invocations(), 5u);
+    EXPECT_EQ(rt.cold_invocations(), 2u);
+}
+
+TEST(ExternalRuntimeTest, ConcurrentInvocationsAccountExactlyOnce)
+{
+    // One instance = one warm pool: with no recycling, exactly one of
+    // many racing invocations observes the cold start.
+    ExternalScriptRuntime rt{ExternalRuntimeParams{}};
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 50;
+    std::atomic<int> cold_seen{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&rt, &cold_seen] {
+            for (int i = 0; i < kPerThread; ++i) {
+                if (rt.Invoke().cold) {
+                    ++cold_seen;
+                }
+            }
+        });
+    }
+    for (std::thread& t : threads) {
+        t.join();
+    }
+    EXPECT_EQ(rt.invocations(),
+              static_cast<std::size_t>(kThreads * kPerThread));
+    EXPECT_EQ(rt.cold_invocations(), 1u);
+    EXPECT_EQ(cold_seen.load(), 1);
 }
 
 // ------------------------------------------------------------ pipeline --

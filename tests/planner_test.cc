@@ -191,6 +191,42 @@ TEST(WorkloadSimTest, QueueAwareWinsUnderFlood)
     EXPECT_GT(aware.gpu_share + aware.cpu_share, 0.05);
 }
 
+TEST(WorkloadSimTest, PolicyNameCoversEveryEnumValue)
+{
+    for (WorkloadPolicy policy :
+         {WorkloadPolicy::kAlwaysCpu, WorkloadPolicy::kAlwaysFpga,
+          WorkloadPolicy::kServiceOptimal, WorkloadPolicy::kQueueAware}) {
+        EXPECT_STRNE(WorkloadPolicyName(policy), "?");
+        EXPECT_GT(std::string(WorkloadPolicyName(policy)).size(), 3u);
+    }
+}
+
+TEST(WorkloadSimTest, QueueAwareNeverLosesToServiceOptimalWhenContended)
+{
+    // Across several contended traces, ignoring queues can only tie or
+    // hurt: the queue-aware policy minimizes each query's wait+service
+    // at dispatch, so it must not lose on either mean or p95.
+    PlannerFixture f;
+    OffloadScheduler sched(f.profile, f.ensemble, f.stats);
+    for (std::uint64_t seed : {1u, 9u, 23u, 57u, 101u}) {
+        WorkloadConfig config;
+        config.num_queries = 150;
+        config.mean_interarrival = SimTime::Millis(2.0);
+        config.seed = seed;
+        auto queries = GenerateWorkload(config);
+        WorkloadReport service = SimulateWorkload(
+            sched, queries, WorkloadPolicy::kServiceOptimal);
+        WorkloadReport aware = SimulateWorkload(
+            sched, queries, WorkloadPolicy::kQueueAware);
+        EXPECT_LE(aware.mean_latency.seconds(),
+                  service.mean_latency.seconds() * 1.0001)
+            << "seed " << seed;
+        EXPECT_LE(aware.p95_latency.seconds(),
+                  service.p95_latency.seconds() * 1.0001)
+            << "seed " << seed;
+    }
+}
+
 TEST(WorkloadSimTest, ReportInvariants)
 {
     PlannerFixture f;
