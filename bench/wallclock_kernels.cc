@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Wall-clock rows/sec of the compiled ForestKernel vs the scalar
+ * reference batch path.
+ *
+ * Unlike every other bench in this directory, the numbers here are
+ * REAL wall-clock measurements, not simulated SimTime: they quantify
+ * the functional engines' actual CPU speed and therefore vary by
+ * machine. Sweeps IRIS/HIGGS x {1,8,32,128} trees x depths {6,10},
+ * runs both paths over the same evaluation buffer, checks the outputs
+ * are bit-identical, and emits BENCH_kernels.json so future PRs can
+ * track the wall-clock trajectory.
+ *
+ * Flags:
+ *   --smoke       small training/evaluation sizes for CI smoke runs
+ *   --out=PATH    JSON output path (default BENCH_kernels.json)
+ *   --filter=STR  only run configs whose DATASET:trees:depth label
+ *                 contains STR (e.g. --filter=HIGGS:128)
+ */
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dbscore/common/thread_pool.h"
+#include "dbscore/data/synthetic.h"
+#include "dbscore/forest/forest.h"
+#include "dbscore/forest/forest_kernel.h"
+#include "dbscore/forest/trainer.h"
+
+namespace dbscore::bench {
+namespace {
+
+struct Config {
+    const char* dataset;
+    std::size_t trees;
+    std::size_t depth;
+};
+
+struct Result {
+    Config config;
+    std::size_t rows = 0;
+    double kernel_build_ms = 0.0;
+    double scalar_rows_per_sec = 0.0;
+    double kernel_rows_per_sec = 0.0;
+    bool bit_identical = false;
+
+    double Speedup() const
+    {
+        return kernel_rows_per_sec / scalar_rows_per_sec;
+    }
+};
+
+double
+SecondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Best-of-@p repeats wall time of @p fn, in seconds. */
+template <typename Fn>
+double
+BestOf(int repeats, const Fn& fn)
+{
+    double best = 1e30;
+    for (int i = 0; i < repeats; ++i) {
+        auto start = std::chrono::steady_clock::now();
+        fn();
+        best = std::min(best, SecondsSince(start));
+    }
+    return best;
+}
+
+Result
+RunConfig(const Config& config, std::size_t train_rows,
+          std::size_t eval_rows, int repeats)
+{
+    const bool iris = std::strcmp(config.dataset, "IRIS") == 0;
+    // IRIS stays at the paper's replicated 150-sample training set so
+    // its trees come out small and shallow (see bench_util).
+    const Dataset train = iris ? MakeIris(150, 42)
+                               : MakeHiggs(train_rows, 42);
+    const Dataset eval = iris ? MakeIris(eval_rows, 7)
+                              : MakeHiggs(eval_rows, 7);
+
+    ForestTrainerConfig trainer;
+    trainer.num_trees = config.trees;
+    trainer.max_depth = config.depth;
+    trainer.seed = 42;
+    const RandomForest forest = TrainForest(train, trainer);
+
+    const float* rows = eval.values().data();
+    const std::size_t cols = eval.num_features();
+
+    Result r;
+    r.config = config;
+    r.rows = eval_rows;
+
+    auto build_start = std::chrono::steady_clock::now();
+    auto kernel = forest.Kernel();
+    r.kernel_build_ms = SecondsSince(build_start) * 1e3;
+
+    std::vector<float> scalar_out;
+    std::vector<float> kernel_out;
+    const double scalar_s = BestOf(repeats, [&] {
+        scalar_out = forest.PredictBatchScalar(rows, eval_rows, cols);
+    });
+    const double kernel_s = BestOf(repeats, [&] {
+        kernel_out = kernel->Predict(rows, eval_rows, cols);
+    });
+
+    r.scalar_rows_per_sec = static_cast<double>(eval_rows) / scalar_s;
+    r.kernel_rows_per_sec = static_cast<double>(eval_rows) / kernel_s;
+    r.bit_identical =
+        scalar_out.size() == kernel_out.size() &&
+        std::memcmp(scalar_out.data(), kernel_out.data(),
+                    scalar_out.size() * sizeof(float)) == 0;
+    return r;
+}
+
+void
+WriteJson(const std::string& path, const std::vector<Result>& results,
+          bool smoke)
+{
+    std::ofstream out(path);
+    out << "{\n"
+        << "  \"bench\": \"wallclock_kernels\",\n"
+        << "  \"schema_version\": 1,\n"
+        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+        << "  \"threads\": " << ThreadPool::Shared().size() << ",\n"
+        << "  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Result& r = results[i];
+        out << "    {\"dataset\": \"" << r.config.dataset << "\", "
+            << "\"trees\": " << r.config.trees << ", "
+            << "\"depth\": " << r.config.depth << ", "
+            << "\"rows\": " << r.rows << ", "
+            << "\"kernel_build_ms\": " << r.kernel_build_ms << ", "
+            << "\"scalar_rows_per_sec\": " << r.scalar_rows_per_sec
+            << ", "
+            << "\"kernel_rows_per_sec\": " << r.kernel_rows_per_sec
+            << ", "
+            << "\"speedup\": " << r.Speedup() << ", "
+            << "\"bit_identical\": "
+            << (r.bit_identical ? "true" : "false") << "}"
+            << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+int
+Run(bool smoke, const std::string& out_path, const std::string& filter)
+{
+    // Smoke keeps CI fast: smaller HIGGS training sample, fewer
+    // evaluation rows, no 32/128-tree training. Schema is identical.
+    const std::size_t train_rows = smoke ? 2000 : 20000;
+    const std::size_t eval_rows = smoke ? 20000 : 200000;
+    const int repeats = smoke ? 2 : 3;
+    const std::vector<std::size_t> tree_counts =
+        smoke ? std::vector<std::size_t>{1, 8}
+              : std::vector<std::size_t>{1, 8, 32, 128};
+
+    std::vector<Result> results;
+    std::cout << "wallclock_kernels (real wall time, machine-dependent; "
+              << (smoke ? "smoke" : "full") << " mode, "
+              << eval_rows << " rows)\n"
+              << "dataset trees depth   scalar-rows/s   kernel-rows/s "
+              << "speedup identical\n";
+    bool all_identical = true;
+    for (const char* dataset : {"IRIS", "HIGGS"}) {
+        for (std::size_t trees : tree_counts) {
+            for (std::size_t depth : {std::size_t{6}, std::size_t{10}}) {
+                const std::string label = std::string(dataset) + ":" +
+                                          std::to_string(trees) + ":" +
+                                          std::to_string(depth);
+                if (!filter.empty() &&
+                    label.find(filter) == std::string::npos) {
+                    continue;
+                }
+                Result r = RunConfig({dataset, trees, depth}, train_rows,
+                                     eval_rows, repeats);
+                all_identical = all_identical && r.bit_identical;
+                std::printf("%-7s %5zu %5zu %15.0f %15.0f %7.2f %9s\n",
+                            dataset, trees, depth, r.scalar_rows_per_sec,
+                            r.kernel_rows_per_sec, r.Speedup(),
+                            r.bit_identical ? "yes" : "NO");
+                results.push_back(r);
+            }
+        }
+    }
+    WriteJson(out_path, results, smoke);
+    std::cout << "wrote " << out_path << "\n";
+    if (!all_identical) {
+        std::cerr << "FAIL: kernel predictions diverged from the scalar "
+                  << "reference path\n";
+        return 1;
+    }
+    return 0;
+}
+
+}  // namespace
+}  // namespace dbscore::bench
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_kernels.json";
+    std::string filter;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg.rfind("--out=", 0) == 0) {
+            out_path = arg.substr(6);
+        } else if (arg.rfind("--filter=", 0) == 0) {
+            filter = arg.substr(9);
+        } else {
+            std::cerr << "usage: wallclock_kernels [--smoke] "
+                      << "[--out=PATH] [--filter=STR]\n";
+            return 2;
+        }
+    }
+    return dbscore::bench::Run(smoke, out_path, filter);
+}

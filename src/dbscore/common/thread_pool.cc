@@ -107,11 +107,24 @@ ThreadPool::ParallelForChunked(
     std::size_t count,
     const std::function<void(std::size_t, std::size_t)>& fn)
 {
+    ParallelForChunked(count, 1, fn);
+}
+
+void
+ThreadPool::ParallelForChunked(
+    std::size_t count, std::size_t min_chunk,
+    const std::function<void(std::size_t, std::size_t)>& fn)
+{
     if (count == 0) {
         return;
     }
-    const std::size_t num_chunks =
+    std::size_t num_chunks =
         std::min(count, std::max<std::size_t>(1, size() * 4));
+    if (min_chunk > 1) {
+        num_chunks = std::min(
+            num_chunks,
+            std::max<std::size_t>(1, count / min_chunk));
+    }
     if (num_chunks <= 1 || stopped()) {
         fn(0, count);
         return;

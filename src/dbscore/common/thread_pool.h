@@ -21,6 +21,15 @@
 
 namespace dbscore {
 
+/**
+ * Row count below which functional batch loops run inline on the
+ * calling thread: under this many rows the chunk-dispatch overhead
+ * outweighs the parallel win. Shared by every batch scoring path
+ * (RandomForest, GradientBoostedModel, ForestKernel, Hummingbird's
+ * perfect-tree traversal) so the cutoff is tuned in one place.
+ */
+inline constexpr std::size_t kParallelRowCutoff = 4096;
+
 /** A simple task-queue thread pool. */
 class ThreadPool {
  public:
@@ -70,6 +79,16 @@ class ThreadPool {
      */
     void ParallelForChunked(
         std::size_t count,
+        const std::function<void(std::size_t, std::size_t)>& fn);
+
+    /**
+     * Grained variant: no chunk is smaller than @p min_chunk indices
+     * (except the last), bounding per-chunk dispatch overhead for
+     * cheap per-index work. min_chunk 0 or 1 behaves like the
+     * ungrained overload.
+     */
+    void ParallelForChunked(
+        std::size_t count, std::size_t min_chunk,
         const std::function<void(std::size_t, std::size_t)>& fn);
 
     /** Process-wide shared pool (lazily constructed). */

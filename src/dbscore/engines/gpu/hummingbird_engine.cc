@@ -284,7 +284,7 @@ HummingbirdGpuEngine::ScorePerfect(const float* rows,
                       sum / static_cast<double>(perfect_trees_.size()));
         }
     };
-    if (num_rows >= 4096) {
+    if (num_rows >= kParallelRowCutoff) {
         ThreadPool::Shared().ParallelForChunked(num_rows, worker);
     } else {
         worker(0, num_rows);

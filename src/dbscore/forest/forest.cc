@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "dbscore/common/error.h"
 #include "dbscore/common/thread_pool.h"
+#include "dbscore/forest/forest_kernel.h"
 
 namespace dbscore {
 
@@ -23,6 +25,64 @@ RandomForest::RandomForest(Task task, std::size_t num_features,
     }
 }
 
+RandomForest::RandomForest(const RandomForest& other)
+    : task_(other.task_),
+      num_features_(other.num_features_),
+      num_classes_(other.num_classes_),
+      trees_(other.trees_)
+{
+    std::lock_guard<std::mutex> lock(other.kernel_mutex_);
+    kernel_ = other.kernel_;
+}
+
+RandomForest&
+RandomForest::operator=(const RandomForest& other)
+{
+    if (this != &other) {
+        task_ = other.task_;
+        num_features_ = other.num_features_;
+        num_classes_ = other.num_classes_;
+        trees_ = other.trees_;
+        std::shared_ptr<const ForestKernel> kernel;
+        {
+            std::lock_guard<std::mutex> lock(other.kernel_mutex_);
+            kernel = other.kernel_;
+        }
+        std::lock_guard<std::mutex> lock(kernel_mutex_);
+        kernel_ = std::move(kernel);
+    }
+    return *this;
+}
+
+RandomForest::RandomForest(RandomForest&& other) noexcept
+    : task_(other.task_),
+      num_features_(other.num_features_),
+      num_classes_(other.num_classes_),
+      trees_(std::move(other.trees_))
+{
+    std::lock_guard<std::mutex> lock(other.kernel_mutex_);
+    kernel_ = std::move(other.kernel_);
+}
+
+RandomForest&
+RandomForest::operator=(RandomForest&& other) noexcept
+{
+    if (this != &other) {
+        task_ = other.task_;
+        num_features_ = other.num_features_;
+        num_classes_ = other.num_classes_;
+        trees_ = std::move(other.trees_);
+        std::shared_ptr<const ForestKernel> kernel;
+        {
+            std::lock_guard<std::mutex> lock(other.kernel_mutex_);
+            kernel = std::move(other.kernel_);
+        }
+        std::lock_guard<std::mutex> lock(kernel_mutex_);
+        kernel_ = std::move(kernel);
+    }
+    return *this;
+}
+
 void
 RandomForest::AddTree(DecisionTree tree)
 {
@@ -30,6 +90,19 @@ RandomForest::AddTree(DecisionTree tree)
         throw InvalidArgument("forest: cannot add an empty tree");
     }
     trees_.push_back(std::move(tree));
+    // The compiled plan no longer matches the ensemble.
+    std::lock_guard<std::mutex> lock(kernel_mutex_);
+    kernel_.reset();
+}
+
+std::shared_ptr<const ForestKernel>
+RandomForest::Kernel() const
+{
+    std::lock_guard<std::mutex> lock(kernel_mutex_);
+    if (kernel_ == nullptr) {
+        kernel_ = std::make_shared<const ForestKernel>(*this);
+    }
+    return kernel_;
 }
 
 const DecisionTree&
@@ -60,6 +133,13 @@ MajorityVote(const std::vector<int>& votes, int num_classes)
     return best;
 }
 
+namespace {
+
+/** Classes a scalar Predict call counts on the stack, not the heap. */
+constexpr int kStackVoteClasses = 32;
+
+}  // namespace
+
 float
 RandomForest::Predict(const float* row) const
 {
@@ -71,6 +151,24 @@ RandomForest::Predict(const float* row) const
         }
         return static_cast<float>(sum / static_cast<double>(trees_.size()));
     }
+    if (num_classes_ <= kStackVoteClasses) {
+        // Common case: count votes in a fixed stack buffer instead of
+        // heap-allocating a vote vector per row.
+        int counts[kStackVoteClasses] = {0};
+        for (const auto& tree : trees_) {
+            const int v = static_cast<int>(std::lround(tree.Predict(row)));
+            DBS_ASSERT(v >= 0 && v < num_classes_);
+            ++counts[v];
+        }
+        int best = 0;
+        for (int c = 1; c < num_classes_; ++c) {
+            // Strict > keeps the lowest class id on ties.
+            if (counts[c] > counts[best]) {
+                best = c;
+            }
+        }
+        return static_cast<float>(best);
+    }
     std::vector<int> votes;
     votes.reserve(trees_.size());
     for (const auto& tree : trees_) {
@@ -80,8 +178,8 @@ RandomForest::Predict(const float* row) const
 }
 
 std::vector<float>
-RandomForest::PredictBatch(const float* rows, std::size_t num_rows,
-                           std::size_t num_cols) const
+RandomForest::PredictBatchScalar(const float* rows, std::size_t num_rows,
+                                 std::size_t num_cols) const
 {
     if (num_cols != num_features_) {
         throw InvalidArgument("forest: row arity mismatch");
@@ -92,12 +190,25 @@ RandomForest::PredictBatch(const float* rows, std::size_t num_rows,
             out[i] = Predict(rows + i * num_cols);
         }
     };
-    if (num_rows >= 4096) {
+    if (num_rows >= kParallelRowCutoff) {
         ThreadPool::Shared().ParallelForChunked(num_rows, worker);
     } else {
         worker(0, num_rows);
     }
     return out;
+}
+
+std::vector<float>
+RandomForest::PredictBatch(const float* rows, std::size_t num_rows,
+                           std::size_t num_cols) const
+{
+    if (num_cols != num_features_) {
+        throw InvalidArgument("forest: row arity mismatch");
+    }
+    if (!ForestKernel::Supports(*this)) {
+        return PredictBatchScalar(rows, num_rows, num_cols);
+    }
+    return Kernel()->Predict(rows, num_rows, num_cols);
 }
 
 std::vector<float>

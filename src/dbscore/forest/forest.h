@@ -12,6 +12,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,8 @@
 #include "dbscore/forest/tree.h"
 
 namespace dbscore {
+
+class ForestKernel;
 
 /** A trained random forest. */
 class RandomForest {
@@ -32,6 +36,14 @@ class RandomForest {
      */
     RandomForest(Task task, std::size_t num_features, int num_classes);
 
+    // Value semantics despite the kernel-cache mutex: copies share the
+    // (immutable) compiled kernel, never the lock.
+    RandomForest(const RandomForest& other);
+    RandomForest& operator=(const RandomForest& other);
+    RandomForest(RandomForest&& other) noexcept;
+    RandomForest& operator=(RandomForest&& other) noexcept;
+
+    /** Invalidates the cached inference kernel. */
     void AddTree(DecisionTree tree);
 
     Task task() const { return task_; }
@@ -48,12 +60,34 @@ class RandomForest {
      */
     float Predict(const float* row) const;
 
-    /** Reference batch prediction over a dataset's rows. */
+    /** Batch prediction over a dataset's rows (see raw overload). */
     std::vector<float> PredictBatch(const Dataset& data) const;
 
-    /** Batch prediction over a raw row-major buffer. */
+    /**
+     * Batch prediction over a raw row-major buffer. Delegates to the
+     * cached ForestKernel (built lazily on first use, invalidated by
+     * AddTree) whenever the kernel supports the model; predictions are
+     * bit-identical to the scalar reference path either way.
+     */
     std::vector<float> PredictBatch(const float* rows, std::size_t num_rows,
                                     std::size_t num_cols) const;
+
+    /**
+     * The scalar reference batch path: per-row Predict with chunked
+     * ThreadPool parallelism and no compiled kernel. The baseline the
+     * kernel is benched and property-tested against.
+     */
+    std::vector<float> PredictBatchScalar(const float* rows,
+                                          std::size_t num_rows,
+                                          std::size_t num_cols) const;
+
+    /**
+     * The compiled inference plan for the current ensemble: built on
+     * first call, cached until the forest mutates, shared by copies.
+     * Thread-safe. @throws InvalidArgument when the model is not
+     * kernel-compilable (no trees yet)
+     */
+    std::shared_ptr<const ForestKernel> Kernel() const;
 
     /** Fraction of rows whose prediction matches the dataset label. */
     double Accuracy(const Dataset& data) const;
@@ -72,6 +106,10 @@ class RandomForest {
     std::size_t num_features_ = 0;
     int num_classes_ = 0;
     std::vector<DecisionTree> trees_;
+
+    /** Lazily-built compiled kernel; null until first batch call. */
+    mutable std::shared_ptr<const ForestKernel> kernel_;
+    mutable std::mutex kernel_mutex_;
 };
 
 /**

@@ -1,0 +1,338 @@
+#include "dbscore/forest/forest_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dbscore/common/error.h"
+#include "dbscore/common/thread_pool.h"
+#include "dbscore/forest/forest.h"
+
+namespace dbscore {
+
+namespace {
+
+/**
+ * Rows traversed concurrently per tree. Each lane is an independent
+ * dependence chain of node loads, so the out-of-order core keeps this
+ * many traversals in flight — the main lever against the load latency
+ * that dominates pointer-chasing inference. Compile-time so the lane
+ * state lives in registers.
+ */
+constexpr std::size_t kTraversalLanes = 16;
+
+/**
+ * Walks one tree for a group of kLanes rows, leaving each lane's final
+ * (leaf) node index in @p n. Exactly @p depth branchless steps per
+ * lane: leaves self-loop via {+inf, left = self}, so rows that bottom
+ * out early spin in place from L1, and the level loop breaks once
+ * every lane has parked. The step left + !(x <= t) matches the
+ * reference "x <= t goes left, else (including NaN) right" bit for
+ * bit.
+ */
+template <std::size_t kLanes, typename NodeT>
+inline void
+TraverseGroup(const NodeT* nodes, std::int32_t root, std::int32_t depth,
+              const float* const* rowp, std::int32_t* n)
+{
+    for (std::size_t k = 0; k < kLanes; ++k) {
+        n[k] = root;
+    }
+    for (std::int32_t d = 0; d < depth; ++d) {
+        std::int32_t moved = 0;
+        for (std::size_t k = 0; k < kLanes; ++k) {
+            const NodeT nd = nodes[n[k]];
+            const std::int32_t next =
+                nd.left + static_cast<std::int32_t>(
+                              !(rowp[k][nd.feature] <= nd.threshold));
+            moved |= next ^ n[k];
+            n[k] = next;
+        }
+        // All lanes parked on their self-looping leaves: the remaining
+        // fixed-trip levels would be no-ops. Pays off on shallow
+        // ensembles (IRIS) where the average path is much shorter than
+        // the deepest one.
+        if (moved == 0) {
+            break;
+        }
+    }
+}
+
+}  // namespace
+
+bool
+ForestKernel::Supports(const RandomForest& forest)
+{
+    // Feature ids are stored as int16 in the compiled pool.
+    return forest.NumTrees() > 0 && forest.num_features() <= 32767;
+}
+
+ForestKernel::ForestKernel(const RandomForest& forest,
+                           const ForestKernelOptions& options)
+    : task_(forest.task()),
+      num_classes_(forest.num_classes()),
+      num_features_(forest.num_features()),
+      options_(options)
+{
+    if (!Supports(forest)) {
+        throw InvalidArgument("forest kernel: unsupported forest "
+                              "(empty, or features exceed int16)");
+    }
+    if (options_.row_block == 0 || options_.tile_node_budget == 0) {
+        throw InvalidArgument("forest kernel: zero row_block/tile budget");
+    }
+
+    const std::size_t total_nodes = forest.TotalNodes();
+    roots_.reserve(forest.NumTrees());
+    depths_.reserve(forest.NumTrees());
+    nodes_.reserve(total_nodes);
+    value_.reserve(total_nodes);
+    if (task_ == Task::kClassification) {
+        leaf_class_.reserve(total_nodes);
+    }
+
+    std::vector<std::int32_t> order;
+    std::vector<std::int32_t> new_id;
+    for (const auto& tree : forest.trees()) {
+        const auto base = static_cast<std::int32_t>(nodes_.size());
+        roots_.push_back(base);
+        depths_.push_back(static_cast<std::int32_t>(tree.Depth()));
+
+        // Level (BFS) order: the upper levels every row traverses end
+        // up contiguous at the front of the tree's node range, and
+        // siblings land adjacently, making right == left + 1.
+        const std::size_t n = tree.NumNodes();
+        order.clear();
+        order.push_back(0);
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            const std::int32_t node = order[i];
+            if (!tree.IsLeaf(node)) {
+                order.push_back(tree.Left(node));
+                order.push_back(tree.Right(node));
+            }
+        }
+        DBS_ASSERT_MSG(order.size() == n,
+                       "forest kernel: tree has unreachable nodes");
+        new_id.assign(n, -1);
+        for (std::size_t i = 0; i < n; ++i) {
+            new_id[static_cast<std::size_t>(order[i])] =
+                static_cast<std::int32_t>(i);
+        }
+
+        for (std::int32_t node : order) {
+            if (tree.IsLeaf(node)) {
+                const float value = tree.LeafValue(node);
+                // {+inf, self, 0}: the branchless step re-evaluates the
+                // leaf harmlessly (anything <= +inf stays at left =
+                // self) until the fixed trip count runs out.
+                const auto self = static_cast<std::int32_t>(nodes_.size());
+                nodes_.push_back(
+                    {std::numeric_limits<float>::infinity(), self, 0});
+                value_.push_back(value);
+                if (task_ == Task::kClassification) {
+                    const auto cls =
+                        static_cast<std::int32_t>(std::lround(value));
+                    DBS_ASSERT(cls >= 0 && cls < num_classes_);
+                    leaf_class_.push_back(cls);
+                }
+            } else {
+                const std::int32_t f = tree.Feature(node);
+                DBS_ASSERT(f >= 0 && f < 32768);
+                const std::int32_t left =
+                    base + new_id[static_cast<std::size_t>(tree.Left(node))];
+                DBS_ASSERT_MSG(
+                    base + new_id[static_cast<std::size_t>(
+                               tree.Right(node))] == left + 1,
+                    "forest kernel: BFS siblings must be adjacent");
+                nodes_.push_back({tree.Threshold(node), left,
+                                  static_cast<std::int16_t>(f)});
+                value_.push_back(0.0f);
+                if (task_ == Task::kClassification) {
+                    leaf_class_.push_back(0);
+                }
+            }
+        }
+    }
+
+    // Partition consecutive trees into tiles whose pooled nodes fit the
+    // cache budget, so one tile stays resident while a row block
+    // traverses it. A single oversized tree still gets its own tile.
+    std::size_t tile_start = 0;
+    std::size_t tile_nodes = 0;
+    for (std::size_t t = 0; t < forest.NumTrees(); ++t) {
+        const std::size_t nodes = forest.Tree(t).NumNodes();
+        if (t > tile_start && tile_nodes + nodes > options_.tile_node_budget) {
+            tiles_.push_back({tile_start, t});
+            tile_start = t;
+            tile_nodes = 0;
+        }
+        tile_nodes += nodes;
+    }
+    tiles_.push_back({tile_start, forest.NumTrees()});
+}
+
+void
+ForestKernel::RunBlockClassify(const float* rows, std::size_t num_rows,
+                               std::size_t num_cols, float* out,
+                               Scratch& scratch) const
+{
+    const Node* const nodes = nodes_.data();
+    const auto num_classes = static_cast<std::size_t>(num_classes_);
+    const std::int32_t* const cls = leaf_class_.data();
+    std::int32_t* const counts = scratch.counts.data();
+    std::fill(counts, counts + num_rows * num_classes, 0);
+
+    // Row-group outer, trees inner: row pointers are computed once per
+    // group and the group's feature rows stay hot in L1 across every
+    // tree, while a tile's nodes stay cache-resident across groups.
+    std::size_t r = 0;
+    for (; r + kTraversalLanes <= num_rows; r += kTraversalLanes) {
+        const float* rowp[kTraversalLanes];
+        for (std::size_t k = 0; k < kTraversalLanes; ++k) {
+            rowp[k] = rows + (r + k) * num_cols;
+        }
+        for (const TreeTile& tile : tiles_) {
+            for (std::size_t t = tile.first_tree; t < tile.end_tree;
+                 ++t) {
+                std::int32_t n[kTraversalLanes];
+                TraverseGroup<kTraversalLanes>(nodes, roots_[t],
+                                               depths_[t], rowp, n);
+                for (std::size_t k = 0; k < kTraversalLanes; ++k) {
+                    ++counts[(r + k) * num_classes +
+                             static_cast<std::size_t>(cls[n[k]])];
+                }
+            }
+        }
+    }
+    for (; r < num_rows; ++r) {
+        const float* rowp[1] = {rows + r * num_cols};
+        for (const TreeTile& tile : tiles_) {
+            for (std::size_t t = tile.first_tree; t < tile.end_tree;
+                 ++t) {
+                std::int32_t n[1];
+                TraverseGroup<1>(nodes, roots_[t], depths_[t], rowp, n);
+                ++counts[r * num_classes +
+                         static_cast<std::size_t>(cls[n[0]])];
+            }
+        }
+    }
+    for (std::size_t i = 0; i < num_rows; ++i) {
+        const std::int32_t* c = counts + i * num_classes;
+        std::size_t best = 0;
+        for (std::size_t k = 1; k < num_classes; ++k) {
+            // Strict > keeps the lowest class id on ties, exactly like
+            // MajorityVote.
+            if (c[k] > c[best]) {
+                best = k;
+            }
+        }
+        out[i] = static_cast<float>(best);
+    }
+}
+
+void
+ForestKernel::RunBlockRegress(const float* rows, std::size_t num_rows,
+                              std::size_t num_cols, float* out,
+                              Scratch& scratch) const
+{
+    const Node* const nodes = nodes_.data();
+    const float* const val = value_.data();
+    double* const sums = scratch.sums.data();
+    std::fill(sums, sums + num_rows, 0.0);
+
+    // Trees iterate in ensemble order for every row (tiles cover
+    // consecutive trees), so each row's double sum accumulates in the
+    // reference order and the mean is bit-identical to the scalar path.
+    std::size_t r = 0;
+    for (; r + kTraversalLanes <= num_rows; r += kTraversalLanes) {
+        const float* rowp[kTraversalLanes];
+        for (std::size_t k = 0; k < kTraversalLanes; ++k) {
+            rowp[k] = rows + (r + k) * num_cols;
+        }
+        for (const TreeTile& tile : tiles_) {
+            for (std::size_t t = tile.first_tree; t < tile.end_tree;
+                 ++t) {
+                std::int32_t n[kTraversalLanes];
+                TraverseGroup<kTraversalLanes>(nodes, roots_[t],
+                                               depths_[t], rowp, n);
+                for (std::size_t k = 0; k < kTraversalLanes; ++k) {
+                    sums[r + k] += val[n[k]];
+                }
+            }
+        }
+    }
+    for (; r < num_rows; ++r) {
+        const float* rowp[1] = {rows + r * num_cols};
+        for (const TreeTile& tile : tiles_) {
+            for (std::size_t t = tile.first_tree; t < tile.end_tree;
+                 ++t) {
+                std::int32_t n[1];
+                TraverseGroup<1>(nodes, roots_[t], depths_[t], rowp, n);
+                sums[r] += val[n[0]];
+            }
+        }
+    }
+    const auto trees = static_cast<double>(roots_.size());
+    for (std::size_t i = 0; i < num_rows; ++i) {
+        out[i] = static_cast<float>(sums[i] / trees);
+    }
+}
+
+void
+ForestKernel::Run(const float* rows, std::size_t num_rows,
+                  std::size_t num_cols, float* out,
+                  Scratch& scratch) const
+{
+    if (num_cols != num_features_) {
+        throw InvalidArgument("forest kernel: row arity mismatch");
+    }
+    if (num_rows == 0) {
+        return;
+    }
+    if (task_ == Task::kClassification) {
+        const std::size_t need =
+            options_.row_block * static_cast<std::size_t>(num_classes_);
+        if (scratch.counts.size() < need) {
+            scratch.counts.resize(need);
+        }
+    } else if (scratch.sums.size() < options_.row_block) {
+        scratch.sums.resize(options_.row_block);
+    }
+
+    for (std::size_t begin = 0; begin < num_rows;
+         begin += options_.row_block) {
+        const std::size_t block =
+            std::min(options_.row_block, num_rows - begin);
+        if (task_ == Task::kClassification) {
+            RunBlockClassify(rows + begin * num_cols, block, num_cols,
+                             out + begin, scratch);
+        } else {
+            RunBlockRegress(rows + begin * num_cols, block, num_cols,
+                            out + begin, scratch);
+        }
+    }
+}
+
+std::vector<float>
+ForestKernel::Predict(const float* rows, std::size_t num_rows,
+                      std::size_t num_cols) const
+{
+    if (num_cols != num_features_) {
+        throw InvalidArgument("forest kernel: row arity mismatch");
+    }
+    std::vector<float> out(num_rows);
+    auto worker = [&](std::size_t begin, std::size_t end) {
+        static thread_local Scratch scratch;
+        Run(rows + begin * num_cols, end - begin, num_cols,
+            out.data() + begin, scratch);
+    };
+    if (num_rows >= options_.parallel_grain) {
+        ThreadPool::Shared().ParallelForChunked(
+            num_rows, options_.parallel_grain, worker);
+    } else {
+        worker(0, num_rows);
+    }
+    return out;
+}
+
+}  // namespace dbscore

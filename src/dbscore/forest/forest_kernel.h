@@ -1,0 +1,179 @@
+/**
+ * @file
+ * ForestKernel: a compiled, cache-blocked, allocation-free batch
+ * inference plan for random forests.
+ *
+ * The reference RandomForest::Predict walks one tree at a time through
+ * per-tree std::vector storage — five vector-header dereferences per
+ * tree per row and a working set that revisits the whole ensemble for
+ * every row. ForestKernel compiles the ensemble once into a single
+ * contiguous pool of packed 12-byte nodes (float threshold, absolute
+ * int32 left-child index, int16 feature id) with every tree's nodes in
+ * level (BFS) order, so the first K levels of a tree — the part every
+ * row traverses — occupy a contiguous prefix of its node range and one
+ * node visit touches one cache line instead of three parallel arrays.
+ * BFS emits siblings adjacently, so the right child is implicitly
+ * left + 1 and the descend step is branchless integer arithmetic:
+ * n = left[n] + !(row[feature[n]] <= threshold[n]), which matches the
+ * reference "x <= t goes left, else (including NaN) right" exactly.
+ *
+ * Execution is tiled batch-major: blocks of R rows x T trees, with the
+ * tree tile sized so its nodes stay resident in the last-level cache
+ * while all R rows traverse it. Traversal is fixed-trip: a leaf is
+ * {threshold = +inf, left = self}, so the branchless step is a no-op
+ * once a row bottoms out and a tree of depth D is walked with exactly
+ * D steps and no leaf test. That lets the inner loop interleave a
+ * compile-time number of rows per tree (independent dependence chains
+ * held in registers), which is what actually hides the node-load
+ * latency that dominates pointer-chasing inference. Votes and sums
+ * accumulate into a caller-owned reusable Scratch, so steady-state
+ * Run() performs zero heap allocations. Tree order within a row is
+ * preserved across tiles, which keeps regression sums (double
+ * accumulation in tree order) and classification votes (integer counts,
+ * lowest-class-id tie break) bit-identical to the reference scalar
+ * path — tests assert this.
+ *
+ * Wall-clock only: the kernel changes how fast functional predictions
+ * are computed, never the simulated OffloadBreakdown latencies (see
+ * DESIGN.md, "Functional kernels vs simulated time").
+ */
+#ifndef DBSCORE_FOREST_FOREST_KERNEL_H
+#define DBSCORE_FOREST_FOREST_KERNEL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dbscore/data/dataset.h"
+
+namespace dbscore {
+
+class RandomForest;
+
+/** Tuning knobs of the compiled plan. */
+struct ForestKernelOptions {
+    /** Rows per traversal tile. */
+    std::size_t row_block = 64;
+    /**
+     * Upper bound on nodes per tree tile; sized so one tile's packed
+     * traversal nodes (12 bytes each) stay cache-resident while a row
+     * block traverses it. The default keeps a tile near 0.75 MB.
+     */
+    std::size_t tile_node_budget = std::size_t{1} << 16;
+    /**
+     * Minimum rows per worker chunk when Predict() parallelizes over
+     * the shared ThreadPool; below 2x this count the batch runs inline.
+     */
+    std::size_t parallel_grain = 4096;
+};
+
+/** A compiled forest inference plan; immutable after construction. */
+class ForestKernel {
+ public:
+    /**
+     * Reusable per-thread working set. Buffers grow on first use and
+     * are reused afterwards, so steady-state Run() calls allocate
+     * nothing. Not thread-safe: one Scratch per running thread.
+     */
+    class Scratch {
+     private:
+        friend class ForestKernel;
+        /** Per-(row, class) vote counts, row_block x num_classes. */
+        std::vector<std::int32_t> counts;
+        /** Per-row regression accumulators, tree order, row_block. */
+        std::vector<double> sums;
+    };
+
+    /**
+     * Compiles @p forest. The forest may be destroyed afterwards; the
+     * kernel owns flat copies of everything it needs.
+     *
+     * @throws InvalidArgument when Supports(forest) is false
+     */
+    explicit ForestKernel(const RandomForest& forest,
+                          const ForestKernelOptions& options = {});
+
+    /**
+     * True when @p forest can be compiled: at least one tree and
+     * feature ids that fit the kernel's int16 feature array.
+     */
+    static bool Supports(const RandomForest& forest);
+
+    Task task() const { return task_; }
+    int num_classes() const { return num_classes_; }
+    std::size_t num_features() const { return num_features_; }
+    std::size_t NumTrees() const { return roots_.size(); }
+    std::size_t NumNodes() const { return nodes_.size(); }
+    /** Tree tiles the ensemble was partitioned into. */
+    std::size_t NumTiles() const { return tiles_.size(); }
+    const ForestKernelOptions& options() const { return options_; }
+
+    /**
+     * Single-threaded execution: writes one prediction per row into
+     * @p out (caller-owned, at least @p num_rows floats). Zero heap
+     * allocations once @p scratch is warm. Thread-safe w.r.t. the
+     * kernel (const); @p scratch must not be shared across threads.
+     *
+     * @throws InvalidArgument on arity mismatch
+     */
+    void Run(const float* rows, std::size_t num_rows, std::size_t num_cols,
+             float* out, Scratch& scratch) const;
+
+    /**
+     * Batch prediction with chunked ThreadPool parallelism (thread-local
+     * scratch per worker). Matches the reference scalar path
+     * bit-for-bit.
+     */
+    std::vector<float> Predict(const float* rows, std::size_t num_rows,
+                               std::size_t num_cols) const;
+
+ private:
+    /** A run of consecutive trees whose nodes share one cache tile. */
+    struct TreeTile {
+        std::size_t first_tree;
+        std::size_t end_tree;
+    };
+
+    Task task_ = Task::kClassification;
+    int num_classes_ = 0;
+    std::size_t num_features_ = 0;
+    ForestKernelOptions options_;
+
+    /**
+     * One packed traversal node: everything one descend step reads,
+     * on one cache line. The right child is implicitly left + 1 (BFS
+     * emits siblings adjacently); a leaf is {threshold = +inf,
+     * left = self, feature = 0}, which the branchless step can evaluate
+     * harmlessly forever without moving.
+     */
+    struct Node {
+        float threshold;
+        /** Absolute pool index (already offset by the tree base). */
+        std::int32_t left;
+        std::int16_t feature;
+    };
+
+    void RunBlockClassify(const float* rows, std::size_t num_rows,
+                          std::size_t num_cols, float* out,
+                          Scratch& scratch) const;
+    void RunBlockRegress(const float* rows, std::size_t num_rows,
+                         std::size_t num_cols, float* out,
+                         Scratch& scratch) const;
+
+    /** Pool index of each tree's root (== the tree's base offset). */
+    std::vector<std::int32_t> roots_;
+    /** Depth of each tree in edges: the fixed traversal trip count. */
+    std::vector<std::int32_t> depths_;
+    /** Flattened node pool, level order per tree. */
+    std::vector<Node> nodes_;
+    /** Leaf payload: regression value (regression kernels). */
+    std::vector<float> value_;
+    /** Leaf payload: precomputed class id (classification kernels). */
+    std::vector<std::int32_t> leaf_class_;
+
+    std::vector<TreeTile> tiles_;
+};
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_FOREST_FOREST_KERNEL_H

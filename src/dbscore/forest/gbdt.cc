@@ -5,6 +5,7 @@
 
 #include "dbscore/common/error.h"
 #include "dbscore/common/rng.h"
+#include "dbscore/common/thread_pool.h"
 #include "dbscore/forest/trainer.h"
 
 namespace dbscore {
@@ -135,8 +136,16 @@ GradientBoostedModel::PredictBatch(const Dataset& data) const
         throw InvalidArgument("gbdt: row arity mismatch");
     }
     std::vector<float> out(data.num_rows());
-    for (std::size_t i = 0; i < data.num_rows(); ++i) {
-        out[i] = Predict(data.Row(i));
+    auto worker = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            out[i] = Predict(data.Row(i));
+        }
+    };
+    // Same chunked pattern and cutoff as RandomForest's batch paths.
+    if (data.num_rows() >= kParallelRowCutoff) {
+        ThreadPool::Shared().ParallelForChunked(data.num_rows(), worker);
+    } else {
+        worker(0, data.num_rows());
     }
     return out;
 }

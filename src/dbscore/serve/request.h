@@ -34,6 +34,16 @@ struct ScoreRequest {
     /** Records to score. */
     std::size_t num_rows = 1;
     /**
+     * Optional feature payload: num_rows x model-feature row-major
+     * floats. When set, the reply carries real predictions computed
+     * through the model's cached ForestKernel (compiled once at
+     * RegisterModel, so coalesced micro-batches never recompile);
+     * when null the request is modeled-time only, like the trace
+     * replays. Shared so batchmates and the caller can hold the
+     * buffer without copies.
+     */
+    std::shared_ptr<const std::vector<float>> rows;
+    /**
      * Modeled arrival time. Trace replays stamp this from the workload
      * generator; live callers (sp_score_service) leave it empty and the
      * service stamps its current modeled clock.
@@ -90,6 +100,12 @@ struct ScoreReply {
     std::size_t batch_rows = 0;
     /** True when this dispatch paid a cold process start. */
     bool cold_invocation = false;
+    /**
+     * Real predictions, one per request row — populated only when the
+     * request carried a feature payload. Functional output; the
+     * modeled timing fields are unaffected by computing it.
+     */
+    std::vector<float> predictions;
     /** Human-readable detail for rejected requests. */
     std::string error;
 };

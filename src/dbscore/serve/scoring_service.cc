@@ -3,8 +3,24 @@
 #include <utility>
 
 #include "dbscore/common/error.h"
+#include "dbscore/forest/forest_kernel.h"
 
 namespace dbscore::serve {
+
+ScoringService::ModelEntry::ModelEntry(const HardwareProfile& profile,
+                                       const TreeEnsemble& model,
+                                       const ModelStats& stats)
+    : scheduler(profile, model, stats),
+      forest(model.ToForest()),
+      num_cols(stats.num_features),
+      model_bytes(stats.serialized_bytes)
+{
+    // Prewarm the per-model kernel cache so the first coalesced batch
+    // never pays (or races on) compilation.
+    if (ForestKernel::Supports(forest)) {
+        forest.Kernel();
+    }
+}
 
 namespace {
 
@@ -180,12 +196,17 @@ ScoringService::Submit(ScoreRequest request)
     std::string reject_reason;
     {
         std::lock_guard<std::mutex> lock(admission_mutex_);
+        auto model_it = models_.find(request.model_id);
         if (stop_requested_) {
             reject_reason = "service is stopped";
-        } else if (models_.count(request.model_id) == 0) {
+        } else if (model_it == models_.end()) {
             reject_reason = "unknown model: " + request.model_id;
         } else if (request.num_rows == 0) {
             reject_reason = "zero rows";
+        } else if (request.rows != nullptr &&
+                   request.rows->size() !=
+                       request.num_rows * model_it->second->num_cols) {
+            reject_reason = "row payload arity mismatch";
         } else if (in_flight_ >= config_.admission_capacity) {
             reject_reason = "admission queue full";
         } else {
@@ -448,6 +469,14 @@ ScoringService::ExecuteBatch(Device& device, DeviceClass device_class,
         t.data_preproc_share = data_pre * share;
         t.scoring_share = ScaleBreakdown(scoring, share);
         t.latency = finish - arrival;
+        if (m.request.rows != nullptr) {
+            // Functional scoring through the model's cached kernel
+            // (compiled once at registration). Wall-clock only; the
+            // modeled timing above is already fixed.
+            reply.predictions = entry.forest.PredictBatch(
+                m.request.rows->data(), m.request.num_rows,
+                entry.num_cols);
+        }
         stats_.RecordCompleted(t, arrival, finish, m.request.num_rows);
         m.handle->Fulfill(std::move(reply));
         SettleOne(finish);

@@ -36,6 +36,7 @@
 
 #include "dbscore/common/thread_pool.h"
 #include "dbscore/core/scheduler.h"
+#include "dbscore/forest/forest.h"
 #include "dbscore/core/workload_sim.h"
 #include "dbscore/dbms/external_runtime.h"
 #include "dbscore/serve/batch_coalescer.h"
@@ -124,14 +125,18 @@ class ScoringService {
     /** Everything the workers need to cost one model's dispatches. */
     struct ModelEntry {
         OffloadScheduler scheduler;
+        /**
+         * Functional model for requests that carry row payloads. Its
+         * ForestKernel is compiled once here at registration — the
+         * per-model kernel cache — so coalesced micro-batches score
+         * through the same compiled plan and never recompile.
+         */
+        RandomForest forest;
         std::size_t num_cols = 0;
         std::uint64_t model_bytes = 0;
 
         ModelEntry(const HardwareProfile& profile,
-                   const TreeEnsemble& model, const ModelStats& stats)
-            : scheduler(profile, model, stats),
-              num_cols(stats.num_features),
-              model_bytes(stats.serialized_bytes) {}
+                   const TreeEnsemble& model, const ModelStats& stats);
     };
 
     /** One device class's queue, worker state, and modeled horizon. */

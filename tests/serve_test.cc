@@ -366,6 +366,62 @@ TEST(ScoringServiceTest, SnapshotWhileRunningIsConsistent)
     service->Stop();
 }
 
+// ------------------------------------------------ functional scoring --
+
+TEST(ScoringServiceTest, PayloadRequestsScoreThroughKernelCache)
+{
+    const ServeFixture& f = Fixture();
+    ServiceConfig config;
+    config.coalescer.window = SimTime::Millis(2.0);
+    auto service = f.Service(config);
+    service->Start();
+
+    const std::size_t cols = f.data.num_features();
+    const std::size_t n = 100;
+    auto payload = std::make_shared<std::vector<float>>(
+        f.data.values().begin(),
+        f.data.values().begin() + static_cast<long>(n * cols));
+
+    ScoreRequest r;
+    r.model_id = "m";
+    r.num_rows = n;
+    r.rows = payload;
+    ScoreReply reply = service->ScoreSync(r);
+    ASSERT_EQ(reply.status, RequestStatus::kCompleted);
+    ASSERT_EQ(reply.predictions.size(), n);
+
+    // Real predictions, bit-identical to the reference scalar path of
+    // the registered model.
+    RandomForest reference = f.ensemble.ToForest();
+    EXPECT_EQ(reply.predictions,
+              reference.PredictBatchScalar(payload->data(), n, cols));
+
+    // Payload-free requests stay modeled-only: no predictions.
+    ScoreRequest modeled;
+    modeled.model_id = "m";
+    modeled.num_rows = 10;
+    ScoreReply modeled_reply = service->ScoreSync(modeled);
+    EXPECT_EQ(modeled_reply.status, RequestStatus::kCompleted);
+    EXPECT_TRUE(modeled_reply.predictions.empty());
+    service->Stop();
+}
+
+TEST(ScoringServiceTest, RejectsPayloadArityMismatch)
+{
+    auto service = Fixture().Service(ServiceConfig{});
+    service->Start();
+    ScoreRequest r;
+    r.model_id = "m";
+    r.num_rows = 10;
+    // 3 floats per row, but the registered model wants 28.
+    r.rows = std::make_shared<std::vector<float>>(10 * 3, 0.0f);
+    ScoreReply reply = service->ScoreSync(r);
+    EXPECT_EQ(reply.status, RequestStatus::kRejected);
+    EXPECT_EQ(reply.error, "row payload arity mismatch");
+    EXPECT_EQ(service->Stats().rejected, 1u);
+    service->Stop();
+}
+
 // ------------------------------------------------- DBMS entry points --
 
 TEST(ServeProcedureTest, SpScoreServiceAndStats)
