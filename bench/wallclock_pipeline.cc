@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Wall-clock marshal-path microbench: feature rows from DBMS Table to
+ * engine-ready buffer, legacy copy-per-query vs the zero-copy view
+ * plane.
+ *
+ * Like wallclock_kernels, the numbers are REAL wall-clock measurements
+ * (machine-dependent), not SimTime. For each dataset size the bench
+ * runs Q scoring-query marshal phases two ways:
+ *
+ *  - legacy: what pipeline.cc did before the RowBlock data plane —
+ *    re-extract every feature value out of the columnar table into a
+ *    fresh std::vector<float> per query, then copy a 256-row probe
+ *    slice for ComputeModelStats;
+ *  - view:   Table::MaterializeFeatures() once (cached, the one
+ *    counted copy), then per query take RowBlock views for both the
+ *    marshal and the probe.
+ *
+ * Bytes copied per phase come from the RowBlock::CopyStats counter
+ * (the legacy emulation self-reports its extraction and probe copies
+ * through RowBlock::NoteCopy so both paths share one meter). Emits
+ * BENCH_pipeline.json next to BENCH_kernels.json.
+ *
+ * Flags:
+ *   --smoke     small row counts for CI smoke runs
+ *   --out=PATH  JSON output path (default BENCH_pipeline.json)
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dbscore/data/row_block.h"
+#include "dbscore/data/synthetic.h"
+#include "dbscore/dbms/database.h"
+#include "dbscore/forest/model_stats.h"
+#include "dbscore/forest/trainer.h"
+
+namespace dbscore::bench {
+namespace {
+
+struct Result {
+    const char* dataset = "";
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    int queries = 0;
+    double legacy_ms_per_query = 0.0;
+    double view_ms_per_query = 0.0;
+    std::uint64_t legacy_bytes_copied = 0;
+    std::uint64_t view_bytes_copied = 0;
+
+    double Speedup() const
+    {
+        return view_ms_per_query > 0.0
+            ? legacy_ms_per_query / view_ms_per_query
+            : 0.0;
+    }
+};
+
+double
+SecondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * The pre-RowBlock marshal: value-by-value extraction into a fresh
+ * buffer, plus the probe-dataset copy ComputeModelStats used to need.
+ * Returns a checksum so the work cannot be optimized away.
+ */
+float
+LegacyMarshal(const Table& table, const RandomForest& forest)
+{
+    const std::size_t num_rows = table.NumRows();
+    const std::size_t label_col = table.LabelColumnIndex();
+    const std::size_t num_features = table.NumFeatureColumns();
+    std::vector<float> matrix(num_rows * num_features);
+    for (std::size_t r = 0; r < num_rows; ++r) {
+        std::size_t out = 0;
+        for (std::size_t c = 0; c < table.NumColumns(); ++c) {
+            if (c == label_col) {
+                continue;
+            }
+            matrix[r * num_features + out++] =
+                static_cast<float>(ValueAsDouble(table.At(r, c)));
+        }
+    }
+    RowBlock::NoteCopy(static_cast<std::uint64_t>(matrix.size()) *
+                       sizeof(float));
+
+    const std::size_t probe_rows = std::min<std::size_t>(num_rows, 256);
+    Dataset probe("probe", forest.task(), num_features,
+                  forest.num_classes());
+    probe.Assign(std::vector<float>(
+                     matrix.begin(),
+                     matrix.begin() + static_cast<std::ptrdiff_t>(
+                                          probe_rows * num_features)),
+                 std::vector<float>(probe_rows, 0.0f));
+    RowBlock::NoteCopy(static_cast<std::uint64_t>(probe_rows) *
+                       num_features * sizeof(float));
+    ModelStats stats = ComputeModelStats(forest, &probe);
+
+    return matrix[matrix.size() - 1] +
+           static_cast<float>(stats.avg_path_length);
+}
+
+/** The RowBlock marshal: cached materialization + views. */
+float
+ViewMarshal(const Table& table, const RandomForest& forest)
+{
+    const RowBlock& block = table.MaterializeFeatures();
+    const RowView features = block.View();
+    ModelStats stats = ComputeModelStats(
+        forest,
+        features.Slice(0, std::min<std::size_t>(features.rows(), 256)));
+    return features.At(features.rows() - 1, features.cols() - 1) +
+           static_cast<float>(stats.avg_path_length);
+}
+
+Result
+RunConfig(const char* dataset, std::size_t num_rows, int queries)
+{
+    const Dataset data = MakeHiggs(num_rows, 42);
+    ForestTrainerConfig trainer;
+    trainer.num_trees = 8;
+    trainer.max_depth = 8;
+    trainer.seed = 42;
+    const RandomForest forest = TrainForest(data, trainer);
+
+    Database db;
+    Table& table = db.StoreDataset("t", data);
+
+    Result r;
+    r.dataset = dataset;
+    r.rows = num_rows;
+    r.cols = data.num_features();
+    r.queries = queries;
+
+    float sink = 0.0f;
+    RowBlock::ResetCopyStats();
+    auto start = std::chrono::steady_clock::now();
+    for (int q = 0; q < queries; ++q) {
+        sink += LegacyMarshal(table, forest);
+    }
+    r.legacy_ms_per_query = SecondsSince(start) * 1e3 / queries;
+    r.legacy_bytes_copied = RowBlock::CopyStats().bytes;
+
+    RowBlock::ResetCopyStats();
+    start = std::chrono::steady_clock::now();
+    for (int q = 0; q < queries; ++q) {
+        sink += ViewMarshal(table, forest);
+    }
+    r.view_ms_per_query = SecondsSince(start) * 1e3 / queries;
+    r.view_bytes_copied = RowBlock::CopyStats().bytes;
+
+    if (sink == 123456789.0f) {  // defeat dead-code elimination
+        std::cerr << "(unreachable checksum)\n";
+    }
+    return r;
+}
+
+void
+WriteJson(const std::string& path, const std::vector<Result>& results,
+          bool smoke)
+{
+    std::ofstream out(path);
+    out << "{\n"
+        << "  \"bench\": \"wallclock_pipeline\",\n"
+        << "  \"schema_version\": 1,\n"
+        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+        << "  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Result& r = results[i];
+        out << "    {\"dataset\": \"" << r.dataset << "\", "
+            << "\"rows\": " << r.rows << ", "
+            << "\"cols\": " << r.cols << ", "
+            << "\"queries\": " << r.queries << ", "
+            << "\"legacy_ms_per_query\": " << r.legacy_ms_per_query
+            << ", "
+            << "\"view_ms_per_query\": " << r.view_ms_per_query << ", "
+            << "\"legacy_bytes_copied\": " << r.legacy_bytes_copied
+            << ", "
+            << "\"view_bytes_copied\": " << r.view_bytes_copied << ", "
+            << "\"marshal_speedup\": " << r.Speedup() << "}"
+            << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+int
+Run(bool smoke, const std::string& out_path)
+{
+    const std::vector<std::size_t> row_counts =
+        smoke ? std::vector<std::size_t>{2000, 10000}
+              : std::vector<std::size_t>{10000, 100000, 400000};
+    const int queries = smoke ? 4 : 8;
+
+    std::vector<Result> results;
+    std::cout << "wallclock_pipeline (real wall time, machine-dependent; "
+              << (smoke ? "smoke" : "full") << " mode)\n"
+              << "dataset    rows  legacy-ms/q    view-ms/q  speedup "
+              << "legacy-bytes  view-bytes\n";
+    bool view_stays_flat = true;
+    for (std::size_t rows : row_counts) {
+        Result r = RunConfig("HIGGS", rows, queries);
+        // The view path must copy at most the single materialization,
+        // regardless of the number of queries.
+        const std::uint64_t one_block =
+            static_cast<std::uint64_t>(r.rows) * r.cols * sizeof(float);
+        view_stays_flat = view_stays_flat &&
+                          r.view_bytes_copied <= one_block &&
+                          r.legacy_bytes_copied >
+                              one_block * static_cast<std::uint64_t>(
+                                              r.queries);
+        std::printf("%-7s %7zu %12.3f %12.3f %8.1f %12llu %11llu\n",
+                    r.dataset, r.rows, r.legacy_ms_per_query,
+                    r.view_ms_per_query, r.Speedup(),
+                    static_cast<unsigned long long>(
+                        r.legacy_bytes_copied),
+                    static_cast<unsigned long long>(
+                        r.view_bytes_copied));
+        results.push_back(r);
+    }
+    WriteJson(out_path, results, smoke);
+    std::cout << "wrote " << out_path << "\n";
+    if (!view_stays_flat) {
+        std::cerr << "FAIL: view path copied more than one "
+                  << "materialization\n";
+        return 1;
+    }
+    return 0;
+}
+
+}  // namespace
+}  // namespace dbscore::bench
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_pipeline.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg.rfind("--out=", 0) == 0) {
+            out_path = arg.substr(6);
+        } else {
+            std::cerr << "usage: wallclock_pipeline [--smoke] "
+                      << "[--out=PATH]\n";
+            return 2;
+        }
+    }
+    return dbscore::bench::Run(smoke, out_path);
+}

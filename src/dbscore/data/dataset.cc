@@ -14,12 +14,10 @@ TaskName(Task task)
     return task == Task::kClassification ? "classification" : "regression";
 }
 
-Dataset::Dataset(std::string name, Task task, std::size_t num_features,
-                 int num_classes)
-    : name_(std::move(name)),
-      task_(task),
-      num_features_(num_features),
-      num_classes_(num_classes)
+namespace {
+
+void
+ValidateShape(Task task, std::size_t num_features, int num_classes)
 {
     if (num_features == 0) {
         throw InvalidArgument("dataset: num_features must be positive");
@@ -33,13 +31,66 @@ Dataset::Dataset(std::string name, Task task, std::size_t num_features,
     }
 }
 
+}  // namespace
+
+Dataset::Dataset(std::string name, Task task, std::size_t num_features,
+                 int num_classes)
+    : name_(std::move(name)),
+      task_(task),
+      num_features_(num_features),
+      num_classes_(num_classes)
+{
+    ValidateShape(task, num_features, num_classes);
+}
+
+Dataset::Dataset(std::string name, Task task, RowView features,
+                 std::vector<float> labels, int num_classes)
+    : name_(std::move(name)),
+      task_(task),
+      num_features_(features.cols()),
+      num_classes_(num_classes),
+      view_(std::move(features)),
+      labels_(std::move(labels))
+{
+    ValidateShape(task, num_features_, num_classes);
+    if (view_.rows() != labels_.size()) {
+        throw InvalidArgument("dataset: view/label row count mismatch");
+    }
+}
+
+std::vector<float>&
+Dataset::MutableValues()
+{
+    if (!view_.empty()) {
+        throw InvalidArgument(
+            "dataset: view-adopting datasets are immutable");
+    }
+    if (values_ == nullptr) {
+        values_ = std::make_shared<std::vector<float>>();
+    } else if (values_.use_count() > 1) {
+        // A live view still shares the current buffer: detach so the
+        // view's storage never changes underneath it (copy-on-write).
+        RowBlock::NoteCopy(static_cast<std::uint64_t>(values_->size()) *
+                           sizeof(float));
+        values_ = std::make_shared<std::vector<float>>(*values_);
+    }
+    return *values_;
+}
+
 void
 Dataset::AddRow(const std::vector<float>& features, float label)
 {
-    if (features.size() != num_features_) {
+    AddRow(features.data(), features.size(), label);
+}
+
+void
+Dataset::AddRow(const float* features, std::size_t count, float label)
+{
+    if (count != num_features_) {
         throw InvalidArgument("dataset: row arity mismatch");
     }
-    values_.insert(values_.end(), features.begin(), features.end());
+    std::vector<float>& values = MutableValues();
+    values.insert(values.end(), features, features + count);
     labels_.push_back(label);
 }
 
@@ -49,7 +100,11 @@ Dataset::Assign(std::vector<float> values, std::vector<float> labels)
     if (values.size() != labels.size() * num_features_) {
         throw InvalidArgument("dataset: assign size mismatch");
     }
-    values_ = std::move(values);
+    if (!view_.empty()) {
+        throw InvalidArgument(
+            "dataset: view-adopting datasets are immutable");
+    }
+    values_ = std::make_shared<std::vector<float>>(std::move(values));
     labels_ = std::move(labels);
 }
 
@@ -57,14 +112,17 @@ const float*
 Dataset::Row(std::size_t i) const
 {
     DBS_ASSERT(i < num_rows());
-    return values_.data() + i * num_features_;
+    if (!view_.empty()) {
+        return view_.Row(i);
+    }
+    return values_->data() + i * num_features_;
 }
 
 float
 Dataset::At(std::size_t row, std::size_t col) const
 {
     DBS_ASSERT(row < num_rows() && col < num_features_);
-    return values_[row * num_features_ + col];
+    return Row(row)[col];
 }
 
 float
@@ -74,10 +132,49 @@ Dataset::Label(std::size_t i) const
     return labels_[i];
 }
 
+const std::vector<float>&
+Dataset::values() const
+{
+    if (!view_.empty()) {
+        throw InvalidArgument(
+            "dataset: view-adopting dataset has no owned values; "
+            "use View()");
+    }
+    static const std::vector<float> kEmpty;
+    return values_ == nullptr ? kEmpty : *values_;
+}
+
+RowView
+Dataset::View() const
+{
+    return View(0, num_rows());
+}
+
+RowView
+Dataset::View(std::size_t begin, std::size_t end) const
+{
+    if (begin > end || end > num_rows()) {
+        throw InvalidArgument("dataset: view out of range");
+    }
+    if (!view_.empty()) {
+        return view_.Slice(begin, end);
+    }
+    if (values_ == nullptr || begin == end) {
+        return RowView();
+    }
+    // Alias the shared vector: the view holds a refcount, so it stays
+    // valid after this dataset mutates (detach) or is destroyed.
+    std::shared_ptr<const float[]> keepalive(values_, values_->data());
+    return RowView(std::move(keepalive),
+                   values_->data() + begin * num_features_, end - begin,
+                   num_features_, num_features_);
+}
+
 std::uint64_t
 Dataset::FeatureBytes() const
 {
-    return static_cast<std::uint64_t>(values_.size()) * sizeof(float);
+    return static_cast<std::uint64_t>(num_rows()) * num_features_ *
+           sizeof(float);
 }
 
 Dataset
@@ -86,10 +183,22 @@ Dataset::Slice(std::size_t begin, std::size_t end) const
     if (begin > end || end > num_rows()) {
         throw InvalidArgument("dataset: slice out of range");
     }
+    if (!view_.empty()) {
+        Dataset out(name_, task_, view_.Slice(begin, end),
+                    std::vector<float>(labels_.begin() + begin,
+                                       labels_.begin() + end),
+                    num_classes_);
+        out.feature_names_ = feature_names_;
+        return out;
+    }
     Dataset out(name_, task_, num_features_, num_classes_);
     out.feature_names_ = feature_names_;
-    out.values_.assign(values_.begin() + begin * num_features_,
-                       values_.begin() + end * num_features_);
+    if (begin < end) {
+        const std::vector<float>& values = *values_;
+        out.MutableValues().assign(
+            values.begin() + begin * num_features_,
+            values.begin() + end * num_features_);
+    }
     out.labels_.assign(labels_.begin() + begin, labels_.begin() + end);
     return out;
 }
@@ -102,12 +211,13 @@ Dataset::Replicate(std::size_t target_rows) const
     }
     Dataset out(name_, task_, num_features_, num_classes_);
     out.feature_names_ = feature_names_;
-    out.values_.reserve(target_rows * num_features_);
+    std::vector<float>& values = out.MutableValues();
+    values.reserve(target_rows * num_features_);
     out.labels_.reserve(target_rows);
     for (std::size_t i = 0; i < target_rows; ++i) {
         std::size_t src = i % num_rows();
         const float* row = Row(src);
-        out.values_.insert(out.values_.end(), row, row + num_features_);
+        values.insert(values.end(), row, row + num_features_);
         out.labels_.push_back(labels_[src]);
     }
     return out;
@@ -123,11 +233,12 @@ Dataset::Shuffled(std::uint64_t seed) const
 
     Dataset out(name_, task_, num_features_, num_classes_);
     out.feature_names_ = feature_names_;
-    out.values_.reserve(values_.size());
+    std::vector<float>& values = out.MutableValues();
+    values.reserve(num_rows() * num_features_);
     out.labels_.reserve(labels_.size());
     for (std::size_t i : perm) {
         const float* row = Row(i);
-        out.values_.insert(out.values_.end(), row, row + num_features_);
+        values.insert(values.end(), row, row + num_features_);
         out.labels_.push_back(labels_[i]);
     }
     return out;

@@ -6,14 +6,24 @@
  * pipeline hands to the scoring engines (a Pandas DataFrame converted to a
  * contiguous array). Labels are float so the same container serves
  * classification (label = class id) and regression.
+ *
+ * Storage is part of the zero-copy data plane (see data/row_block.h): an
+ * owning dataset keeps its feature matrix in refcounted storage that
+ * View() shares without copying — a view stays valid even after the
+ * dataset is mutated or destroyed (mutation detaches to fresh storage,
+ * copy-on-write). A *view-adopting* dataset instead wraps an existing
+ * RowView outright (no copy at all) and is immutable.
  */
 #ifndef DBSCORE_DATA_DATASET_H
 #define DBSCORE_DATA_DATASET_H
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "dbscore/data/row_block.h"
 
 namespace dbscore {
 
@@ -40,8 +50,25 @@ class Dataset {
     Dataset(std::string name, Task task, std::size_t num_features,
             int num_classes);
 
+    /**
+     * View-adopting constructor: the dataset reads features through
+     * @p features without copying them. @p labels must have
+     * features.rows() entries. The result is immutable — AddRow and
+     * Assign throw — and values() is unavailable (use View()/Row()).
+     */
+    Dataset(std::string name, Task task, RowView features,
+            std::vector<float> labels, int num_classes);
+
     /** Appends one row; @p features must have num_features() entries. */
     void AddRow(const std::vector<float>& features, float label);
+
+    /**
+     * Span-style append: @p count features read from @p features.
+     * Callers with a reusable buffer avoid the per-row heap vector.
+     * @p features must not alias this dataset's own storage (an append
+     * can reallocate it).
+     */
+    void AddRow(const float* features, std::size_t count, float label);
 
     /**
      * Bulk adoption of pre-built storage. @p values has
@@ -57,14 +84,31 @@ class Dataset {
     std::size_t num_features() const { return num_features_; }
     int num_classes() const { return num_classes_; }
 
+    /** True for mutable vector-backed storage, false once view-adopted. */
+    bool owns_values() const { return view_.empty(); }
+
     /** Pointer to row @p i (num_features() contiguous floats). */
     const float* Row(std::size_t i) const;
 
     float At(std::size_t row, std::size_t col) const;
     float Label(std::size_t i) const;
 
-    const std::vector<float>& values() const { return values_; }
+    /**
+     * Owned feature storage. Only valid for owning datasets;
+     * @throws InvalidArgument on a view-adopting dataset (use View()).
+     */
+    const std::vector<float>& values() const;
     const std::vector<float>& labels() const { return labels_; }
+
+    /**
+     * Zero-copy view of the feature matrix. For owning datasets the
+     * view shares the refcounted storage, so it remains valid after the
+     * dataset mutates (copy-on-write detach) or dies.
+     */
+    RowView View() const;
+
+    /** Zero-copy view of rows [begin, end). */
+    RowView View(std::size_t begin, std::size_t end) const;
 
     std::vector<std::string>& feature_names() { return feature_names_; }
     const std::vector<std::string>& feature_names() const
@@ -76,7 +120,9 @@ class Dataset {
     std::uint64_t FeatureBytes() const;
 
     /**
-     * Returns a new dataset containing rows [begin, end).
+     * Returns a new dataset containing rows [begin, end). Zero-copy
+     * (view-adopting result) when this dataset is itself view-adopted;
+     * otherwise copies the range as before.
      * @throws InvalidArgument if the range is out of bounds.
      */
     Dataset Slice(std::size_t begin, std::size_t end) const;
@@ -91,11 +137,21 @@ class Dataset {
     Dataset Shuffled(std::uint64_t seed) const;
 
  private:
+    /**
+     * Mutable owned storage, detaching (counted copy) when a live view
+     * still shares the current buffer. @throws InvalidArgument on a
+     * view-adopting dataset.
+     */
+    std::vector<float>& MutableValues();
+
     std::string name_;
     Task task_ = Task::kClassification;
     std::size_t num_features_ = 0;
     int num_classes_ = 0;
-    std::vector<float> values_;
+    /** Owning storage; shared with views handed out by View(). */
+    std::shared_ptr<std::vector<float>> values_;
+    /** Adopted storage; when non-empty the dataset is immutable. */
+    RowView view_;
     std::vector<float> labels_;
     std::vector<std::string> feature_names_;
 };

@@ -1,0 +1,180 @@
+#include "dbscore/data/row_block.h"
+
+#include <atomic>
+#include <utility>
+
+#include "dbscore/common/error.h"
+
+namespace dbscore {
+
+namespace {
+
+std::atomic<std::uint64_t> g_copy_count{0};
+std::atomic<std::uint64_t> g_copy_bytes{0};
+
+}  // namespace
+
+// ------------------------------------------------------------ RowView --
+
+RowView::RowView(std::shared_ptr<const float[]> keepalive,
+                 const float* data, std::size_t rows, std::size_t cols,
+                 std::size_t stride)
+    : keepalive_(std::move(keepalive)),
+      data_(data),
+      rows_(rows),
+      cols_(cols),
+      stride_(stride)
+{
+    if (rows_ > 0 && (data_ == nullptr || cols_ == 0 || stride_ < cols_)) {
+        throw InvalidArgument("row view: malformed shape");
+    }
+}
+
+RowView
+RowView::Borrow(const float* data, std::size_t rows, std::size_t cols,
+                std::size_t stride)
+{
+    return RowView(nullptr, data, rows, cols,
+                   stride == 0 ? cols : stride);
+}
+
+const float*
+RowView::Row(std::size_t i) const
+{
+    DBS_ASSERT(i < rows_);
+    return data_ + i * stride_;
+}
+
+float
+RowView::At(std::size_t row, std::size_t col) const
+{
+    DBS_ASSERT(row < rows_ && col < cols_);
+    return data_[row * stride_ + col];
+}
+
+std::uint64_t
+RowView::ByteSize() const
+{
+    return static_cast<std::uint64_t>(rows_) * cols_ * sizeof(float);
+}
+
+RowView
+RowView::Slice(std::size_t begin, std::size_t end) const
+{
+    if (begin > end || end > rows_) {
+        throw InvalidArgument("row view: slice out of range");
+    }
+    RowView out = *this;
+    out.data_ = data_ + begin * stride_;
+    out.rows_ = end - begin;
+    if (out.rows_ == 0) {
+        out.data_ = nullptr;
+        out.keepalive_.reset();
+    }
+    return out;
+}
+
+RowBlock
+RowView::Materialize() const
+{
+    return RowBlock::Copy(*this);
+}
+
+// ----------------------------------------------------------- RowBlock --
+
+RowBlock::RowBlock(std::vector<float> values, std::size_t cols)
+{
+    if (cols == 0) {
+        if (!values.empty()) {
+            throw InvalidArgument("row block: zero columns");
+        }
+        return;
+    }
+    if (values.size() % cols != 0) {
+        throw InvalidArgument("row block: size not a multiple of cols");
+    }
+    rows_ = values.size() / cols;
+    cols_ = cols;
+    auto owner = std::make_shared<std::vector<float>>(std::move(values));
+    data_ = std::shared_ptr<const float[]>(owner, owner->data());
+}
+
+RowBlock::RowBlock(std::shared_ptr<const float[]> data, std::size_t rows,
+                   std::size_t cols)
+    : data_(std::move(data)), rows_(rows), cols_(cols)
+{
+    if (rows_ > 0 && (data_ == nullptr || cols_ == 0)) {
+        throw InvalidArgument("row block: malformed shape");
+    }
+}
+
+RowBlock
+RowBlock::Copy(const float* src, std::size_t rows, std::size_t cols)
+{
+    NoteCopy(static_cast<std::uint64_t>(rows) * cols * sizeof(float));
+    return RowBlock(std::vector<float>(src, src + rows * cols), cols);
+}
+
+RowBlock
+RowBlock::Copy(const RowView& view)
+{
+    if (view.contiguous()) {
+        return Copy(view.data(), view.rows(), view.cols());
+    }
+    NoteCopy(view.ByteSize());
+    std::vector<float> values;
+    values.reserve(view.rows() * view.cols());
+    for (std::size_t r = 0; r < view.rows(); ++r) {
+        const float* row = view.Row(r);
+        values.insert(values.end(), row, row + view.cols());
+    }
+    return RowBlock(std::move(values), view.cols());
+}
+
+std::uint64_t
+RowBlock::ByteSize() const
+{
+    return static_cast<std::uint64_t>(rows_) * cols_ * sizeof(float);
+}
+
+RowView
+RowBlock::View() const
+{
+    return View(0, rows_);
+}
+
+RowView
+RowBlock::View(std::size_t begin, std::size_t end) const
+{
+    if (begin > end || end > rows_) {
+        throw InvalidArgument("row block: view out of range");
+    }
+    if (begin == end) {
+        return RowView();
+    }
+    return RowView(data_, data_.get() + begin * cols_, end - begin, cols_,
+                   cols_);
+}
+
+void
+RowBlock::NoteCopy(std::uint64_t bytes)
+{
+    g_copy_count.fetch_add(1, std::memory_order_relaxed);
+    g_copy_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+RowCopyStats
+RowBlock::CopyStats()
+{
+    return RowCopyStats{g_copy_count.load(std::memory_order_relaxed),
+                        g_copy_bytes.load(std::memory_order_relaxed)};
+}
+
+void
+RowBlock::ResetCopyStats()
+{
+    g_copy_count.store(0, std::memory_order_relaxed);
+    g_copy_bytes.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dbscore

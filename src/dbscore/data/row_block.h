@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The zero-copy columnar data plane: RowBlock and RowView.
+ *
+ * The paper's central measurement is that marshaling — not tree
+ * traversal — dominates end-to-end DBMS scoring latency. Our own
+ * pipeline used to re-copy feature rows into a fresh std::vector<float>
+ * at every stage boundary (Table -> marshal -> Dataset -> Matrix ->
+ * engine -> serve payload), which made the wall-clock path dishonest
+ * about what the simulated cost model charges. RowBlock is the single
+ * materialization point: an immutable, refcounted, row-major float32
+ * buffer built once (per table, per payload), with RowView as the
+ * lightweight strided slice every later layer passes along instead of
+ * copying.
+ *
+ * Ownership rules:
+ *  - RowBlock owns (or shares) the storage via a
+ *    std::shared_ptr<const float[]>; it is immutable after
+ *    construction and cheap to copy (two words + a refcount).
+ *  - RowView either *shares* that storage (keepalive refcount: the
+ *    view may outlive the producing RowBlock / Table / Dataset) or
+ *    *borrows* caller-managed memory (RowView::Borrow, no refcount:
+ *    valid only while the caller keeps the buffer alive — the right
+ *    tool inside a single engine call).
+ *  - A RowView never exposes mutable access; producers hand out views
+ *    only over storage that will not change underneath them.
+ *
+ * Copy accounting: every place in the repository that still copies
+ * feature storage funnels through RowBlock::NoteCopy, so tests can
+ * reset the process-wide counter after the initial materialization and
+ * assert that the pipeline and serve paths perform zero feature-row
+ * copies end to end.
+ */
+#ifndef DBSCORE_DATA_ROW_BLOCK_H
+#define DBSCORE_DATA_ROW_BLOCK_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dbscore {
+
+class RowBlock;
+
+/**
+ * A non-mutating strided view of row-major float32 rows.
+ *
+ * rows() x cols() values, with consecutive rows @c stride() floats
+ * apart (stride == cols for compact storage; a larger stride lets a
+ * view select a column-prefix of a wider block). Copying a RowView
+ * copies three words and a refcount, never the data.
+ */
+class RowView {
+ public:
+    /** Empty view: rows() == 0, data() == nullptr. */
+    RowView() = default;
+
+    /**
+     * Shared view: @p keepalive holds the storage alive for the view's
+     * lifetime (and the lifetime of every slice taken from it).
+     */
+    RowView(std::shared_ptr<const float[]> keepalive, const float* data,
+            std::size_t rows, std::size_t cols, std::size_t stride);
+
+    /**
+     * Borrowing view of caller-managed storage — no refcount. The
+     * caller must keep @p data alive while the view (or any slice of
+     * it) is in use. @p stride 0 means compact (== @p cols).
+     */
+    static RowView Borrow(const float* data, std::size_t rows,
+                          std::size_t cols, std::size_t stride = 0);
+
+    bool empty() const { return rows_ == 0; }
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t stride() const { return stride_; }
+
+    /** True when rows are adjacent (flat pointer arithmetic is valid). */
+    bool contiguous() const { return stride_ == cols_ || rows_ <= 1; }
+
+    /** Start of row 0. */
+    const float* data() const { return data_; }
+
+    /** Pointer to row @p i (cols() readable floats). */
+    const float* Row(std::size_t i) const;
+
+    float At(std::size_t row, std::size_t col) const;
+
+    /** Payload bytes a marshal of this view moves: rows*cols*4. */
+    std::uint64_t ByteSize() const;
+
+    /** Rows [begin, end); shares this view's keepalive. */
+    RowView Slice(std::size_t begin, std::size_t end) const;
+
+    /** True when the view holds a refcount on its storage. */
+    bool shared() const { return keepalive_ != nullptr; }
+
+    /** Compact owned copy of the viewed rows (counted; see NoteCopy). */
+    RowBlock Materialize() const;
+
+ private:
+    std::shared_ptr<const float[]> keepalive_;
+    const float* data_ = nullptr;
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::size_t stride_ = 0;
+};
+
+/** Running total of feature-storage copies (test copy-counter hook). */
+struct RowCopyStats {
+    std::uint64_t copies = 0;
+    std::uint64_t bytes = 0;
+};
+
+/**
+ * An immutable, refcounted, row-major float32 buffer — the one
+ * materialization the data plane performs. Cheap to copy; copies share
+ * storage.
+ */
+class RowBlock {
+ public:
+    /** Empty block. */
+    RowBlock() = default;
+
+    /**
+     * Adopts @p values (moved — no copy). values.size() must be a
+     * multiple of @p cols. @throws InvalidArgument otherwise
+     */
+    RowBlock(std::vector<float> values, std::size_t cols);
+
+    /** Wraps pre-shared storage of @p rows x @p cols floats. */
+    RowBlock(std::shared_ptr<const float[]> data, std::size_t rows,
+             std::size_t cols);
+
+    /** Counted deep copy of a raw compact buffer. */
+    static RowBlock Copy(const float* src, std::size_t rows,
+                         std::size_t cols);
+
+    /** Counted deep copy of a (possibly strided) view. */
+    static RowBlock Copy(const RowView& view);
+
+    bool empty() const { return rows_ == 0; }
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    const float* data() const { return data_.get(); }
+    std::uint64_t ByteSize() const;
+
+    /** Shared view of the whole block (keeps the storage alive). */
+    RowView View() const;
+
+    /** Shared view of rows [begin, end). */
+    RowView View(std::size_t begin, std::size_t end) const;
+
+    /** The underlying shared storage. */
+    const std::shared_ptr<const float[]>& storage() const { return data_; }
+
+    // ---- process-wide copy counter (enabled unconditionally; reads
+    // ---- and bumps are relaxed atomics, negligible next to a memcpy).
+
+    /** Records one feature-storage copy of @p bytes. */
+    static void NoteCopy(std::uint64_t bytes);
+
+    /** Copies recorded since the last reset. */
+    static RowCopyStats CopyStats();
+
+    /** Zeroes the copy counter (tests call this after materialization). */
+    static void ResetCopyStats();
+
+ private:
+    std::shared_ptr<const float[]> data_;
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+};
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_DATA_ROW_BLOCK_H

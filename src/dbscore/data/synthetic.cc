@@ -48,7 +48,7 @@ MakeIris(std::size_t num_rows, std::uint64_t seed)
                                         kIrisStds[cls][f]);
             row[f] = static_cast<float>(std::max(0.05, v));
         }
-        data.AddRow(row, static_cast<float>(cls));
+        data.AddRow(row.data(), row.size(), static_cast<float>(cls));
     }
     return data;
 }
@@ -112,7 +112,7 @@ MakeHiggs(std::size_t num_rows, std::uint64_t seed)
             row[kLowLevel + f] = static_cast<float>(
                 high[f] + 0.25 * rng.NextGaussian() + 0.12 * sign);
         }
-        data.AddRow(row, static_cast<float>(cls));
+        data.AddRow(row.data(), row.size(), static_cast<float>(cls));
     }
     return data;
 }
@@ -134,7 +134,7 @@ MakeGaussianBlobs(std::size_t num_rows, std::size_t num_features,
             double center = separation * cls * ((f % 2 == 0) ? 1.0 : -1.0);
             row[f] = static_cast<float>(rng.NextGaussian(center, 1.0));
         }
-        data.AddRow(row, static_cast<float>(cls));
+        data.AddRow(row.data(), row.size(), static_cast<float>(cls));
     }
     return data;
 }
@@ -163,7 +163,7 @@ MakeSyntheticRegression(std::size_t num_rows, std::size_t num_features,
         }
         y += 0.5 * row[0] * row[1];  // one interaction term
         y += rng.NextGaussian(0.0, noise_stddev);
-        data.AddRow(row, static_cast<float>(y));
+        data.AddRow(row.data(), row.size(), static_cast<float>(y));
     }
     return data;
 }

@@ -123,8 +123,9 @@ Database::LoadDataset(const std::string& table_name, Task task,
             }
             row[out++] = static_cast<float>(ValueAsDouble(table.At(r, c)));
         }
-        data.AddRow(row, static_cast<float>(
-                             ValueAsDouble(table.At(r, label_col))));
+        data.AddRow(row.data(), row.size(),
+                    static_cast<float>(
+                        ValueAsDouble(table.At(r, label_col))));
     }
     return data;
 }

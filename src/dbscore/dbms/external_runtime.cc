@@ -70,6 +70,12 @@ ExternalScriptRuntime::TransferToProcess(std::uint64_t bytes) const
 }
 
 SimTime
+ExternalScriptRuntime::TransferToProcess(const RowView& view) const
+{
+    return TransferToProcess(view.ByteSize());
+}
+
+SimTime
 ExternalScriptRuntime::TransferFromProcess(std::uint64_t bytes) const
 {
     return TransferTime(bytes, params_.channel_bytes_per_second);

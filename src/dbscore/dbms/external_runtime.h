@@ -19,6 +19,7 @@
 #include <mutex>
 
 #include "dbscore/common/sim_time.h"
+#include "dbscore/data/row_block.h"
 
 namespace dbscore {
 
@@ -98,6 +99,13 @@ class ExternalScriptRuntime {
 
     /** DBMS -> process copy of @p bytes. */
     SimTime TransferToProcess(std::uint64_t bytes) const;
+
+    /**
+     * DBMS -> process marshal of @p view. Charges the view's actual
+     * float32 payload size (rows * cols * 4); the view itself passes
+     * through by reference — the host performs no copy.
+     */
+    SimTime TransferToProcess(const RowView& view) const;
 
     /** process -> DBMS copy of @p bytes. */
     SimTime TransferFromProcess(std::uint64_t bytes) const;

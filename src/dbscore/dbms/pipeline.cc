@@ -39,7 +39,11 @@ ScoringPipeline::RunScoringQuery(const std::string& model_name,
     // Stage 1: launch (or reuse) the external scripting process.
     stages.python_invocation = runtime_.InvokeProcess();
 
-    // Stage 2: the DBMS copies the selected rows into the process.
+    // Stage 2: the DBMS materializes the feature block once (the data
+    // plane's only copy out of columnar storage) and marshals a view of
+    // it. The simulated channel cost is charged from the view's actual
+    // float32 payload size; the host passes the view through by
+    // reference without copying.
     const Table& table = db_.GetTable(data_table);
     const std::size_t num_rows =
         std::min<std::size_t>(table.NumRows(),
@@ -48,73 +52,42 @@ ScoringPipeline::RunScoringQuery(const std::string& model_name,
         throw InvalidArgument("pipeline: no rows to score in '" +
                               data_table + "'");
     }
-    std::uint64_t wire_bytes = 0;
-    for (std::size_t r = 0; r < num_rows; ++r) {
-        wire_bytes += table.RowWireBytes(r);
-    }
-    stages.data_transfer += runtime_.TransferToProcess(wire_bytes);
+    const RowBlock& block = table.MaterializeFeatures();
+    const RowView features = block.View(0, num_rows);
+    const std::size_t num_features = table.NumFeatureColumns();
+    stages.data_transfer += runtime_.TransferToProcess(features);
 
     // Stage 3: the script deserializes the model (functionally real).
     const std::uint64_t blob_bytes = db_.ModelBlobBytes(model_name);
     TreeEnsemble ensemble = db_.LoadModel(model_name);
     stages.model_preprocessing = runtime_.ModelPreprocessing(blob_bytes);
 
-    // Stage 4: feature extraction into the scoring matrix. The label
-    // column (if present) is excluded from the features.
-    std::size_t label_col = table.NumColumns();
-    for (std::size_t c = 0; c < table.NumColumns(); ++c) {
-        if (table.schema()[c].name == "label") {
-            label_col = c;
-        }
-    }
-    const std::size_t num_features =
-        table.NumColumns() - (label_col < table.NumColumns() ? 1 : 0);
+    // Stage 4: feature extraction into the scoring matrix. The block
+    // already excludes the label column; only the shape check and the
+    // simulated preparation cost remain.
     if (num_features != ensemble.num_features) {
         throw InvalidArgument("pipeline: table width does not match model");
-    }
-    std::vector<float> matrix(num_rows * num_features);
-    for (std::size_t r = 0; r < num_rows; ++r) {
-        std::size_t out = 0;
-        for (std::size_t c = 0; c < table.NumColumns(); ++c) {
-            if (c == label_col) {
-                continue;
-            }
-            matrix[r * num_features + out++] =
-                static_cast<float>(ValueAsDouble(table.At(r, c)));
-        }
     }
     stages.data_preprocessing =
         runtime_.DataPreprocessing(num_rows, num_features);
 
-    // Stage 5: score on the chosen backend.
+    // Stage 5: score on the chosen backend. A slice of the live view
+    // serves as the path-length probe — no probe dataset is copied.
     RandomForest forest = ensemble.ToForest();
-    Dataset probe("probe", ensemble.task,
-                  ensemble.num_features,
-                  ensemble.task == Task::kClassification
-                      ? ensemble.num_classes : 0);
-    // Use a slice of the actual rows as the path-length probe.
-    {
-        const std::size_t probe_rows = std::min<std::size_t>(num_rows, 256);
-        std::vector<float> values(
-            matrix.begin(),
-            matrix.begin() +
-                static_cast<std::ptrdiff_t>(probe_rows * num_features));
-        probe.Assign(std::move(values),
-                     std::vector<float>(probe_rows, 0.0f));
-    }
-    ModelStats stats = ComputeModelStats(forest, &probe);
+    ModelStats stats = ComputeModelStats(
+        forest, features.Slice(0, std::min<std::size_t>(num_rows, 256)));
     auto engine = CreateLoadedEngine(backend, profile_, ensemble, stats);
     if (engine == nullptr) {
         throw CapacityError(std::string("pipeline: backend ") +
                             BackendName(backend) +
                             " cannot host this model");
     }
-    ScoreResult score = engine->Score(matrix.data(), num_rows, num_features);
+    ScoreResult score = engine->Score(features);
     stages.scoring = score.breakdown;
 
-    // Stage 6: predictions copied back into the DBMS.
+    // Stage 6: float32 predictions copied back into the DBMS.
     stages.data_transfer += runtime_.TransferFromProcess(
-        static_cast<std::uint64_t>(num_rows) * 8);
+        static_cast<std::uint64_t>(num_rows) * sizeof(float));
 
     result.predictions = std::move(score.predictions);
     return result;
@@ -131,13 +104,15 @@ ScoringPipeline::EstimateQuery(const std::string& model_name,
     TreeEnsemble ensemble = db_.LoadModel(model_name);
     stages.model_preprocessing = runtime_.ModelPreprocessing(blob_bytes);
 
-    // Wire format: 8 bytes per numeric cell, features + label column.
+    // Wire format mirrors the run path: a float32 feature view out,
+    // float32 predictions back.
     const std::uint64_t wire_bytes =
-        static_cast<std::uint64_t>(num_rows) *
-        (ensemble.num_features + 1) * 8;
-    stages.data_transfer = runtime_.TransferToProcess(wire_bytes) +
-                           runtime_.TransferFromProcess(
-                               static_cast<std::uint64_t>(num_rows) * 8);
+        static_cast<std::uint64_t>(num_rows) * ensemble.num_features *
+        sizeof(float);
+    stages.data_transfer =
+        runtime_.TransferToProcess(wire_bytes) +
+        runtime_.TransferFromProcess(
+            static_cast<std::uint64_t>(num_rows) * sizeof(float));
     stages.data_preprocessing =
         runtime_.DataPreprocessing(num_rows, ensemble.num_features);
 

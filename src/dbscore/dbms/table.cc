@@ -51,6 +51,9 @@ Table::AppendRow(std::vector<Value> row)
         columns_[i].push_back(std::move(row[i]));
     }
     ++num_rows_;
+    // Drop (don't mutate) the cached materialization; live views keep
+    // the old block's storage alive through their refcounts.
+    features_ = RowBlock();
 }
 
 const Value&
@@ -75,6 +78,53 @@ Table::RowWireBytes(std::size_t row) const
         bytes += ValueWireBytes(At(row, c));
     }
     return bytes;
+}
+
+std::size_t
+Table::LabelColumnIndex() const
+{
+    for (std::size_t c = 0; c < schema_.size(); ++c) {
+        if (schema_[c].name == "label") {
+            return c;
+        }
+    }
+    return schema_.size();
+}
+
+std::size_t
+Table::NumFeatureColumns() const
+{
+    return schema_.size() -
+           (LabelColumnIndex() < schema_.size() ? 1 : 0);
+}
+
+const RowBlock&
+Table::MaterializeFeatures() const
+{
+    const std::size_t num_features = NumFeatureColumns();
+    if (!features_.empty() || num_rows_ == 0 || num_features == 0) {
+        return features_;
+    }
+    const std::size_t label_col = LabelColumnIndex();
+    std::vector<float> values(num_rows_ * num_features);
+    std::size_t out_col = 0;
+    for (std::size_t c = 0; c < schema_.size(); ++c) {
+        if (c == label_col) {
+            continue;
+        }
+        const std::vector<Value>& column = columns_[c];
+        float* out = values.data() + out_col;
+        for (std::size_t r = 0; r < num_rows_; ++r) {
+            out[r * num_features] =
+                static_cast<float>(ValueAsDouble(column[r]));
+        }
+        ++out_col;
+    }
+    // The one counted copy: DBMS values -> float32 feature block.
+    RowBlock::NoteCopy(static_cast<std::uint64_t>(values.size()) *
+                       sizeof(float));
+    features_ = RowBlock(std::move(values), num_features);
+    return features_;
 }
 
 }  // namespace dbscore

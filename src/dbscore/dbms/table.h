@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "dbscore/data/row_block.h"
 #include "dbscore/dbms/value.h"
 
 namespace dbscore {
@@ -50,11 +51,29 @@ class Table {
     /** Approximate wire size of @p row in bytes. */
     std::uint64_t RowWireBytes(std::size_t row) const;
 
+    /** Index of the feature-excluded "label" column, or NumColumns(). */
+    std::size_t LabelColumnIndex() const;
+
+    /** Columns that materialize as features (all but "label"). */
+    std::size_t NumFeatureColumns() const;
+
+    /**
+     * Row-major float32 materialization of every non-label column —
+     * the data plane's single copy out of DBMS storage. Built lazily,
+     * cached until the next AppendRow, and counted against
+     * RowBlock::CopyStats. Views taken from the returned block share
+     * its refcounted storage and stay valid across cache invalidation
+     * (the cache drops its reference; it never mutates the old block).
+     */
+    const RowBlock& MaterializeFeatures() const;
+
  private:
     std::string name_;
     std::vector<ColumnDef> schema_;
     std::vector<std::vector<Value>> columns_;
     std::size_t num_rows_ = 0;
+    /** Lazy feature cache; empty() means not materialized. */
+    mutable RowBlock features_;
 };
 
 }  // namespace dbscore

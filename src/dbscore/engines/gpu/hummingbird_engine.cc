@@ -5,6 +5,7 @@
 
 #include "dbscore/common/error.h"
 #include "dbscore/common/thread_pool.h"
+#include "dbscore/data/row_block.h"
 #include "dbscore/forest/forest.h"
 
 namespace dbscore {
@@ -210,7 +211,10 @@ std::vector<float>
 HummingbirdGpuEngine::ScoreGemm(const float* rows, std::size_t num_rows,
                                 CostLedger* ledger) const
 {
-    Matrix x = Matrix::FromBuffer(rows, num_rows, stats_.num_features);
+    // Adopt the caller's buffer in place — the feature matrix enters
+    // the tensor pipeline without a host copy.
+    Matrix x = Matrix::FromView(
+        RowView::Borrow(rows, num_rows, stats_.num_features));
     Matrix acc(num_rows, static_cast<std::size_t>(num_outputs_));
 
     for (const auto& ct : gemm_trees_) {

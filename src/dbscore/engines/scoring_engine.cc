@@ -77,4 +77,14 @@ ScoringEngine::RequireLoaded() const
     }
 }
 
+ScoreResult
+ScoringEngine::Score(const RowView& view)
+{
+    if (view.contiguous()) {
+        return Score(view.data(), view.rows(), view.cols());
+    }
+    RowBlock compact = view.Materialize();
+    return Score(compact.data(), compact.rows(), compact.cols());
+}
+
 }  // namespace dbscore

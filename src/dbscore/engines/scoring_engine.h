@@ -122,6 +122,14 @@ class ScoringEngine {
                               std::size_t num_cols) = 0;
 
     /**
+     * Scores through a zero-copy view. Contiguous views (the common
+     * case: whole RowBlocks and row-range slices) reach the virtual
+     * Score without any copy; a strided column-slice view is first
+     * materialized (counted against RowBlock::CopyStats).
+     */
+    ScoreResult Score(const RowView& view);
+
+    /**
      * Timing-only evaluation: the breakdown Score would report for
      * @p num_rows rows, without computing predictions. Lets the bench
      * sweeps cover 1M-row points cheaply. Tests pin Estimate == Score's

@@ -212,10 +212,32 @@ RandomForest::PredictBatch(const float* rows, std::size_t num_rows,
 }
 
 std::vector<float>
+RandomForest::PredictBatch(const RowView& rows) const
+{
+    if (rows.empty()) {
+        return {};
+    }
+    if (rows.cols() != num_features_) {
+        throw InvalidArgument("forest: row arity mismatch");
+    }
+    if (!ForestKernel::Supports(*this)) {
+        if (rows.contiguous()) {
+            return PredictBatchScalar(rows.data(), rows.rows(),
+                                      num_features_);
+        }
+        std::vector<float> out(rows.rows());
+        for (std::size_t i = 0; i < rows.rows(); ++i) {
+            out[i] = Predict(rows.Row(i));
+        }
+        return out;
+    }
+    return Kernel()->Predict(rows);
+}
+
+std::vector<float>
 RandomForest::PredictBatch(const Dataset& data) const
 {
-    return PredictBatch(data.values().data(), data.num_rows(),
-                        data.num_features());
+    return PredictBatch(data.View());
 }
 
 double

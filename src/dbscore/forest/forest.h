@@ -73,6 +73,12 @@ class RandomForest {
                                     std::size_t num_cols) const;
 
     /**
+     * Zero-copy batch prediction over a (possibly strided) view:
+     * traverses the viewed rows in place.
+     */
+    std::vector<float> PredictBatch(const RowView& rows) const;
+
+    /**
      * The scalar reference batch path: per-row Predict with chunked
      * ThreadPool parallelism and no compiled kernel. The baseline the
      * kernel is benched and property-tested against.

@@ -173,7 +173,7 @@ ForestKernel::ForestKernel(const RandomForest& forest,
 
 void
 ForestKernel::RunBlockClassify(const float* rows, std::size_t num_rows,
-                               std::size_t num_cols, float* out,
+                               std::size_t stride, float* out,
                                Scratch& scratch) const
 {
     const Node* const nodes = nodes_.data();
@@ -189,7 +189,7 @@ ForestKernel::RunBlockClassify(const float* rows, std::size_t num_rows,
     for (; r + kTraversalLanes <= num_rows; r += kTraversalLanes) {
         const float* rowp[kTraversalLanes];
         for (std::size_t k = 0; k < kTraversalLanes; ++k) {
-            rowp[k] = rows + (r + k) * num_cols;
+            rowp[k] = rows + (r + k) * stride;
         }
         for (const TreeTile& tile : tiles_) {
             for (std::size_t t = tile.first_tree; t < tile.end_tree;
@@ -205,7 +205,7 @@ ForestKernel::RunBlockClassify(const float* rows, std::size_t num_rows,
         }
     }
     for (; r < num_rows; ++r) {
-        const float* rowp[1] = {rows + r * num_cols};
+        const float* rowp[1] = {rows + r * stride};
         for (const TreeTile& tile : tiles_) {
             for (std::size_t t = tile.first_tree; t < tile.end_tree;
                  ++t) {
@@ -232,7 +232,7 @@ ForestKernel::RunBlockClassify(const float* rows, std::size_t num_rows,
 
 void
 ForestKernel::RunBlockRegress(const float* rows, std::size_t num_rows,
-                              std::size_t num_cols, float* out,
+                              std::size_t stride, float* out,
                               Scratch& scratch) const
 {
     const Node* const nodes = nodes_.data();
@@ -247,7 +247,7 @@ ForestKernel::RunBlockRegress(const float* rows, std::size_t num_rows,
     for (; r + kTraversalLanes <= num_rows; r += kTraversalLanes) {
         const float* rowp[kTraversalLanes];
         for (std::size_t k = 0; k < kTraversalLanes; ++k) {
-            rowp[k] = rows + (r + k) * num_cols;
+            rowp[k] = rows + (r + k) * stride;
         }
         for (const TreeTile& tile : tiles_) {
             for (std::size_t t = tile.first_tree; t < tile.end_tree;
@@ -262,7 +262,7 @@ ForestKernel::RunBlockRegress(const float* rows, std::size_t num_rows,
         }
     }
     for (; r < num_rows; ++r) {
-        const float* rowp[1] = {rows + r * num_cols};
+        const float* rowp[1] = {rows + r * stride};
         for (const TreeTile& tile : tiles_) {
             for (std::size_t t = tile.first_tree; t < tile.end_tree;
                  ++t) {
@@ -279,13 +279,10 @@ ForestKernel::RunBlockRegress(const float* rows, std::size_t num_rows,
 }
 
 void
-ForestKernel::Run(const float* rows, std::size_t num_rows,
-                  std::size_t num_cols, float* out,
-                  Scratch& scratch) const
+ForestKernel::RunStrided(const float* rows, std::size_t num_rows,
+                         std::size_t stride, float* out,
+                         Scratch& scratch) const
 {
-    if (num_cols != num_features_) {
-        throw InvalidArgument("forest kernel: row arity mismatch");
-    }
     if (num_rows == 0) {
         return;
     }
@@ -304,13 +301,33 @@ ForestKernel::Run(const float* rows, std::size_t num_rows,
         const std::size_t block =
             std::min(options_.row_block, num_rows - begin);
         if (task_ == Task::kClassification) {
-            RunBlockClassify(rows + begin * num_cols, block, num_cols,
+            RunBlockClassify(rows + begin * stride, block, stride,
                              out + begin, scratch);
         } else {
-            RunBlockRegress(rows + begin * num_cols, block, num_cols,
+            RunBlockRegress(rows + begin * stride, block, stride,
                             out + begin, scratch);
         }
     }
+}
+
+void
+ForestKernel::Run(const float* rows, std::size_t num_rows,
+                  std::size_t num_cols, float* out,
+                  Scratch& scratch) const
+{
+    if (num_cols != num_features_) {
+        throw InvalidArgument("forest kernel: row arity mismatch");
+    }
+    RunStrided(rows, num_rows, num_cols, out, scratch);
+}
+
+void
+ForestKernel::Run(const RowView& rows, float* out, Scratch& scratch) const
+{
+    if (rows.cols() != num_features_) {
+        throw InvalidArgument("forest kernel: row arity mismatch");
+    }
+    RunStrided(rows.data(), rows.rows(), rows.stride(), out, scratch);
 }
 
 std::vector<float>
@@ -320,11 +337,24 @@ ForestKernel::Predict(const float* rows, std::size_t num_rows,
     if (num_cols != num_features_) {
         throw InvalidArgument("forest kernel: row arity mismatch");
     }
+    return Predict(RowView::Borrow(rows, num_rows, num_cols));
+}
+
+std::vector<float>
+ForestKernel::Predict(const RowView& rows) const
+{
+    if (rows.cols() != num_features_) {
+        throw InvalidArgument("forest kernel: row arity mismatch");
+    }
+    const std::size_t num_rows = rows.rows();
     std::vector<float> out(num_rows);
+    if (num_rows == 0) {
+        return out;
+    }
     auto worker = [&](std::size_t begin, std::size_t end) {
         static thread_local Scratch scratch;
-        Run(rows + begin * num_cols, end - begin, num_cols,
-            out.data() + begin, scratch);
+        RunStrided(rows.Row(begin), end - begin, rows.stride(),
+                   out.data() + begin, scratch);
     };
     if (num_rows >= options_.parallel_grain) {
         ThreadPool::Shared().ParallelForChunked(

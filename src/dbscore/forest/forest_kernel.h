@@ -120,12 +120,22 @@ class ForestKernel {
              float* out, Scratch& scratch) const;
 
     /**
+     * Zero-copy variant: traverses @p rows in place, honoring its
+     * stride — strided views (e.g. a column-prefix of a wider block)
+     * run directly, no compaction copy.
+     */
+    void Run(const RowView& rows, float* out, Scratch& scratch) const;
+
+    /**
      * Batch prediction with chunked ThreadPool parallelism (thread-local
      * scratch per worker). Matches the reference scalar path
      * bit-for-bit.
      */
     std::vector<float> Predict(const float* rows, std::size_t num_rows,
                                std::size_t num_cols) const;
+
+    /** Zero-copy batch prediction over a (possibly strided) view. */
+    std::vector<float> Predict(const RowView& rows) const;
 
  private:
     /** A run of consecutive trees whose nodes share one cache tile. */
@@ -153,12 +163,15 @@ class ForestKernel {
         std::int16_t feature;
     };
 
+    /** @p stride is the float distance between consecutive rows. */
     void RunBlockClassify(const float* rows, std::size_t num_rows,
-                          std::size_t num_cols, float* out,
+                          std::size_t stride, float* out,
                           Scratch& scratch) const;
     void RunBlockRegress(const float* rows, std::size_t num_rows,
-                         std::size_t num_cols, float* out,
+                         std::size_t stride, float* out,
                          Scratch& scratch) const;
+    void RunStrided(const float* rows, std::size_t num_rows,
+                    std::size_t stride, float* out, Scratch& scratch) const;
 
     /** Pool index of each tree's root (== the tree's base offset). */
     std::vector<std::int32_t> roots_;

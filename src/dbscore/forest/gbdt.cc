@@ -41,11 +41,10 @@ MakeResidualData(const Dataset& train,
                  const std::vector<double>& residuals)
 {
     Dataset out("residuals", Task::kRegression, train.num_features(), 0);
-    std::vector<float> row(train.num_features());
     for (std::size_t r : rows) {
-        const float* src = train.Row(r);
-        std::copy(src, src + train.num_features(), row.begin());
-        out.AddRow(row, static_cast<float>(residuals[r]));
+        // Span append straight from the source row — no staging buffer.
+        out.AddRow(train.Row(r), train.num_features(),
+                   static_cast<float>(residuals[r]));
     }
     return out;
 }

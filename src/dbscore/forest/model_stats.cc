@@ -7,7 +7,7 @@
 namespace dbscore {
 
 ModelStats
-ComputeModelStats(const RandomForest& forest, const Dataset* probe)
+ComputeModelStats(const RandomForest& forest, const RowView& probe)
 {
     ModelStats s;
     s.task = forest.task();
@@ -24,14 +24,13 @@ ComputeModelStats(const RandomForest& forest, const Dataset* probe)
         : static_cast<double>(s.total_nodes) /
               static_cast<double>(s.num_trees);
 
-    if (probe != nullptr && probe->num_rows() > 0 &&
-        probe->num_features() == forest.num_features()) {
+    if (!probe.empty() && probe.cols() == forest.num_features()) {
         const std::size_t sample =
-            std::min<std::size_t>(probe->num_rows(), 2048);
+            std::min<std::size_t>(probe.rows(), 2048);
         std::uint64_t edges = 0;
         std::uint64_t traversals = 0;
         for (std::size_t i = 0; i < sample; ++i) {
-            const float* row = probe->Row(i);
+            const float* row = probe.Row(i);
             for (const auto& tree : forest.trees()) {
                 edges += tree.PathLength(row);
                 ++traversals;
@@ -46,6 +45,16 @@ ComputeModelStats(const RandomForest& forest, const Dataset* probe)
 
     s.serialized_bytes = TreeEnsemble::FromForest(forest).ByteSize();
     return s;
+}
+
+ModelStats
+ComputeModelStats(const RandomForest& forest, const Dataset* probe)
+{
+    if (probe != nullptr && probe->num_rows() > 0 &&
+        probe->num_features() == forest.num_features()) {
+        return ComputeModelStats(forest, probe->View());
+    }
+    return ComputeModelStats(forest, RowView());
 }
 
 }  // namespace dbscore

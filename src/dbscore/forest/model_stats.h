@@ -47,6 +47,14 @@ struct ModelStats {
 ModelStats ComputeModelStats(const RandomForest& forest,
                              const Dataset* probe = nullptr);
 
+/**
+ * Zero-copy variant: probes avg_path_length directly through @p probe
+ * (no Dataset and no label buffer needed). An empty view — or one whose
+ * width does not match the forest — falls back to the depth estimate.
+ */
+ModelStats ComputeModelStats(const RandomForest& forest,
+                             const RowView& probe);
+
 }  // namespace dbscore
 
 #endif  // DBSCORE_FOREST_MODEL_STATS_H

@@ -34,15 +34,17 @@ struct ScoreRequest {
     /** Records to score. */
     std::size_t num_rows = 1;
     /**
-     * Optional feature payload: num_rows x model-feature row-major
-     * floats. When set, the reply carries real predictions computed
-     * through the model's cached ForestKernel (compiled once at
-     * RegisterModel, so coalesced micro-batches never recompile);
-     * when null the request is modeled-time only, like the trace
-     * replays. Shared so batchmates and the caller can hold the
-     * buffer without copies.
+     * Optional feature payload: a num_rows x model-feature view into
+     * the data plane. When non-empty, the reply carries real
+     * predictions computed through the model's cached ForestKernel
+     * (compiled once at RegisterModel, so coalesced micro-batches
+     * never recompile); when empty the request is modeled-time only,
+     * like the trace replays. A shared view's keepalive refcount lets
+     * the request outlive the producing Table/Dataset without any
+     * copy; the rows traverse admission -> coalescing -> kernel
+     * in place.
      */
-    std::shared_ptr<const std::vector<float>> rows;
+    RowView rows;
     /**
      * Modeled arrival time. Trace replays stamp this from the workload
      * generator; live callers (sp_score_service) leave it empty and the

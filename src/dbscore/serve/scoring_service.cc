@@ -203,9 +203,10 @@ ScoringService::Submit(ScoreRequest request)
             reject_reason = "unknown model: " + request.model_id;
         } else if (request.num_rows == 0) {
             reject_reason = "zero rows";
-        } else if (request.rows != nullptr &&
-                   request.rows->size() !=
-                       request.num_rows * model_it->second->num_cols) {
+        } else if (!request.rows.empty() &&
+                   (request.rows.rows() != request.num_rows ||
+                    request.rows.cols() !=
+                        model_it->second->num_cols)) {
             reject_reason = "row payload arity mismatch";
         } else if (in_flight_ >= config_.admission_capacity) {
             reject_reason = "admission queue full";
@@ -469,13 +470,14 @@ ScoringService::ExecuteBatch(Device& device, DeviceClass device_class,
         t.data_preproc_share = data_pre * share;
         t.scoring_share = ScaleBreakdown(scoring, share);
         t.latency = finish - arrival;
-        if (m.request.rows != nullptr) {
+        if (!m.request.rows.empty()) {
             // Functional scoring through the model's cached kernel
-            // (compiled once at registration). Wall-clock only; the
-            // modeled timing above is already fixed.
-            reply.predictions = entry.forest.PredictBatch(
-                m.request.rows->data(), m.request.num_rows,
-                entry.num_cols);
+            // (compiled once at registration), traversing the
+            // request's view in place — the rows were never copied
+            // between Submit and here. Wall-clock only; the modeled
+            // timing above is already fixed.
+            reply.predictions =
+                entry.forest.PredictBatch(m.request.rows);
         }
         stats_.RecordCompleted(t, arrival, finish, m.request.num_rows);
         m.handle->Fulfill(std::move(reply));

@@ -1,5 +1,7 @@
 #include "dbscore/tensor/matrix.h"
 
+#include <utility>
+
 #include "dbscore/common/error.h"
 
 namespace dbscore {
@@ -26,36 +28,92 @@ Matrix::Zeros(std::size_t rows, std::size_t cols)
 Matrix
 Matrix::FromBuffer(const float* data, std::size_t rows, std::size_t cols)
 {
+    RowBlock::NoteCopy(static_cast<std::uint64_t>(rows) * cols *
+                       sizeof(float));
     return Matrix(rows, cols,
                   std::vector<float>(data, data + rows * cols));
+}
+
+Matrix
+Matrix::FromView(RowView view)
+{
+    if (!view.contiguous()) {
+        throw InvalidArgument("matrix: FromView requires a contiguous view");
+    }
+    Matrix m;
+    m.rows_ = view.rows();
+    m.cols_ = view.cols();
+    m.view_ = std::move(view);
+    return m;
 }
 
 float&
 Matrix::At(std::size_t r, std::size_t c)
 {
     DBS_ASSERT(r < rows_ && c < cols_);
-    return data_[r * cols_ + c];
+    return data()[r * cols_ + c];
 }
 
 float
 Matrix::At(std::size_t r, std::size_t c) const
 {
     DBS_ASSERT(r < rows_ && c < cols_);
-    return data_[r * cols_ + c];
+    return raw()[r * cols_ + c];
 }
 
 const float*
 Matrix::RowPtr(std::size_t r) const
 {
     DBS_ASSERT(r < rows_);
-    return data_.data() + r * cols_;
+    return raw() + r * cols_;
 }
 
 float*
 Matrix::RowPtr(std::size_t r)
 {
     DBS_ASSERT(r < rows_);
-    return data_.data() + r * cols_;
+    return data().data() + r * cols_;
+}
+
+const float*
+Matrix::raw() const
+{
+    return view_.empty() ? data_.data() : view_.data();
+}
+
+const std::vector<float>&
+Matrix::data() const
+{
+    if (!view_.empty()) {
+        throw InvalidArgument(
+            "matrix: view-backed matrix has no owned storage; use raw()");
+    }
+    return data_;
+}
+
+std::vector<float>&
+Matrix::data()
+{
+    if (!view_.empty()) {
+        throw InvalidArgument("matrix: view-backed matrices are read-only");
+    }
+    return data_;
+}
+
+bool
+Matrix::operator==(const Matrix& other) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_) {
+        return false;
+    }
+    const float* a = raw();
+    const float* b = other.raw();
+    for (std::size_t i = 0, n = size(); i < n; ++i) {
+        if (a[i] != b[i]) {
+            return false;
+        }
+    }
+    return true;
 }
 
 }  // namespace dbscore

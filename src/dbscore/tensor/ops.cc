@@ -226,8 +226,11 @@ Add(const Matrix& a, const Matrix& b, CostLedger* ledger)
         throw InvalidArgument("add: shape mismatch");
     }
     Matrix out(a.rows(), a.cols());
+    const float* ap = a.raw();
+    const float* bp = b.raw();
+    float* op = out.data().data();
     for (std::size_t i = 0; i < a.size(); ++i) {
-        out.data()[i] = a.data()[i] + b.data()[i];
+        op[i] = ap[i] + bp[i];
     }
     Record(ledger, OpKind::kElementwise, a.size(),
            a.ByteSize() + b.ByteSize(), out.ByteSize());
@@ -238,8 +241,10 @@ Matrix
 Scale(const Matrix& a, float k, CostLedger* ledger)
 {
     Matrix out(a.rows(), a.cols());
+    const float* ap = a.raw();
+    float* op = out.data().data();
     for (std::size_t i = 0; i < a.size(); ++i) {
-        out.data()[i] = a.data()[i] * k;
+        op[i] = ap[i] * k;
     }
     Record(ledger, OpKind::kElementwise, a.size(), a.ByteSize(),
            out.ByteSize());

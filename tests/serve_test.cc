@@ -378,9 +378,8 @@ TEST(ScoringServiceTest, PayloadRequestsScoreThroughKernelCache)
 
     const std::size_t cols = f.data.num_features();
     const std::size_t n = 100;
-    auto payload = std::make_shared<std::vector<float>>(
-        f.data.values().begin(),
-        f.data.values().begin() + static_cast<long>(n * cols));
+    // Zero-copy payload: a view into the fixture dataset's storage.
+    RowView payload = f.data.View(0, n);
 
     ScoreRequest r;
     r.model_id = "m";
@@ -394,7 +393,7 @@ TEST(ScoringServiceTest, PayloadRequestsScoreThroughKernelCache)
     // the registered model.
     RandomForest reference = f.ensemble.ToForest();
     EXPECT_EQ(reply.predictions,
-              reference.PredictBatchScalar(payload->data(), n, cols));
+              reference.PredictBatchScalar(payload.data(), n, cols));
 
     // Payload-free requests stay modeled-only: no predictions.
     ScoreRequest modeled;
@@ -414,7 +413,8 @@ TEST(ScoringServiceTest, RejectsPayloadArityMismatch)
     r.model_id = "m";
     r.num_rows = 10;
     // 3 floats per row, but the registered model wants 28.
-    r.rows = std::make_shared<std::vector<float>>(10 * 3, 0.0f);
+    RowBlock bad(std::vector<float>(10 * 3, 0.0f), 3);
+    r.rows = bad.View();
     ScoreReply reply = service->ScoreSync(r);
     EXPECT_EQ(reply.status, RequestStatus::kRejected);
     EXPECT_EQ(reply.error, "row payload arity mismatch");
