@@ -5,7 +5,17 @@
  * invocation, and DBMS<->process data transfer — for CPU, GPU, and FPGA
  * backends, and the paper's headline ~2.6x end-to-end query speedup at
  * 1M HIGGS records.
+ *
+ * The breakdown printed here is derived from the trace subsystem, not
+ * from PipelineStageTimes directly: each EstimateQuery runs against a
+ * cleared collector and the per-stage simulated totals are read back
+ * from the spans the pipeline emitted. Every cell is then asserted
+ * equal (within rounding) to the pipeline cost model's own report — a
+ * consistency check that fails the bench if any stage goes untagged.
  */
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <iostream>
 
 #include "bench_util.h"
@@ -13,72 +23,144 @@
 #include "dbscore/common/table_printer.h"
 #include "dbscore/core/report.h"
 #include "dbscore/dbms/pipeline.h"
+#include "dbscore/trace/exporters.h"
+#include "dbscore/trace/trace.h"
 
 namespace dbscore::bench {
 namespace {
+
+using trace::StageKind;
 
 /** Backends Figure 11 compares. */
 const std::vector<BackendKind> kBackends = {
     BackendKind::kCpuOnnxMt, BackendKind::kGpuHummingbird,
     BackendKind::kFpga};
 
-void
+/** Figure-11 stage totals as recovered from trace spans (domain 0). */
+struct TraceTotals {
+    SimTime invocation;
+    SimTime marshal;
+    SimTime model_pre;
+    SimTime data_pre;
+    SimTime scoring;  ///< sum of the seven Fig 6/7 component stages
+
+    SimTime
+    Total() const
+    {
+        return invocation + marshal + model_pre + data_pre + scoring;
+    }
+};
+
+TraceTotals
+ReadTraceTotals()
+{
+    const auto totals = trace::TraceCollector::Get().StageSimTotals(0);
+    auto of = [&totals](StageKind stage) {
+        return totals[static_cast<int>(stage)];
+    };
+    TraceTotals t;
+    t.invocation = of(StageKind::kInvocation);
+    t.marshal = of(StageKind::kMarshal);
+    t.model_pre = of(StageKind::kModelPreproc);
+    t.data_pre = of(StageKind::kDataPreproc);
+    t.scoring = of(StageKind::kAccelPreproc) + of(StageKind::kTransferIn) +
+                of(StageKind::kAccelSetup) + of(StageKind::kScoring) +
+                of(StageKind::kCompletionSignal) +
+                of(StageKind::kTransferOut) +
+                of(StageKind::kSoftwareOverhead);
+    return t;
+}
+
+bool
+CheckClose(const char* backend, const char* stage, SimTime traced,
+           SimTime reported)
+{
+    const double a = traced.seconds();
+    const double b = reported.seconds();
+    const double tol = 1e-9 * std::max({1.0, std::fabs(a), std::fabs(b)});
+    if (std::fabs(a - b) <= tol) {
+        return true;
+    }
+    std::cerr << "TRACE MISMATCH: " << backend << " " << stage
+              << ": trace says " << traced << ", pipeline reports "
+              << reported << "\n";
+    return false;
+}
+
+bool
 PrintPanel(Database& db, ScoringPipeline& pipeline, DatasetKind kind,
-           std::size_t trees, std::size_t num_records)
+           std::size_t trees, std::size_t num_records, bool show_summary)
 {
     (void)db;
     const std::string model_name =
         std::string(DatasetName(kind)) + "_" + HumanCount(trees) + "t";
+    trace::TraceCollector& tracer = trace::TraceCollector::Get();
 
     TablePrinter table({"stage", "CPU (ONNX 52t)", "GPU (HB)", "FPGA"});
-    std::vector<PipelineStageTimes> stages;
+    std::vector<TraceTotals> traced;
+    bool consistent = true;
     for (BackendKind backend : kBackends) {
         pipeline.runtime().ResetPool();  // cold Python launch, like a
                                          // fresh query session
-        stages.push_back(
-            pipeline.EstimateQuery(model_name, num_records, backend));
+        tracer.Clear();
+        PipelineStageTimes reported =
+            pipeline.EstimateQuery(model_name, num_records, backend);
+        TraceTotals t = ReadTraceTotals();
+        const char* name = BackendName(backend);
+        consistent &= CheckClose(name, "Python invocation", t.invocation,
+                                 reported.python_invocation);
+        consistent &= CheckClose(name, "data transfer", t.marshal,
+                                 reported.data_transfer);
+        consistent &= CheckClose(name, "model pre-processing", t.model_pre,
+                                 reported.model_preprocessing);
+        consistent &= CheckClose(name, "data pre-processing", t.data_pre,
+                                 reported.data_preprocessing);
+        consistent &= CheckClose(name, "model scoring", t.scoring,
+                                 reported.scoring.Total());
+        traced.push_back(t);
+        if (show_summary && backend == kBackends.back()) {
+            std::cout << "trace summary of the last " << name
+                      << " query:\n";
+            trace::PrintStageTable(std::cout, tracer.Summary());
+            std::cout << "\n";
+        }
     }
+
     auto add = [&](const char* name, auto getter) {
         std::vector<std::string> row{name};
-        for (const auto& s : stages) {
-            row.push_back(getter(s).ToString());
+        for (const auto& t : traced) {
+            row.push_back(getter(t).ToString());
         }
         table.AddRow(std::move(row));
     };
-    add("Python invocation", [](const PipelineStageTimes& s) {
-        return s.python_invocation;
-    });
-    add("data transfer (DBMS<->proc)", [](const PipelineStageTimes& s) {
-        return s.data_transfer;
-    });
-    add("model pre-processing", [](const PipelineStageTimes& s) {
-        return s.model_preprocessing;
-    });
-    add("data pre-processing", [](const PipelineStageTimes& s) {
-        return s.data_preprocessing;
-    });
-    add("model scoring (overall)", [](const PipelineStageTimes& s) {
-        return s.scoring.Total();
-    });
+    add("Python invocation",
+        [](const TraceTotals& t) { return t.invocation; });
+    add("data transfer (DBMS<->proc)",
+        [](const TraceTotals& t) { return t.marshal; });
+    add("model pre-processing",
+        [](const TraceTotals& t) { return t.model_pre; });
+    add("data pre-processing",
+        [](const TraceTotals& t) { return t.data_pre; });
+    add("model scoring (overall)",
+        [](const TraceTotals& t) { return t.scoring; });
     table.AddSeparator();
-    add("TOTAL query time", [](const PipelineStageTimes& s) {
-        return s.Total();
-    });
+    add("TOTAL query time", [](const TraceTotals& t) { return t.Total(); });
 
     std::cout << "Figure 11 (" << DatasetName(kind) << ", "
               << HumanCount(trees) << " trees, 10 levels, "
               << HumanCount(num_records) << " records)\n";
     table.Print(std::cout);
 
-    double cpu = stages.front().Total().seconds();
+    double cpu = traced.front().Total().seconds();
     std::cout << "query speedup vs CPU:  GPU "
-              << FormatSpeedup(cpu / stages[1].Total().seconds())
+              << FormatSpeedup(cpu / traced[1].Total().seconds())
               << ", FPGA "
-              << FormatSpeedup(cpu / stages[2].Total().seconds())
+              << FormatSpeedup(cpu / traced[2].Total().seconds())
               << "\n\n";
+    return consistent;
 }
 
-void
+int
 Run()
 {
     Database db;
@@ -95,13 +177,16 @@ Run()
         }
     }
 
+    bool consistent = true;
     // Small-query panel: the paper's "Python invocation and model
     // pre-processing dominate" regime.
-    PrintPanel(db, pipeline, DatasetKind::kIris, 1, 1);
+    consistent &= PrintPanel(db, pipeline, DatasetKind::kIris, 1, 1, false);
     // Large-query panels: scoring dominates on CPU; offloading it makes
     // data transfer the next bottleneck.
-    PrintPanel(db, pipeline, DatasetKind::kHiggs, 128, 1000000);
-    PrintPanel(db, pipeline, DatasetKind::kIris, 128, 1000000);
+    consistent &=
+        PrintPanel(db, pipeline, DatasetKind::kHiggs, 128, 1000000, true);
+    consistent &=
+        PrintPanel(db, pipeline, DatasetKind::kIris, 128, 1000000, false);
 
     std::cout
         << "Expected paper shape: for 1 record, Python invocation and "
@@ -110,6 +195,14 @@ Run()
            "offloading to the FPGA cuts scoring\nso data transfer "
            "dominates, for an end-to-end speedup of about 2.6x —\nfar "
            "below the ~70x scoring-only speedup.\n";
+    if (!consistent) {
+        std::cerr << "\nFAIL: trace-derived stage totals disagree with "
+                     "the pipeline cost model\n";
+        return 1;
+    }
+    std::cout << "\ntrace consistency: every stage total matches the "
+                 "pipeline cost model\n";
+    return 0;
 }
 
 }  // namespace
@@ -118,6 +211,5 @@ Run()
 int
 main()
 {
-    dbscore::bench::Run();
-    return 0;
+    return dbscore::bench::Run();
 }

@@ -17,7 +17,9 @@
  *   --filter=STR  only run configs whose DATASET:trees:depth label
  *                 contains STR (e.g. --filter=HIGGS:128)
  */
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -29,6 +31,7 @@
 #include "dbscore/forest/forest.h"
 #include "dbscore/forest/forest_kernel.h"
 #include "dbscore/forest/trainer.h"
+#include "dbscore/trace/trace.h"
 
 namespace dbscore::bench {
 namespace {
@@ -122,9 +125,18 @@ RunConfig(const Config& config, std::size_t train_rows,
     return r;
 }
 
+struct TraceGuard {
+    double enabled_rows_per_sec = 0.0;
+    double disabled_rows_per_sec = 0.0;
+    double overhead_pct = 0.0;
+    bool pass = false;
+};
+
+constexpr double kTraceGuardThresholdPct = 3.0;
+
 void
 WriteJson(const std::string& path, const std::vector<Result>& results,
-          bool smoke)
+          bool smoke, const TraceGuard& guard)
 {
     std::ofstream out(path);
     out << "{\n"
@@ -132,6 +144,11 @@ WriteJson(const std::string& path, const std::vector<Result>& results,
         << "  \"schema_version\": 1,\n"
         << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
         << "  \"threads\": " << ThreadPool::Shared().size() << ",\n"
+        << "  \"trace_overhead_pct\": " << guard.overhead_pct << ",\n"
+        << "  \"trace_guard_threshold_pct\": " << kTraceGuardThresholdPct
+        << ",\n"
+        << "  \"trace_guard_pass\": " << (guard.pass ? "true" : "false")
+        << ",\n"
         << "  \"results\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const Result& r = results[i];
@@ -150,6 +167,55 @@ WriteJson(const std::string& path, const std::vector<Result>& results,
             << (i + 1 < results.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
+}
+
+/**
+ * Tracing hot-path guard: the always-on kernel spans must cost < 3% of
+ * kernel throughput. Measures the same Predict loop with the collector
+ * enabled vs disabled (the runtime equivalent of compiling it out with
+ * DBSCORE_TRACE_DISABLED) and reports the relative regression.
+ */
+TraceGuard
+RunTraceGuard(bool smoke)
+{
+    const std::size_t trees = smoke ? 8 : 32;
+    const std::size_t train_rows = smoke ? 2000 : 20000;
+    const std::size_t eval_rows = smoke ? 20000 : 200000;
+    const Dataset train = MakeHiggs(train_rows, 42);
+    const Dataset eval = MakeHiggs(eval_rows, 7);
+
+    ForestTrainerConfig trainer;
+    trainer.num_trees = trees;
+    trainer.max_depth = 10;
+    trainer.seed = 42;
+    const RandomForest forest = TrainForest(train, trainer);
+    auto kernel = forest.Kernel();
+
+    const float* rows = eval.values().data();
+    const std::size_t cols = eval.num_features();
+    std::vector<float> out;
+    auto measure = [&] {
+        return BestOf(5, [&] {
+            out = kernel->Predict(rows, eval_rows, cols);
+        });
+    };
+
+    trace::TraceCollector& tracer = trace::TraceCollector::Get();
+    tracer.SetEnabled(true);
+    out = kernel->Predict(rows, eval_rows, cols);  // warmup
+    const double enabled_s = measure();
+    tracer.SetEnabled(false);
+    const double disabled_s = measure();
+    tracer.SetEnabled(true);
+    tracer.Clear();  // discard the guard's own spans
+
+    TraceGuard g;
+    g.enabled_rows_per_sec = static_cast<double>(eval_rows) / enabled_s;
+    g.disabled_rows_per_sec = static_cast<double>(eval_rows) / disabled_s;
+    g.overhead_pct =
+        std::max(0.0, (enabled_s - disabled_s) / disabled_s * 100.0);
+    g.pass = g.overhead_pct < kTraceGuardThresholdPct;
+    return g;
 }
 
 int
@@ -192,11 +258,23 @@ Run(bool smoke, const std::string& out_path, const std::string& filter)
             }
         }
     }
-    WriteJson(out_path, results, smoke);
+    const TraceGuard guard = RunTraceGuard(smoke);
+    std::printf("trace overhead guard: enabled %.0f rows/s, disabled "
+                "%.0f rows/s, overhead %.2f%% (threshold %.1f%%) %s\n",
+                guard.enabled_rows_per_sec, guard.disabled_rows_per_sec,
+                guard.overhead_pct, kTraceGuardThresholdPct,
+                guard.pass ? "PASS" : "FAIL");
+    WriteJson(out_path, results, smoke, guard);
     std::cout << "wrote " << out_path << "\n";
     if (!all_identical) {
         std::cerr << "FAIL: kernel predictions diverged from the scalar "
                   << "reference path\n";
+        return 1;
+    }
+    if (!guard.pass) {
+        std::cerr << "FAIL: tracing costs " << guard.overhead_pct
+                  << "% of kernel throughput (budget "
+                  << kTraceGuardThresholdPct << "%)\n";
         return 1;
     }
     return 0;

@@ -5,8 +5,11 @@
 #include "dbscore/common/error.h"
 #include "dbscore/core/scheduler.h"
 #include "dbscore/forest/model_stats.h"
+#include "dbscore/trace/trace.h"
 
 namespace dbscore {
+
+using trace::StageKind;
 
 SimTime
 PipelineStageTimes::Total() const
@@ -36,8 +39,17 @@ ScoringPipeline::RunScoringQuery(const std::string& model_name,
     PipelineRunResult result;
     PipelineStageTimes& stages = result.stages;
 
+    // Root span: every simulated stage below parents to it, so one
+    // query = one trace. The simulated cursor restarts at t=0 per
+    // query; queries are self-relative on the modeled timeline.
+    trace::TraceCollector& tracer = trace::TraceCollector::Get();
+    trace::ScopedSpan root(StageKind::kQuery, "scoring-query");
+    trace::SimClock::Set(SimTime());
+
     // Stage 1: launch (or reuse) the external scripting process.
     stages.python_invocation = runtime_.InvokeProcess();
+    tracer.EmitStage(StageKind::kInvocation, "python-invocation",
+                     stages.python_invocation);
 
     // Stage 2: the DBMS materializes the feature block once (the data
     // plane's only copy out of columnar storage) and marshals a view of
@@ -55,12 +67,19 @@ ScoringPipeline::RunScoringQuery(const std::string& model_name,
     const RowBlock& block = table.MaterializeFeatures();
     const RowView features = block.View(0, num_rows);
     const std::size_t num_features = table.NumFeatureColumns();
-    stages.data_transfer += runtime_.TransferToProcess(features);
+    const SimTime transfer_in = runtime_.TransferToProcess(features);
+    stages.data_transfer += transfer_in;
+    tracer.EmitStage(StageKind::kMarshal, "rows-to-process", transfer_in,
+                     {{"rows", static_cast<double>(num_rows)},
+                      {"cols", static_cast<double>(num_features)}});
 
     // Stage 3: the script deserializes the model (functionally real).
     const std::uint64_t blob_bytes = db_.ModelBlobBytes(model_name);
     TreeEnsemble ensemble = db_.LoadModel(model_name);
     stages.model_preprocessing = runtime_.ModelPreprocessing(blob_bytes);
+    tracer.EmitStage(StageKind::kModelPreproc, "model-deserialize",
+                     stages.model_preprocessing,
+                     {{"blob_bytes", static_cast<double>(blob_bytes)}});
 
     // Stage 4: feature extraction into the scoring matrix. The block
     // already excludes the label column; only the shape check and the
@@ -70,6 +89,8 @@ ScoringPipeline::RunScoringQuery(const std::string& model_name,
     }
     stages.data_preprocessing =
         runtime_.DataPreprocessing(num_rows, num_features);
+    tracer.EmitStage(StageKind::kDataPreproc, "feature-matrix-prep",
+                     stages.data_preprocessing);
 
     // Stage 5: score on the chosen backend. A slice of the live view
     // serves as the path-length probe — no probe dataset is copied.
@@ -82,12 +103,27 @@ ScoringPipeline::RunScoringQuery(const std::string& model_name,
                             BackendName(backend) +
                             " cannot host this model");
     }
-    ScoreResult score = engine->Score(features);
+    ScoreResult score = [&] {
+        // Grouping span: the engine's TraceOffloadStages emits the
+        // Fig 6/7 components as children and advances the SimClock;
+        // the span itself records the whole offload so the export
+        // shows scoring-total over its parts.
+        trace::ScopedSpan offload(StageKind::kOffload, BackendName(backend));
+        const SimTime sim_start = trace::SimClock::Now();
+        ScoreResult r = engine->Score(features);
+        offload.SetSim(sim_start, r.breakdown.Total());
+        offload.AddAttr("rows", static_cast<double>(num_rows));
+        return r;
+    }();
     stages.scoring = score.breakdown;
 
     // Stage 6: float32 predictions copied back into the DBMS.
-    stages.data_transfer += runtime_.TransferFromProcess(
+    const SimTime transfer_out = runtime_.TransferFromProcess(
         static_cast<std::uint64_t>(num_rows) * sizeof(float));
+    stages.data_transfer += transfer_out;
+    tracer.EmitStage(StageKind::kMarshal, "results-to-dbms", transfer_out);
+    root.SetSim(SimTime(), stages.Total());
+    root.AddAttr("rows", static_cast<double>(num_rows));
 
     result.predictions = std::move(score.predictions);
     return result;
@@ -98,23 +134,37 @@ ScoringPipeline::EstimateQuery(const std::string& model_name,
                                std::size_t num_rows, BackendKind backend)
 {
     PipelineStageTimes stages;
-    stages.python_invocation = runtime_.InvokeProcess();
 
-    const std::uint64_t blob_bytes = db_.ModelBlobBytes(model_name);
-    TreeEnsemble ensemble = db_.LoadModel(model_name);
-    stages.model_preprocessing = runtime_.ModelPreprocessing(blob_bytes);
+    // Same trace shape as the run path, with the same stage order, so
+    // trace-derived totals are comparable between the two.
+    trace::TraceCollector& tracer = trace::TraceCollector::Get();
+    trace::ScopedSpan root(StageKind::kQuery, "estimate-query");
+    trace::SimClock::Set(SimTime());
+
+    stages.python_invocation = runtime_.InvokeProcess();
+    tracer.EmitStage(StageKind::kInvocation, "python-invocation",
+                     stages.python_invocation);
 
     // Wire format mirrors the run path: a float32 feature view out,
     // float32 predictions back.
+    TreeEnsemble ensemble = db_.LoadModel(model_name);
     const std::uint64_t wire_bytes =
         static_cast<std::uint64_t>(num_rows) * ensemble.num_features *
         sizeof(float);
-    stages.data_transfer =
-        runtime_.TransferToProcess(wire_bytes) +
-        runtime_.TransferFromProcess(
-            static_cast<std::uint64_t>(num_rows) * sizeof(float));
+    const SimTime transfer_in = runtime_.TransferToProcess(wire_bytes);
+    stages.data_transfer += transfer_in;
+    tracer.EmitStage(StageKind::kMarshal, "rows-to-process", transfer_in,
+                     {{"rows", static_cast<double>(num_rows)}});
+
+    const std::uint64_t blob_bytes = db_.ModelBlobBytes(model_name);
+    stages.model_preprocessing = runtime_.ModelPreprocessing(blob_bytes);
+    tracer.EmitStage(StageKind::kModelPreproc, "model-deserialize",
+                     stages.model_preprocessing);
+
     stages.data_preprocessing =
         runtime_.DataPreprocessing(num_rows, ensemble.num_features);
+    tracer.EmitStage(StageKind::kDataPreproc, "feature-matrix-prep",
+                     stages.data_preprocessing);
 
     RandomForest forest = ensemble.ToForest();
     ModelStats stats = ComputeModelStats(forest, nullptr);
@@ -125,6 +175,19 @@ ScoringPipeline::EstimateQuery(const std::string& model_name,
                             " cannot host this model");
     }
     stages.scoring = engine->Estimate(num_rows);
+    {
+        // Estimate never enters the engines' functional path, so the
+        // pipeline tags the offload components itself.
+        trace::ScopedSpan offload(StageKind::kOffload, BackendName(backend));
+        offload.SetSim(trace::SimClock::Now(), stages.scoring.Total());
+        TraceOffloadStages(stages.scoring);
+    }
+
+    const SimTime transfer_out = runtime_.TransferFromProcess(
+        static_cast<std::uint64_t>(num_rows) * sizeof(float));
+    stages.data_transfer += transfer_out;
+    tracer.EmitStage(StageKind::kMarshal, "results-to-dbms", transfer_out);
+    root.SetSim(SimTime(), stages.Total());
     return stages;
 }
 

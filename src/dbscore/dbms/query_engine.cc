@@ -1,11 +1,14 @@
 #include "dbscore/dbms/query_engine.h"
 
 #include <algorithm>
+#include <fstream>
 #include <sstream>
 
 #include "dbscore/common/error.h"
 #include "dbscore/common/string_util.h"
 #include "dbscore/common/table_printer.h"
+#include "dbscore/trace/exporters.h"
+#include "dbscore/trace/trace.h"
 
 namespace dbscore {
 
@@ -126,12 +129,66 @@ SpScoreModel(QueryEngine& engine, const ExecStatement& stmt)
     return result;
 }
 
+/**
+ * Surfaces the trace subsystem at the SQL layer: one row per stage
+ * with counts, simulated totals, and tail percentiles. Optional
+ * @file='path' also writes the full Chrome trace_event JSON;
+ * @clear=1 resets the collector after reporting.
+ */
+QueryResult
+SpTraceDump(QueryEngine& engine, const ExecStatement& stmt)
+{
+    (void)engine;
+    trace::TraceCollector& tracer = trace::TraceCollector::Get();
+
+    std::string exported;
+    if (stmt.params.count("file") > 0) {
+        const std::string path = GetStringParam(stmt, "file");
+        std::ofstream out(path);
+        if (!out) {
+            throw InvalidArgument("sp_trace_dump: cannot write '" + path +
+                                  "'");
+        }
+        trace::WriteChromeTrace(out, tracer.Spans(), tracer.TotalDropped());
+        exported = "; chrome trace written to " + path;
+    }
+
+    trace::TraceSummary summary = tracer.Summary();
+    QueryResult result;
+    result.columns = {"stage",      "paper_component", "count",
+                      "sim_total_ms", "sim_p50_us",    "sim_p95_us",
+                      "sim_p99_us", "wall_total_ms"};
+    for (const trace::StageSummary& s : summary.stages) {
+        result.rows.push_back({
+            std::string(trace::StageName(s.stage)),
+            std::string(trace::StagePaperComponent(s.stage)),
+            static_cast<std::int64_t>(s.count),
+            s.sim_total.millis(),
+            s.sim_p50_us,
+            s.sim_p95_us,
+            s.sim_p99_us,
+            s.wall_total_us * 1e-3,
+        });
+    }
+    result.message = StrFormat(
+        "%llu span(s) recorded, %llu dropped%s",
+        static_cast<unsigned long long>(summary.spans_recorded),
+        static_cast<unsigned long long>(summary.spans_dropped),
+        exported.c_str());
+
+    if (GetIntParam(stmt, "clear").value_or(0) != 0) {
+        tracer.Clear();
+    }
+    return result;
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(Database& db, ScoringPipeline& pipeline)
     : db_(db), pipeline_(pipeline)
 {
     RegisterProcedure("sp_score_model", SpScoreModel);
+    RegisterProcedure("sp_trace_dump", SpTraceDump);
 }
 
 void

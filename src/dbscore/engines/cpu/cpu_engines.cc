@@ -39,6 +39,7 @@ CpuEngineBase::Score(const float* rows, std::size_t num_rows,
     ScoreResult result;
     result.predictions = forest_.PredictBatch(rows, num_rows, num_cols);
     result.breakdown = Estimate(num_rows);
+    TraceOffloadStages(result.breakdown);
     return result;
 }
 

@@ -51,6 +51,7 @@ FpgaScoringEngine::Score(const float* rows, std::size_t num_rows,
     result.predictions =
         engine_.Score(rows, num_rows, num_cols, &report);
     result.breakdown = Estimate(num_rows);
+    TraceOffloadStages(result.breakdown);
     return result;
 }
 

@@ -177,6 +177,7 @@ HybridFpgaCpuEngine::Score(const float* rows, std::size_t num_rows,
         worker(0, num_rows);
     }
     result.breakdown = Estimate(num_rows);
+    TraceOffloadStages(result.breakdown);
     return result;
 }
 

@@ -432,6 +432,7 @@ HummingbirdGpuEngine::Score(const float* rows, std::size_t num_rows,
         result.predictions = ScorePerfect(rows, num_rows);
     }
     result.breakdown = Estimate(num_rows);
+    TraceOffloadStages(result.breakdown);
     return result;
 }
 

@@ -1,6 +1,7 @@
 #include "dbscore/engines/scoring_engine.h"
 
 #include "dbscore/common/error.h"
+#include "dbscore/trace/trace.h"
 
 namespace dbscore {
 
@@ -67,6 +68,38 @@ OffloadBreakdown::operator+=(const OffloadBreakdown& other)
     result_transfer += other.result_transfer;
     software_overhead += other.software_overhead;
     return *this;
+}
+
+void
+TraceOffloadStages(const OffloadBreakdown& breakdown)
+{
+    using trace::StageKind;
+    trace::TraceCollector& collector = trace::TraceCollector::Get();
+    if (!collector.enabled() || !trace::TraceCollector::Current().valid()) {
+        return;
+    }
+    struct Component {
+        StageKind stage;
+        const char* name;
+        SimTime dur;
+    };
+    const Component components[] = {
+        {StageKind::kAccelPreproc, "engine-preprocessing",
+         breakdown.preprocessing},
+        {StageKind::kTransferIn, "input-transfer", breakdown.input_transfer},
+        {StageKind::kAccelSetup, "setup", breakdown.setup},
+        {StageKind::kScoring, "compute", breakdown.compute},
+        {StageKind::kCompletionSignal, "completion-signal",
+         breakdown.completion_signal},
+        {StageKind::kTransferOut, "result-transfer",
+         breakdown.result_transfer},
+        {StageKind::kSoftwareOverhead, "software-overhead",
+         breakdown.software_overhead},
+    };
+    for (const Component& c : components) {
+        if (c.dur.is_zero()) continue;
+        collector.EmitStage(c.stage, c.name, c.dur);
+    }
 }
 
 void

@@ -81,6 +81,17 @@ struct OffloadBreakdown {
     OffloadBreakdown& operator+=(const OffloadBreakdown& other);
 };
 
+/**
+ * Emits one simulated trace span per non-zero breakdown component
+ * (accel-preproc, transfer-in, accel-setup, scoring, completion-signal,
+ * transfer-out, software-overhead), chained on the calling thread's
+ * trace::SimClock. Every engine's Score path calls this so a traced
+ * query attributes its offload microseconds exactly like Figures 6/7.
+ * No-op unless a ScopedSpan (the pipeline's offload span) is live on
+ * this thread — untraced unit-test Score calls emit nothing.
+ */
+void TraceOffloadStages(const OffloadBreakdown& breakdown);
+
 /** Result of a functional scoring call. */
 struct ScoreResult {
     /** One prediction per input row. */

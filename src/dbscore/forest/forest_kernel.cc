@@ -7,6 +7,7 @@
 #include "dbscore/common/error.h"
 #include "dbscore/common/thread_pool.h"
 #include "dbscore/forest/forest.h"
+#include "dbscore/trace/trace.h"
 
 namespace dbscore {
 
@@ -351,7 +352,18 @@ ForestKernel::Predict(const RowView& rows) const
     if (num_rows == 0) {
         return out;
     }
-    auto worker = [&](std::size_t begin, std::size_t end) {
+    // Wall-clock batch span; pooled chunk workers parent to it via the
+    // captured context (chunks run on pool threads, not this one).
+    // One span per batch + one per chunk (>= 4096 rows each), so the
+    // cost stays far under the bench's 3% overhead budget.
+    trace::ScopedSpan span(trace::StageKind::kKernel, "forest-kernel");
+    span.AddAttr("rows", static_cast<double>(num_rows));
+    span.AddAttr("trees", static_cast<double>(NumTrees()));
+    const trace::SpanContext parent = span.context();
+    auto worker = [&, parent](std::size_t begin, std::size_t end) {
+        trace::ScopedSpan chunk(trace::StageKind::kKernel, "kernel-chunk",
+                                parent);
+        chunk.AddAttr("rows", static_cast<double>(end - begin));
         static thread_local Scratch scratch;
         RunStrided(rows.Row(begin), end - begin, rows.stride(),
                    out.data() + begin, scratch);

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "dbscore/serve/request.h"
+#include "dbscore/trace/trace.h"
 
 namespace dbscore::serve {
 
@@ -46,6 +47,14 @@ struct CoalescerConfig {
 struct PendingRequest {
     ScoreRequest request;
     PendingScorePtr handle;
+    /**
+     * Root span of this request's trace, opened at admission. Carried
+     * through the dispatcher and device-worker hops so every stage
+     * span a later thread emits can parent to it.
+     */
+    trace::SpanContext trace;
+    /** Wall-clock submit stamp (TraceCollector microseconds). */
+    double submit_wall_us = 0.0;
 };
 
 /** A closed batch, ready for placement and dispatch. */

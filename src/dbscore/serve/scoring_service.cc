@@ -1,11 +1,17 @@
 #include "dbscore/serve/scoring_service.h"
 
+#include <ostream>
 #include <utility>
 
 #include "dbscore/common/error.h"
 #include "dbscore/forest/forest_kernel.h"
+#include "dbscore/trace/exporters.h"
+#include "dbscore/trace/trace.h"
 
 namespace dbscore::serve {
+
+using trace::StageKind;
+using trace::TraceCollector;
 
 ScoringService::ModelEntry::ModelEntry(const HardwareProfile& profile,
                                        const TreeEnsemble& model,
@@ -43,7 +49,8 @@ ScaleBreakdown(const OffloadBreakdown& b, double k)
 
 ScoringService::ScoringService(const HardwareProfile& profile,
                                ServiceConfig config)
-    : profile_(profile), config_(std::move(config))
+    : profile_(profile), config_(std::move(config)),
+      trace_domain_(TraceCollector::Get().NewDomain())
 {
     if (config_.admission_capacity == 0) {
         throw InvalidArgument("service: zero admission capacity");
@@ -192,6 +199,10 @@ ScoringService::Submit(ScoreRequest request)
 {
     auto handle = std::make_shared<PendingScore>();
     stats_.RecordSubmitted();
+    TraceCollector& tracer = TraceCollector::Get();
+    const double submit_us = tracer.NowWallMicros();
+    const std::size_t num_rows = request.num_rows;
+    trace::SpanContext root;
 
     std::string reject_reason;
     {
@@ -213,7 +224,11 @@ ScoringService::Submit(ScoreRequest request)
         } else {
             request.arrival = StampArrival(request.arrival);
             ++in_flight_;
-            admission_.push_back(PendingRequest{std::move(request), handle});
+            PendingRequest pending{std::move(request), handle};
+            pending.trace = tracer.NewRootContext(trace_domain_);
+            pending.submit_wall_us = submit_us;
+            root = pending.trace;
+            admission_.push_back(std::move(pending));
             stats_.RecordAdmitted();
         }
     }
@@ -225,6 +240,10 @@ ScoringService::Submit(ScoreRequest request)
         stats_.RecordRejected();
         handle->Fulfill(std::move(reply));
     } else {
+        // Wall span for the admission handoff, on the client's thread.
+        tracer.EmitWall(StageKind::kAdmission, "admit", root, submit_us,
+                        tracer.NowWallMicros() - submit_us,
+                        {{"rows", static_cast<double>(num_rows)}});
         admission_cv_.notify_one();
     }
     return handle;
@@ -234,6 +253,36 @@ ScoreReply
 ScoringService::ScoreSync(ScoreRequest request)
 {
     return Submit(std::move(request))->Wait();
+}
+
+ServiceSnapshot
+ScoringService::Stats() const
+{
+    ServiceSnapshot snap = stats_.Snapshot();
+    // Stage attribution comes from the trace subsystem: sum the
+    // simulated durations of this service's per-request stage spans.
+    const auto totals =
+        TraceCollector::Get().StageSimTotals(trace_domain_);
+    auto of = [&totals](StageKind stage) {
+        return totals[static_cast<int>(stage)];
+    };
+    StageTotals& st = snap.stage_totals;
+    st.coalesce_delay = of(StageKind::kCoalesce);
+    st.queue_wait = of(StageKind::kQueueWait);
+    st.invocation = of(StageKind::kInvocation);
+    st.model_preprocessing = of(StageKind::kModelPreproc);
+    st.transfer = of(StageKind::kMarshal);
+    st.data_preprocessing = of(StageKind::kDataPreproc);
+    st.scoring = of(StageKind::kScoring);
+    return snap;
+}
+
+void
+ScoringService::ExportTrace(std::ostream& os) const
+{
+    TraceCollector& tracer = TraceCollector::Get();
+    trace::WriteChromeTrace(os, tracer.SpansForDomain(trace_domain_),
+                            tracer.TotalDropped());
 }
 
 void
@@ -298,6 +347,8 @@ ScoringService::DispatcherLoop()
 void
 ScoringService::PlaceAndEnqueue(Batch batch)
 {
+    TraceCollector& tracer = TraceCollector::Get();
+    const double place_start_us = tracer.NowWallMicros();
     const ModelEntry& entry = *models_.at(batch.model_id);
     const std::size_t rows = batch.total_rows;
     std::optional<BackendEstimate> per_class[3] = {
@@ -351,6 +402,19 @@ ScoringService::PlaceAndEnqueue(Batch batch)
     }
     DBS_ASSERT(per_class[chosen].has_value());
 
+    // Wall span for the dispatcher hop, parented to the oldest
+    // member's request: coalescing decisions are per-batch but the
+    // trace keeps one tree per request.
+    if (!batch.members.empty()) {
+        tracer.EmitWall(StageKind::kCoalesce, "place",
+                        batch.members.front().trace, place_start_us,
+                        tracer.NowWallMicros() - place_start_us,
+                        {{"requests",
+                          static_cast<double>(batch.members.size())},
+                         {"rows", static_cast<double>(rows)},
+                         {"device", static_cast<double>(chosen)}});
+    }
+
     Device& device = devices_[chosen];
     {
         std::lock_guard<std::mutex> lock(device.mutex);
@@ -383,9 +447,34 @@ ScoringService::WorkerLoop(int device_index)
 }
 
 void
+ScoringService::EmitRequestSpan(const PendingRequest& request,
+                                SimTime arrival, SimTime finish,
+                                bool expired) const
+{
+    if (!request.trace.valid()) {
+        return;
+    }
+    TraceCollector& tracer = TraceCollector::Get();
+    trace::SpanRecord record;
+    record.trace_id = request.trace.trace_id;
+    record.span_id = request.trace.span_id;
+    record.domain = request.trace.domain;
+    record.stage = StageKind::kQuery;
+    record.name = "request";
+    record.wall_start_us = request.submit_wall_us;
+    record.wall_dur_us = tracer.NowWallMicros() - request.submit_wall_us;
+    record.sim_start_s = arrival.seconds();
+    record.sim_dur_s = (finish - arrival).seconds();
+    record.AddAttr("rows", static_cast<double>(request.request.num_rows));
+    record.AddAttr("expired", expired ? 1.0 : 0.0);
+    tracer.Emit(record);
+}
+
+void
 ScoringService::ExecuteBatch(Device& device, DeviceClass device_class,
                              Batch& batch, BackendKind kind)
 {
+    TraceCollector& tracer = TraceCollector::Get();
     const ModelEntry& entry = *models_.at(batch.model_id);
     SimTime start;
     {
@@ -409,6 +498,7 @@ ScoringService::ExecuteBatch(Device& device, DeviceClass device_class,
             reply.timing.latency = start - arrival;
             reply.error = "deadline expired before dispatch";
             stats_.RecordExpired(arrival, start);
+            EmitRequestSpan(m, arrival, start, /*expired=*/true);
             m.handle->Fulfill(std::move(reply));
             SettleOne(start);
             continue;
@@ -448,6 +538,16 @@ ScoringService::ExecuteBatch(Device& device, DeviceClass device_class,
     stats_.RecordBatch(device_class, live.size(), rows, service,
                        invocation.cold);
 
+    // Wall span for the dispatch on this worker thread; kernel spans
+    // emitted while computing predictions nest under it implicitly.
+    // Its simulated extent is the batch's modeled service interval.
+    trace::ScopedSpan exec(StageKind::kBatch, "batch-execute",
+                           live.front().trace);
+    exec.SetSim(start, service);
+    exec.AddAttr("requests", static_cast<double>(live.size()));
+    exec.AddAttr("rows", static_cast<double>(rows));
+    exec.AddAttr("device", static_cast<double>(device_class));
+
     const double n = static_cast<double>(live.size());
     for (PendingRequest& m : live) {
         const SimTime arrival = *m.request.arrival;
@@ -470,6 +570,36 @@ ScoringService::ExecuteBatch(Device& device, DeviceClass device_class,
         t.data_preproc_share = data_pre * share;
         t.scoring_share = ScaleBreakdown(scoring, share);
         t.latency = finish - arrival;
+
+        // Simulated stage chain, one span per paper component,
+        // parented to the member's own request root: waiting spans at
+        // their true timeline positions, then the request's share of
+        // the batch cost laid end to end from dispatch.
+        tracer.EmitSim(StageKind::kCoalesce, "coalesce-delay", m.trace,
+                       arrival, t.coalesce_delay);
+        tracer.EmitSim(StageKind::kQueueWait, "queue-wait", m.trace,
+                       batch.ready, t.queue_wait);
+        SimTime cursor = start;
+        const struct {
+            StageKind stage;
+            const char* name;
+            SimTime dur;
+        } shares[] = {
+            {StageKind::kInvocation, "invocation-share",
+             t.invocation_share},
+            {StageKind::kModelPreproc, "model-preproc-share",
+             t.model_preproc_share},
+            {StageKind::kMarshal, "transfer-share", t.transfer_share},
+            {StageKind::kDataPreproc, "data-preproc-share",
+             t.data_preproc_share},
+            {StageKind::kScoring, "scoring-share",
+             t.scoring_share.Total()},
+        };
+        for (const auto& s : shares) {
+            tracer.EmitSim(s.stage, s.name, m.trace, cursor, s.dur);
+            cursor += s.dur;
+        }
+
         if (!m.request.rows.empty()) {
             // Functional scoring through the model's cached kernel
             // (compiled once at registration), traversing the
@@ -480,9 +610,18 @@ ScoringService::ExecuteBatch(Device& device, DeviceClass device_class,
                 entry.forest.PredictBatch(m.request.rows);
         }
         stats_.RecordCompleted(t, arrival, finish, m.request.num_rows);
-        m.handle->Fulfill(std::move(reply));
+        EmitRequestSpan(m, arrival, finish, /*expired=*/false);
+        {
+            trace::ScopedSpan fulfill(StageKind::kReply, "fulfill",
+                                      m.trace);
+            m.handle->Fulfill(std::move(reply));
+        }
         SettleOne(finish);
     }
+
+    // Keep the per-thread rings far from overflow under sustained
+    // load: a batch emits at most ~10 spans per member.
+    tracer.Drain();
 }
 
 }  // namespace dbscore::serve

@@ -26,7 +26,9 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -116,8 +118,24 @@ class ScoringService {
     /** Submit + Wait convenience for synchronous callers. */
     ScoreReply ScoreSync(ScoreRequest request);
 
-    /** Consistent metrics snapshot; callable while running. */
-    ServiceSnapshot Stats() const { return stats_.Snapshot(); }
+    /**
+     * Metrics snapshot; callable while running. Counters and latency
+     * quantiles come from ServiceStats; stage_totals is derived from
+     * the service's trace spans (which are drained at the end of each
+     * dispatched batch, so a snapshot taken mid-batch may trail that
+     * batch's stages by one dispatch).
+     */
+    ServiceSnapshot Stats() const;
+
+    /**
+     * Writes every span this service emitted (its trace domain only)
+     * as Chrome trace_event JSON — loadable in chrome://tracing or
+     * Perfetto. Best taken after Drain()/Stop().
+     */
+    void ExportTrace(std::ostream& os) const;
+
+    /** This service's span domain in the process-wide TraceCollector. */
+    std::uint32_t trace_domain() const { return trace_domain_; }
 
     const ServiceConfig& config() const { return config_; }
 
@@ -157,6 +175,9 @@ class ScoringService {
     void PlaceAndEnqueue(Batch batch);
     void ExecuteBatch(Device& device, DeviceClass device_class,
                       Batch& batch, BackendKind kind);
+    /** Emits a request's root span (dual clock: submit->now wall, arrival->finish sim). */
+    void EmitRequestSpan(const PendingRequest& request, SimTime arrival,
+                         SimTime finish, bool expired) const;
     /** Marks one admitted request terminal; advances the modeled clock. */
     void SettleOne(SimTime finish);
     SimTime StampArrival(const std::optional<SimTime>& arrival);
@@ -185,6 +206,12 @@ class ScoringService {
 
     ServiceStats stats_;
     std::unique_ptr<ThreadPool> threads_;
+    /**
+     * Each service instance traces into its own domain so two
+     * concurrent services (e.g. coalesced vs baseline in the tests)
+     * keep separate stage totals and exports.
+     */
+    std::uint32_t trace_domain_ = 0;
 };
 
 }  // namespace dbscore::serve

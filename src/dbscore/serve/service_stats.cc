@@ -160,14 +160,9 @@ ServiceStats::RecordCompleted(const RequestTiming& timing, SimTime arrival,
     totals_.last_finish = Max(totals_.last_finish, finish);
     latency_stats_.Add(timing.latency.seconds());
     latency_sketch_.Add(timing.latency.seconds());
-    StageTotals& st = totals_.stage_totals;
-    st.coalesce_delay += timing.coalesce_delay;
-    st.queue_wait += timing.queue_wait;
-    st.invocation += timing.invocation_share;
-    st.model_preprocessing += timing.model_preproc_share;
-    st.transfer += timing.transfer_share;
-    st.data_preprocessing += timing.data_preproc_share;
-    st.scoring += timing.scoring_share.Total();
+    // Stage totals are no longer accumulated here: the trace subsystem
+    // is the single source of truth. ScoringService::Stats() fills
+    // snap.stage_totals from the service's trace domain.
 }
 
 ServiceSnapshot

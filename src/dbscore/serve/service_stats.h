@@ -41,7 +41,13 @@ struct DeviceServeStats {
     SimTime busy;
 };
 
-/** Fleet-wide modeled time spent in each pipeline stage. */
+/**
+ * Fleet-wide modeled time spent in each pipeline stage. Derived from
+ * the trace subsystem (the single source of truth for stage
+ * attribution): ScoringService::Stats() sums the simulated durations
+ * of the service's per-request stage spans. Only completed requests
+ * contribute — expired members emit no share spans.
+ */
 struct StageTotals {
     SimTime coalesce_delay;
     SimTime queue_wait;

@@ -1,0 +1,89 @@
+#include "dbscore/trace/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbscore/common/error.h"
+
+namespace dbscore::trace {
+
+Histogram::Histogram(double min_value, double ratio)
+    : min_value_(min_value), ratio_(ratio), log_ratio_(std::log(ratio))
+{
+    DBS_ASSERT(min_value > 0.0);
+    DBS_ASSERT(ratio > 1.0);
+}
+
+std::size_t
+Histogram::BucketIndex(double value) const
+{
+    if (value <= min_value_) return 0;
+    return static_cast<std::size_t>(std::log(value / min_value_) / log_ratio_) + 1;
+}
+
+double
+Histogram::BucketLowerBound(std::size_t index) const
+{
+    if (index == 0) return 0.0;
+    return min_value_ * std::pow(ratio_, static_cast<double>(index - 1));
+}
+
+void
+Histogram::Add(double value)
+{
+    if (!std::isfinite(value) || value < 0.0) value = 0.0;
+    std::size_t idx = BucketIndex(value);
+    if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+    ++buckets_[idx];
+    ++count_;
+    total_ += value;
+    if (count_ == 1) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+}
+
+void
+Histogram::Merge(const Histogram& other)
+{
+    if (other.count_ == 0) return;
+    if (other.buckets_.size() > buckets_.size()) {
+        buckets_.resize(other.buckets_.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+        buckets_[i] += other.buckets_[i];
+    }
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    total_ += other.total_;
+}
+
+double
+Histogram::Quantile(double q) const
+{
+    if (count_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    double target = q * static_cast<double>(count_);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (static_cast<double>(seen) >= target) {
+            /* Geometric midpoint of the bucket, clamped to what was seen. */
+            double lo = BucketLowerBound(i);
+            double hi = BucketLowerBound(i + 1);
+            double mid = (lo > 0.0) ? std::sqrt(lo * hi) : hi * 0.5;
+            return std::clamp(mid, min_, max_);
+        }
+    }
+    return max_;
+}
+
+}  // namespace dbscore::trace

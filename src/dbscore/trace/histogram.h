@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Log-bucketed latency histogram for trace aggregation.
+ *
+ * The collector folds every drained span into one Histogram per
+ * (domain, stage). Buckets grow geometrically, so the structure is a
+ * few hundred bytes regardless of how many spans it has absorbed and
+ * quantile queries carry a bounded ~4% relative error — good enough
+ * for p50/p95/p99 stage attribution while staying mergeable across
+ * domains, unlike the exact-but-retaining QuantileSketch in
+ * common/stats.
+ */
+#ifndef DBSCORE_TRACE_HISTOGRAM_H
+#define DBSCORE_TRACE_HISTOGRAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dbscore::trace {
+
+/**
+ * Geometric-bucket histogram over non-negative values (microseconds by
+ * convention in the trace subsystem). Bucket i covers
+ * [min_value * ratio^i, min_value * ratio^(i+1)); values below
+ * min_value land in bucket 0. Quantiles interpolate inside the
+ * selected bucket and are clamped to the observed [min, max].
+ */
+class Histogram {
+ public:
+    /** ratio 1.04 bounds quantile error to ~4% relative. */
+    explicit Histogram(double min_value = 1e-3, double ratio = 1.04);
+
+    void Add(double value);
+
+    /** Fold @p other into this histogram (same min_value/ratio). */
+    void Merge(const Histogram& other);
+
+    /** @p q in [0, 1]. Returns 0 when empty. */
+    double Quantile(double q) const;
+
+    std::size_t count() const { return count_; }
+    double total() const { return total_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? total_ / static_cast<double>(count_) : 0.0; }
+
+ private:
+    std::size_t BucketIndex(double value) const;
+    double BucketLowerBound(std::size_t index) const;
+
+    double min_value_;
+    double ratio_;
+    double log_ratio_;
+    std::size_t count_ = 0;
+    double total_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::vector<std::uint64_t> buckets_;
+};
+
+}  // namespace dbscore::trace
+
+#endif  // DBSCORE_TRACE_HISTOGRAM_H
