@@ -1,6 +1,7 @@
 #include "dbscore/dbms/external_runtime.h"
 
 #include "dbscore/common/error.h"
+#include "dbscore/fault/fault.h"
 
 namespace dbscore {
 
@@ -25,12 +26,26 @@ ExternalScriptRuntime::Invoke()
     }
     ++invocations_;
     ++since_recycle_;
+    InvocationCost result;
     if (warm_) {
-        return {params_.warm_invocation, false};
+        result = {params_.warm_invocation, false, false};
+    } else {
+        warm_ = true;
+        ++cold_invocations_;
+        result = {params_.cold_invocation, true, false};
     }
-    warm_ = true;
-    ++cold_invocations_;
-    return {params_.cold_invocation, true};
+    // The process may die *during* this invocation: the launch cost is
+    // still paid, no results come back, and the pool is dead — the next
+    // invocation must re-pay the cold start rather than reuse the dead
+    // process's warm state.
+    if (fault::FaultInjector::Get().ShouldFail(
+            fault::FaultSite::kExternalInvoke)) {
+        result.crashed = true;
+        warm_ = false;
+        since_recycle_ = 0;
+        ++crashes_;
+    }
+    return result;
 }
 
 bool
@@ -49,6 +64,15 @@ ExternalScriptRuntime::ResetPool()
     since_recycle_ = 0;
 }
 
+void
+ExternalScriptRuntime::CrashProcess()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    warm_ = false;
+    since_recycle_ = 0;
+    ++crashes_;
+}
+
 std::size_t
 ExternalScriptRuntime::invocations() const
 {
@@ -61,6 +85,13 @@ ExternalScriptRuntime::cold_invocations() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return cold_invocations_;
+}
+
+std::size_t
+ExternalScriptRuntime::crashes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return crashes_;
 }
 
 SimTime

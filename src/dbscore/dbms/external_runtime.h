@@ -55,6 +55,13 @@ struct ExternalRuntimeParams {
 struct InvocationCost {
     SimTime cost;
     bool cold = false;
+    /**
+     * The process died during this invocation (injected
+     * fault::FaultSite::kExternalInvoke). The launch cost was still
+     * paid but no results were produced; the pool is dead and the next
+     * invocation re-pays the cold start.
+     */
+    bool crashed = false;
 };
 
 /**
@@ -78,7 +85,11 @@ class ExternalScriptRuntime {
     /**
      * Cost of invoking the external process. The first call is cold;
      * later calls hit the warm pool until ResetPool() or until the
-     * pool_recycle_every hook forces a recycle.
+     * pool_recycle_every hook forces a recycle. When the fault injector
+     * fires at kExternalInvoke the invocation comes back with
+     * crashed = true and the pool is marked dead — the crash is a
+     * return flag, not an exception, so cost-model callers that predate
+     * fault injection keep summing costs unchanged.
      */
     InvocationCost Invoke();
 
@@ -91,11 +102,21 @@ class ExternalScriptRuntime {
     /** Simulates recycling the process pool (next invocation is cold). */
     void ResetPool();
 
+    /**
+     * Models an out-of-band process crash: the pool is dead and the
+     * next invocation re-pays the cold start. Unlike ResetPool this
+     * counts as a crash in the accounting.
+     */
+    void CrashProcess();
+
     /** Total invocations served by this runtime instance. */
     std::size_t invocations() const;
 
     /** Invocations that paid the cold-start cost. */
     std::size_t cold_invocations() const;
+
+    /** Invocations (plus CrashProcess calls) that killed the pool. */
+    std::size_t crashes() const;
 
     /** DBMS -> process copy of @p bytes. */
     SimTime TransferToProcess(std::uint64_t bytes) const;
@@ -122,6 +143,7 @@ class ExternalScriptRuntime {
     bool warm_ = false;
     std::size_t invocations_ = 0;
     std::size_t cold_invocations_ = 0;
+    std::size_t crashes_ = 0;
     /** Invocations since the pool last went cold (recycling hook). */
     std::size_t since_recycle_ = 0;
 };

@@ -7,6 +7,7 @@
 #include "dbscore/common/error.h"
 #include "dbscore/common/string_util.h"
 #include "dbscore/common/table_printer.h"
+#include "dbscore/fault/fault.h"
 #include "dbscore/trace/exporters.h"
 #include "dbscore/trace/trace.h"
 
@@ -58,6 +59,23 @@ GetIntParam(const ExecStatement& stmt, const std::string& name)
                               " must be an integer");
     }
     return std::get<std::int64_t>(it->second);
+}
+
+std::optional<double>
+GetDoubleParam(const ExecStatement& stmt, const std::string& name)
+{
+    auto it = stmt.params.find(ToLower(name));
+    if (it == stmt.params.end()) {
+        return std::nullopt;
+    }
+    if (TypeOf(it->second) == ColumnType::kInt64) {
+        return static_cast<double>(std::get<std::int64_t>(it->second));
+    }
+    if (TypeOf(it->second) != ColumnType::kDouble) {
+        throw InvalidArgument("exec " + stmt.procedure + ": @" + name +
+                              " must be numeric");
+    }
+    return std::get<double>(it->second);
 }
 
 BackendKind
@@ -182,6 +200,97 @@ SpTraceDump(QueryEngine& engine, const ExecStatement& stmt)
     return result;
 }
 
+/**
+ * Operator console for dbscore::fault. Forms:
+ *   EXEC sp_fault_inject                          -- report plan + stats
+ *   EXEC sp_fault_inject @clear=1                 -- remove the plan
+ *   EXEC sp_fault_inject @repair='fpga-setup'     -- un-stick one site
+ *   EXEC sp_fault_inject @site='pcie-dma', @probability=0.1
+ *        [, @every_nth=N] [, @sticky=1] [, @seed=S]
+ * Site rules merge into the currently installed plan (installing one
+ * if none), so a campaign is built up one statement at a time.
+ */
+QueryResult
+SpFaultInject(QueryEngine& engine, const ExecStatement& stmt)
+{
+    (void)engine;
+    fault::FaultInjector& injector = fault::FaultInjector::Get();
+
+    std::string action;
+    if (GetIntParam(stmt, "clear").value_or(0) != 0) {
+        injector.Clear();
+        action = "fault plan cleared";
+    } else if (stmt.params.count("repair") > 0) {
+        const std::string name = GetStringParam(stmt, "repair");
+        auto site = fault::ParseFaultSite(name);
+        if (!site.has_value()) {
+            throw InvalidArgument("sp_fault_inject: unknown site '" +
+                                  name + "'");
+        }
+        injector.Repair(*site);
+        action = StrFormat("site %s repaired",
+                           fault::FaultSiteName(*site));
+    } else if (stmt.params.count("site") > 0) {
+        const std::string name = GetStringParam(stmt, "site");
+        auto site = fault::ParseFaultSite(name);
+        if (!site.has_value()) {
+            throw InvalidArgument("sp_fault_inject: unknown site '" +
+                                  name + "'");
+        }
+        fault::FaultPlan plan =
+            injector.plan().value_or(fault::FaultPlan{});
+        if (auto seed = GetIntParam(stmt, "seed"); seed.has_value()) {
+            plan.seed = static_cast<std::uint64_t>(*seed);
+        }
+        fault::SiteTrigger& trigger = plan.At(*site);
+        if (auto p = GetDoubleParam(stmt, "probability");
+            p.has_value()) {
+            if (*p < 0.0 || *p > 1.0) {
+                throw InvalidArgument(
+                    "sp_fault_inject: @probability must be in [0, 1]");
+            }
+            trigger.probability = *p;
+        }
+        if (auto n = GetIntParam(stmt, "every_nth"); n.has_value()) {
+            if (*n < 0) {
+                throw InvalidArgument(
+                    "sp_fault_inject: @every_nth must be >= 0");
+            }
+            trigger.every_nth = static_cast<std::uint64_t>(*n);
+        }
+        trigger.sticky = GetIntParam(stmt, "sticky")
+                             .value_or(trigger.sticky ? 1 : 0) != 0;
+        injector.Install(plan);
+        action = StrFormat("site %s armed (plan reinstalled, seed %llu)",
+                           fault::FaultSiteName(*site),
+                           static_cast<unsigned long long>(plan.seed));
+    }
+
+    const fault::FaultPlan plan =
+        injector.plan().value_or(fault::FaultPlan{});
+    const auto stats = injector.Stats();
+    QueryResult result;
+    result.columns = {"site", "probability", "every_nth", "sticky",
+                      "ops",  "injected",    "stuck"};
+    for (int s = 0; s < fault::kNumFaultSites; ++s) {
+        const fault::SiteTrigger& t = plan.sites[s];
+        result.rows.push_back(
+            {std::string(fault::FaultSiteName(
+                 static_cast<fault::FaultSite>(s))),
+             t.probability, static_cast<std::int64_t>(t.every_nth),
+             static_cast<std::int64_t>(t.sticky ? 1 : 0),
+             static_cast<std::int64_t>(stats[s].ops),
+             static_cast<std::int64_t>(stats[s].injected),
+             static_cast<std::int64_t>(stats[s].stuck ? 1 : 0)});
+    }
+    result.message = StrFormat(
+        "%sinjector %s, %llu fault(s) injected",
+        action.empty() ? "" : (action + "; ").c_str(),
+        injector.active() ? "active" : "inactive",
+        static_cast<unsigned long long>(injector.TotalInjected()));
+    return result;
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(Database& db, ScoringPipeline& pipeline)
@@ -189,6 +298,7 @@ QueryEngine::QueryEngine(Database& db, ScoringPipeline& pipeline)
 {
     RegisterProcedure("sp_score_model", SpScoreModel);
     RegisterProcedure("sp_trace_dump", SpTraceDump);
+    RegisterProcedure("sp_fault_inject", SpFaultInject);
 }
 
 void

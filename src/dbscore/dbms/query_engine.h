@@ -78,6 +78,10 @@ std::string GetStringParam(const ExecStatement& stmt,
 std::optional<std::int64_t> GetIntParam(const ExecStatement& stmt,
                                         const std::string& name);
 
+/** Extracts an optional numeric parameter (FLOAT or INT literal). */
+std::optional<double> GetDoubleParam(const ExecStatement& stmt,
+                                     const std::string& name);
+
 /** Parses a backend name ("FPGA", "GPU_HB", ...). @throws InvalidArgument */
 BackendKind ParseBackendName(const std::string& name);
 

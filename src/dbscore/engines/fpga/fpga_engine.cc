@@ -48,8 +48,13 @@ FpgaScoringEngine::Score(const float* rows, std::size_t num_rows,
     RequireLoaded();
     ScoreResult result;
     FpgaRunReport report;
+    // Operation order of an offload: model/record DMA in, then the
+    // device run (setup + completion sites inside), then result DMA
+    // out. Estimate() stays fault-free for the planner.
+    link_.CheckDmaFault();
     result.predictions =
         engine_.Score(rows, num_rows, num_cols, &report);
+    link_.CheckDmaFault();
     result.breakdown = Estimate(num_rows);
     TraceOffloadStages(result.breakdown);
     return result;

@@ -142,6 +142,11 @@ HybridFpgaCpuEngine::Score(const float* rows, std::size_t num_rows,
     }
 
     ScoreResult result;
+    // Same offload shape as the pure FPGA engine: DMA in, device run
+    // (setup before the walk, completion after), DMA out. The CPU tail
+    // finish happens in-process and crosses no fault site.
+    link_.CheckDmaFault();
+    fault::CheckSite(fault::FaultSite::kFpgaSetup);
     result.predictions.resize(num_rows);
     const bool classify = forest_.task() == Task::kClassification;
 
@@ -176,6 +181,8 @@ HybridFpgaCpuEngine::Score(const float* rows, std::size_t num_rows,
     } else {
         worker(0, num_rows);
     }
+    fault::CheckSite(fault::FaultSite::kFpgaCompletion);
+    link_.CheckDmaFault();
     result.breakdown = Estimate(num_rows);
     TraceOffloadStages(result.breakdown);
     return result;

@@ -426,11 +426,15 @@ HummingbirdGpuEngine::Score(const float* rows, std::size_t num_rows,
         throw InvalidArgument(Name() + ": row arity mismatch");
     }
     ScoreResult result;
+    // Tensor-data DMA in, compiled-program launch, result DMA out.
+    device_.CheckDmaFault();
+    device_.CheckKernelLaunchFault();
     if (chosen_ == HbStrategy::kGemm) {
         result.predictions = ScoreGemm(rows, num_rows, nullptr);
     } else {
         result.predictions = ScorePerfect(rows, num_rows);
     }
+    device_.CheckDmaFault();
     result.breakdown = Estimate(num_rows);
     TraceOffloadStages(result.breakdown);
     return result;

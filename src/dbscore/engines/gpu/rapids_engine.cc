@@ -33,7 +33,12 @@ RapidsFilEngine::Score(const float* rows, std::size_t num_rows,
         throw InvalidArgument(Name() + ": row arity mismatch");
     }
     ScoreResult result;
+    // Data/model DMA in, kernel launch, result DMA out — the fault
+    // sites one GPU offload crosses, in operation order.
+    device_.CheckDmaFault();
+    device_.CheckKernelLaunchFault();
     result.predictions = forest_.PredictBatch(rows, num_rows, num_cols);
+    device_.CheckDmaFault();
     result.breakdown = Estimate(num_rows);
     TraceOffloadStages(result.breakdown);
     return result;

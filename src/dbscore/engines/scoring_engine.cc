@@ -120,4 +120,61 @@ ScoringEngine::Score(const RowView& view)
     return Score(compact.data(), compact.rows(), compact.cols());
 }
 
+namespace {
+
+ScoreOutcome
+FaultOutcome(const fault::FaultInjected& fault)
+{
+    ScoreOutcome outcome;
+    outcome.status = ScoreStatus::kFault;
+    outcome.fault_site = fault.site();
+    outcome.fault_sticky = fault.sticky();
+    outcome.error = fault.what();
+    return outcome;
+}
+
+}  // namespace
+
+ScoreOutcome
+ScoringEngine::TryScore(const float* rows, std::size_t num_rows,
+                        std::size_t num_cols)
+{
+    ScoreOutcome outcome;
+    try {
+        outcome.result = Score(rows, num_rows, num_cols);
+    } catch (const fault::FaultInjected& fault) {
+        return FaultOutcome(fault);
+    }
+    return outcome;
+}
+
+ScoreOutcome
+ScoringEngine::TryScore(const RowView& view)
+{
+    ScoreOutcome outcome;
+    try {
+        outcome.result = Score(view);
+    } catch (const fault::FaultInjected& fault) {
+        return FaultOutcome(fault);
+    }
+    return outcome;
+}
+
+std::vector<fault::FaultSite>
+OffloadFaultSites(BackendKind kind)
+{
+    using fault::FaultSite;
+    switch (BackendDeviceClass(kind)) {
+      case DeviceClass::kCpu:
+        return {};
+      case DeviceClass::kGpu:
+        return {FaultSite::kPcieDma, FaultSite::kGpuKernelLaunch,
+                FaultSite::kPcieDma};
+      case DeviceClass::kFpga:
+        return {FaultSite::kPcieDma, FaultSite::kFpgaSetup,
+                FaultSite::kFpgaCompletion, FaultSite::kPcieDma};
+    }
+    return {};
+}
+
 }  // namespace dbscore

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "dbscore/common/sim_time.h"
+#include "dbscore/fault/fault.h"
 #include "dbscore/forest/model_stats.h"
 #include "dbscore/forest/onnx_like.h"
 
@@ -100,6 +101,42 @@ struct ScoreResult {
     OffloadBreakdown breakdown;
 };
 
+/** Terminal state of a fault-aware scoring attempt. */
+enum class ScoreStatus {
+    kOk,     ///< predictions and breakdown are valid
+    kFault,  ///< an injected fault aborted the attempt
+};
+
+/**
+ * A scoring attempt that is allowed to fail. Score() throwing
+ * FaultInjected is the mechanism; this is the value-typed surface the
+ * serving layer retries on without exceptions crossing queue/worker
+ * boundaries.
+ */
+struct ScoreOutcome {
+    ScoreStatus status = ScoreStatus::kOk;
+    /** Valid only when ok(). */
+    ScoreResult result;
+    /** Which site failed; valid only when !ok(). */
+    fault::FaultSite fault_site = fault::FaultSite::kPcieDma;
+    /** True when the failing site is stuck until repaired. */
+    bool fault_sticky = false;
+    /** Human-readable failure description; empty when ok(). */
+    std::string error;
+
+    bool ok() const { return status == ScoreStatus::kOk; }
+};
+
+/**
+ * The fault-injection sites one offload through @p kind crosses, in
+ * operation order (e.g. FPGA: DMA in, setup, completion, DMA out).
+ * CPU backends cross none — scoring in-process touches no modeled
+ * hardware, which is exactly why CPU is the degradation target.
+ * Used by timing-only dispatch paths that must consume the same fault
+ * stream as a functional Score would.
+ */
+std::vector<fault::FaultSite> OffloadFaultSites(BackendKind kind);
+
 /** Abstract scoring engine. */
 class ScoringEngine {
  public:
@@ -139,6 +176,19 @@ class ScoringEngine {
      * materialized (counted against RowBlock::CopyStats).
      */
     ScoreResult Score(const RowView& view);
+
+    /**
+     * Fault-aware Score: catches FaultInjected from this engine's
+     * injection sites and returns it as a kFault outcome instead of
+     * unwinding through the caller. Non-fault errors (arity mismatch,
+     * no model) still throw — those are caller bugs, not conditions
+     * to retry.
+     */
+    ScoreOutcome TryScore(const float* rows, std::size_t num_rows,
+                          std::size_t num_cols);
+
+    /** Fault-aware Score through a zero-copy view. */
+    ScoreOutcome TryScore(const RowView& view);
 
     /**
      * Timing-only evaluation: the breakdown Score would report for

@@ -1,0 +1,207 @@
+#include "dbscore/fault/fault.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace dbscore::fault {
+
+const char*
+FaultSiteName(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::kPcieDma:
+        return "pcie-dma";
+      case FaultSite::kFpgaSetup:
+        return "fpga-setup";
+      case FaultSite::kFpgaCompletion:
+        return "fpga-completion";
+      case FaultSite::kGpuKernelLaunch:
+        return "gpu-kernel-launch";
+      case FaultSite::kExternalInvoke:
+        return "external-invoke";
+    }
+    return "unknown";
+}
+
+std::optional<FaultSite>
+ParseFaultSite(const std::string& name)
+{
+    std::string lower(name);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) {
+                       return static_cast<char>(std::tolower(c));
+                   });
+    for (int i = 0; i < kNumFaultSites; ++i) {
+        FaultSite site = static_cast<FaultSite>(i);
+        if (lower == FaultSiteName(site)) {
+            return site;
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+FaultPlan::Empty() const
+{
+    for (const SiteTrigger& trigger : sites) {
+        if (trigger.enabled()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+namespace {
+
+std::string
+FaultMessage(FaultSite site, bool sticky, std::uint64_t sequence)
+{
+    std::ostringstream oss;
+    oss << "injected " << (sticky ? "sticky" : "transient")
+        << " fault at " << FaultSiteName(site) << " (op #" << sequence << ")";
+    return oss.str();
+}
+
+}  // namespace
+
+FaultInjected::FaultInjected(FaultSite site, bool sticky,
+                             std::uint64_t sequence)
+    : Error(FaultMessage(site, sticky, sequence)),
+      site_(site),
+      sticky_(sticky),
+      sequence_(sequence)
+{
+}
+
+FaultInjector&
+FaultInjector::Get()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::Install(const FaultPlan& plan)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    plan_ = plan;
+    have_plan_ = true;
+    // One SplitMix64-seeded stream per site so the fault sequence at a
+    // site does not depend on the op interleaving across sites.
+    Rng root(plan.seed);
+    for (int i = 0; i < kNumFaultSites; ++i) {
+        sites_[i].rng = root.Fork();
+        sites_[i].stats = SiteStats{};
+    }
+    active_.store(!plan.Empty(), std::memory_order_relaxed);
+}
+
+void
+FaultInjector::Clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    have_plan_ = false;
+    plan_ = FaultPlan{};
+    for (SiteState& site : sites_) {
+        site.stats = SiteStats{};
+    }
+    active_.store(false, std::memory_order_relaxed);
+}
+
+std::optional<FaultPlan>
+FaultInjector::plan() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!have_plan_) {
+        return std::nullopt;
+    }
+    return plan_;
+}
+
+bool
+FaultInjector::ShouldFail(FaultSite site)
+{
+    if (!active()) {
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!have_plan_) {
+        return false;
+    }
+    const SiteTrigger& trigger = plan_.At(site);
+    SiteState& state = sites_[static_cast<int>(site)];
+    state.stats.ops++;
+    if (state.stats.stuck) {
+        state.stats.injected++;
+        return true;
+    }
+    if (!trigger.enabled()) {
+        return false;
+    }
+    bool fire = false;
+    if (trigger.every_nth > 0 && state.stats.ops % trigger.every_nth == 0) {
+        fire = true;
+    }
+    // Always draw when a probability trigger is set so the stream
+    // position — and hence determinism — is independent of whether the
+    // every-nth trigger fired first.
+    if (trigger.probability > 0.0) {
+        bool hit = state.rng.NextDouble() < trigger.probability;
+        fire = fire || hit;
+    }
+    if (fire) {
+        state.stats.injected++;
+        if (trigger.sticky) {
+            state.stats.stuck = true;
+        }
+    }
+    return fire;
+}
+
+void
+FaultInjector::Check(FaultSite site)
+{
+    if (!ShouldFail(site)) {
+        return;
+    }
+    bool sticky;
+    std::uint64_t sequence;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sticky = plan_.At(site).sticky;
+        sequence = sites_[static_cast<int>(site)].stats.ops;
+    }
+    throw FaultInjected(site, sticky, sequence);
+}
+
+void
+FaultInjector::Repair(FaultSite site)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sites_[static_cast<int>(site)].stats.stuck = false;
+}
+
+std::array<SiteStats, kNumFaultSites>
+FaultInjector::Stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::array<SiteStats, kNumFaultSites> out;
+    for (int i = 0; i < kNumFaultSites; ++i) {
+        out[i] = sites_[i].stats;
+    }
+    return out;
+}
+
+std::uint64_t
+FaultInjector::TotalInjected() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (const SiteState& site : sites_) {
+        total += site.stats.injected;
+    }
+    return total;
+}
+
+}  // namespace dbscore::fault

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * dbscore::fault — deterministic, seedable fault injection.
+ *
+ * The paper's offload pipeline is exactly where a production DBMS gets
+ * hurt by hardware and process failures: PCIe DMA transfers, FPGA
+ * setup/completion signalling, GPU kernel launches, and the external
+ * satellite process SQL Server restarts when it crashes. This module
+ * makes every one of those an *injection site*: a process-wide
+ * FaultInjector holds an installed FaultPlan (per-site probability or
+ * every-Nth-op triggers, transient vs. sticky, one fixed seed) and the
+ * operational code paths gate on it. With no plan installed every
+ * check is a relaxed atomic load — the pipeline pays nothing.
+ *
+ * Determinism: each site owns an independent RNG stream forked from
+ * the plan seed and a per-site operation counter, so the fault
+ * sequence at a site is a pure function of (plan, seed, op index) —
+ * the same plan replayed yields the same faults, which is what lets
+ * the chaos tests and bench/wallclock_faults assert exact outcomes.
+ *
+ * Transient vs. sticky: a transient fault fails one operation (a
+ * flaky DMA, a crashed process — retry may succeed); a sticky fault
+ * leaves the site failed for every subsequent operation until
+ * Repair() or a new plan — the model for an FPGA that needs
+ * reconfiguration. Sticky sites are what drive the serving layer's
+ * circuit breaker into permanent CPU degradation.
+ */
+#ifndef DBSCORE_FAULT_FAULT_H
+#define DBSCORE_FAULT_FAULT_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "dbscore/common/error.h"
+#include "dbscore/common/rng.h"
+
+namespace dbscore::fault {
+
+/** Every operation class a FaultPlan can target. */
+enum class FaultSite : std::uint8_t {
+    kPcieDma = 0,      ///< one DMA transfer over a PCIe link
+    kFpgaSetup,        ///< programming/launching the FPGA engine (CSRs)
+    kFpgaCompletion,   ///< the FPGA's completion interrupt
+    kGpuKernelLaunch,  ///< launching a GPU kernel
+    kExternalInvoke,   ///< the external script process (crash)
+};
+
+inline constexpr int kNumFaultSites = 5;
+
+/** Stable lowercase-dash name, e.g. "pcie-dma". */
+const char* FaultSiteName(FaultSite site);
+
+/** Inverse of FaultSiteName (case-insensitive); nullopt if unknown. */
+std::optional<FaultSite> ParseFaultSite(const std::string& name);
+
+/** When/how one site fails. Both triggers may be active at once. */
+struct SiteTrigger {
+    /** Per-operation Bernoulli failure probability in [0, 1]. */
+    double probability = 0.0;
+    /** Fail every Nth operation at the site (1-indexed); 0 disables. */
+    std::uint64_t every_nth = 0;
+    /**
+     * Sticky faults leave the site failed for every later operation
+     * until Repair()/a new plan; transient faults fail one op.
+     */
+    bool sticky = false;
+
+    bool enabled() const { return probability > 0.0 || every_nth > 0; }
+};
+
+/** A complete injection campaign: one trigger per site, one seed. */
+struct FaultPlan {
+    std::uint64_t seed = 0x5eed;
+    std::array<SiteTrigger, kNumFaultSites> sites;
+
+    SiteTrigger&
+    At(FaultSite site)
+    {
+        return sites[static_cast<int>(site)];
+    }
+
+    const SiteTrigger&
+    At(FaultSite site) const
+    {
+        return sites[static_cast<int>(site)];
+    }
+
+    /** True when no site has an enabled trigger. */
+    bool Empty() const;
+};
+
+/**
+ * Thrown by an injection site when its operation fails. Derives from
+ * Error so un-fault-aware callers surface it like any engine failure
+ * instead of silently succeeding; fault-aware layers (TryScore, the
+ * serving retry loop) catch it by type.
+ */
+class FaultInjected : public Error {
+ public:
+    FaultInjected(FaultSite site, bool sticky, std::uint64_t sequence);
+
+    FaultSite site() const { return site_; }
+    bool sticky() const { return sticky_; }
+    /** 1-indexed op count at the site when the fault fired. */
+    std::uint64_t sequence() const { return sequence_; }
+
+ private:
+    FaultSite site_;
+    bool sticky_;
+    std::uint64_t sequence_;
+};
+
+/** Per-site accounting since the plan was installed. */
+struct SiteStats {
+    std::uint64_t ops = 0;       ///< operations checked
+    std::uint64_t injected = 0;  ///< operations failed
+    bool stuck = false;          ///< a sticky trigger fired and holds
+};
+
+/**
+ * Process-wide injector. Install()/Clear() swap the whole plan
+ * atomically; ShouldFail()/Check() are the per-operation gates.
+ * Thread-safe: per-site state is guarded by one mutex (injection
+ * sites are per-dispatch operations, far off any per-row hot path),
+ * and the no-plan fast path is a single relaxed atomic load.
+ */
+class FaultInjector {
+ public:
+    static FaultInjector& Get();
+
+    /** Installs @p plan, resetting all site counters and RNG streams. */
+    void Install(const FaultPlan& plan);
+
+    /** Removes the plan; every later check is a no-op. */
+    void Clear();
+
+    /** True while a non-empty plan is installed. */
+    bool
+    active() const
+    {
+        return active_.load(std::memory_order_relaxed);
+    }
+
+    /** The installed plan, if any. */
+    std::optional<FaultPlan> plan() const;
+
+    /**
+     * Counts one operation at @p site and decides its fate. Never
+     * throws; deterministic given the installed plan and the site's
+     * op index.
+     */
+    bool ShouldFail(FaultSite site);
+
+    /** ShouldFail, surfaced as an exception. @throws FaultInjected */
+    void Check(FaultSite site);
+
+    /** Clears a sticky-stuck site (models FPGA reconfiguration). */
+    void Repair(FaultSite site);
+
+    /** Per-site counters since Install(). */
+    std::array<SiteStats, kNumFaultSites> Stats() const;
+
+    /** Faults injected across all sites since Install(). */
+    std::uint64_t TotalInjected() const;
+
+ private:
+    FaultInjector() = default;
+
+    struct SiteState {
+        Rng rng{0};
+        SiteStats stats;
+    };
+
+    std::atomic<bool> active_{false};
+    mutable std::mutex mutex_;
+    bool have_plan_ = false;
+    FaultPlan plan_;
+    std::array<SiteState, kNumFaultSites> sites_;
+};
+
+/** Gate one operation at @p site. @throws FaultInjected */
+inline void
+CheckSite(FaultSite site)
+{
+    FaultInjector& injector = FaultInjector::Get();
+    if (injector.active()) {
+        injector.Check(site);
+    }
+}
+
+/**
+ * RAII plan guard for tests and benches: installs on construction,
+ * clears (restoring a pristine injector) on destruction.
+ */
+class ScopedFaultPlan {
+ public:
+    explicit ScopedFaultPlan(const FaultPlan& plan)
+    {
+        FaultInjector::Get().Install(plan);
+    }
+
+    ~ScopedFaultPlan() { FaultInjector::Get().Clear(); }
+
+    ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+    ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+}  // namespace dbscore::fault
+
+#endif  // DBSCORE_FAULT_FAULT_H

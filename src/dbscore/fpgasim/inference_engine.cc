@@ -6,6 +6,7 @@
 #include "dbscore/common/error.h"
 #include "dbscore/common/string_util.h"
 #include "dbscore/common/thread_pool.h"
+#include "dbscore/fault/fault.h"
 
 namespace dbscore {
 
@@ -125,6 +126,10 @@ FpgaInferenceEngine::Score(const float* rows, std::size_t num_rows,
         throw InvalidArgument("fpga: row arity mismatch");
     }
 
+    // Programming the engine (CSR setup) happens before any record
+    // streams in; a setup fault aborts the run before scoring.
+    fault::CheckSite(fault::FaultSite::kFpgaSetup);
+
     std::vector<float> preds(num_rows);
     const bool classify = task_ == Task::kClassification;
 
@@ -153,6 +158,12 @@ FpgaInferenceEngine::Score(const float* rows, std::size_t num_rows,
     } else {
         worker(0, num_rows);
     }
+
+    // The completion interrupt is the last thing the device does; a
+    // fault here loses the finished results, which is what makes
+    // completion faults as expensive as the paper's interrupt cost
+    // ordering suggests.
+    fault::CheckSite(fault::FaultSite::kFpgaCompletion);
 
     if (report != nullptr) {
         report->passes = NumPasses();

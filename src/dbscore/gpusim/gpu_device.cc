@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dbscore/common/error.h"
+#include "dbscore/fault/fault.h"
 
 namespace dbscore {
 
@@ -26,6 +27,12 @@ SimTime
 GpuDeviceModel::DeviceToHost(std::uint64_t bytes) const
 {
     return link_.TransferLatency(bytes);
+}
+
+void
+GpuDeviceModel::CheckKernelLaunchFault() const
+{
+    fault::CheckSite(fault::FaultSite::kGpuKernelLaunch);
 }
 
 double

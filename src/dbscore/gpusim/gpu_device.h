@@ -35,6 +35,19 @@ class GpuDeviceModel {
     /** Device-to-host DMA latency. */
     SimTime DeviceToHost(std::uint64_t bytes) const;
 
+    /**
+     * Gates one DMA over this device's link on the fault injector.
+     * @throws fault::FaultInjected at fault::FaultSite::kPcieDma
+     */
+    void CheckDmaFault() const { link_.CheckDmaFault(); }
+
+    /**
+     * Gates one kernel launch on the fault injector. The timing
+     * functions below stay pure for the scheduler's planning path.
+     * @throws fault::FaultInjected at fault::FaultSite::kGpuKernelLaunch
+     */
+    void CheckKernelLaunchFault() const;
+
     /** Expected L2 miss fraction for a working set of @p bytes. */
     double L2MissFraction(double bytes) const;
 

@@ -1,6 +1,7 @@
 #include "dbscore/pcie/pcie.h"
 
 #include "dbscore/common/error.h"
+#include "dbscore/fault/fault.h"
 
 namespace dbscore {
 
@@ -44,6 +45,12 @@ PcieLink::ChunkedTransferLatency(std::uint64_t bytes,
     DBS_ASSERT(chunks > 0);
     return spec_.dma_setup * static_cast<double>(chunks) +
            TransferTime(bytes, bytes_per_second_);
+}
+
+void
+PcieLink::CheckDmaFault() const
+{
+    fault::CheckSite(fault::FaultSite::kPcieDma);
 }
 
 }  // namespace dbscore

@@ -55,6 +55,17 @@ class PcieLink {
     SimTime ChunkedTransferLatency(std::uint64_t bytes,
                                    std::uint64_t chunks) const;
 
+    /**
+     * Gates one DMA operation on the process-wide fault injector. The
+     * latency functions above stay pure — the scheduler prices
+     * hypothetical transfers with them and planning must never fault —
+     * so operational paths call this once per actual transfer.
+     *
+     * @throws fault::FaultInjected when the installed plan fires at
+     *         fault::FaultSite::kPcieDma
+     */
+    void CheckDmaFault() const;
+
  private:
     PcieLinkSpec spec_;
     double bytes_per_second_;

@@ -66,6 +66,12 @@ struct Batch {
     /** Max member arrival: the batch cannot dispatch before this. */
     SimTime ready;
     std::size_t total_rows = 0;
+    /**
+     * The batch was re-routed to the CPU engine away from its chosen
+     * accelerator (open circuit breaker or exhausted retries); its
+     * replies are flagged degraded.
+     */
+    bool degraded = false;
 };
 
 /** Groups same-model requests into dispatchable batches. */

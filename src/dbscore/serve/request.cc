@@ -9,6 +9,7 @@ RequestStatusName(RequestStatus status)
       case RequestStatus::kCompleted: return "completed";
       case RequestStatus::kRejected: return "rejected";
       case RequestStatus::kExpired: return "expired";
+      case RequestStatus::kFailed: return "failed";
     }
     return "?";
 }

@@ -64,6 +64,7 @@ enum class RequestStatus {
     kCompleted,  ///< scored; timing fields are valid
     kRejected,   ///< admission queue full (backpressure) or service down
     kExpired,    ///< deadline passed before the batch dispatched
+    kFailed,     ///< injected faults exhausted every permitted retry
 };
 
 const char* RequestStatusName(RequestStatus status);
@@ -102,6 +103,18 @@ struct ScoreReply {
     std::size_t batch_rows = 0;
     /** True when this dispatch paid a cold process start. */
     bool cold_invocation = false;
+    /**
+     * Dispatch attempts this request's batch consumed (1 = clean first
+     * try; each injected fault that triggered a retry adds one).
+     */
+    std::size_t attempts = 1;
+    /**
+     * True when the reply was produced by the CPU engine because the
+     * originally chosen accelerator was faulted or its breaker open.
+     * Degraded replies are still kCompleted and their predictions are
+     * the CPU engine's — bit-identical to scoring on CPU directly.
+     */
+    bool degraded = false;
     /**
      * Real predictions, one per request row — populated only when the
      * request carried a feature payload. Functional output; the

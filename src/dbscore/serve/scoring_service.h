@@ -47,6 +47,47 @@
 
 namespace dbscore::serve {
 
+/**
+ * Per-batch retry policy for dispatch attempts lost to injected
+ * faults: capped exponential backoff with deterministic jitter.
+ * Deadline-aware — a member whose deadline precedes the retry's
+ * dispatch time fails instead of riding a retry it could never use.
+ */
+struct RetryPolicy {
+    /**
+     * Dispatch attempts permitted per device, first try included.
+     * A CPU fallback (see ServiceConfig::cpu_fallback) gets a fresh
+     * budget on the CPU device.
+     */
+    std::size_t max_attempts = 4;
+    /** Backoff before the first retry. */
+    SimTime initial_backoff = SimTime::Millis(1.0);
+    /** Growth factor per additional retry. */
+    double backoff_multiplier = 2.0;
+    /** Cap on any single backoff (before jitter). */
+    SimTime max_backoff = SimTime::Millis(50.0);
+    /** Uniform jitter in [0, frac) of the backoff, added to it. */
+    double jitter_frac = 0.2;
+    /**
+     * Seed of the jitter stream. Jitter is a pure function of
+     * (seed, device, per-device attempt counter), so a replayed run
+     * re-draws identical jitter.
+     */
+    std::uint64_t jitter_seed = 0x7e57;
+};
+
+/** Per-device-queue circuit breaker policy. */
+struct BreakerPolicy {
+    /** Consecutive dispatch failures that open the breaker. */
+    std::size_t failure_threshold = 5;
+    /**
+     * Modeled cooldown while open: batches becoming ready before
+     * open-time + cooldown re-route to CPU; the first batch at or
+     * after it runs as the half-open probe.
+     */
+    SimTime open_cooldown = SimTime::Millis(200.0);
+};
+
 /** Service configuration. */
 struct ServiceConfig {
     /** Micro-batching policy; window zero = uncoalesced baseline. */
@@ -68,6 +109,17 @@ struct ServiceConfig {
      * the modeled times.
      */
     std::chrono::milliseconds flush_interval{2};
+    /** Retry/backoff policy for faulted dispatch attempts. */
+    RetryPolicy retry;
+    /** Circuit breaker policy for each device queue. */
+    BreakerPolicy breaker;
+    /**
+     * Degrade instead of fail: a batch that exhausts its accelerator
+     * attempts (or whose accelerator's breaker is open) re-runs on the
+     * CPU engine with the reply flagged degraded. When false, faulted
+     * batches fail outright after their retries.
+     */
+    bool cpu_fallback = true;
 };
 
 /** Accepts, batches, places, and "executes" scoring requests. */
@@ -168,6 +220,14 @@ class ScoringService {
         std::unique_ptr<ExternalScriptRuntime> runtime;
         /** Worker exits once set and the queue is drained. */
         bool stop = false;
+        // Circuit-breaker state, guarded by mutex like free_at.
+        BreakerState breaker = BreakerState::kClosed;
+        /** Consecutive faulted dispatch attempts since the last success. */
+        std::size_t consecutive_failures = 0;
+        /** While open: modeled time the half-open probe becomes legal. */
+        SimTime breaker_open_until;
+        /** Position in this device's deterministic jitter stream. */
+        std::uint64_t attempt_seq = 0;
     };
 
     void DispatcherLoop();
@@ -175,6 +235,18 @@ class ScoringService {
     void PlaceAndEnqueue(Batch batch);
     void ExecuteBatch(Device& device, DeviceClass device_class,
                       Batch& batch, BackendKind kind);
+    /**
+     * Capped exponential backoff + deterministic jitter before retry
+     * number @p retry_index (1 = first retry) on @p device.
+     */
+    SimTime NextBackoff(Device& device, int device_index,
+                        std::size_t retry_index);
+    /** Breaker bookkeeping after one faulted dispatch attempt. */
+    void BreakerOnFault(Device& device, DeviceClass device_class,
+                        SimTime now, const trace::SpanContext& parent);
+    /** Breaker bookkeeping after one successful dispatch. */
+    void BreakerOnSuccess(Device& device, DeviceClass device_class,
+                          SimTime now, const trace::SpanContext& parent);
     /** Emits a request's root span (dual clock: submit->now wall, arrival->finish sim). */
     void EmitRequestSpan(const PendingRequest& request, SimTime arrival,
                          SimTime finish, bool expired) const;

@@ -36,7 +36,8 @@ SpScoreService(ScoringService& service, const ExecStatement& stmt)
     QueryResult result;
     result.columns = {"status",        "backend",       "batch_requests",
                       "batch_rows",    "latency_ms",    "coalesce_ms",
-                      "queue_wait_ms", "invocation_ms"};
+                      "queue_wait_ms", "invocation_ms", "attempts",
+                      "degraded"};
     const RequestTiming& t = reply.timing;
     result.rows.push_back(
         {std::string(RequestStatusName(reply.status)),
@@ -46,12 +47,15 @@ SpScoreService(ScoringService& service, const ExecStatement& stmt)
          static_cast<std::int64_t>(reply.batch_requests),
          static_cast<std::int64_t>(reply.batch_rows), t.latency.millis(),
          t.coalesce_delay.millis(), t.queue_wait.millis(),
-         t.invocation_share.millis()});
+         t.invocation_share.millis(),
+         static_cast<std::int64_t>(reply.attempts),
+         static_cast<std::int64_t>(reply.degraded ? 1 : 0)});
     result.modeled_time = t.latency;
     result.message = StrFormat(
-        "%s in %s (modeled), batch of %zu request(s)",
+        "%s in %s (modeled), batch of %zu request(s), %zu attempt(s)%s",
         RequestStatusName(reply.status), t.latency.ToString().c_str(),
-        reply.batch_requests);
+        reply.batch_requests, reply.attempts,
+        reply.degraded ? ", degraded to CPU" : "");
     return result;
 }
 
@@ -69,12 +73,27 @@ SpServeStats(ScoringService& service)
     add("completed", static_cast<double>(snap.completed));
     add("rejected", static_cast<double>(snap.rejected));
     add("expired", static_cast<double>(snap.expired));
+    add("failed", static_cast<double>(snap.failed));
+    add("degraded_completed",
+        static_cast<double>(snap.degraded_completed));
     add("batches", static_cast<double>(snap.batches));
     add("mean_batch_requests", snap.batch_requests.mean);
     add("latency_p50_ms", snap.latency.p50 * 1e3);
     add("latency_p95_ms", snap.latency.p95 * 1e3);
     add("latency_p99_ms", snap.latency.p99 * 1e3);
     add("throughput_rps", snap.ThroughputRps());
+    add("fault_attempts", static_cast<double>(snap.fault_attempts));
+    add("retries", static_cast<double>(snap.retries));
+    add("fallback_batches", static_cast<double>(snap.fallback_batches));
+    add("breaker_opens", static_cast<double>(snap.breaker_opens));
+    add("fault_wasted_ms", snap.fault_wasted.millis());
+    add("retry_backoff_ms", snap.retry_backoff.millis());
+    static const char* kDeviceNames[3] = {"cpu", "gpu", "fpga"};
+    for (int d = 0; d < 3; ++d) {
+        result.rows.push_back(
+            {StrFormat("breaker_%s", kDeviceNames[d]),
+             std::string(BreakerStateName(snap.device[d].breaker))});
+    }
     result.message =
         StrFormat("%zu metrics", result.rows.size());
     return result;

@@ -26,10 +26,21 @@ Summarize(const RunningStats& stats, const QuantileSketch& sketch)
 
 }  // namespace
 
+const char*
+BreakerStateName(BreakerState state)
+{
+    switch (state) {
+      case BreakerState::kClosed: return "closed";
+      case BreakerState::kOpen: return "open";
+      case BreakerState::kHalfOpen: return "half-open";
+    }
+    return "?";
+}
+
 SimTime
 ServiceSnapshot::Makespan() const
 {
-    if (completed + expired == 0) {
+    if (completed + expired + failed == 0) {
         return SimTime();
     }
     return Max(SimTime(), last_finish - first_arrival);
@@ -65,8 +76,17 @@ ServiceSnapshot::ToString() const
     std::ostringstream os;
     os << StrFormat(
         "requests: %zu submitted, %zu admitted, %zu completed, "
-        "%zu rejected, %zu expired\n",
-        submitted, admitted, completed, rejected, expired);
+        "%zu rejected, %zu expired, %zu failed\n",
+        submitted, admitted, completed, rejected, expired, failed);
+    if (fault_attempts + retries + fallback_batches + breaker_opens > 0) {
+        os << StrFormat(
+            "faults:   %zu faulted attempts, %zu retries, "
+            "%zu fallback batches, %zu breaker opens, "
+            "%zu degraded completions, wasted ",
+            fault_attempts, retries, fallback_batches, breaker_opens,
+            degraded_completed)
+           << fault_wasted << ", backoff " << retry_backoff << "\n";
+    }
     os << StrFormat(
         "batches:  %zu dispatched, mean %.1f requests / %.0f rows, "
         "p95 %.0f requests\n",
@@ -81,14 +101,20 @@ ServiceSnapshot::ToString() const
        << Makespan() << "\n";
     static const char* kDeviceNames[3] = {"CPU ", "GPU ", "FPGA"};
     for (int d = 0; d < 3; ++d) {
-        if (device[d].batches == 0) {
+        if (device[d].batches == 0 && device[d].faults == 0) {
             continue;
         }
         os << StrFormat(
             "%s:     %zu batches, %zu requests, %zu rows, %zu cold, busy ",
             kDeviceNames[d], device[d].batches, device[d].requests,
             device[d].rows, device[d].cold_invocations)
-           << device[d].busy << "\n";
+           << device[d].busy;
+        if (device[d].faults > 0 ||
+            device[d].breaker != BreakerState::kClosed) {
+            os << StrFormat(", %zu faults, breaker %s", device[d].faults,
+                            BreakerStateName(device[d].breaker));
+        }
+        os << "\n";
     }
     return os.str();
 }
@@ -148,11 +174,15 @@ ServiceStats::RecordBatch(DeviceClass device, std::size_t num_requests,
 
 void
 ServiceStats::RecordCompleted(const RequestTiming& timing, SimTime arrival,
-                              SimTime finish, std::size_t rows)
+                              SimTime finish, std::size_t rows,
+                              bool degraded)
 {
     (void)rows;
     std::lock_guard<std::mutex> lock(mutex_);
     ++totals_.completed;
+    if (degraded) {
+        ++totals_.degraded_completed;
+    }
     if (!any_arrival_ || arrival < totals_.first_arrival) {
         totals_.first_arrival = arrival;
         any_arrival_ = true;
@@ -163,6 +193,56 @@ ServiceStats::RecordCompleted(const RequestTiming& timing, SimTime arrival,
     // Stage totals are no longer accumulated here: the trace subsystem
     // is the single source of truth. ScoringService::Stats() fills
     // snap.stage_totals from the service's trace domain.
+}
+
+void
+ServiceStats::RecordFailed(SimTime arrival, SimTime finish)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++totals_.failed;
+    if (!any_arrival_ || arrival < totals_.first_arrival) {
+        totals_.first_arrival = arrival;
+        any_arrival_ = true;
+    }
+    totals_.last_finish = Max(totals_.last_finish, finish);
+}
+
+void
+ServiceStats::RecordFaultAttempt(DeviceClass device, SimTime wasted)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++totals_.fault_attempts;
+    ++totals_.device[static_cast<int>(device)].faults;
+    totals_.fault_wasted += wasted;
+}
+
+void
+ServiceStats::RecordRetry(SimTime backoff)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++totals_.retries;
+    totals_.retry_backoff += backoff;
+}
+
+void
+ServiceStats::RecordFallback()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++totals_.fallback_batches;
+}
+
+void
+ServiceStats::RecordBreakerOpen()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++totals_.breaker_opens;
+}
+
+void
+ServiceStats::SetBreakerState(DeviceClass device, BreakerState state)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    totals_.device[static_cast<int>(device)].breaker = state;
 }
 
 ServiceSnapshot
@@ -181,7 +261,8 @@ std::size_t
 ServiceStats::Settled() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return totals_.completed + totals_.rejected + totals_.expired;
+    return totals_.completed + totals_.rejected + totals_.expired +
+           totals_.failed;
 }
 
 }  // namespace dbscore::serve

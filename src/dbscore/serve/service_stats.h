@@ -31,6 +31,20 @@ struct DistSummary {
     double max = 0.0;
 };
 
+/**
+ * Circuit-breaker state of one device queue. Closed is healthy;
+ * K consecutive dispatch failures open the breaker (new work re-routes
+ * to CPU); after a cooldown the next batch runs as a half-open probe —
+ * success closes the breaker, another fault re-opens it.
+ */
+enum class BreakerState {
+    kClosed,
+    kOpen,
+    kHalfOpen,
+};
+
+const char* BreakerStateName(BreakerState state);
+
 /** Per-device-class dispatch accounting. */
 struct DeviceServeStats {
     std::size_t batches = 0;
@@ -39,6 +53,10 @@ struct DeviceServeStats {
     std::size_t cold_invocations = 0;
     /** Modeled busy time accumulated on this device. */
     SimTime busy;
+    /** Dispatch attempts on this device lost to injected faults. */
+    std::size_t faults = 0;
+    /** Breaker state at snapshot time. */
+    BreakerState breaker = BreakerState::kClosed;
 };
 
 /**
@@ -66,6 +84,23 @@ struct ServiceSnapshot {
     std::size_t expired = 0;
     std::size_t completed = 0;
     std::size_t batches = 0;
+
+    /** Requests that exhausted every permitted retry (kFailed). */
+    std::size_t failed = 0;
+    /** Completed requests answered by the CPU degradation path. */
+    std::size_t degraded_completed = 0;
+    /** Dispatch attempts aborted by an injected fault. */
+    std::size_t fault_attempts = 0;
+    /** Re-dispatches after a faulted attempt (excludes the first try). */
+    std::size_t retries = 0;
+    /** Batches re-routed to the CPU engine (fallback or open breaker). */
+    std::size_t fallback_batches = 0;
+    /** Closed -> open breaker transitions. */
+    std::size_t breaker_opens = 0;
+    /** Modeled time lost to faulted attempts (partial stage costs). */
+    SimTime fault_wasted;
+    /** Modeled backoff delay paid before retries. */
+    SimTime retry_backoff;
 
     /** End-to-end modeled latency of completed requests, seconds. */
     DistSummary latency;
@@ -109,11 +144,32 @@ class ServiceStats {
 
     /** One completed member of a dispatched batch. */
     void RecordCompleted(const RequestTiming& timing, SimTime arrival,
-                         SimTime finish, std::size_t rows);
+                         SimTime finish, std::size_t rows, bool degraded);
+
+    /** One member whose batch exhausted every permitted retry. */
+    void RecordFailed(SimTime arrival, SimTime finish);
+
+    /** One dispatch attempt lost to an injected fault on @p device. */
+    void RecordFaultAttempt(DeviceClass device, SimTime wasted);
+
+    /** One re-dispatch after a fault, delayed by @p backoff. */
+    void RecordRetry(SimTime backoff);
+
+    /** One batch re-routed to the CPU engine. */
+    void RecordFallback();
+
+    /** One closed -> open breaker transition. */
+    void RecordBreakerOpen();
+
+    /** Breaker state reported in the next Snapshot() (one per class). */
+    void SetBreakerState(DeviceClass device, BreakerState state);
 
     ServiceSnapshot Snapshot() const;
 
-    /** Requests that reached a terminal state (done + rejected + expired). */
+    /**
+     * Requests that reached a terminal state
+     * (completed + rejected + expired + failed).
+     */
     std::size_t Settled() const;
 
  private:

@@ -47,6 +47,10 @@ StageName(StageKind stage)
     case StageKind::kSoftwareOverhead: return "software-overhead";
     case StageKind::kKernel: return "kernel";
     case StageKind::kReply: return "reply";
+    case StageKind::kFault: return "fault";
+    case StageKind::kRetryBackoff: return "retry-backoff";
+    case StageKind::kFallback: return "fallback";
+    case StageKind::kBreaker: return "breaker";
     }
     return "unknown";
 }
@@ -74,6 +78,10 @@ StagePaperComponent(StageKind stage)
     case StageKind::kSoftwareOverhead: return "Fig 6/7 software overhead";
     case StageKind::kKernel: return "functional kernel";
     case StageKind::kReply: return "serving overhead";
+    case StageKind::kFault: return "resilience: wasted work";
+    case StageKind::kRetryBackoff: return "resilience: retry backoff";
+    case StageKind::kFallback: return "resilience: CPU fallback";
+    case StageKind::kBreaker: return "resilience: breaker transition";
     default: return "-";
     }
 }

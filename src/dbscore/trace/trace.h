@@ -77,9 +77,13 @@ enum class StageKind : std::uint8_t {
     kSoftwareOverhead,  ///< Fig 6/7: driver/runtime software overhead
     kKernel,            ///< wall-clock: one ForestKernel batch (or chunk)
     kReply,             ///< serve: reply fulfillment
+    kFault,             ///< resilience: one injected fault (wasted time)
+    kRetryBackoff,      ///< resilience: backoff delay before a retry
+    kFallback,          ///< resilience: batch re-routed to the CPU engine
+    kBreaker,           ///< resilience: circuit-breaker state transition
 };
 
-inline constexpr int kNumStageKinds = 20;
+inline constexpr int kNumStageKinds = 24;
 
 /** Stable lowercase-dash name, e.g. "queue-wait"; also the Chrome cat. */
 const char* StageName(StageKind stage);

@@ -16,6 +16,7 @@
 #include "dbscore/dbms/pipeline.h"
 #include "dbscore/dbms/query_engine.h"
 #include "dbscore/dbms/sql.h"
+#include "dbscore/fault/fault.h"
 #include "dbscore/forest/model_stats.h"
 #include "dbscore/forest/trainer.h"
 
@@ -252,6 +253,42 @@ TEST(ExternalRuntimeTest, PoolRecyclingHook)
     EXPECT_FALSE(rt.Invoke().cold);
     EXPECT_EQ(rt.invocations(), 5u);
     EXPECT_EQ(rt.cold_invocations(), 2u);
+}
+
+TEST(ExternalRuntimeTest, CrashKillsPoolAndRePaysWarmup)
+{
+    ExternalScriptRuntime rt{ExternalRuntimeParams{}};
+    EXPECT_TRUE(rt.Invoke().cold);
+    EXPECT_FALSE(rt.Invoke().cold);
+    EXPECT_TRUE(rt.warm());
+
+    // Out-of-band crash: the pool is dead and the next invocation
+    // re-pays the cold start (unlike ResetPool, it counts as a crash).
+    rt.CrashProcess();
+    EXPECT_FALSE(rt.warm());
+    EXPECT_EQ(rt.crashes(), 1u);
+    EXPECT_TRUE(rt.Invoke().cold);
+    EXPECT_TRUE(rt.warm());
+
+    // Injected crash (kExternalInvoke): the invocation itself comes
+    // back crashed — its launch cost was still paid, the pool dies —
+    // and the invocation after the plan clears is cold again.
+    fault::FaultPlan plan;
+    plan.At(fault::FaultSite::kExternalInvoke).every_nth = 1;
+    {
+        fault::ScopedFaultPlan guard(plan);
+        InvocationCost crashed = rt.Invoke();
+        EXPECT_TRUE(crashed.crashed);
+        EXPECT_FALSE(crashed.cold);  // the pool was warm when it died
+        EXPECT_GT(crashed.cost.seconds(), 0.0);
+        EXPECT_EQ(rt.crashes(), 2u);
+        EXPECT_FALSE(rt.warm());
+    }
+    InvocationCost after = rt.Invoke();
+    EXPECT_TRUE(after.cold);
+    EXPECT_FALSE(after.crashed);
+    EXPECT_EQ(rt.cold_invocations(), 3u);
+    EXPECT_EQ(rt.invocations(), 5u);
 }
 
 TEST(ExternalRuntimeTest, ConcurrentInvocationsAccountExactlyOnce)
