@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "dbscore/common/csv.h"
 #include "dbscore/common/error.h"
@@ -186,6 +187,158 @@ DumpSeriesCsv(const std::string& path,
         WriteCsvRow(out, row);
     }
     std::cout << "wrote " << path << "\n";
+}
+
+BenchArgs
+ParseBenchArgs(int argc, char** argv, const std::string& bench_name,
+               const std::string& default_out, bool accepts_filter)
+{
+    BenchArgs args;
+    args.out_path = default_out;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            args.smoke = true;
+        } else if (arg.rfind("--out=", 0) == 0) {
+            args.out_path = arg.substr(6);
+        } else if (accepts_filter && arg.rfind("--filter=", 0) == 0) {
+            args.filter = arg.substr(9);
+        } else {
+            std::cerr << "usage: " << bench_name
+                      << " [--smoke] [--out=PATH]"
+                      << (accepts_filter ? " [--filter=STR]" : "")
+                      << "\n";
+            args.ok = false;
+            return args;
+        }
+    }
+    return args;
+}
+
+double
+SecondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+namespace {
+
+std::string
+JsonQuote(const std::string& s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+        }
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+JsonNumber(double v)
+{
+    // Default ostream formatting, matching the historical writers.
+    std::ostringstream oss;
+    oss << v;
+    return oss.str();
+}
+
+}  // namespace
+
+BenchJsonObject&
+BenchJsonObject::Str(const std::string& key, const std::string& v)
+{
+    fields_.emplace_back(key, JsonQuote(v));
+    return *this;
+}
+
+BenchJsonObject&
+BenchJsonObject::Num(const std::string& key, double v)
+{
+    fields_.emplace_back(key, JsonNumber(v));
+    return *this;
+}
+
+BenchJsonObject&
+BenchJsonObject::Int(const std::string& key, std::uint64_t v)
+{
+    fields_.emplace_back(key, std::to_string(v));
+    return *this;
+}
+
+BenchJsonObject&
+BenchJsonObject::Bool(const std::string& key, bool v)
+{
+    fields_.emplace_back(key, v ? "true" : "false");
+    return *this;
+}
+
+std::string
+BenchJsonObject::Render() const
+{
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0) {
+            out += ", ";
+        }
+        out += JsonQuote(fields_[i].first) + ": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+}
+
+BenchJsonWriter::BenchJsonWriter(std::string bench, bool smoke)
+    : bench_(std::move(bench)), smoke_(smoke)
+{
+}
+
+BenchJsonObject&
+BenchJsonWriter::AddResult()
+{
+    results_.emplace_back();
+    return results_.back();
+}
+
+void
+BenchJsonWriter::Write(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        throw IoError("bench: cannot write JSON to " + path);
+    }
+    out << "{\n"
+        << "  \"bench\": \"" << bench_ << "\",\n"
+        << "  \"schema_version\": 1,\n"
+        << "  \"smoke\": " << (smoke_ ? "true" : "false");
+    // Header fields render one per line, like the historical writers.
+    const std::string header = header_.Render();
+    if (header.size() > 2) {
+        std::string inner = header.substr(1, header.size() - 2);
+        std::size_t start = 0;
+        out << ",\n";
+        // Top-level scalars never contain ", " inside a value (strings
+        // are only bench names), so the join separator is unambiguous.
+        while (true) {
+            const std::size_t pos = inner.find(", ", start);
+            out << "  " << inner.substr(start, pos - start);
+            if (pos == std::string::npos) {
+                break;
+            }
+            out << ",\n";
+            start = pos + 2;
+        }
+    }
+    out << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+        out << "    " << results_[i].Render()
+            << (i + 1 < results_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
 }
 
 }  // namespace dbscore::bench

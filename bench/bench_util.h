@@ -2,14 +2,20 @@
  * @file
  * Shared helpers for the figure-regeneration benches: dataset/model
  * construction matching the paper's configurations, the record-count
- * sweep grid, and best-backend queries.
+ * sweep grid, best-backend queries, and the common wallclock-bench
+ * plumbing (flag parsing, timing, and the BENCH_*.json document
+ * format) that every wallclock_* bench shares.
  */
 #ifndef DBSCORE_BENCH_BENCH_UTIL_H
 #define DBSCORE_BENCH_BENCH_UTIL_H
 
+#include <algorithm>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dbscore/core/scheduler.h"
@@ -85,6 +91,90 @@ void DumpSeriesCsv(const std::string& path,
                    const std::vector<std::size_t>& record_counts,
                    const std::vector<std::string>& series_names,
                    const std::vector<std::vector<SimTime>>& series);
+
+// ---------------------------------------------------------------------------
+// Shared wallclock-bench plumbing (--smoke/--out=/--filter= flags and
+// the BENCH_*.json document shape), deduplicated from the wallclock_*
+// mains.
+
+/** Parsed common wallclock-bench flags. */
+struct BenchArgs {
+    bool smoke = false;
+    std::string out_path;
+    std::string filter;
+    /** False when an unknown flag was seen (usage already printed). */
+    bool ok = true;
+};
+
+/**
+ * Parses --smoke, --out=PATH, and (when @p accepts_filter)
+ * --filter=STR. On an unknown flag prints a usage line for
+ * @p bench_name to stderr and returns ok=false — the caller should
+ * exit 2.
+ */
+BenchArgs ParseBenchArgs(int argc, char** argv,
+                         const std::string& bench_name,
+                         const std::string& default_out,
+                         bool accepts_filter = false);
+
+/** Wall-clock seconds elapsed since @p start. */
+double SecondsSince(std::chrono::steady_clock::time_point start);
+
+/** Best-of-@p repeats wall time of @p fn, in seconds. */
+template <typename Fn>
+double
+BestOfWall(int repeats, const Fn& fn)
+{
+    double best = 1e30;
+    for (int i = 0; i < repeats; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        fn();
+        best = std::min(best, SecondsSince(start));
+    }
+    return best;
+}
+
+/** One JSON object with insertion-ordered scalar fields. */
+class BenchJsonObject {
+ public:
+    BenchJsonObject& Str(const std::string& key, const std::string& v);
+    BenchJsonObject& Num(const std::string& key, double v);
+    BenchJsonObject& Int(const std::string& key, std::uint64_t v);
+    BenchJsonObject& Bool(const std::string& key, bool v);
+
+    /** Renders as {...} (no trailing newline). */
+    std::string Render() const;
+
+ private:
+    /** key -> already-rendered JSON value. */
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/**
+ * The BENCH_*.json document every wallclock bench emits:
+ * {"bench": ..., "schema_version": 1, "smoke": ..., <header fields>,
+ *  "results": [...]}. Build header fields via header(), one result
+ * object per AddResult(), then Write().
+ */
+class BenchJsonWriter {
+ public:
+    BenchJsonWriter(std::string bench, bool smoke);
+
+    /** Extra top-level scalars (after the three standard ones). */
+    BenchJsonObject& header() { return header_; }
+
+    /** Appends and returns a fresh result object. */
+    BenchJsonObject& AddResult();
+
+    /** Writes the document; throws IoError when the file won't open. */
+    void Write(const std::string& path) const;
+
+ private:
+    std::string bench_;
+    bool smoke_;
+    BenchJsonObject header_;
+    std::vector<BenchJsonObject> results_;
+};
 
 }  // namespace dbscore::bench
 

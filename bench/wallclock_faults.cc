@@ -28,11 +28,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "dbscore/data/synthetic.h"
 #include "dbscore/fault/fault.h"
 #include "dbscore/forest/trainer.h"
@@ -180,43 +180,34 @@ void
 WriteJson(const std::string& path, const std::vector<RateResult>& results,
           bool smoke, bool degradation_pass)
 {
-    std::ofstream out(path);
-    out << "{\n"
-        << "  \"bench\": \"wallclock_faults\",\n"
-        << "  \"schema_version\": 1,\n"
-        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
-        << "  \"degradation_pass\": "
-        << (degradation_pass ? "true" : "false") << ",\n"
-        << "  \"results\": [\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const RateResult& r = results[i];
-        out << "    {\"fault_pct\": " << r.fault_pct << ", "
-            << "\"submitted\": " << r.submitted << ", "
-            << "\"completed\": " << r.completed << ", "
-            << "\"degraded_completed\": " << r.degraded_completed << ", "
-            << "\"failed\": " << r.failed << ", "
-            << "\"expired\": " << r.expired << ", "
-            << "\"rejected\": " << r.rejected << ", "
-            << "\"fault_attempts\": " << r.fault_attempts << ", "
-            << "\"retries\": " << r.retries << ", "
-            << "\"fallback_batches\": " << r.fallback_batches << ", "
-            << "\"breaker_opens\": " << r.breaker_opens << ", "
-            << "\"fault_wasted_ms\": " << r.fault_wasted_ms << ", "
-            << "\"retry_backoff_ms\": " << r.retry_backoff_ms << ", "
-            << "\"goodput_rps\": " << r.goodput_rps << ", "
-            << "\"latency_p50_ms\": " << r.latency_p50_ms << ", "
-            << "\"latency_p99_ms\": " << r.latency_p99_ms << ", "
-            << "\"makespan_ms\": " << r.makespan_ms << ", "
-            << "\"wall_ms\": " << r.wall_ms << ", "
-            << "\"trace_fault_spans\": " << r.trace_fault_spans << ", "
-            << "\"trace_retry_spans\": " << r.trace_retry_spans << ", "
-            << "\"trace_fallback_spans\": " << r.trace_fallback_spans
-            << ", "
-            << "\"trace_consistent\": "
-            << (r.TraceConsistent() ? "true" : "false") << "}"
-            << (i + 1 < results.size() ? "," : "") << "\n";
+    BenchJsonWriter doc("wallclock_faults", smoke);
+    doc.header().Bool("degradation_pass", degradation_pass);
+    for (const RateResult& r : results) {
+        doc.AddResult()
+            .Num("fault_pct", r.fault_pct)
+            .Int("submitted", r.submitted)
+            .Int("completed", r.completed)
+            .Int("degraded_completed", r.degraded_completed)
+            .Int("failed", r.failed)
+            .Int("expired", r.expired)
+            .Int("rejected", r.rejected)
+            .Int("fault_attempts", r.fault_attempts)
+            .Int("retries", r.retries)
+            .Int("fallback_batches", r.fallback_batches)
+            .Int("breaker_opens", r.breaker_opens)
+            .Num("fault_wasted_ms", r.fault_wasted_ms)
+            .Num("retry_backoff_ms", r.retry_backoff_ms)
+            .Num("goodput_rps", r.goodput_rps)
+            .Num("latency_p50_ms", r.latency_p50_ms)
+            .Num("latency_p99_ms", r.latency_p99_ms)
+            .Num("makespan_ms", r.makespan_ms)
+            .Num("wall_ms", r.wall_ms)
+            .Int("trace_fault_spans", r.trace_fault_spans)
+            .Int("trace_retry_spans", r.trace_retry_spans)
+            .Int("trace_fallback_spans", r.trace_fallback_spans)
+            .Bool("trace_consistent", r.TraceConsistent());
     }
-    out << "  ]\n}\n";
+    doc.Write(path);
 }
 
 int
@@ -279,19 +270,10 @@ Run(bool smoke, const std::string& out_path)
 int
 main(int argc, char** argv)
 {
-    bool smoke = false;
-    std::string out_path = "BENCH_faults.json";
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--smoke") {
-            smoke = true;
-        } else if (arg.rfind("--out=", 0) == 0) {
-            out_path = arg.substr(6);
-        } else {
-            std::cerr
-                << "usage: wallclock_faults [--smoke] [--out=PATH]\n";
-            return 2;
-        }
+    const dbscore::bench::BenchArgs args = dbscore::bench::ParseBenchArgs(
+        argc, argv, "wallclock_faults", "BENCH_faults.json");
+    if (!args.ok) {
+        return 2;
     }
-    return dbscore::bench::Run(smoke, out_path);
+    return dbscore::bench::Run(args.smoke, args.out_path);
 }

@@ -21,11 +21,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "dbscore/common/thread_pool.h"
 #include "dbscore/data/synthetic.h"
 #include "dbscore/forest/forest.h"
@@ -55,28 +55,6 @@ struct Result {
         return kernel_rows_per_sec / scalar_rows_per_sec;
     }
 };
-
-double
-SecondsSince(std::chrono::steady_clock::time_point start)
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - start)
-        .count();
-}
-
-/** Best-of-@p repeats wall time of @p fn, in seconds. */
-template <typename Fn>
-double
-BestOf(int repeats, const Fn& fn)
-{
-    double best = 1e30;
-    for (int i = 0; i < repeats; ++i) {
-        auto start = std::chrono::steady_clock::now();
-        fn();
-        best = std::min(best, SecondsSince(start));
-    }
-    return best;
-}
 
 Result
 RunConfig(const Config& config, std::size_t train_rows,
@@ -109,10 +87,10 @@ RunConfig(const Config& config, std::size_t train_rows,
 
     std::vector<float> scalar_out;
     std::vector<float> kernel_out;
-    const double scalar_s = BestOf(repeats, [&] {
+    const double scalar_s = BestOfWall(repeats, [&] {
         scalar_out = forest.PredictBatchScalar(rows, eval_rows, cols);
     });
-    const double kernel_s = BestOf(repeats, [&] {
+    const double kernel_s = BestOfWall(repeats, [&] {
         kernel_out = kernel->Predict(rows, eval_rows, cols);
     });
 
@@ -138,35 +116,25 @@ void
 WriteJson(const std::string& path, const std::vector<Result>& results,
           bool smoke, const TraceGuard& guard)
 {
-    std::ofstream out(path);
-    out << "{\n"
-        << "  \"bench\": \"wallclock_kernels\",\n"
-        << "  \"schema_version\": 1,\n"
-        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
-        << "  \"threads\": " << ThreadPool::Shared().size() << ",\n"
-        << "  \"trace_overhead_pct\": " << guard.overhead_pct << ",\n"
-        << "  \"trace_guard_threshold_pct\": " << kTraceGuardThresholdPct
-        << ",\n"
-        << "  \"trace_guard_pass\": " << (guard.pass ? "true" : "false")
-        << ",\n"
-        << "  \"results\": [\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const Result& r = results[i];
-        out << "    {\"dataset\": \"" << r.config.dataset << "\", "
-            << "\"trees\": " << r.config.trees << ", "
-            << "\"depth\": " << r.config.depth << ", "
-            << "\"rows\": " << r.rows << ", "
-            << "\"kernel_build_ms\": " << r.kernel_build_ms << ", "
-            << "\"scalar_rows_per_sec\": " << r.scalar_rows_per_sec
-            << ", "
-            << "\"kernel_rows_per_sec\": " << r.kernel_rows_per_sec
-            << ", "
-            << "\"speedup\": " << r.Speedup() << ", "
-            << "\"bit_identical\": "
-            << (r.bit_identical ? "true" : "false") << "}"
-            << (i + 1 < results.size() ? "," : "") << "\n";
+    BenchJsonWriter doc("wallclock_kernels", smoke);
+    doc.header()
+        .Int("threads", ThreadPool::Shared().size())
+        .Num("trace_overhead_pct", guard.overhead_pct)
+        .Num("trace_guard_threshold_pct", kTraceGuardThresholdPct)
+        .Bool("trace_guard_pass", guard.pass);
+    for (const Result& r : results) {
+        doc.AddResult()
+            .Str("dataset", r.config.dataset)
+            .Int("trees", r.config.trees)
+            .Int("depth", r.config.depth)
+            .Int("rows", r.rows)
+            .Num("kernel_build_ms", r.kernel_build_ms)
+            .Num("scalar_rows_per_sec", r.scalar_rows_per_sec)
+            .Num("kernel_rows_per_sec", r.kernel_rows_per_sec)
+            .Num("speedup", r.Speedup())
+            .Bool("bit_identical", r.bit_identical);
     }
-    out << "  ]\n}\n";
+    doc.Write(path);
 }
 
 /**
@@ -195,7 +163,7 @@ RunTraceGuard(bool smoke)
     const std::size_t cols = eval.num_features();
     std::vector<float> out;
     auto measure = [&] {
-        return BestOf(5, [&] {
+        return BestOfWall(5, [&] {
             out = kernel->Predict(rows, eval_rows, cols);
         });
     };
@@ -286,22 +254,11 @@ Run(bool smoke, const std::string& out_path, const std::string& filter)
 int
 main(int argc, char** argv)
 {
-    bool smoke = false;
-    std::string out_path = "BENCH_kernels.json";
-    std::string filter;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--smoke") {
-            smoke = true;
-        } else if (arg.rfind("--out=", 0) == 0) {
-            out_path = arg.substr(6);
-        } else if (arg.rfind("--filter=", 0) == 0) {
-            filter = arg.substr(9);
-        } else {
-            std::cerr << "usage: wallclock_kernels [--smoke] "
-                      << "[--out=PATH] [--filter=STR]\n";
-            return 2;
-        }
+    const dbscore::bench::BenchArgs args = dbscore::bench::ParseBenchArgs(
+        argc, argv, "wallclock_kernels", "BENCH_kernels.json",
+        /*accepts_filter=*/true);
+    if (!args.ok) {
+        return 2;
     }
-    return dbscore::bench::Run(smoke, out_path, filter);
+    return dbscore::bench::Run(args.smoke, args.out_path, args.filter);
 }

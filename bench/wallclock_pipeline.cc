@@ -28,11 +28,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "dbscore/data/row_block.h"
 #include "dbscore/data/synthetic.h"
 #include "dbscore/dbms/database.h"
@@ -59,14 +59,6 @@ struct Result {
             : 0.0;
     }
 };
-
-double
-SecondsSince(std::chrono::steady_clock::time_point start)
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - start)
-        .count();
-}
 
 /**
  * The pre-RowBlock marshal: value-by-value extraction into a fresh
@@ -168,28 +160,20 @@ void
 WriteJson(const std::string& path, const std::vector<Result>& results,
           bool smoke)
 {
-    std::ofstream out(path);
-    out << "{\n"
-        << "  \"bench\": \"wallclock_pipeline\",\n"
-        << "  \"schema_version\": 1,\n"
-        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
-        << "  \"results\": [\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const Result& r = results[i];
-        out << "    {\"dataset\": \"" << r.dataset << "\", "
-            << "\"rows\": " << r.rows << ", "
-            << "\"cols\": " << r.cols << ", "
-            << "\"queries\": " << r.queries << ", "
-            << "\"legacy_ms_per_query\": " << r.legacy_ms_per_query
-            << ", "
-            << "\"view_ms_per_query\": " << r.view_ms_per_query << ", "
-            << "\"legacy_bytes_copied\": " << r.legacy_bytes_copied
-            << ", "
-            << "\"view_bytes_copied\": " << r.view_bytes_copied << ", "
-            << "\"marshal_speedup\": " << r.Speedup() << "}"
-            << (i + 1 < results.size() ? "," : "") << "\n";
+    BenchJsonWriter doc("wallclock_pipeline", smoke);
+    for (const Result& r : results) {
+        doc.AddResult()
+            .Str("dataset", r.dataset)
+            .Int("rows", r.rows)
+            .Int("cols", r.cols)
+            .Int("queries", static_cast<std::uint64_t>(r.queries))
+            .Num("legacy_ms_per_query", r.legacy_ms_per_query)
+            .Num("view_ms_per_query", r.view_ms_per_query)
+            .Int("legacy_bytes_copied", r.legacy_bytes_copied)
+            .Int("view_bytes_copied", r.view_bytes_copied)
+            .Num("marshal_speedup", r.Speedup());
     }
-    out << "  ]\n}\n";
+    doc.Write(path);
 }
 
 int
@@ -242,19 +226,10 @@ Run(bool smoke, const std::string& out_path)
 int
 main(int argc, char** argv)
 {
-    bool smoke = false;
-    std::string out_path = "BENCH_pipeline.json";
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--smoke") {
-            smoke = true;
-        } else if (arg.rfind("--out=", 0) == 0) {
-            out_path = arg.substr(6);
-        } else {
-            std::cerr << "usage: wallclock_pipeline [--smoke] "
-                      << "[--out=PATH]\n";
-            return 2;
-        }
+    const dbscore::bench::BenchArgs args = dbscore::bench::ParseBenchArgs(
+        argc, argv, "wallclock_pipeline", "BENCH_pipeline.json");
+    if (!args.ok) {
+        return 2;
     }
-    return dbscore::bench::Run(smoke, out_path);
+    return dbscore::bench::Run(args.smoke, args.out_path);
 }

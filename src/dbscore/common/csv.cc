@@ -4,17 +4,17 @@
 
 namespace dbscore {
 
-namespace {
-
-/** Parses all records from @p text. */
-std::vector<std::vector<std::string>>
-ParseRecords(const std::string& text)
+void
+ForEachCsvRecord(std::istream& in, const CsvRecordCallback& callback)
 {
-    std::vector<std::vector<std::string>> records;
     std::vector<std::string> record;
     std::string field;
     bool in_quotes = false;
     bool field_started = false;
+    // A '"' seen inside a quoted field: either the first half of a
+    // doubled quote or the closing quote — decided by the *next*
+    // character, which may live in the next chunk.
+    bool quote_pending = false;
 
     auto end_field = [&] {
         record.push_back(std::move(field));
@@ -25,48 +25,62 @@ ParseRecords(const std::string& text)
         end_field();
         // Skip completely empty records (blank lines).
         if (!(record.size() == 1 && record[0].empty())) {
-            records.push_back(std::move(record));
+            callback(record);
         }
         record.clear();
     };
 
-    for (std::size_t i = 0; i < text.size(); ++i) {
-        char c = text[i];
-        if (in_quotes) {
-            if (c == '"') {
-                if (i + 1 < text.size() && text[i + 1] == '"') {
+    char buf[64 * 1024];
+    for (;;) {
+        in.read(buf, sizeof(buf));
+        const std::streamsize got = in.gcount();
+        if (got <= 0) {
+            break;
+        }
+        for (std::streamsize i = 0; i < got; ++i) {
+            const char c = buf[i];
+            if (quote_pending) {
+                quote_pending = false;
+                if (c == '"') {
                     field.push_back('"');
-                    ++i;
-                } else {
-                    in_quotes = false;
+                    continue;
                 }
-            } else {
-                field.push_back(c);
+                in_quotes = false;  // it was the closing quote
             }
-            continue;
-        }
-        switch (c) {
-          case '"':
-            if (!field_started) {
-                in_quotes = true;
+            if (in_quotes) {
+                if (c == '"') {
+                    quote_pending = true;
+                } else {
+                    field.push_back(c);
+                }
+                continue;
+            }
+            switch (c) {
+              case '"':
+                if (!field_started) {
+                    in_quotes = true;
+                    field_started = true;
+                } else {
+                    field.push_back(c);
+                }
+                break;
+              case ',':
+                end_field();
+                break;
+              case '\r':
+                break;  // handled with the following \n
+              case '\n':
+                end_record();
+                break;
+              default:
+                field.push_back(c);
                 field_started = true;
-            } else {
-                field.push_back(c);
+                break;
             }
-            break;
-          case ',':
-            end_field();
-            break;
-          case '\r':
-            break;  // handled with the following \n
-          case '\n':
-            end_record();
-            break;
-          default:
-            field.push_back(c);
-            field_started = true;
-            break;
         }
+    }
+    if (quote_pending) {
+        in_quotes = false;  // closing quote was the last byte
     }
     if (in_quotes) {
         throw ParseError("csv: unterminated quoted field");
@@ -74,25 +88,21 @@ ParseRecords(const std::string& text)
     if (field_started || !field.empty() || !record.empty()) {
         end_record();
     }
-    return records;
 }
-
-}  // namespace
 
 CsvDocument
 ReadCsv(std::istream& in, bool has_header)
 {
-    std::string text(std::istreambuf_iterator<char>(in), {});
-    auto records = ParseRecords(text);
     CsvDocument doc;
-    std::size_t start = 0;
-    if (has_header && !records.empty()) {
-        doc.header = std::move(records[0]);
-        start = 1;
-    }
-    for (std::size_t i = start; i < records.size(); ++i) {
-        doc.rows.push_back(std::move(records[i]));
-    }
+    bool saw_header = !has_header;
+    ForEachCsvRecord(in, [&](std::vector<std::string>& record) {
+        if (!saw_header) {
+            doc.header = std::move(record);
+            saw_header = true;
+        } else {
+            doc.rows.push_back(std::move(record));
+        }
+    });
     return doc;
 }
 

@@ -7,6 +7,7 @@
 #ifndef DBSCORE_COMMON_CSV_H
 #define DBSCORE_COMMON_CSV_H
 
+#include <functional>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -21,8 +22,27 @@ struct CsvDocument {
 };
 
 /**
- * Parses CSV from a stream. Supports quoted fields with embedded commas,
- * doubled quotes, and both \n and \r\n line endings.
+ * Receives one parsed record. The cells vector is reused between
+ * callbacks — move individual cells out or copy, but do not keep a
+ * reference to the vector itself.
+ */
+using CsvRecordCallback = std::function<void(std::vector<std::string>&)>;
+
+/**
+ * Streams CSV records from @p in, invoking @p callback once per
+ * record. Reads the stream in fixed-size chunks — memory use is one
+ * record plus the chunk buffer, independent of file size — which is
+ * what lets bulk loaders ingest files larger than RAM straight into
+ * the paged store. Supports quoted fields with embedded commas,
+ * doubled quotes, and both \n and \r\n line endings; blank lines are
+ * skipped.
+ *
+ * @throws ParseError on an unterminated quoted field
+ */
+void ForEachCsvRecord(std::istream& in, const CsvRecordCallback& callback);
+
+/**
+ * Parses CSV from a stream into memory (built on ForEachCsvRecord).
  *
  * @param in stream to read
  * @param has_header when true the first record becomes .header

@@ -51,6 +51,21 @@ class NotFound : public Error {
     explicit NotFound(const std::string& what) : Error(what) {}
 };
 
+/** Thrown when a file or device operation fails (open, read, write). */
+class IoError : public Error {
+ public:
+    explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/**
+ * Thrown when persisted data fails an integrity check — a bad page
+ * checksum (torn write, bit rot), wrong magic, or a self-id mismatch.
+ */
+class DataCorruption : public Error {
+ public:
+    explicit DataCorruption(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 
 /** Prints an assertion failure message and aborts. Never returns. */

@@ -1,5 +1,9 @@
 #include "dbscore/dbms/database.h"
 
+#include <cstdlib>
+#include <fstream>
+
+#include "dbscore/common/csv.h"
 #include "dbscore/common/error.h"
 #include "dbscore/common/string_util.h"
 
@@ -99,6 +103,128 @@ Database::StoreDataset(const std::string& table_name, const Dataset& dataset)
     return table;
 }
 
+Table&
+Database::RegisterPaged(const std::string& name,
+                        std::shared_ptr<storage::PagedTable> store)
+{
+    auto [it, inserted] = tables_.try_emplace(
+        Key(name), Table::FromPagedStore(name, std::move(store)));
+    if (!inserted) {
+        throw InvalidArgument("database: table '" + name +
+                              "' already exists");
+    }
+    return it->second;
+}
+
+Table&
+Database::StoreDatasetPaged(const std::string& table_name,
+                            const Dataset& dataset,
+                            const std::string& page_path,
+                            const storage::StorageOptions& options)
+{
+    if (HasTable(table_name)) {
+        throw InvalidArgument("database: table '" + table_name +
+                              "' already exists");
+    }
+    std::vector<std::string> columns;
+    columns.reserve(dataset.num_features() + 1);
+    for (std::size_t f = 0; f < dataset.num_features(); ++f) {
+        columns.push_back(f < dataset.feature_names().size()
+                              ? dataset.feature_names()[f]
+                              : "f" + std::to_string(f));
+    }
+    columns.push_back("label");
+    auto store = storage::PagedTable::Create(
+        page_path, std::move(columns), dataset.num_features(), options);
+    for (std::size_t r = 0; r < dataset.num_rows(); ++r) {
+        store->AppendRow(dataset.Row(r), dataset.num_features(),
+                         dataset.Label(r));
+    }
+    store->Flush();
+    return RegisterPaged(table_name, std::move(store));
+}
+
+Table&
+Database::AttachPagedTable(const std::string& table_name,
+                           const std::string& page_path,
+                           const storage::StorageOptions& options)
+{
+    return RegisterPaged(table_name,
+                         storage::PagedTable::Open(page_path, options));
+}
+
+Table&
+Database::BulkLoadCsvPaged(const std::string& table_name,
+                           const std::string& csv_path,
+                           const std::string& page_path,
+                           const storage::StorageOptions& options)
+{
+    if (HasTable(table_name)) {
+        throw InvalidArgument("database: table '" + table_name +
+                              "' already exists");
+    }
+    std::ifstream in(csv_path, std::ios::binary);
+    if (!in) {
+        throw IoError("database: cannot open CSV '" + csv_path + "'");
+    }
+    std::shared_ptr<storage::PagedTable> store;
+    std::size_t label_col = 0;
+    std::vector<float> features;
+    std::uint64_t line = 0;
+    // One record in memory at a time: the header creates the store,
+    // every later record appends straight through the buffer pool.
+    ForEachCsvRecord(in, [&](std::vector<std::string>& record) {
+        ++line;
+        if (store == nullptr) {
+            label_col = record.size();
+            for (std::size_t c = 0; c < record.size(); ++c) {
+                if (EqualsIgnoreCase(record[c], "label")) {
+                    label_col = c;
+                    break;
+                }
+            }
+            store = storage::PagedTable::Create(page_path, record,
+                                                label_col, options);
+            features.reserve(store->num_feature_cols());
+            return;
+        }
+        if (record.size() != store->columns().size()) {
+            throw ParseError(
+                StrFormat("csv %s record %llu: %zu cells, header has %zu",
+                          csv_path.c_str(),
+                          static_cast<unsigned long long>(line),
+                          record.size(), store->columns().size()));
+        }
+        features.clear();
+        float label = 0.0F;
+        for (std::size_t c = 0; c < record.size(); ++c) {
+            const char* text = record[c].c_str();
+            char* end = nullptr;
+            const float v = std::strtof(text, &end);
+            if (end == text || *end != '\0') {
+                throw ParseError(
+                    StrFormat("csv %s record %llu: cell '%s' is not "
+                              "numeric",
+                              csv_path.c_str(),
+                              static_cast<unsigned long long>(line),
+                              record[c].c_str()));
+            }
+            if (c == label_col) {
+                label = v;
+            } else {
+                features.push_back(v);
+            }
+        }
+        store->AppendRow(features.data(), features.size(), label);
+    });
+    if (store == nullptr) {
+        throw ParseError("database: CSV '" + csv_path +
+                         "' has no header record");
+    }
+    store->Flush();
+    return RegisterPaged(table_name, std::move(store));
+}
+
 Dataset
 Database::LoadDataset(const std::string& table_name, Task task,
                       int num_classes) const
@@ -121,11 +247,9 @@ Database::LoadDataset(const std::string& table_name, Task task,
             if (c == label_col) {
                 continue;
             }
-            row[out++] = static_cast<float>(ValueAsDouble(table.At(r, c)));
+            row[out++] = table.FloatAt(r, c);
         }
-        data.AddRow(row.data(), row.size(),
-                    static_cast<float>(
-                        ValueAsDouble(table.At(r, label_col))));
+        data.AddRow(row.data(), row.size(), table.FloatAt(r, label_col));
     }
     return data;
 }

@@ -42,6 +42,38 @@ class Database {
     Table& StoreDataset(const std::string& table_name,
                         const Dataset& dataset);
 
+    /**
+     * Stores @p dataset out of core: creates a page file at
+     * @p page_path, bulk-loads every row through the buffer pool, and
+     * registers the table in paged mode (same schema shape as
+     * StoreDataset). The data is flushed durable before returning.
+     */
+    Table& StoreDatasetPaged(const std::string& table_name,
+                             const Dataset& dataset,
+                             const std::string& page_path,
+                             const storage::StorageOptions& options = {});
+
+    /**
+     * Registers an existing page file (written by StoreDatasetPaged /
+     * BulkLoadCsvPaged, possibly in an earlier process) as a paged
+     * table.
+     */
+    Table& AttachPagedTable(const std::string& table_name,
+                            const std::string& page_path,
+                            const storage::StorageOptions& options = {});
+
+    /**
+     * Streams @p csv_path (header row required; a column named
+     * "label", if present, becomes the label column) directly into a
+     * fresh page file at @p page_path — one record in memory at a
+     * time, so the CSV may exceed RAM — and registers the paged table.
+     * @throws ParseError on malformed CSV or non-numeric cells
+     */
+    Table& BulkLoadCsvPaged(const std::string& table_name,
+                            const std::string& csv_path,
+                            const std::string& page_path,
+                            const storage::StorageOptions& options = {});
+
     /** Reads a dataset table back into a Dataset (features + label). */
     Dataset LoadDataset(const std::string& table_name, Task task,
                         int num_classes) const;
@@ -63,6 +95,10 @@ class Database {
  private:
     /** Case-insensitive name key. */
     static std::string Key(const std::string& name);
+
+    /** Inserts a paged store as a catalog table. */
+    Table& RegisterPaged(const std::string& name,
+                         std::shared_ptr<storage::PagedTable> store);
 
     const std::vector<std::uint8_t>&
     ModelBlob(const std::string& model_name) const;

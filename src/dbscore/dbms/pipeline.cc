@@ -36,6 +36,14 @@ ScoringPipeline::RunScoringQuery(const std::string& model_name,
                                  BackendKind backend,
                                  std::optional<std::size_t> max_rows)
 {
+    {
+        const Table& early = db_.GetTable(data_table);
+        if (early.paged()) {
+            return RunPagedScoringQuery(model_name, early, backend,
+                                        max_rows);
+        }
+    }
+
     PipelineRunResult result;
     PipelineStageTimes& stages = result.stages;
 
@@ -126,6 +134,110 @@ ScoringPipeline::RunScoringQuery(const std::string& model_name,
     root.AddAttr("rows", static_cast<double>(num_rows));
 
     result.predictions = std::move(score.predictions);
+    return result;
+}
+
+PipelineRunResult
+ScoringPipeline::RunPagedScoringQuery(const std::string& model_name,
+                                      const Table& table,
+                                      BackendKind backend,
+                                      std::optional<std::size_t> max_rows)
+{
+    PipelineRunResult result;
+    PipelineStageTimes& stages = result.stages;
+
+    trace::TraceCollector& tracer = trace::TraceCollector::Get();
+    trace::ScopedSpan root(StageKind::kQuery, "scoring-query");
+    trace::SimClock::Set(SimTime());
+
+    // Stage 1: launch (or reuse) the external scripting process.
+    stages.python_invocation = runtime_.InvokeProcess();
+    tracer.EmitStage(StageKind::kInvocation, "python-invocation",
+                     stages.python_invocation);
+
+    // The stream snapshots the page list up front; each chunk below is
+    // a pinned zero-copy view over one buffer-pool frame, so memory
+    // use is bounded by the pool no matter how large the table is.
+    storage::FeatureStream stream = table.ScanFeatures();
+    const std::size_t num_rows =
+        std::min<std::size_t>(stream.total_rows(),
+                              max_rows.value_or(stream.total_rows()));
+    if (num_rows == 0) {
+        throw InvalidArgument("pipeline: no rows to score in '" +
+                              table.name() + "'");
+    }
+
+    // Stages 3+4 (model + feature-matrix preparation) happen once,
+    // before the chunk loop, exactly like the in-memory path.
+    const std::uint64_t blob_bytes = db_.ModelBlobBytes(model_name);
+    TreeEnsemble ensemble = db_.LoadModel(model_name);
+    stages.model_preprocessing = runtime_.ModelPreprocessing(blob_bytes);
+    tracer.EmitStage(StageKind::kModelPreproc, "model-deserialize",
+                     stages.model_preprocessing,
+                     {{"blob_bytes", static_cast<double>(blob_bytes)}});
+
+    const std::size_t num_features = table.NumFeatureColumns();
+    if (num_features != ensemble.num_features) {
+        throw InvalidArgument("pipeline: table width does not match model");
+    }
+    stages.data_preprocessing =
+        runtime_.DataPreprocessing(num_rows, num_features);
+    tracer.EmitStage(StageKind::kDataPreproc, "feature-matrix-prep",
+                     stages.data_preprocessing);
+
+    // Stage 2+5, chunk-wise: marshal each pinned chunk to the process
+    // and score it, accumulating the same stage totals. The engine is
+    // created on the first chunk (the path-length probe needs live
+    // rows) and reused for the rest of the stream.
+    RandomForest forest = ensemble.ToForest();
+    std::unique_ptr<ScoringEngine> engine;
+    result.predictions.reserve(num_rows);
+    std::size_t scored = 0;
+    storage::StreamChunk chunk;
+    while (scored < num_rows && stream.Next(chunk)) {
+        RowView view = chunk.view;
+        if (scored + view.rows() > num_rows) {
+            view = view.Slice(0, num_rows - scored);
+        }
+        const SimTime transfer_in = runtime_.TransferToProcess(view);
+        stages.data_transfer += transfer_in;
+        tracer.EmitStage(StageKind::kMarshal, "rows-to-process",
+                         transfer_in,
+                         {{"rows", static_cast<double>(view.rows())},
+                          {"page_id",
+                           static_cast<double>(chunk.page_id)}});
+        if (engine == nullptr) {
+            ModelStats stats = ComputeModelStats(
+                forest,
+                view.Slice(0, std::min<std::size_t>(view.rows(), 256)));
+            engine = CreateLoadedEngine(backend, profile_, ensemble,
+                                        stats);
+            if (engine == nullptr) {
+                throw CapacityError(std::string("pipeline: backend ") +
+                                    BackendName(backend) +
+                                    " cannot host this model");
+            }
+        }
+        trace::ScopedSpan offload(StageKind::kOffload,
+                                  BackendName(backend));
+        const SimTime sim_start = trace::SimClock::Now();
+        ScoreResult score = engine->Score(view);
+        offload.SetSim(sim_start, score.breakdown.Total());
+        offload.AddAttr("rows", static_cast<double>(view.rows()));
+        stages.scoring += score.breakdown;
+        result.predictions.insert(result.predictions.end(),
+                                  score.predictions.begin(),
+                                  score.predictions.end());
+        scored += view.rows();
+    }
+
+    // Stage 6: float32 predictions copied back into the DBMS.
+    const SimTime transfer_out = runtime_.TransferFromProcess(
+        static_cast<std::uint64_t>(scored) * sizeof(float));
+    stages.data_transfer += transfer_out;
+    tracer.EmitStage(StageKind::kMarshal, "results-to-dbms", transfer_out);
+    root.SetSim(SimTime(), stages.Total());
+    root.AddAttr("rows", static_cast<double>(scored));
     return result;
 }
 

@@ -89,6 +89,17 @@ class ScoringPipeline {
                               std::size_t num_rows);
 
  private:
+    /**
+     * The out-of-core variant of RunScoringQuery: streams the paged
+     * table chunk-wise (one pinned page at a time) through the same
+     * stage sequence, so tables larger than the buffer pool score in
+     * bounded memory. Per-chunk marshal and offload spans accumulate
+     * into the same Figure-11 stage totals the in-memory path reports.
+     */
+    PipelineRunResult RunPagedScoringQuery(
+        const std::string& model_name, const Table& table,
+        BackendKind backend, std::optional<std::size_t> max_rows);
+
     Database& db_;
     HardwareProfile profile_;
     ExternalScriptRuntime runtime_;

@@ -291,6 +291,64 @@ SpFaultInject(QueryEngine& engine, const ExecStatement& stmt)
     return result;
 }
 
+/**
+ * Storage observability console. Forms:
+ *   EXEC sp_storage_stats                  -- one row per paged table
+ *   EXEC sp_storage_stats @table='t'       -- just that table
+ *   EXEC sp_storage_stats @reset=1         -- also zero the counters
+ * Reports buffer-pool hit ratio / evictions, pager I/O, and zone-map
+ * pruning per paged table; in-memory tables are skipped.
+ */
+QueryResult
+SpStorageStats(QueryEngine& engine, const ExecStatement& stmt)
+{
+    std::vector<std::string> names;
+    if (stmt.params.count("table") > 0) {
+        names.push_back(GetStringParam(stmt, "table"));
+    } else {
+        names = engine.db().TableNames();
+    }
+    const bool reset = GetIntParam(stmt, "reset").value_or(0) != 0;
+
+    QueryResult result;
+    result.columns = {"table",       "rows",          "data_pages",
+                      "pool_pages",  "hit_ratio",     "hits",
+                      "misses",      "evictions",     "write_backs",
+                      "page_reads",  "page_writes",   "read_retries",
+                      "pages_scanned", "pages_pruned"};
+    std::size_t reported = 0;
+    for (const std::string& name : names) {
+        const Table& table = engine.db().GetTable(name);
+        if (!table.paged()) {
+            continue;
+        }
+        const storage::StorageStats stats = table.store()->Stats();
+        result.rows.push_back(
+            {table.name(),
+             static_cast<std::int64_t>(stats.num_rows),
+             static_cast<std::int64_t>(stats.data_pages),
+             static_cast<std::int64_t>(stats.pool_pages),
+             stats.pool.HitRatio(),
+             static_cast<std::int64_t>(stats.pool.hits),
+             static_cast<std::int64_t>(stats.pool.misses),
+             static_cast<std::int64_t>(stats.pool.evictions),
+             static_cast<std::int64_t>(stats.pool.write_backs),
+             static_cast<std::int64_t>(stats.pager.reads),
+             static_cast<std::int64_t>(stats.pager.writes),
+             static_cast<std::int64_t>(stats.pager.read_retries),
+             static_cast<std::int64_t>(stats.pages_scanned),
+             static_cast<std::int64_t>(stats.pages_pruned)});
+        if (reset) {
+            table.store()->ResetStats();
+        }
+        ++reported;
+    }
+    result.message = StrFormat(
+        "%zu paged table(s)%s", reported,
+        reset ? ", counters reset" : "");
+    return result;
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(Database& db, ScoringPipeline& pipeline)
@@ -299,6 +357,7 @@ QueryEngine::QueryEngine(Database& db, ScoringPipeline& pipeline)
     RegisterProcedure("sp_score_model", SpScoreModel);
     RegisterProcedure("sp_trace_dump", SpTraceDump);
     RegisterProcedure("sp_fault_inject", SpFaultInject);
+    RegisterProcedure("sp_storage_stats", SpStorageStats);
 }
 
 void

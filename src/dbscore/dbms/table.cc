@@ -1,5 +1,7 @@
 #include "dbscore/dbms/table.h"
 
+#include <cstring>
+
 #include "dbscore/common/error.h"
 #include "dbscore/common/string_util.h"
 
@@ -12,6 +14,22 @@ Table::Table(std::string name, std::vector<ColumnDef> schema)
         throw InvalidArgument("table: needs at least one column");
     }
     columns_.resize(schema_.size());
+}
+
+Table
+Table::FromPagedStore(std::string name,
+                      std::shared_ptr<storage::PagedTable> store)
+{
+    DBS_ASSERT(store != nullptr);
+    std::vector<ColumnDef> schema;
+    schema.reserve(store->columns().size());
+    for (const std::string& col : store->columns()) {
+        schema.push_back({col, ColumnType::kDouble});
+    }
+    Table table(std::move(name), std::move(schema));
+    table.columns_.clear();  // rows live in the page file
+    table.store_ = std::move(store);
+    return table;
 }
 
 std::size_t
@@ -30,6 +48,25 @@ Table::AppendRow(std::vector<Value> row)
 {
     if (row.size() != schema_.size()) {
         throw InvalidArgument("table " + name_ + ": row arity mismatch");
+    }
+    if (paged()) {
+        // Split the row into features + label and write through the
+        // buffer pool; zone maps update as part of the append.
+        const std::size_t label_col = store_->label_col();
+        std::vector<float> features;
+        features.reserve(store_->num_feature_cols());
+        float label = 0.0F;
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            const float v = static_cast<float>(ValueAsDouble(row[i]));
+            if (i == label_col) {
+                label = v;
+            } else {
+                features.push_back(v);
+            }
+        }
+        store_->AppendRow(features.data(), features.size(), label);
+        features_ = RowBlock();
+        return;
     }
     for (std::size_t i = 0; i < row.size(); ++i) {
         ColumnType expected = schema_[i].type;
@@ -59,13 +96,35 @@ Table::AppendRow(std::vector<Value> row)
 const Value&
 Table::At(std::size_t row, std::size_t col) const
 {
+    if (paged()) {
+        throw InvalidArgument("table " + name_ +
+                              ": At() on a paged table — use FloatAt()");
+    }
     DBS_ASSERT(row < num_rows_ && col < schema_.size());
     return columns_[col][row];
+}
+
+float
+Table::FloatAt(std::size_t row, std::size_t col) const
+{
+    if (paged()) {
+        const std::size_t label_col = store_->label_col();
+        if (col == label_col) {
+            return store_->Label(row);
+        }
+        return store_->Feature(row, col - (col > label_col ? 1 : 0));
+    }
+    return static_cast<float>(ValueAsDouble(At(row, col)));
 }
 
 const std::vector<Value>&
 Table::Column(std::size_t col) const
 {
+    if (paged()) {
+        throw InvalidArgument(
+            "table " + name_ +
+            ": Column() on a paged table — stream with ScanFeatures()");
+    }
     DBS_ASSERT(col < schema_.size());
     return columns_[col];
 }
@@ -73,6 +132,10 @@ Table::Column(std::size_t col) const
 std::uint64_t
 Table::RowWireBytes(std::size_t row) const
 {
+    if (paged()) {
+        // Every paged cell is a float32 on the wire.
+        return static_cast<std::uint64_t>(schema_.size()) * sizeof(float);
+    }
     std::uint64_t bytes = 0;
     for (std::size_t c = 0; c < schema_.size(); ++c) {
         bytes += ValueWireBytes(At(row, c));
@@ -83,6 +146,9 @@ Table::RowWireBytes(std::size_t row) const
 std::size_t
 Table::LabelColumnIndex() const
 {
+    if (paged()) {
+        return store_->label_col();
+    }
     for (std::size_t c = 0; c < schema_.size(); ++c) {
         if (schema_[c].name == "label") {
             return c;
@@ -102,7 +168,25 @@ const RowBlock&
 Table::MaterializeFeatures() const
 {
     const std::size_t num_features = NumFeatureColumns();
-    if (!features_.empty() || num_rows_ == 0 || num_features == 0) {
+    if (!features_.empty() || NumRows() == 0 || num_features == 0) {
+        return features_;
+    }
+    if (paged()) {
+        // Whole-table materialization of a paged table: stream every
+        // chunk into one compact block. This is the compatibility
+        // path — out-of-core consumers should use ScanFeatures() and
+        // never hold the full table in memory.
+        std::vector<float> values(NumRows() * num_features);
+        storage::FeatureStream stream = store_->Scan();
+        storage::StreamChunk chunk;
+        while (stream.Next(chunk)) {
+            std::memcpy(values.data() + chunk.row_begin * num_features,
+                        chunk.view.data(),
+                        chunk.view.rows() * num_features * sizeof(float));
+        }
+        RowBlock::NoteCopy(static_cast<std::uint64_t>(values.size()) *
+                           sizeof(float));
+        features_ = RowBlock(std::move(values), num_features);
         return features_;
     }
     const std::size_t label_col = LabelColumnIndex();
@@ -125,6 +209,19 @@ Table::MaterializeFeatures() const
                        sizeof(float));
     features_ = RowBlock(std::move(values), num_features);
     return features_;
+}
+
+storage::FeatureStream
+Table::ScanFeatures(
+    const std::optional<storage::ScanPredicate>& predicate) const
+{
+    if (paged()) {
+        return store_->Scan(predicate);
+    }
+    // In-memory: one chunk over the cached block. The predicate is a
+    // page-pruning hint; with a single "page" the full view is the
+    // (legal) conservative superset.
+    return storage::FeatureStream::FromView(MaterializeFeatures().View());
 }
 
 }  // namespace dbscore

@@ -1,16 +1,31 @@
 /**
  * @file
  * Columnar table storage for the mini-DBMS.
+ *
+ * A Table has one of two backings:
+ *  - in-memory (the default): columns of Values, with the feature
+ *    block lazily materialized by MaterializeFeatures();
+ *  - paged: rows live in a dbscore::storage::PagedTable page file and
+ *    flow through a BufferPool — the out-of-core mode for datasets
+ *    larger than RAM. Paged tables answer NumRows/At/AppendRow/
+ *    MaterializeFeatures through the store and additionally support
+ *    ScanFeatures(), a streaming iterator of pinned zero-copy chunks
+ *    (the pipeline's paged scoring path). Column() is the one
+ *    operation a paged table cannot serve (no whole-column Values in
+ *    memory) and throws.
  */
 #ifndef DBSCORE_DBMS_TABLE_H
 #define DBSCORE_DBMS_TABLE_H
 
 #include <cstddef>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "dbscore/data/row_block.h"
 #include "dbscore/dbms/value.h"
+#include "dbscore/storage/paged_table.h"
 
 namespace dbscore {
 
@@ -26,10 +41,34 @@ class Table {
     Table() = default;
     Table(std::string name, std::vector<ColumnDef> schema);
 
+    /**
+     * Wraps an opened/created paged store as a catalog table. The
+     * schema is reconstructed from the store's column names (every
+     * stored column is FLOAT).
+     */
+    static Table FromPagedStore(
+        std::string name,
+        std::shared_ptr<storage::PagedTable> store);
+
+    /** True when rows live in the out-of-core page file. */
+    bool paged() const { return store_ != nullptr; }
+
+    /** The paged backing store; null for in-memory tables. */
+    const std::shared_ptr<storage::PagedTable>& store() const
+    {
+        return store_;
+    }
+
     const std::string& name() const { return name_; }
     const std::vector<ColumnDef>& schema() const { return schema_; }
     std::size_t NumColumns() const { return schema_.size(); }
-    std::size_t NumRows() const { return num_rows_; }
+
+    std::size_t
+    NumRows() const
+    {
+        return paged() ? static_cast<std::size_t>(store_->num_rows())
+                       : num_rows_;
+    }
 
     /**
      * Index of column @p column_name (case-insensitive).
@@ -43,9 +82,22 @@ class Table {
      */
     void AppendRow(std::vector<Value> row);
 
+    /**
+     * Cell reference. @throws InvalidArgument on a paged table — use
+     * FloatAt() (values live in the page file, not as Values).
+     */
     const Value& At(std::size_t row, std::size_t col) const;
 
-    /** Whole column (for scans). */
+    /**
+     * Cell as float — works for both backings (paged tables read
+     * through the buffer pool; in-memory tables convert the Value).
+     */
+    float FloatAt(std::size_t row, std::size_t col) const;
+
+    /**
+     * Whole column (for scans). @throws InvalidArgument on a paged
+     * table — stream with ScanFeatures() instead.
+     */
     const std::vector<Value>& Column(std::size_t col) const;
 
     /** Approximate wire size of @p row in bytes. */
@@ -67,6 +119,19 @@ class Table {
      */
     const RowBlock& MaterializeFeatures() const;
 
+    /**
+     * Streaming feature iterator — the chunk-wise alternative to
+     * MaterializeFeatures(). Paged tables yield one pinned zero-copy
+     * chunk per data page (optionally zone-map-pruned by
+     * @p predicate); in-memory tables yield the materialized block as
+     * a single chunk, so consumers are written once against the
+     * streaming shape. Pruning is conservative: in-memory streams
+     * ignore the predicate (a legal superset).
+     */
+    storage::FeatureStream ScanFeatures(
+        const std::optional<storage::ScanPredicate>& predicate =
+            std::nullopt) const;
+
  private:
     std::string name_;
     std::vector<ColumnDef> schema_;
@@ -74,6 +139,8 @@ class Table {
     std::size_t num_rows_ = 0;
     /** Lazy feature cache; empty() means not materialized. */
     mutable RowBlock features_;
+    /** Paged backing; null for in-memory tables. */
+    std::shared_ptr<storage::PagedTable> store_;
 };
 
 }  // namespace dbscore

@@ -20,6 +20,8 @@ FaultSiteName(FaultSite site)
         return "gpu-kernel-launch";
       case FaultSite::kExternalInvoke:
         return "external-invoke";
+      case FaultSite::kStorageRead:
+        return "storage-read";
     }
     return "unknown";
 }

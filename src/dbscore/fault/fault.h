@@ -47,9 +47,10 @@ enum class FaultSite : std::uint8_t {
     kFpgaCompletion,   ///< the FPGA's completion interrupt
     kGpuKernelLaunch,  ///< launching a GPU kernel
     kExternalInvoke,   ///< the external script process (crash)
+    kStorageRead,      ///< one physical page read in the storage layer
 };
 
-inline constexpr int kNumFaultSites = 5;
+inline constexpr int kNumFaultSites = 6;
 
 /** Stable lowercase-dash name, e.g. "pcie-dma". */
 const char* FaultSiteName(FaultSite site);

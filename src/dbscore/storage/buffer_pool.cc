@@ -1,0 +1,250 @@
+#include "dbscore/storage/buffer_pool.h"
+
+#include <limits>
+
+#include "dbscore/common/error.h"
+#include "dbscore/common/string_util.h"
+#include "dbscore/trace/trace.h"
+
+namespace dbscore::storage {
+
+PageHandle::PageHandle(PageHandle&& other) noexcept
+    : pool_(other.pool_), frame_(other.frame_)
+{
+    other.pool_ = nullptr;
+}
+
+PageHandle&
+PageHandle::operator=(PageHandle&& other) noexcept
+{
+    if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        frame_ = other.frame_;
+        other.pool_ = nullptr;
+    }
+    return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+void
+PageHandle::Release()
+{
+    if (pool_ != nullptr) {
+        pool_->Unpin(frame_);
+        pool_ = nullptr;
+    }
+}
+
+std::uint32_t
+PageHandle::page_id() const
+{
+    DBS_ASSERT(pool_ != nullptr);
+    return pool_->frames_[frame_].page_id;
+}
+
+const std::uint8_t*
+PageHandle::data() const
+{
+    DBS_ASSERT(pool_ != nullptr);
+    return pool_->frames_[frame_].data.data();
+}
+
+const std::uint8_t*
+PageHandle::payload() const
+{
+    return data() + kPageHeaderSize;
+}
+
+std::uint8_t*
+PageHandle::MutableData()
+{
+    DBS_ASSERT(pool_ != nullptr);
+    pool_->MarkDirty(frame_);
+    return pool_->frames_[frame_].data.data();
+}
+
+std::uint8_t*
+PageHandle::MutablePayload()
+{
+    return MutableData() + kPageHeaderSize;
+}
+
+BufferPool::BufferPool(Pager& pager, const Options& options) : pager_(pager)
+{
+    if (options.capacity_pages == 0) {
+        throw InvalidArgument("buffer pool: capacity must be at least 1 page");
+    }
+    frames_.resize(options.capacity_pages);
+    // Frame storage is allocated up front and never resized, so frame
+    // addresses stay stable for the lifetime of the pool — live
+    // PageHandles (and RowViews aliasing them) never see memory move.
+    for (Frame& frame : frames_) {
+        frame.data.assign(pager_.page_size(), 0);
+    }
+    resident_.reserve(options.capacity_pages);
+}
+
+BufferPool::~BufferPool()
+{
+    try {
+        FlushAll();
+    } catch (...) {
+        // Teardown flush is best effort; Flush()/Sync() on the owning
+        // table is the durable path.
+    }
+}
+
+std::size_t
+BufferPool::AcquireFrameLocked(std::uint32_t page_id)
+{
+    // Prefer a never-used frame, else evict the LRU unpinned one.
+    std::size_t victim = frames_.size();
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < frames_.size(); ++i) {
+        const Frame& frame = frames_[i];
+        if (!frame.used) {
+            victim = i;
+            oldest = 0;
+            break;
+        }
+        if (frame.pins == 0 && frame.lru_tick < oldest) {
+            victim = i;
+            oldest = frame.lru_tick;
+        }
+    }
+    if (victim == frames_.size()) {
+        throw CapacityError(
+            StrFormat("buffer pool: all %zu frames pinned while pinning "
+                      "page %u — pool too small for the working set",
+                      frames_.size(), page_id));
+    }
+    Frame& frame = frames_[victim];
+    if (frame.used) {
+        if (frame.dirty) {
+            pager_.Write(frame.page_id, frame.data.data());
+            frame.dirty = false;
+            ++stats_.write_backs;
+        }
+        resident_.erase(frame.page_id);
+        ++stats_.evictions;
+    }
+    frame.used = true;
+    frame.dirty = false;
+    frame.page_id = page_id;
+    resident_[page_id] = victim;
+    return victim;
+}
+
+PageHandle
+BufferPool::Pin(std::uint32_t page_id)
+{
+    trace::TraceCollector& tracer = trace::TraceCollector::Get();
+    const double wall_start = tracer.NowWallMicros();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = resident_.find(page_id);
+    if (it != resident_.end()) {
+        Frame& frame = frames_[it->second];
+        ++frame.pins;
+        frame.lru_tick = ++lru_clock_;
+        ++stats_.hits;
+        return PageHandle(this, it->second);
+    }
+
+    ++stats_.misses;
+    const std::uint64_t evictions_before = stats_.evictions;
+    const std::size_t frame_index = AcquireFrameLocked(page_id);
+    Frame& frame = frames_[frame_index];
+    // Pin before the read so a concurrent Pin() can neither evict this
+    // frame nor alias it while the fill is in flight.
+    ++frame.pins;
+    frame.lru_tick = ++lru_clock_;
+    try {
+        pager_.Read(page_id, frame.data.data());
+    } catch (...) {
+        // Failed fill: the frame holds garbage; drop it from the pool
+        // entirely so a retry re-reads instead of serving junk.
+        --frame.pins;
+        frame.used = false;
+        resident_.erase(page_id);
+        throw;
+    }
+    tracer.EmitWall(trace::StageKind::kBufferPool, "pool-miss",
+                    trace::TraceCollector::Current(), wall_start,
+                    tracer.NowWallMicros() - wall_start,
+                    {{"page_id", static_cast<double>(page_id)},
+                     {"evicted",
+                      static_cast<double>(stats_.evictions -
+                                          evictions_before)}});
+    return PageHandle(this, frame_index);
+}
+
+void
+BufferPool::Unpin(std::size_t frame_index)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Frame& frame = frames_[frame_index];
+    DBS_ASSERT_MSG(frame.pins > 0, "unpin of an unpinned frame");
+    --frame.pins;
+}
+
+void
+BufferPool::MarkDirty(std::size_t frame_index)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Frame& frame = frames_[frame_index];
+    DBS_ASSERT_MSG(frame.pins > 0, "dirtying an unpinned frame");
+    frame.dirty = true;
+}
+
+void
+BufferPool::FlushAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Frame& frame : frames_) {
+        if (frame.used && frame.dirty) {
+            pager_.Write(frame.page_id, frame.data.data());
+            frame.dirty = false;
+            ++stats_.write_backs;
+        }
+    }
+    pager_.Sync();
+}
+
+std::size_t
+BufferPool::Resident() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return resident_.size();
+}
+
+std::size_t
+BufferPool::PinnedFrames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t pinned = 0;
+    for (const Frame& frame : frames_) {
+        if (frame.used && frame.pins > 0) {
+            ++pinned;
+        }
+    }
+    return pinned;
+}
+
+BufferPoolStats
+BufferPool::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+BufferPool::ResetStats()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_ = BufferPoolStats{};
+}
+
+}  // namespace dbscore::storage

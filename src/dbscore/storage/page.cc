@@ -1,0 +1,66 @@
+#include "dbscore/storage/page.h"
+
+#include <cstring>
+
+namespace dbscore::storage {
+
+const char*
+PageTypeName(PageType type)
+{
+    switch (type) {
+    case PageType::kFree: return "free";
+    case PageType::kSuperblock: return "superblock";
+    case PageType::kTableMeta: return "table-meta";
+    case PageType::kDirectory: return "directory";
+    case PageType::kFeatures: return "features";
+    case PageType::kLabels: return "labels";
+    case PageType::kZoneMap: return "zone-map";
+    }
+    return "?";
+}
+
+namespace {
+
+inline std::uint64_t
+Fnv1a(std::uint64_t hash, const std::uint8_t* data, std::size_t len)
+{
+    constexpr std::uint64_t kPrime = 0x100000001b3ull;
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= data[i];
+        hash *= kPrime;
+    }
+    return hash;
+}
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+/** Byte offset of PageHeader::checksum (it is the last header field). */
+constexpr std::size_t kChecksumOffset = kPageHeaderSize - sizeof(std::uint64_t);
+
+}  // namespace
+
+std::uint64_t
+ComputePageChecksum(const std::uint8_t* page, std::size_t page_size)
+{
+    const std::uint8_t zeros[sizeof(std::uint64_t)] = {};
+    std::uint64_t hash = Fnv1a(kFnvOffset, page, kChecksumOffset);
+    hash = Fnv1a(hash, zeros, sizeof(zeros));
+    return Fnv1a(hash, page + kPageHeaderSize,
+                 page_size - kPageHeaderSize);
+}
+
+void
+InitPage(std::uint8_t* page, std::size_t page_size, std::uint32_t page_id,
+         PageType type)
+{
+    std::memset(page, 0, page_size);
+    PageHeader* header = HeaderOf(page);
+    header->magic = kPageMagic;
+    header->page_id = page_id;
+    header->type = static_cast<std::uint16_t>(type);
+    header->flags = 0;
+    header->payload_bytes = 0;
+    header->checksum = 0;
+}
+
+}  // namespace dbscore::storage

@@ -1,0 +1,606 @@
+#include "dbscore/storage/paged_table.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "dbscore/common/error.h"
+#include "dbscore/common/string_util.h"
+
+namespace dbscore::storage {
+
+namespace {
+
+/** The table meta page always directly follows the superblock. */
+constexpr std::uint32_t kMetaPageId = 1;
+
+/** Bounds-checked little serializer over one page payload. */
+class PayloadWriter {
+ public:
+    PayloadWriter(std::uint8_t* data, std::size_t capacity) :
+        data_(data), capacity_(capacity)
+    {
+    }
+
+    template <typename T>
+    void
+    Put(const T& value)
+    {
+        PutBytes(&value, sizeof(T));
+    }
+
+    void
+    PutBytes(const void* src, std::size_t len)
+    {
+        if (offset_ + len > capacity_) {
+            throw CapacityError(
+                StrFormat("paged table: serialized metadata (%zu bytes) "
+                          "overflows a %zu-byte page payload",
+                          offset_ + len, capacity_));
+        }
+        std::memcpy(data_ + offset_, src, len);
+        offset_ += len;
+    }
+
+    std::size_t offset() const { return offset_; }
+
+ private:
+    std::uint8_t* data_;
+    std::size_t capacity_;
+    std::size_t offset_ = 0;
+};
+
+class PayloadReader {
+ public:
+    PayloadReader(const std::uint8_t* data, std::size_t capacity) :
+        data_(data), capacity_(capacity)
+    {
+    }
+
+    template <typename T>
+    T
+    Get()
+    {
+        T value;
+        GetBytes(&value, sizeof(T));
+        return value;
+    }
+
+    void
+    GetBytes(void* dst, std::size_t len)
+    {
+        if (offset_ + len > capacity_) {
+            throw DataCorruption(
+                "paged table: metadata truncated mid-record");
+        }
+        std::memcpy(dst, data_ + offset_, len);
+        offset_ += len;
+    }
+
+ private:
+    const std::uint8_t* data_;
+    std::size_t capacity_;
+    std::size_t offset_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FeatureStream
+
+FeatureStream
+FeatureStream::FromView(RowView view)
+{
+    FeatureStream stream;
+    stream.total_rows_ = view.rows();
+    stream.single_ = std::move(view);
+    return stream;
+}
+
+bool
+FeatureStream::Next(StreamChunk& chunk)
+{
+    if (single_.has_value()) {
+        if (next_entry_ > 0) {
+            return false;
+        }
+        next_entry_ = 1;
+        chunk.view = *single_;
+        chunk.row_begin = 0;
+        chunk.page_id = 0;
+        return !chunk.view.empty();
+    }
+    if (table_ == nullptr || next_entry_ >= entries_.size()) {
+        return false;
+    }
+    const Entry& entry = entries_[next_entry_++];
+    // Drop the previous chunk's pin before taking the next one so a
+    // live stream holds at most one frame (caller-held slices keep
+    // their own pins). Without this, every stream needs two frames at
+    // the hand-off and concurrent scans exhaust small pools.
+    chunk.view = RowView();
+    // The aliasing shared_ptr ties the pin's lifetime to the view's:
+    // the frame stays resident (and its bytes immutable) until the
+    // last RowView slice over it is gone — zero-copy out of the pool.
+    auto handle =
+        std::make_shared<PageHandle>(table_->pool_.Pin(entry.page_id));
+    const float* data =
+        reinterpret_cast<const float*>(handle->payload());
+    std::shared_ptr<const float[]> keepalive(std::move(handle), data);
+    const std::size_t cols = table_->feature_cols_;
+    chunk.view =
+        RowView(std::move(keepalive), data, entry.rows, cols, cols);
+    chunk.row_begin = entry.row_begin;
+    chunk.page_id = entry.page_id;
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// PagedTable
+
+PagedTable::PagedTable(const std::string& path,
+                       const StorageOptions& options, bool create) :
+    pager_(path,
+           Pager::Options{.page_size = options.page_size,
+                          .create = create,
+                          .read_retries = options.read_retries}),
+    pool_(pager_, BufferPool::Options{.capacity_pages = options.pool_pages})
+{
+}
+
+std::shared_ptr<PagedTable>
+PagedTable::Create(const std::string& path,
+                   std::vector<std::string> columns, std::size_t label_col,
+                   const StorageOptions& options)
+{
+    if (columns.empty()) {
+        throw InvalidArgument("paged table: need at least one column");
+    }
+    if (label_col > columns.size()) {
+        throw InvalidArgument(
+            StrFormat("paged table: label column %zu out of range "
+                      "(%zu columns)",
+                      label_col, columns.size()));
+    }
+    std::shared_ptr<PagedTable> table(
+        new PagedTable(path, options, /*create=*/true));
+    table->columns_ = std::move(columns);
+    table->label_col_ = label_col;
+    const bool has_label = label_col < table->columns_.size();
+    table->feature_cols_ =
+        table->columns_.size() - (has_label ? 1 : 0);
+    if (table->feature_cols_ == 0) {
+        throw InvalidArgument(
+            "paged table: need at least one feature column");
+    }
+    const std::size_t payload = PagePayloadBytes(options.page_size);
+    table->rows_per_page_ =
+        payload / (table->feature_cols_ * sizeof(float));
+    if (table->rows_per_page_ == 0) {
+        throw CapacityError(
+            StrFormat("paged table: a %zu-feature row does not fit the "
+                      "%zu-byte payload of a %zu-byte page",
+                      table->feature_cols_, payload, options.page_size));
+    }
+    table->labels_per_page_ = payload / sizeof(float);
+    const std::uint32_t meta = table->pager_.Alloc(PageType::kTableMeta);
+    DBS_ASSERT(meta == kMetaPageId);
+    {
+        std::lock_guard<std::mutex> lock(table->mutex_);
+        table->WriteMetaLocked();
+    }
+    return table;
+}
+
+std::shared_ptr<PagedTable>
+PagedTable::Open(const std::string& path, const StorageOptions& options)
+{
+    std::shared_ptr<PagedTable> table(
+        new PagedTable(path, options, /*create=*/false));
+    std::lock_guard<std::mutex> lock(table->mutex_);
+    table->LoadMetaLocked();
+    return table;
+}
+
+std::uint64_t
+PagedTable::num_rows() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return num_rows_;
+}
+
+std::size_t
+PagedTable::NumDataPages() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return data_pages_.size();
+}
+
+std::size_t
+PagedTable::RowsInPage(std::size_t page_index,
+                       std::uint64_t num_rows) const
+{
+    const std::uint64_t begin =
+        static_cast<std::uint64_t>(page_index) * rows_per_page_;
+    const std::uint64_t remaining = num_rows - begin;
+    return static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, rows_per_page_));
+}
+
+void
+PagedTable::AppendRow(const float* features, std::size_t n, float label)
+{
+    if (n != feature_cols_) {
+        throw InvalidArgument(
+            StrFormat("paged table %s: appended row has %zu features, "
+                      "schema has %zu",
+                      path().c_str(), n, feature_cols_));
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t slot =
+        static_cast<std::size_t>(num_rows_ % rows_per_page_);
+    if (slot == 0) {
+        data_pages_.push_back(pager_.Alloc(PageType::kFeatures));
+        zones_.emplace_back(feature_cols_, ZoneRange{});
+    }
+    {
+        PageHandle handle = pool_.Pin(data_pages_.back());
+        auto* dst = reinterpret_cast<float*>(handle.MutablePayload()) +
+                    slot * feature_cols_;
+        std::memcpy(dst, features, feature_cols_ * sizeof(float));
+        HeaderOf(handle.MutableData())->payload_bytes =
+            static_cast<std::uint32_t>((slot + 1) * feature_cols_ *
+                                       sizeof(float));
+    }
+    // Ingest is the paged path's one materialization point — count it
+    // so the post-load zero-copy guarantee stays checkable.
+    RowBlock::NoteCopy(feature_cols_ * sizeof(float));
+    std::vector<ZoneRange>& zone = zones_.back();
+    for (std::size_t c = 0; c < feature_cols_; ++c) {
+        if (slot == 0) {
+            zone[c] = ZoneRange{features[c], features[c]};
+        } else {
+            zone[c].min = std::min(zone[c].min, features[c]);
+            zone[c].max = std::max(zone[c].max, features[c]);
+        }
+    }
+    if (has_label()) {
+        const std::size_t lslot =
+            static_cast<std::size_t>(num_rows_ % labels_per_page_);
+        if (lslot == 0) {
+            label_pages_.push_back(pager_.Alloc(PageType::kLabels));
+        }
+        PageHandle handle = pool_.Pin(label_pages_.back());
+        reinterpret_cast<float*>(handle.MutablePayload())[lslot] = label;
+        HeaderOf(handle.MutableData())->payload_bytes =
+            static_cast<std::uint32_t>((lslot + 1) * sizeof(float));
+    }
+    ++num_rows_;
+}
+
+std::uint32_t
+PagedTable::WriteChainLocked(const std::vector<std::uint32_t>& ids)
+{
+    if (ids.empty()) {
+        return 0;  // page 0 is the superblock: a safe null
+    }
+    const std::size_t payload = PagePayloadBytes(pager_.page_size());
+    const std::size_t per_page =
+        (payload - 2 * sizeof(std::uint32_t)) / sizeof(std::uint32_t);
+    DBS_ASSERT(per_page > 0);
+    const std::size_t num_pages = (ids.size() + per_page - 1) / per_page;
+    std::vector<std::uint32_t> chain(num_pages);
+    for (std::uint32_t& id : chain) {
+        id = pager_.Alloc(PageType::kDirectory);
+    }
+    for (std::size_t p = 0; p < num_pages; ++p) {
+        const std::size_t begin = p * per_page;
+        const std::size_t count =
+            std::min(per_page, ids.size() - begin);
+        PageHandle handle = pool_.Pin(chain[p]);
+        PayloadWriter writer(handle.MutablePayload(), payload);
+        writer.Put<std::uint32_t>(
+            p + 1 < num_pages ? chain[p + 1] : 0);
+        writer.Put<std::uint32_t>(static_cast<std::uint32_t>(count));
+        writer.PutBytes(ids.data() + begin,
+                        count * sizeof(std::uint32_t));
+        HeaderOf(handle.MutableData())->payload_bytes =
+            static_cast<std::uint32_t>(writer.offset());
+    }
+    return chain[0];
+}
+
+std::vector<std::uint32_t>
+PagedTable::ReadChainLocked(std::uint32_t head)
+{
+    std::vector<std::uint32_t> ids;
+    const std::size_t payload = PagePayloadBytes(pager_.page_size());
+    std::uint32_t page = head;
+    while (page != 0) {
+        PageHandle handle = pool_.Pin(page);
+        PayloadReader reader(handle.payload(), payload);
+        const auto next = reader.Get<std::uint32_t>();
+        const auto count = reader.Get<std::uint32_t>();
+        const std::size_t old = ids.size();
+        ids.resize(old + count);
+        reader.GetBytes(ids.data() + old, count * sizeof(std::uint32_t));
+        page = next;
+    }
+    return ids;
+}
+
+std::uint32_t
+PagedTable::WriteZoneChainLocked()
+{
+    if (zones_.empty()) {
+        return 0;
+    }
+    const std::size_t payload = PagePayloadBytes(pager_.page_size());
+    const std::size_t entry_bytes = feature_cols_ * sizeof(ZoneRange);
+    const std::size_t per_page =
+        (payload - 2 * sizeof(std::uint32_t)) / entry_bytes;
+    if (per_page == 0) {
+        throw CapacityError(
+            StrFormat("paged table %s: one zone-map entry (%zu bytes) "
+                      "does not fit a page",
+                      path().c_str(), entry_bytes));
+    }
+    const std::size_t num_pages =
+        (zones_.size() + per_page - 1) / per_page;
+    std::vector<std::uint32_t> chain(num_pages);
+    for (std::uint32_t& id : chain) {
+        id = pager_.Alloc(PageType::kZoneMap);
+    }
+    for (std::size_t p = 0; p < num_pages; ++p) {
+        const std::size_t begin = p * per_page;
+        const std::size_t count =
+            std::min(per_page, zones_.size() - begin);
+        PageHandle handle = pool_.Pin(chain[p]);
+        PayloadWriter writer(handle.MutablePayload(), payload);
+        writer.Put<std::uint32_t>(
+            p + 1 < num_pages ? chain[p + 1] : 0);
+        writer.Put<std::uint32_t>(static_cast<std::uint32_t>(count));
+        for (std::size_t i = 0; i < count; ++i) {
+            writer.PutBytes(zones_[begin + i].data(), entry_bytes);
+        }
+        HeaderOf(handle.MutableData())->payload_bytes =
+            static_cast<std::uint32_t>(writer.offset());
+    }
+    return chain[0];
+}
+
+void
+PagedTable::ReadZoneChainLocked(std::uint32_t head)
+{
+    zones_.clear();
+    const std::size_t payload = PagePayloadBytes(pager_.page_size());
+    const std::size_t entry_bytes = feature_cols_ * sizeof(ZoneRange);
+    std::uint32_t page = head;
+    while (page != 0) {
+        PageHandle handle = pool_.Pin(page);
+        PayloadReader reader(handle.payload(), payload);
+        const auto next = reader.Get<std::uint32_t>();
+        const auto count = reader.Get<std::uint32_t>();
+        for (std::uint32_t i = 0; i < count; ++i) {
+            std::vector<ZoneRange> zone(feature_cols_);
+            reader.GetBytes(zone.data(), entry_bytes);
+            zones_.push_back(std::move(zone));
+        }
+        page = next;
+    }
+}
+
+void
+PagedTable::WriteMetaLocked()
+{
+    // Chains first, meta last: the meta page is the commit point, so a
+    // crash mid-flush leaves the previous generation intact.
+    const std::uint32_t data_head = WriteChainLocked(data_pages_);
+    const std::uint32_t label_head = WriteChainLocked(label_pages_);
+    const std::uint32_t zone_head = WriteZoneChainLocked();
+    {
+        PageHandle handle = pool_.Pin(kMetaPageId);
+        const std::size_t payload = PagePayloadBytes(pager_.page_size());
+        PayloadWriter writer(handle.MutablePayload(), payload);
+        writer.Put<std::uint64_t>(num_rows_);
+        writer.Put<std::uint32_t>(
+            static_cast<std::uint32_t>(columns_.size()));
+        writer.Put<std::uint32_t>(static_cast<std::uint32_t>(label_col_));
+        writer.Put<std::uint32_t>(
+            static_cast<std::uint32_t>(rows_per_page_));
+        writer.Put<std::uint32_t>(data_head);
+        writer.Put<std::uint32_t>(label_head);
+        writer.Put<std::uint32_t>(zone_head);
+        for (const std::string& name : columns_) {
+            writer.Put<std::uint16_t>(
+                static_cast<std::uint16_t>(name.size()));
+            writer.PutBytes(name.data(), name.size());
+        }
+        HeaderOf(handle.MutableData())->payload_bytes =
+            static_cast<std::uint32_t>(writer.offset());
+    }
+    pool_.FlushAll();
+}
+
+void
+PagedTable::LoadMetaLocked()
+{
+    PageHandle handle = pool_.Pin(kMetaPageId);
+    if (HeaderOf(handle.data())->type !=
+        static_cast<std::uint16_t>(PageType::kTableMeta)) {
+        throw DataCorruption("paged table: page 1 of '" + path() +
+                             "' is not a table-meta page");
+    }
+    const std::size_t payload = PagePayloadBytes(pager_.page_size());
+    PayloadReader reader(handle.payload(), payload);
+    num_rows_ = reader.Get<std::uint64_t>();
+    const auto num_cols = reader.Get<std::uint32_t>();
+    label_col_ = reader.Get<std::uint32_t>();
+    rows_per_page_ = reader.Get<std::uint32_t>();
+    const auto data_head = reader.Get<std::uint32_t>();
+    const auto label_head = reader.Get<std::uint32_t>();
+    const auto zone_head = reader.Get<std::uint32_t>();
+    columns_.clear();
+    for (std::uint32_t i = 0; i < num_cols; ++i) {
+        const auto len = reader.Get<std::uint16_t>();
+        std::string name(len, '\0');
+        reader.GetBytes(name.data(), len);
+        columns_.push_back(std::move(name));
+    }
+    const bool labeled = label_col_ < columns_.size();
+    feature_cols_ = columns_.size() - (labeled ? 1 : 0);
+    labels_per_page_ = payload / sizeof(float);
+    const std::size_t expected_rpp =
+        feature_cols_ == 0 ? 0 : payload / (feature_cols_ * sizeof(float));
+    if (feature_cols_ == 0 || rows_per_page_ != expected_rpp) {
+        throw DataCorruption(
+            StrFormat("paged table %s: meta rows-per-page %zu does not "
+                      "match geometry (%zu)",
+                      path().c_str(), rows_per_page_, expected_rpp));
+    }
+    handle.Release();
+    data_pages_ = ReadChainLocked(data_head);
+    label_pages_ = ReadChainLocked(label_head);
+    ReadZoneChainLocked(zone_head);
+    const std::uint64_t expected_pages =
+        (num_rows_ + rows_per_page_ - 1) / rows_per_page_;
+    if (data_pages_.size() != expected_pages ||
+        zones_.size() != expected_pages ||
+        (labeled &&
+         label_pages_.size() !=
+             (num_rows_ + labels_per_page_ - 1) / labels_per_page_)) {
+        throw DataCorruption(
+            StrFormat("paged table %s: directory lists %zu data / %zu "
+                      "zone pages for %llu rows",
+                      path().c_str(), data_pages_.size(), zones_.size(),
+                      static_cast<unsigned long long>(num_rows_)));
+    }
+}
+
+void
+PagedTable::Flush()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    WriteMetaLocked();
+}
+
+float
+PagedTable::Feature(std::uint64_t row, std::size_t feature_col) const
+{
+    std::uint32_t page_id = 0;
+    std::size_t slot = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (row >= num_rows_ || feature_col >= feature_cols_) {
+            throw InvalidArgument(
+                StrFormat("paged table %s: read of row %llu col %zu out "
+                          "of range",
+                          path().c_str(),
+                          static_cast<unsigned long long>(row),
+                          feature_col));
+        }
+        page_id = data_pages_[static_cast<std::size_t>(
+            row / rows_per_page_)];
+        slot = static_cast<std::size_t>(row % rows_per_page_);
+    }
+    PageHandle handle = pool_.Pin(page_id);
+    return reinterpret_cast<const float*>(
+        handle.payload())[slot * feature_cols_ + feature_col];
+}
+
+float
+PagedTable::Label(std::uint64_t row) const
+{
+    std::uint32_t page_id = 0;
+    std::size_t slot = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!has_label()) {
+            throw InvalidArgument("paged table '" + path() +
+                                  "' has no label column");
+        }
+        if (row >= num_rows_) {
+            throw InvalidArgument(
+                StrFormat("paged table %s: label read of row %llu out "
+                          "of range",
+                          path().c_str(),
+                          static_cast<unsigned long long>(row)));
+        }
+        page_id = label_pages_[static_cast<std::size_t>(
+            row / labels_per_page_)];
+        slot = static_cast<std::size_t>(row % labels_per_page_);
+    }
+    PageHandle handle = pool_.Pin(page_id);
+    return reinterpret_cast<const float*>(handle.payload())[slot];
+}
+
+FeatureStream
+PagedTable::Scan(const std::optional<ScanPredicate>& predicate) const
+{
+    if (predicate.has_value() && predicate->column >= feature_cols_) {
+        throw InvalidArgument(
+            StrFormat("paged table %s: scan predicate column %zu out of "
+                      "range (%zu feature columns)",
+                      path().c_str(), predicate->column, feature_cols_));
+    }
+    FeatureStream stream;
+    stream.table_ = shared_from_this();
+    std::lock_guard<std::mutex> lock(mutex_);
+    stream.entries_.reserve(data_pages_.size());
+    for (std::size_t p = 0; p < data_pages_.size(); ++p) {
+        if (predicate.has_value()) {
+            const ZoneRange& zone = zones_[p][predicate->column];
+            if (zone.max < predicate->min ||
+                zone.min > predicate->max) {
+                pages_pruned_.fetch_add(1, std::memory_order_relaxed);
+                continue;
+            }
+        }
+        pages_scanned_.fetch_add(1, std::memory_order_relaxed);
+        FeatureStream::Entry entry;
+        entry.page_id = data_pages_[p];
+        entry.row_begin = p * rows_per_page_;
+        entry.rows = RowsInPage(p, num_rows_);
+        stream.total_rows_ += entry.rows;
+        stream.entries_.push_back(entry);
+    }
+    return stream;
+}
+
+std::vector<ZoneRange>
+PagedTable::ZoneMap(std::size_t index) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index >= zones_.size()) {
+        throw InvalidArgument(
+            StrFormat("paged table %s: zone map %zu out of range (%zu "
+                      "data pages)",
+                      path().c_str(), index, zones_.size()));
+    }
+    return zones_[index];
+}
+
+StorageStats
+PagedTable::Stats() const
+{
+    StorageStats stats;
+    stats.pool = pool_.stats();
+    stats.pager = pager_.stats();
+    stats.pages_scanned = pages_scanned_.load(std::memory_order_relaxed);
+    stats.pages_pruned = pages_pruned_.load(std::memory_order_relaxed);
+    stats.pool_pages = pool_.capacity();
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.num_rows = num_rows_;
+    stats.data_pages = data_pages_.size();
+    return stats;
+}
+
+void
+PagedTable::ResetStats()
+{
+    pool_.ResetStats();
+    pager_.ResetStats();
+    pages_scanned_.store(0, std::memory_order_relaxed);
+    pages_pruned_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dbscore::storage

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * PagedTable: an out-of-core feature table over Pager + BufferPool.
+ *
+ * Layout (all pages checksummed by the pager):
+ *  - page 0: pager superblock;
+ *  - page 1: table meta (row/column counts, label column, column
+ *    names, heads of the three chains below) — rewritten in place on
+ *    Flush();
+ *  - kFeatures pages: row-major float32 feature rows, a fixed
+ *    rows_per_page per page (PAX-lite row groups: rows stay compact so
+ *    a page maps 1:1 onto a contiguous RowView, while zone maps are
+ *    kept per *column* within the page);
+ *  - kLabels pages: the label column, packed floats;
+ *  - kDirectory pages: chained u32 page-id lists for the feature and
+ *    label chains;
+ *  - kZoneMap pages: chained per-data-page {min,max} pairs per feature
+ *    column.
+ *
+ * Directory and zone chains are rewritten (freshly allocated) on each
+ * Flush(); superseded chain pages become dead space. That trades file
+ * compactness for a dead-simple crash story — the meta page is the
+ * single commit point — and scoring workloads flush once after bulk
+ * load, so the waste is one chain generation.
+ *
+ * Zone maps are memory-resident once loaded; Scan() with a predicate
+ * skips whole pages whose [min,max] for the predicate column cannot
+ * intersect the wanted range. Pruning is conservative (page
+ * granularity): surviving chunks may contain non-matching rows and the
+ * consumer does exact row filtering.
+ *
+ * Streaming: Scan() returns a FeatureStream whose chunks are zero-copy
+ * RowViews directly over pinned buffer-pool frames — an aliasing
+ * shared_ptr keeps each pin alive exactly as long as its view, so the
+ * PR 3 copy counters stay at zero across the paged path too.
+ *
+ * Thread safety: concurrent Scan()/Feature()/Label() calls are safe
+ * (the pool serializes frame bookkeeping; streams snapshot the page
+ * list up front). Appends and Flush() require external exclusion with
+ * respect to each other (the DBMS layer's single-writer rule).
+ */
+#ifndef DBSCORE_STORAGE_PAGED_TABLE_H
+#define DBSCORE_STORAGE_PAGED_TABLE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dbscore/data/row_block.h"
+#include "dbscore/storage/buffer_pool.h"
+#include "dbscore/storage/pager.h"
+
+namespace dbscore::storage {
+
+/** Knobs for the paged data plane (page file + pool sizing). */
+struct StorageOptions {
+    std::size_t page_size = kDefaultPageSize;
+    /** Buffer pool capacity, in pages. */
+    std::size_t pool_pages = 64;
+    /** Transient injected read faults retried this many times. */
+    int read_retries = 2;
+};
+
+/** Per-column [min,max] over one data page. */
+struct ZoneRange {
+    float min = 0.0F;
+    float max = 0.0F;
+};
+
+/**
+ * Page-pruning predicate: keep rows whose feature column @c column
+ * falls in [min, max] (inclusive). Pages whose zone map cannot
+ * intersect the range are skipped without being read.
+ */
+struct ScanPredicate {
+    std::size_t column = 0;
+    float min = 0.0F;
+    float max = 0.0F;
+};
+
+/** One streamed chunk: a feature RowView plus its global placement. */
+struct StreamChunk {
+    /** rows() x feature-cols view; pinned (paged) or shared (memory). */
+    RowView view;
+    /** Global row index of view row 0. */
+    std::size_t row_begin = 0;
+    /** Backing data page, or 0 for in-memory chunks. */
+    std::uint32_t page_id = 0;
+};
+
+class PagedTable;
+
+/**
+ * A pull iterator of StreamChunks. Also wraps a plain in-memory
+ * RowView as a single chunk (FromView) so consumers can be written
+ * once against the streaming shape.
+ */
+class FeatureStream {
+ public:
+    FeatureStream() = default;
+
+    /** Single-chunk stream over in-memory storage. */
+    static FeatureStream FromView(RowView view);
+
+    /**
+     * Yields the next chunk, pinning its page. Returns false at end.
+     * The chunk's view keeps its page pinned until the view (and every
+     * slice of it) is destroyed.
+     */
+    bool Next(StreamChunk& chunk);
+
+    /** Rows this stream will yield in total (post-pruning). */
+    std::size_t total_rows() const { return total_rows_; }
+
+    /** Chunks yielded so far. */
+    std::size_t chunks_emitted() const { return next_entry_; }
+
+ private:
+    friend class PagedTable;
+
+    struct Entry {
+        std::uint32_t page_id = 0;
+        std::size_t row_begin = 0;
+        std::size_t rows = 0;
+    };
+
+    /** Keeps the table (pool, pager) alive while chunks are pending. */
+    std::shared_ptr<const PagedTable> table_;
+    std::vector<Entry> entries_;
+    std::size_t next_entry_ = 0;
+    std::size_t total_rows_ = 0;
+    /** FromView mode: the one chunk to emit. */
+    std::optional<RowView> single_;
+};
+
+/** Aggregate counters for EXEC sp_storage_stats / benches. */
+struct StorageStats {
+    BufferPoolStats pool;
+    PagerStats pager;
+    std::uint64_t pages_scanned = 0;
+    std::uint64_t pages_pruned = 0;
+    std::uint64_t num_rows = 0;
+    std::size_t data_pages = 0;
+    std::size_t pool_pages = 0;
+};
+
+/** One on-disk feature table. Create via Create()/Open() only. */
+class PagedTable : public std::enable_shared_from_this<PagedTable> {
+ public:
+    /**
+     * Creates a fresh page file at @p path. @p label_col ==
+     * columns.size() means the table has no label column.
+     * @throws CapacityError when one feature row does not fit a page
+     *         or the column names overflow the meta page
+     */
+    static std::shared_ptr<PagedTable> Create(
+        const std::string& path, std::vector<std::string> columns,
+        std::size_t label_col, const StorageOptions& options = {});
+
+    /** Opens an existing page file and loads meta/directory/zones. */
+    static std::shared_ptr<PagedTable> Open(
+        const std::string& path, const StorageOptions& options = {});
+
+    const std::string& path() const { return pager_.path(); }
+    const std::vector<std::string>& columns() const { return columns_; }
+    std::size_t label_col() const { return label_col_; }
+    bool has_label() const { return label_col_ < columns_.size(); }
+    std::size_t num_feature_cols() const { return feature_cols_; }
+    std::uint64_t num_rows() const;
+    std::size_t rows_per_page() const { return rows_per_page_; }
+    std::size_t NumDataPages() const;
+
+    /**
+     * Appends one row (@p n == num_feature_cols() feature values;
+     * @p label ignored when the table has no label column), updating
+     * the page's zone map. Durable after the next Flush().
+     */
+    void AppendRow(const float* features, std::size_t n, float label);
+
+    /** Writes meta + chains and flushes every dirty frame to disk. */
+    void Flush();
+
+    /** Feature value (pool read — may fault in a page). */
+    float Feature(std::uint64_t row, std::size_t feature_col) const;
+
+    /** Label value. @throws InvalidArgument when no label column */
+    float Label(std::uint64_t row) const;
+
+    /**
+     * Streams the feature pages, skipping pages the zone maps prove
+     * cannot satisfy @p predicate (pass std::nullopt for a full scan).
+     */
+    FeatureStream Scan(
+        const std::optional<ScanPredicate>& predicate = std::nullopt) const;
+
+    /** Zone map of data page @p index (for tests / stats). */
+    std::vector<ZoneRange> ZoneMap(std::size_t index) const;
+
+    StorageStats Stats() const;
+    void ResetStats();
+
+ private:
+    friend class FeatureStream;
+
+    PagedTable(const std::string& path, const StorageOptions& options,
+               bool create);
+
+    void WriteMetaLocked();
+    void LoadMetaLocked();
+    std::uint32_t WriteChainLocked(const std::vector<std::uint32_t>& ids);
+    std::vector<std::uint32_t> ReadChainLocked(std::uint32_t head);
+    std::uint32_t WriteZoneChainLocked();
+    void ReadZoneChainLocked(std::uint32_t head);
+    std::size_t RowsInPage(std::size_t page_index,
+                           std::uint64_t num_rows) const;
+
+    mutable Pager pager_;
+    mutable BufferPool pool_;
+    std::vector<std::string> columns_;
+    std::size_t label_col_ = 0;
+    std::size_t feature_cols_ = 0;
+    std::size_t rows_per_page_ = 0;
+    std::size_t labels_per_page_ = 0;
+
+    mutable std::mutex mutex_;  ///< guards the mutable members below
+    std::uint64_t num_rows_ = 0;
+    std::vector<std::uint32_t> data_pages_;
+    std::vector<std::uint32_t> label_pages_;
+    std::vector<std::vector<ZoneRange>> zones_;
+
+    mutable std::atomic<std::uint64_t> pages_scanned_{0};
+    mutable std::atomic<std::uint64_t> pages_pruned_{0};
+};
+
+}  // namespace dbscore::storage
+
+#endif  // DBSCORE_STORAGE_PAGED_TABLE_H

@@ -1,0 +1,277 @@
+#include "dbscore/storage/pager.h"
+
+#include <cstring>
+#include <vector>
+
+#include "dbscore/common/error.h"
+#include "dbscore/common/string_util.h"
+#include "dbscore/fault/fault.h"
+#include "dbscore/trace/trace.h"
+
+namespace dbscore::storage {
+
+namespace {
+
+/** Superblock payload ("DBSB", version, page size). */
+struct Superblock {
+    std::uint32_t magic = 0x44425342u;
+    std::uint32_t version = 1;
+    std::uint32_t page_size = 0;
+};
+
+constexpr std::uint32_t kSuperblockMagic = 0x44425342u;
+
+}  // namespace
+
+Pager::Pager(std::string path, const Options& options)
+    : path_(std::move(path)),
+      page_size_(options.page_size),
+      read_retries_(options.read_retries)
+{
+    if (options.create) {
+        if (page_size_ < kMinPageSize) {
+            throw InvalidArgument(
+                StrFormat("pager %s: page size %zu below minimum %zu",
+                          path_.c_str(), page_size_, kMinPageSize));
+        }
+        // Truncate, then reopen read/write.
+        std::ofstream create(path_,
+                             std::ios::binary | std::ios::trunc);
+        if (!create) {
+            throw IoError("pager: cannot create '" + path_ + "'");
+        }
+        create.close();
+        file_.open(path_, std::ios::binary | std::ios::in | std::ios::out);
+        if (!file_) {
+            throw IoError("pager: cannot open '" + path_ + "'");
+        }
+        // Page 0: the superblock.
+        std::vector<std::uint8_t> page(page_size_);
+        InitPage(page.data(), page_size_, 0, PageType::kSuperblock);
+        Superblock sb;
+        sb.page_size = static_cast<std::uint32_t>(page_size_);
+        HeaderOf(page.data())->payload_bytes = sizeof(Superblock);
+        std::memcpy(PayloadOf(page.data()), &sb, sizeof(sb));
+        num_pages_ = 1;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            WriteLocked(0, page.data());
+        }
+        stats_ = PagerStats{};  // creation I/O is not workload I/O
+        return;
+    }
+
+    file_.open(path_, std::ios::binary | std::ios::in | std::ios::out);
+    if (!file_) {
+        throw IoError("pager: cannot open '" + path_ + "'");
+    }
+    file_.seekg(0, std::ios::end);
+    const auto file_bytes = static_cast<std::uint64_t>(file_.tellg());
+    if (file_bytes < kMinPageSize) {
+        throw DataCorruption("pager: '" + path_ +
+                             "' is too small to hold a superblock");
+    }
+    // Bootstrap: read the header + superblock at the minimum page size
+    // to learn the file's real page size, then re-check.
+    std::vector<std::uint8_t> boot(kMinPageSize);
+    file_.seekg(0);
+    file_.read(reinterpret_cast<char*>(boot.data()),
+               static_cast<std::streamsize>(boot.size()));
+    if (!file_) {
+        throw IoError("pager: short read of superblock in '" + path_ + "'");
+    }
+    const PageHeader* header = HeaderOf(boot.data());
+    Superblock sb;
+    std::memcpy(&sb, PayloadOf(boot.data()), sizeof(sb));
+    if (header->magic != kPageMagic || sb.magic != kSuperblockMagic) {
+        throw DataCorruption("pager: '" + path_ +
+                             "' is not a dbscore page file");
+    }
+    page_size_ = sb.page_size;
+    if (page_size_ < kMinPageSize || file_bytes % page_size_ != 0) {
+        throw DataCorruption(
+            StrFormat("pager %s: file size %llu is not a multiple of "
+                      "page size %zu",
+                      path_.c_str(),
+                      static_cast<unsigned long long>(file_bytes),
+                      page_size_));
+    }
+    num_pages_ = static_cast<std::uint32_t>(file_bytes / page_size_);
+    file_.clear();
+    // Full integrity check of page 0 at the real page size.
+    std::vector<std::uint8_t> page(page_size_);
+    Read(0, page.data());
+    stats_ = PagerStats{};
+}
+
+Pager::~Pager()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_.is_open()) {
+        file_.flush();
+    }
+}
+
+std::uint32_t
+Pager::num_pages() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return num_pages_;
+}
+
+std::uint32_t
+Pager::Alloc(PageType type)
+{
+    std::vector<std::uint8_t> page(page_size_);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint32_t id = num_pages_;
+    InitPage(page.data(), page_size_, id, type);
+    WriteLocked(id, page.data());
+    ++num_pages_;
+    ++stats_.allocs;
+    return id;
+}
+
+void
+Pager::SeekTo(std::uint32_t page_id, bool for_write)
+{
+    const auto offset = static_cast<std::streamoff>(
+        static_cast<std::uint64_t>(page_id) * page_size_);
+    file_.clear();
+    if (for_write) {
+        file_.seekp(offset);
+    } else {
+        file_.seekg(offset);
+    }
+}
+
+void
+Pager::Read(std::uint32_t page_id, std::uint8_t* buf)
+{
+    trace::TraceCollector& tracer = trace::TraceCollector::Get();
+    const double wall_start = tracer.NowWallMicros();
+    fault::FaultInjector& injector = fault::FaultInjector::Get();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (page_id >= num_pages_) {
+        throw InvalidArgument(
+            StrFormat("pager %s: read of page %u past end (%u pages)",
+                      path_.c_str(), page_id, num_pages_));
+    }
+    // The physical read is a fault-injection site: transient injected
+    // faults model a flaky I/O path and are retried; sticky faults
+    // model a dead device and propagate.
+    for (int attempt = 0;; ++attempt) {
+        if (injector.active()) {
+            try {
+                injector.Check(fault::FaultSite::kStorageRead);
+            } catch (const fault::FaultInjected& fault) {
+                tracer.EmitWall(
+                    trace::StageKind::kFault, "storage-read",
+                    trace::TraceCollector::Current(), wall_start,
+                    tracer.NowWallMicros() - wall_start,
+                    {{"page_id", static_cast<double>(page_id)}});
+                if (fault.sticky() || attempt >= read_retries_) {
+                    throw;
+                }
+                ++stats_.read_retries;
+                continue;
+            }
+        }
+        break;
+    }
+    SeekTo(page_id, /*for_write=*/false);
+    file_.read(reinterpret_cast<char*>(buf),
+               static_cast<std::streamsize>(page_size_));
+    if (!file_) {
+        throw IoError(StrFormat("pager %s: short read of page %u",
+                                path_.c_str(), page_id));
+    }
+    const PageHeader* header = HeaderOf(buf);
+    const std::uint64_t expected = ComputePageChecksum(buf, page_size_);
+    if (header->magic != kPageMagic || header->page_id != page_id ||
+        header->checksum != expected) {
+        ++stats_.checksum_failures;
+        throw DataCorruption(
+            StrFormat("pager %s: page %u failed integrity check "
+                      "(magic %#x, self-id %u, checksum %llx vs %llx) — "
+                      "torn write or corruption",
+                      path_.c_str(), page_id, header->magic,
+                      header->page_id,
+                      static_cast<unsigned long long>(header->checksum),
+                      static_cast<unsigned long long>(expected)));
+    }
+    ++stats_.reads;
+    tracer.EmitWall(trace::StageKind::kPageRead, "page-read",
+                    trace::TraceCollector::Current(), wall_start,
+                    tracer.NowWallMicros() - wall_start,
+                    {{"page_id", static_cast<double>(page_id)},
+                     {"bytes", static_cast<double>(page_size_)}});
+}
+
+void
+Pager::Write(std::uint32_t page_id, std::uint8_t* buf)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (page_id >= num_pages_) {
+        throw InvalidArgument(
+            StrFormat("pager %s: write of page %u past end (%u pages)",
+                      path_.c_str(), page_id, num_pages_));
+    }
+    WriteLocked(page_id, buf);
+}
+
+void
+Pager::WriteLocked(std::uint32_t page_id, std::uint8_t* buf)
+{
+    trace::TraceCollector& tracer = trace::TraceCollector::Get();
+    const double wall_start = tracer.NowWallMicros();
+    PageHeader* header = HeaderOf(buf);
+    if (header->page_id != page_id || header->magic != kPageMagic) {
+        throw InvalidArgument(
+            StrFormat("pager %s: buffer header (id %u) does not match "
+                      "write target page %u",
+                      path_.c_str(), header->page_id, page_id));
+    }
+    header->checksum = 0;
+    header->checksum = ComputePageChecksum(buf, page_size_);
+    SeekTo(page_id, /*for_write=*/true);
+    file_.write(reinterpret_cast<const char*>(buf),
+                static_cast<std::streamsize>(page_size_));
+    if (!file_) {
+        throw IoError(StrFormat("pager %s: short write of page %u",
+                                path_.c_str(), page_id));
+    }
+    ++stats_.writes;
+    tracer.EmitWall(trace::StageKind::kPageWrite, "page-write",
+                    trace::TraceCollector::Current(), wall_start,
+                    tracer.NowWallMicros() - wall_start,
+                    {{"page_id", static_cast<double>(page_id)},
+                     {"bytes", static_cast<double>(page_size_)}});
+}
+
+void
+Pager::Sync()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    file_.flush();
+    if (!file_) {
+        throw IoError("pager: flush failed for '" + path_ + "'");
+    }
+}
+
+PagerStats
+Pager::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+Pager::ResetStats()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_ = PagerStats{};
+}
+
+}  // namespace dbscore::storage

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Pager: fixed-size page I/O over one file, with integrity checks.
+ *
+ * The pager is the lowest layer of the out-of-core data plane (ISSUE /
+ * ROADMAP item 3; the Mini-DB pager in SNIPPETS.md is the structural
+ * exemplar): open/alloc/read/write/sync over a single page file whose
+ * page 0 is a superblock recording the file's page size. Every write
+ * stamps the page's checksum; every read verifies magic, self-id, and
+ * checksum, so torn writes and bit rot surface as DataCorruption
+ * instead of silent bad features.
+ *
+ * Resilience: each physical page read is a dbscore::fault injection
+ * site (FaultSite::kStorageRead). Transient injected faults are
+ * retried up to Options::read_retries times (counted in stats and
+ * traced as kFault spans); sticky faults propagate to the caller like
+ * a dead disk would.
+ *
+ * Observability: reads and writes emit wall-clock kPageRead /
+ * kPageWrite trace spans, so file I/O shows up in the Fig-11-style
+ * breakdown next to marshal and scoring time.
+ *
+ * Thread safety: all methods serialize on an internal mutex (one file
+ * descriptor, seek+read I/O). Concurrency above this layer comes from
+ * the BufferPool caching frames in memory.
+ */
+#ifndef DBSCORE_STORAGE_PAGER_H
+#define DBSCORE_STORAGE_PAGER_H
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "dbscore/storage/page.h"
+
+namespace dbscore::storage {
+
+/** Counters since the pager was opened. */
+struct PagerStats {
+    std::uint64_t reads = 0;         ///< pages read (successful)
+    std::uint64_t writes = 0;        ///< pages written
+    std::uint64_t allocs = 0;        ///< pages allocated
+    std::uint64_t read_retries = 0;  ///< injected-fault retries
+    std::uint64_t checksum_failures = 0;
+};
+
+/** One open page file. */
+class Pager {
+ public:
+    struct Options {
+        std::size_t page_size = kDefaultPageSize;
+        /** Create (truncate) the file instead of opening it. */
+        bool create = false;
+        /** Transient injected read faults retried this many times. */
+        int read_retries = 2;
+    };
+
+    /**
+     * Opens (or creates) the page file at @p path. Creation writes the
+     * superblock; opening validates it and adopts its page size.
+     * @throws IoError / DataCorruption
+     */
+    Pager(std::string path, const Options& options);
+    ~Pager();
+
+    Pager(const Pager&) = delete;
+    Pager& operator=(const Pager&) = delete;
+
+    const std::string& path() const { return path_; }
+    std::size_t page_size() const { return page_size_; }
+
+    /** Pages in the file, including the superblock (page 0). */
+    std::uint32_t num_pages() const;
+
+    /**
+     * Appends a zeroed page of @p type and returns its id. The page is
+     * immediately written (with a valid header/checksum) so the file
+     * never contains unstamped regions.
+     */
+    std::uint32_t Alloc(PageType type);
+
+    /**
+     * Reads page @p page_id into @p buf (page_size() bytes) and
+     * verifies magic, self-id, and checksum.
+     * @throws InvalidArgument on an out-of-range id
+     * @throws DataCorruption on integrity failure (torn write)
+     * @throws fault::FaultInjected when an injected sticky fault holds
+     *         or transient retries are exhausted
+     */
+    void Read(std::uint32_t page_id, std::uint8_t* buf);
+
+    /**
+     * Stamps the checksum on @p buf (whose header must already carry
+     * the right magic/id/type/payload_bytes) and writes it to disk.
+     * @throws InvalidArgument if the header id disagrees with @p page_id
+     */
+    void Write(std::uint32_t page_id, std::uint8_t* buf);
+
+    /** Flushes the underlying stream. */
+    void Sync();
+
+    PagerStats stats() const;
+    void ResetStats();
+
+ private:
+    void WriteLocked(std::uint32_t page_id, std::uint8_t* buf);
+    void SeekTo(std::uint32_t page_id, bool for_write);
+
+    std::string path_;
+    std::size_t page_size_;
+    int read_retries_;
+    mutable std::mutex mutex_;
+    std::fstream file_;
+    std::uint32_t num_pages_ = 0;
+    PagerStats stats_;
+};
+
+}  // namespace dbscore::storage
+
+#endif  // DBSCORE_STORAGE_PAGER_H

@@ -51,6 +51,9 @@ StageName(StageKind stage)
     case StageKind::kRetryBackoff: return "retry-backoff";
     case StageKind::kFallback: return "fallback";
     case StageKind::kBreaker: return "breaker";
+    case StageKind::kPageRead: return "page-read";
+    case StageKind::kPageWrite: return "page-write";
+    case StageKind::kBufferPool: return "buffer-pool";
     }
     return "unknown";
 }
@@ -82,6 +85,9 @@ StagePaperComponent(StageKind stage)
     case StageKind::kRetryBackoff: return "resilience: retry backoff";
     case StageKind::kFallback: return "resilience: CPU fallback";
     case StageKind::kBreaker: return "resilience: breaker transition";
+    case StageKind::kPageRead: return "storage: page read";
+    case StageKind::kPageWrite: return "storage: page write";
+    case StageKind::kBufferPool: return "storage: pool miss";
     default: return "-";
     }
 }

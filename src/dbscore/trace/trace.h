@@ -81,9 +81,12 @@ enum class StageKind : std::uint8_t {
     kRetryBackoff,      ///< resilience: backoff delay before a retry
     kFallback,          ///< resilience: batch re-routed to the CPU engine
     kBreaker,           ///< resilience: circuit-breaker state transition
+    kPageRead,          ///< storage: one page read from the page file
+    kPageWrite,         ///< storage: one page write to the page file
+    kBufferPool,        ///< storage: buffer-pool miss (fill + eviction)
 };
 
-inline constexpr int kNumStageKinds = 24;
+inline constexpr int kNumStageKinds = 27;
 
 /** Stable lowercase-dash name, e.g. "queue-wait"; also the Chrome cat. */
 const char* StageName(StageKind stage);

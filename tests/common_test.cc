@@ -346,6 +346,54 @@ TEST(CsvTest, RoundTripsThroughWriter)
     EXPECT_EQ(doc.rows[0][2], "with\"quote");
 }
 
+TEST(CsvStreamTest, CallbackSeesEveryRecordWithoutMaterializing)
+{
+    std::istringstream in("h1,h2\n1,2\n3,4\n");
+    std::vector<std::vector<std::string>> records;
+    ForEachCsvRecord(in, [&](std::vector<std::string>& record) {
+        records.push_back(record);
+    });
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0][0], "h1");
+    EXPECT_EQ(records[2][1], "4");
+}
+
+TEST(CsvStreamTest, QuotedFieldsSurviveChunkBoundaries)
+{
+    // The streaming reader refills a 64 KiB buffer; build a document
+    // whose quoted field (with an embedded doubled quote) straddles
+    // that boundary, so the quote_pending lookahead must carry state
+    // across refills.
+    // "a,b\n\"" is 5 bytes, so quoted content starts at offset 5; a
+    // filler of chunk - 6 places the doubled quote's first '"' on the
+    // last byte of the first chunk and its second on the first byte of
+    // the next one.
+    const std::size_t chunk = 64 * 1024;
+    std::string filler(chunk - 6, 'x');
+    std::string csv = "a,b\n\"" + filler + "\"\"hi\"\", twice\",tail\n";
+    std::istringstream in(csv);
+    std::vector<std::vector<std::string>> records;
+    ForEachCsvRecord(in, [&](std::vector<std::string>& record) {
+        records.push_back(record);
+    });
+    ASSERT_EQ(records.size(), 2u);
+    ASSERT_EQ(records[1].size(), 2u);
+    EXPECT_EQ(records[1][0], filler + "\"hi\", twice");
+    EXPECT_EQ(records[1][1], "tail");
+    // The batch reader is built on the streaming one: same answer.
+    std::istringstream again(csv);
+    CsvDocument doc = ReadCsv(again);
+    ASSERT_EQ(doc.rows.size(), 1u);
+    EXPECT_EQ(doc.rows[0][0], records[1][0]);
+}
+
+TEST(CsvStreamTest, UnterminatedQuoteAtEofThrows)
+{
+    std::istringstream in("a\n\"open field\n");
+    EXPECT_THROW(ForEachCsvRecord(in, [](std::vector<std::string>&) {}),
+                 ParseError);
+}
+
 TEST(ErrorTest, ExceptionHierarchy)
 {
     EXPECT_THROW(throw InvalidArgument("x"), Error);

@@ -1,0 +1,735 @@
+/**
+ * @file
+ * Tests for dbscore::storage — the out-of-core paged data plane — and
+ * its integration with the DBMS layer:
+ *
+ *  - Pager: alloc/write/read round-trips, superblock page-size
+ *    adoption, and corruption detection (a flipped byte on disk must
+ *    surface as DataCorruption, never as bad feature values);
+ *  - BufferPool: hit/miss accounting, LRU eviction order, the
+ *    pinned-never-evicted invariant (CapacityError instead), and dirty
+ *    write-back round-trips through eviction;
+ *  - PagedTable: append/scan round-trips, persistence across
+ *    Open(), zone-map pruning that provably reduces pages read, and
+ *    zero-copy streaming (no RowBlock copy bytes after load);
+ *  - fault injection at FaultSite::kStorageRead: transient faults are
+ *    retried invisibly, sticky faults propagate, and a failed pool
+ *    fill never leaves a garbage frame resident;
+ *  - an 8-thread concurrent scan+score chaos run (the TSan/ASan CI
+ *    jobs run this suite);
+ *  - DBMS wiring: paged scoring queries bit-identical to in-memory
+ *    with a pool far smaller than the table, CSV bulk load,
+ *    EXEC sp_storage_stats, and pinned chunks flowing into the
+ *    serving layer.
+ *
+ * Every test writes its page files into a self-cleaning temp dir.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "dbscore/common/error.h"
+#include "dbscore/data/row_block.h"
+#include "dbscore/data/synthetic.h"
+#include "dbscore/dbms/database.h"
+#include "dbscore/dbms/pipeline.h"
+#include "dbscore/dbms/query_engine.h"
+#include "dbscore/fault/fault.h"
+#include "dbscore/forest/trainer.h"
+#include "dbscore/serve/scoring_service.h"
+#include "dbscore/storage/buffer_pool.h"
+#include "dbscore/storage/paged_table.h"
+#include "dbscore/storage/pager.h"
+
+namespace dbscore {
+namespace {
+
+using storage::BufferPool;
+using storage::FeatureStream;
+using storage::PagedTable;
+using storage::PageHandle;
+using storage::Pager;
+using storage::PageType;
+using storage::ScanPredicate;
+using storage::StorageOptions;
+using storage::StreamChunk;
+
+/** Self-cleaning scratch directory for page files. */
+class StorageTest : public ::testing::Test {
+ protected:
+    void SetUp() override
+    {
+        const auto* info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = std::filesystem::temp_directory_path() /
+               (std::string("dbscore_storage_") + info->test_suite_name() +
+                "_" + info->name());
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+
+    void TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    std::string Path(const std::string& name) const
+    {
+        return (dir_ / name).string();
+    }
+
+    std::filesystem::path dir_;
+};
+
+using PagerTest = StorageTest;
+using BufferPoolTest = StorageTest;
+using PagedTableTest = StorageTest;
+using StorageFaultTest = StorageTest;
+using StorageChaosTest = StorageTest;
+using PagedDbmsTest = StorageTest;
+
+// ------------------------------------------------------------ pager --
+
+TEST_F(PagerTest, AllocWriteReadRoundTrip)
+{
+    Pager::Options options;
+    options.create = true;
+    options.page_size = 512;
+    Pager pager(Path("t.dbpages"), options);
+    EXPECT_EQ(pager.num_pages(), 1u);  // superblock
+
+    const std::uint32_t id = pager.Alloc(PageType::kFeatures);
+    EXPECT_EQ(id, 1u);
+    std::vector<std::uint8_t> page(512);
+    pager.Read(id, page.data());
+    EXPECT_EQ(storage::HeaderOf(page.data())->page_id, id);
+
+    storage::PayloadOf(page.data())[0] = 0xAB;
+    storage::HeaderOf(page.data())->payload_bytes = 1;
+    pager.Write(id, page.data());
+
+    std::vector<std::uint8_t> back(512);
+    pager.Read(id, back.data());
+    EXPECT_EQ(storage::PayloadOf(back.data())[0], 0xAB);
+    EXPECT_EQ(storage::HeaderOf(back.data())->payload_bytes, 1u);
+    EXPECT_GE(pager.stats().reads, 2u);
+    EXPECT_GE(pager.stats().writes, 2u);
+}
+
+TEST_F(PagerTest, ReopenAdoptsSuperblockPageSize)
+{
+    const std::string path = Path("t.dbpages");
+    {
+        Pager::Options options;
+        options.create = true;
+        options.page_size = 1024;
+        Pager pager(path, options);
+        pager.Alloc(PageType::kFeatures);
+    }
+    // Reopen with a different (ignored) requested size: the superblock
+    // wins.
+    Pager::Options reopen;
+    reopen.page_size = 4096;
+    Pager pager(path, reopen);
+    EXPECT_EQ(pager.page_size(), 1024u);
+    EXPECT_EQ(pager.num_pages(), 2u);
+}
+
+TEST_F(PagerTest, FlippedByteOnDiskIsDataCorruption)
+{
+    const std::string path = Path("t.dbpages");
+    std::uint32_t id = 0;
+    {
+        Pager::Options options;
+        options.create = true;
+        options.page_size = 512;
+        Pager pager(path, options);
+        id = pager.Alloc(PageType::kFeatures);
+        std::vector<std::uint8_t> page(512);
+        pager.Read(id, page.data());
+        std::memset(storage::PayloadOf(page.data()), 0x5A, 64);
+        storage::HeaderOf(page.data())->payload_bytes = 64;
+        pager.Write(id, page.data());
+    }
+    {
+        // Flip one payload byte behind the pager's back (torn write /
+        // bit rot).
+        std::fstream file(path,
+                          std::ios::in | std::ios::out | std::ios::binary);
+        file.seekp(static_cast<std::streamoff>(id) * 512 + 100);
+        file.put(static_cast<char>(0xFF));
+    }
+    Pager pager(path, Pager::Options{});
+    std::vector<std::uint8_t> page(512);
+    EXPECT_THROW(pager.Read(id, page.data()), DataCorruption);
+    EXPECT_GE(pager.stats().checksum_failures, 1u);
+}
+
+TEST_F(PagerTest, OutOfRangeReadThrows)
+{
+    Pager::Options options;
+    options.create = true;
+    Pager pager(Path("t.dbpages"), options);
+    std::vector<std::uint8_t> page(pager.page_size());
+    EXPECT_THROW(pager.Read(99, page.data()), InvalidArgument);
+}
+
+// ------------------------------------------------------ buffer pool --
+
+struct PoolFixture {
+    Pager pager;
+    BufferPool pool;
+
+    PoolFixture(const std::string& path, std::size_t capacity,
+                std::size_t pages)
+        : pager(path,
+                [] {
+                    Pager::Options o;
+                    o.create = true;
+                    o.page_size = 512;
+                    return o;
+                }()),
+          pool(pager, BufferPool::Options{capacity})
+    {
+        for (std::size_t i = 0; i < pages; ++i) {
+            pager.Alloc(PageType::kFeatures);
+        }
+    }
+};
+
+TEST_F(BufferPoolTest, HitsAndMissesAreCounted)
+{
+    PoolFixture f(Path("t.dbpages"), 4, 2);
+    { PageHandle h = f.pool.Pin(1); }
+    { PageHandle h = f.pool.Pin(1); }
+    { PageHandle h = f.pool.Pin(2); }
+    EXPECT_EQ(f.pool.stats().misses, 2u);
+    EXPECT_EQ(f.pool.stats().hits, 1u);
+    EXPECT_EQ(f.pool.Resident(), 2u);
+    EXPECT_NEAR(f.pool.stats().HitRatio(), 1.0 / 3.0, 1e-9);
+}
+
+TEST_F(BufferPoolTest, EvictsLeastRecentlyPinnedFirst)
+{
+    PoolFixture f(Path("t.dbpages"), 2, 3);
+    { PageHandle h = f.pool.Pin(1); }
+    { PageHandle h = f.pool.Pin(2); }
+    { PageHandle h = f.pool.Pin(1); }  // 2 is now the LRU page
+    { PageHandle h = f.pool.Pin(3); }  // must evict 2, not 1
+    EXPECT_EQ(f.pool.stats().evictions, 1u);
+    const std::uint64_t misses = f.pool.stats().misses;
+    { PageHandle h = f.pool.Pin(1); }  // still resident -> hit
+    EXPECT_EQ(f.pool.stats().misses, misses);
+    { PageHandle h = f.pool.Pin(2); }  // was evicted -> miss
+    EXPECT_EQ(f.pool.stats().misses, misses + 1);
+}
+
+TEST_F(BufferPoolTest, PinnedFramesAreNeverEvicted)
+{
+    PoolFixture f(Path("t.dbpages"), 2, 3);
+    PageHandle a = f.pool.Pin(1);
+    PageHandle b = f.pool.Pin(2);
+    const std::uint8_t* a_data = a.data();
+    EXPECT_EQ(f.pool.PinnedFrames(), 2u);
+    EXPECT_THROW(f.pool.Pin(3), CapacityError);
+    // The failed fill must not have displaced either pinned frame.
+    EXPECT_EQ(f.pool.stats().evictions, 0u);
+    EXPECT_EQ(a.data(), a_data);
+    EXPECT_EQ(storage::HeaderOf(a.data())->page_id, 1u);
+    b.Release();
+    PageHandle c = f.pool.Pin(3);  // now there is a victim
+    EXPECT_EQ(storage::HeaderOf(c.data())->page_id, 3u);
+}
+
+TEST_F(BufferPoolTest, DirtyFrameRoundTripsThroughEviction)
+{
+    PoolFixture f(Path("t.dbpages"), 1, 2);
+    {
+        PageHandle h = f.pool.Pin(1);
+        std::memset(h.MutablePayload(), 0x7E, 16);
+        storage::HeaderOf(h.MutableData())->payload_bytes = 16;
+    }
+    { PageHandle h = f.pool.Pin(2); }  // evicts 1, forcing write-back
+    EXPECT_GE(f.pool.stats().write_backs, 1u);
+    PageHandle back = f.pool.Pin(1);  // re-read from disk
+    EXPECT_EQ(back.payload()[0], 0x7E);
+    EXPECT_EQ(back.payload()[15], 0x7E);
+    EXPECT_EQ(storage::HeaderOf(back.data())->payload_bytes, 16u);
+}
+
+// ------------------------------------------------------ paged table --
+
+StorageOptions
+SmallPages()
+{
+    StorageOptions options;
+    options.page_size = 512;  // 4 rows of 28 features per page
+    options.pool_pages = 8;
+    return options;
+}
+
+std::shared_ptr<PagedTable>
+MakeHiggsTable(const std::string& path, const Dataset& data,
+               const StorageOptions& options)
+{
+    std::vector<std::string> columns;
+    for (std::size_t c = 0; c < data.num_features(); ++c) {
+        columns.push_back("f" + std::to_string(c));
+    }
+    columns.push_back("label");
+    auto table =
+        PagedTable::Create(path, columns, data.num_features(), options);
+    for (std::size_t r = 0; r < data.num_rows(); ++r) {
+        table->AppendRow(data.Row(r), data.num_features(), data.Label(r));
+    }
+    table->Flush();
+    return table;
+}
+
+TEST_F(PagedTableTest, AppendScanRoundTripWithTinyPool)
+{
+    const Dataset data = MakeHiggs(200, 11);
+    auto table = MakeHiggsTable(Path("t.dbpages"), data, SmallPages());
+    ASSERT_EQ(table->num_rows(), 200u);
+    EXPECT_GT(table->NumDataPages(), 8u);  // table >> pool
+
+    // Point reads.
+    EXPECT_EQ(table->Feature(137, 5), data.At(137, 5));
+    EXPECT_EQ(table->Label(137), data.Label(137));
+
+    // Full streamed scan reassembles every row in order.
+    FeatureStream stream = table->Scan();
+    EXPECT_EQ(stream.total_rows(), 200u);
+    StreamChunk chunk;
+    std::size_t rows_seen = 0;
+    while (stream.Next(chunk)) {
+        ASSERT_EQ(chunk.row_begin, rows_seen);
+        for (std::size_t r = 0; r < chunk.view.rows(); ++r) {
+            const std::size_t global = chunk.row_begin + r;
+            ASSERT_EQ(chunk.view.At(r, 3), data.At(global, 3))
+                << "row " << global;
+        }
+        rows_seen += chunk.view.rows();
+    }
+    EXPECT_EQ(rows_seen, 200u);
+}
+
+TEST_F(PagedTableTest, StreamingIsZeroCopy)
+{
+    const Dataset data = MakeHiggs(100, 12);
+    auto table = MakeHiggsTable(Path("t.dbpages"), data, SmallPages());
+    RowBlock::ResetCopyStats();
+    FeatureStream stream = table->Scan();
+    StreamChunk chunk;
+    float sink = 0.0f;
+    while (stream.Next(chunk)) {
+        sink += chunk.view.At(0, 0);
+    }
+    EXPECT_EQ(RowBlock::CopyStats().bytes, 0u) << "sink " << sink;
+}
+
+TEST_F(PagedTableTest, PinOutlivesStreamViaViewKeepalive)
+{
+    const Dataset data = MakeHiggs(50, 13);
+    auto table = MakeHiggsTable(Path("t.dbpages"), data, SmallPages());
+    RowView first_rows;
+    {
+        FeatureStream stream = table->Scan();
+        StreamChunk chunk;
+        ASSERT_TRUE(stream.Next(chunk));
+        first_rows = chunk.view.Slice(0, 2);
+    }  // stream gone; the slice's keepalive still pins the page
+    EXPECT_EQ(first_rows.At(1, 1), data.At(1, 1));
+}
+
+TEST_F(PagedTableTest, PersistsAcrossOpen)
+{
+    const Dataset data = MakeHiggs(120, 14);
+    const std::string path = Path("t.dbpages");
+    { MakeHiggsTable(path, data, SmallPages()); }
+
+    auto table = PagedTable::Open(path, SmallPages());
+    ASSERT_EQ(table->num_rows(), 120u);
+    EXPECT_EQ(table->num_feature_cols(), 28u);
+    EXPECT_EQ(table->label_col(), 28u);
+    EXPECT_TRUE(table->has_label());
+    EXPECT_EQ(table->columns().front(), "f0");
+    for (std::size_t r : {std::size_t{0}, std::size_t{63}, std::size_t{119}}) {
+        for (std::size_t c = 0; c < 28; ++c) {
+            ASSERT_EQ(table->Feature(r, c), data.At(r, c));
+        }
+        ASSERT_EQ(table->Label(r), data.Label(r));
+    }
+}
+
+TEST_F(PagedTableTest, ZoneMapPruningReducesPagesRead)
+{
+    // Clustered table: feature 0 is the row index, so each page covers
+    // a disjoint [min,max] range and a narrow predicate prunes all but
+    // one page.
+    StorageOptions options = SmallPages();
+    options.pool_pages = 2;  // smaller than the table: drains hit disk
+    std::vector<std::string> columns{"f0", "f1"};
+    auto table = PagedTable::Create(Path("t.dbpages"), columns, 2, options);
+    for (std::size_t r = 0; r < 400; ++r) {
+        const float row[2] = {static_cast<float>(r), 0.5f};
+        table->AppendRow(row, 2, 0.0f);
+    }
+    table->Flush();
+    const std::size_t data_pages = table->NumDataPages();
+    ASSERT_GT(data_pages, 4u);
+
+    auto drain = [&](const std::optional<ScanPredicate>& pred) {
+        table->ResetStats();
+        FeatureStream stream = table->Scan(pred);
+        StreamChunk chunk;
+        std::size_t rows = 0;
+        while (stream.Next(chunk)) {
+            rows += chunk.view.rows();
+        }
+        return rows;
+    };
+
+    const std::size_t full_rows = drain(std::nullopt);
+    EXPECT_EQ(full_rows, 400u);
+    const std::uint64_t full_reads = table->Stats().pager.reads;
+    EXPECT_EQ(table->Stats().pages_pruned, 0u);
+
+    ScanPredicate pred;
+    pred.column = 0;
+    pred.min = 100.0f;
+    pred.max = 101.0f;
+    const std::size_t pruned_rows = drain(pred);
+    const storage::StorageStats stats = table->Stats();
+    // Conservative superset: the surviving pages contain every match.
+    EXPECT_GE(pruned_rows, 2u);
+    EXPECT_LT(pruned_rows, 400u);
+    EXPECT_GT(stats.pages_pruned, 0u);
+    EXPECT_EQ(stats.pages_pruned + stats.pages_scanned, data_pages);
+    EXPECT_LT(stats.pager.reads, full_reads);
+
+    // The zone map itself is queryable.
+    const std::vector<storage::ZoneRange> zone = table->ZoneMap(0);
+    ASSERT_EQ(zone.size(), 2u);
+    EXPECT_EQ(zone[0].min, 0.0f);
+    EXPECT_EQ(zone[1].min, 0.5f);
+    EXPECT_EQ(zone[1].max, 0.5f);
+}
+
+TEST_F(PagedTableTest, RejectsRowWiderThanPage)
+{
+    StorageOptions options;
+    options.page_size = 256;  // payload 232 bytes < 100 floats
+    std::vector<std::string> columns(101, "c");
+    EXPECT_THROW(
+        PagedTable::Create(Path("t.dbpages"), columns, 100, options),
+        CapacityError);
+}
+
+// -------------------------------------------------- fault injection --
+
+TEST_F(StorageFaultTest, TransientReadFaultsAreRetriedInvisibly)
+{
+    const Dataset data = MakeHiggs(60, 15);
+    const std::string path = Path("t.dbpages");
+    { MakeHiggsTable(path, data, SmallPages()); }
+
+    fault::FaultPlan plan;
+    plan.seed = 7;
+    plan.At(fault::FaultSite::kStorageRead).every_nth = 3;
+    fault::ScopedFaultPlan scoped(plan);
+
+    StorageOptions options = SmallPages();
+    options.pool_pages = 2;  // force repeated re-reads
+    auto table = PagedTable::Open(path, options);
+    FeatureStream stream = table->Scan();
+    StreamChunk chunk;
+    std::size_t rows = 0;
+    while (stream.Next(chunk)) {
+        for (std::size_t r = 0; r < chunk.view.rows(); ++r) {
+            ASSERT_EQ(chunk.view.At(r, 0),
+                      data.At(chunk.row_begin + r, 0));
+        }
+        rows += chunk.view.rows();
+    }
+    EXPECT_EQ(rows, 60u);
+    EXPECT_GT(table->Stats().pager.read_retries, 0u);
+}
+
+TEST_F(StorageFaultTest, StickyFaultPropagatesAndPoolRecovers)
+{
+    const Dataset data = MakeHiggs(40, 16);
+    const std::string path = Path("t.dbpages");
+    { MakeHiggsTable(path, data, SmallPages()); }
+    auto table = PagedTable::Open(path, SmallPages());
+
+    {
+        fault::FaultPlan plan;
+        plan.seed = 8;
+        plan.At(fault::FaultSite::kStorageRead).probability = 1.0;
+        plan.At(fault::FaultSite::kStorageRead).sticky = true;
+        fault::ScopedFaultPlan scoped(plan);
+        EXPECT_THROW(table->Feature(0, 0), fault::FaultInjected);
+    }
+    // The failed fill was rolled back: with the disk healthy again the
+    // same read succeeds and returns correct data.
+    EXPECT_EQ(table->Feature(0, 0), data.At(0, 0));
+    EXPECT_EQ(table->Feature(39, 27), data.At(39, 27));
+}
+
+// ------------------------------------------------------------ chaos --
+
+TEST_F(StorageChaosTest, ConcurrentScansUnderPoolPressureStayCorrect)
+{
+    const Dataset data = MakeHiggs(240, 17);
+    StorageOptions options = SmallPages();
+    // One frame per concurrent stream (plus headroom), but still far
+    // fewer frames than the ~60 data pages so eviction churn is real.
+    // The pool throws CapacityError when every frame is pinned, so the
+    // pool must be sized for peak simultaneous pins, not total data.
+    constexpr int kThreads = 8;
+    options.pool_pages = 2 * kThreads;
+    auto table = MakeHiggsTable(Path("t.dbpages"), data, options);
+
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int round = 0; round < 3; ++round) {
+                FeatureStream stream = table->Scan();
+                StreamChunk chunk;
+                while (stream.Next(chunk)) {
+                    for (std::size_t r = 0; r < chunk.view.rows(); ++r) {
+                        const std::size_t global = chunk.row_begin + r;
+                        const std::size_t col =
+                            static_cast<std::size_t>(t) % 28;
+                        if (chunk.view.At(r, col) !=
+                            data.At(global, col)) {
+                            mismatches.fetch_add(1);
+                        }
+                    }
+                }
+            }
+        });
+    }
+    for (std::thread& t : threads) {
+        t.join();
+    }
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(table->Stats().pool.HitRatio(), table->Stats().pool.HitRatio());
+    EXPECT_GT(table->Stats().pool.evictions, 0u);
+}
+
+// ------------------------------------------------------ dbms wiring --
+
+TEST_F(PagedDbmsTest, PagedScoringIsBitIdenticalToInMemory)
+{
+    const Dataset data = MakeHiggs(400, 70);
+    ForestTrainerConfig config;
+    config.num_trees = 8;
+    config.max_depth = 8;
+    config.seed = 70;
+    const RandomForest forest = TrainForest(data, config);
+
+    Database db;
+    db.StoreDataset("mem", data);
+    db.StoreModel("model_rf", TreeEnsemble::FromForest(forest));
+    StorageOptions options;
+    options.page_size = 512;
+    options.pool_pages = 4;  // ~25 data pages: table is 6x the pool
+    Table& paged =
+        db.StoreDatasetPaged("paged", data, Path("t.dbpages"), options);
+    ASSERT_TRUE(paged.paged());
+    ASSERT_GT(paged.store()->NumDataPages(), 4u * 4u);
+
+    HardwareProfile profile = HardwareProfile::Paper();
+    ExternalRuntimeParams rt_params;
+    ScoringPipeline pipeline(db, profile, rt_params);
+    const auto mem =
+        pipeline.RunScoringQuery("model_rf", "mem",
+                                 BackendKind::kCpuSklearn);
+    const auto out =
+        pipeline.RunScoringQuery("model_rf", "paged",
+                                 BackendKind::kCpuSklearn);
+    ASSERT_EQ(out.predictions.size(), mem.predictions.size());
+    EXPECT_EQ(0, std::memcmp(out.predictions.data(),
+                             mem.predictions.data(),
+                             mem.predictions.size() * sizeof(float)));
+    EXPECT_EQ(out.predictions, forest.PredictBatch(data));
+    // The paged run exercised the pool (it cannot hold the table).
+    EXPECT_GT(paged.store()->Stats().pool.evictions, 0u);
+    // Stage accounting mirrors the in-memory path's shape.
+    EXPECT_GT(out.stages.python_invocation.seconds(), 0.0);
+    EXPECT_GT(out.stages.data_transfer.seconds(), 0.0);
+    EXPECT_GT(out.stages.scoring.Total().seconds(), 0.0);
+}
+
+TEST_F(PagedDbmsTest, MaxRowsAndAttachWork)
+{
+    const Dataset data = MakeHiggs(100, 71);
+    ForestTrainerConfig config;
+    config.num_trees = 4;
+    config.max_depth = 6;
+    config.seed = 71;
+    const RandomForest forest = TrainForest(data, config);
+
+    const std::string path = Path("t.dbpages");
+    {
+        Database db;
+        db.StoreDatasetPaged("paged", data, path, StorageOptions{});
+    }
+    Database db;
+    db.StoreModel("m", TreeEnsemble::FromForest(forest));
+    Table& table = db.AttachPagedTable("paged", path, StorageOptions{});
+    EXPECT_EQ(table.NumRows(), 100u);
+
+    HardwareProfile profile = HardwareProfile::Paper();
+    ExternalRuntimeParams rt_params;
+    ScoringPipeline pipeline(db, profile, rt_params);
+    const auto out = pipeline.RunScoringQuery(
+        "m", "paged", BackendKind::kCpuSklearn, 30);
+    ASSERT_EQ(out.predictions.size(), 30u);
+    const std::vector<float> reference = forest.PredictBatch(data);
+    for (std::size_t i = 0; i < 30; ++i) {
+        ASSERT_EQ(out.predictions[i], reference[i]);
+    }
+}
+
+TEST_F(PagedDbmsTest, BulkLoadCsvPagedParsesAndScores)
+{
+    const std::string csv_path = Path("data.csv");
+    {
+        std::ofstream csv(csv_path);
+        csv << "f0,f1,label\n";
+        for (int r = 0; r < 50; ++r) {
+            csv << r * 1.5 << "," << r * -0.5 << "," << (r % 2) << "\n";
+        }
+    }
+    Database db;
+    Table& table =
+        db.BulkLoadCsvPaged("t", csv_path, Path("t.dbpages"),
+                            StorageOptions{});
+    ASSERT_TRUE(table.paged());
+    EXPECT_EQ(table.NumRows(), 50u);
+    EXPECT_EQ(table.store()->num_feature_cols(), 2u);
+    EXPECT_EQ(table.store()->Feature(10, 0), 15.0f);
+    EXPECT_EQ(table.store()->Label(11), 1.0f);
+
+    // Malformed rows carry their record number.
+    const std::string bad_path = Path("bad.csv");
+    {
+        std::ofstream csv(bad_path);
+        csv << "f0,label\n1.0,0\nnot_a_number,1\n";
+    }
+    EXPECT_THROW(db.BulkLoadCsvPaged("bad", bad_path, Path("bad.dbpages"),
+                                     StorageOptions{}),
+                 ParseError);
+}
+
+TEST_F(PagedDbmsTest, SpStorageStatsReportsAndResets)
+{
+    const Dataset data = MakeHiggs(200, 72);
+    ForestTrainerConfig config;
+    config.num_trees = 4;
+    config.max_depth = 6;
+    config.seed = 72;
+    const RandomForest forest = TrainForest(data, config);
+
+    Database db;
+    db.StoreModel("m", TreeEnsemble::FromForest(forest));
+    StorageOptions options;
+    options.page_size = 512;
+    options.pool_pages = 4;
+    db.StoreDatasetPaged("paged", data, Path("t.dbpages"), options);
+
+    HardwareProfile profile = HardwareProfile::Paper();
+    ExternalRuntimeParams rt_params;
+    ScoringPipeline pipeline(db, profile, rt_params);
+    QueryEngine engine(db, pipeline);
+
+    engine.Execute(
+        "EXEC sp_score_model @model = 'm', @data = 'paged', "
+        "@backend = 'CPU_SKLearn'");
+    QueryResult stats =
+        engine.Execute("EXEC sp_storage_stats @table = 'paged'");
+    ASSERT_EQ(stats.rows.size(), 1u);
+    ASSERT_EQ(stats.columns.front(), "table");
+    EXPECT_EQ(std::get<std::string>(stats.rows[0][0]), "paged");
+    auto col = [&stats](const std::string& name) {
+        for (std::size_t c = 0; c < stats.columns.size(); ++c) {
+            if (stats.columns[c] == name) {
+                return c;
+            }
+        }
+        throw std::out_of_range(name);
+    };
+    EXPECT_GT(std::get<std::int64_t>(stats.rows[0][col("misses")]), 0);
+    EXPECT_GT(std::get<std::int64_t>(stats.rows[0][col("evictions")]), 0);
+    EXPECT_GT(std::get<std::int64_t>(stats.rows[0][col("page_reads")]), 0);
+
+    // @reset = 1 zeroes the counters after reporting.
+    engine.Execute("EXEC sp_storage_stats @table = 'paged', @reset = 1");
+    QueryResult after =
+        engine.Execute("EXEC sp_storage_stats @table = 'paged'");
+    EXPECT_EQ(std::get<std::int64_t>(after.rows[0][col("misses")]), 0);
+
+    // All-tables form skips in-memory tables instead of failing.
+    db.StoreDataset("mem", data);
+    QueryResult all = engine.Execute("EXEC sp_storage_stats");
+    EXPECT_EQ(all.rows.size(), 1u);
+}
+
+TEST_F(PagedDbmsTest, PinnedChunksFlowIntoServingLayer)
+{
+    const Dataset data = MakeHiggs(96, 73);
+    ForestTrainerConfig config;
+    config.num_trees = 4;
+    config.max_depth = 6;
+    config.seed = 73;
+    const RandomForest forest = TrainForest(data, config);
+    const TreeEnsemble ensemble = TreeEnsemble::FromForest(forest);
+    const ModelStats model_stats = ComputeModelStats(forest, &data);
+
+    Database db;
+    StorageOptions options;
+    options.page_size = 512;
+    options.pool_pages = 4;
+    Table& table =
+        db.StoreDatasetPaged("paged", data, Path("t.dbpages"), options);
+
+    serve::ScoringService service(HardwareProfile::Paper(), {});
+    service.RegisterModel("m", ensemble, model_stats);
+    service.Start();
+
+    const std::vector<float> reference = forest.PredictBatch(data);
+    FeatureStream stream = table.ScanFeatures();
+    StreamChunk chunk;
+    std::size_t checked = 0;
+    while (stream.Next(chunk)) {
+        serve::ScoreRequest request;
+        request.model_id = "m";
+        request.num_rows = chunk.view.rows();
+        request.rows = chunk.view;  // pinned zero-copy page frame
+        serve::ScoreReply reply = service.ScoreSync(std::move(request));
+        ASSERT_EQ(reply.status, serve::RequestStatus::kCompleted);
+        ASSERT_EQ(reply.predictions.size(), chunk.view.rows());
+        for (std::size_t r = 0; r < reply.predictions.size(); ++r) {
+            ASSERT_EQ(reply.predictions[r],
+                      reference[chunk.row_begin + r]);
+        }
+        checked += reply.predictions.size();
+    }
+    service.Stop();
+    EXPECT_EQ(checked, 96u);
+}
+
+}  // namespace
+}  // namespace dbscore
