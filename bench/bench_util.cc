@@ -313,7 +313,7 @@ BenchJsonWriter::Write(const std::string& path) const
     }
     out << "{\n"
         << "  \"bench\": \"" << bench_ << "\",\n"
-        << "  \"schema_version\": 1,\n"
+        << "  \"schema_version\": " << schema_version_ << ",\n"
         << "  \"smoke\": " << (smoke_ ? "true" : "false");
     // Header fields render one per line, like the historical writers.
     const std::string header = header_.Render();

@@ -160,6 +160,11 @@ class BenchJsonWriter {
  public:
     BenchJsonWriter(std::string bench, bool smoke);
 
+    /** Overrides the emitted schema_version (default 1). Bump when a
+     * bench changes its result keys so downstream consumers (the CI
+     * schema validator) fail loudly instead of misreading. */
+    void SetSchemaVersion(int version) { schema_version_ = version; }
+
     /** Extra top-level scalars (after the three standard ones). */
     BenchJsonObject& header() { return header_; }
 
@@ -172,6 +177,7 @@ class BenchJsonWriter {
  private:
     std::string bench_;
     bool smoke_;
+    int schema_version_ = 1;
     BenchJsonObject header_;
     std::vector<BenchJsonObject> results_;
 };

@@ -18,11 +18,10 @@
 #include <vector>
 
 #include "dbscore/data/dataset.h"
+#include "dbscore/forest/forest_kernel.h"
 #include "dbscore/forest/tree.h"
 
 namespace dbscore {
-
-class ForestKernel;
 
 /** A trained random forest. */
 class RandomForest {
@@ -88,12 +87,22 @@ class RandomForest {
                                           std::size_t num_cols) const;
 
     /**
-     * The compiled inference plan for the current ensemble: built on
-     * first call, cached until the forest mutates, shared by copies.
-     * Thread-safe. @throws InvalidArgument when the model is not
-     * kernel-compilable (no trees yet)
+     * The compiled inference plan for the current ensemble under the
+     * default options: built on first call, cached until the forest
+     * mutates, shared by copies. Thread-safe.
+     * @throws InvalidArgument when the model is not kernel-compilable
+     * (no trees yet)
      */
     std::shared_ptr<const ForestKernel> Kernel() const;
+
+    /**
+     * Same, honoring @p options. The full option set is part of the
+     * cache key: a request whose options differ from the cached plan's
+     * rebuilds instead of silently serving the stale plan (options
+     * used to be dropped whenever a kernel was already cached).
+     */
+    std::shared_ptr<const ForestKernel> Kernel(
+        const ForestKernelOptions& options) const;
 
     /** Fraction of rows whose prediction matches the dataset label. */
     double Accuracy(const Dataset& data) const;
@@ -115,6 +124,8 @@ class RandomForest {
 
     /** Lazily-built compiled kernel; null until first batch call. */
     mutable std::shared_ptr<const ForestKernel> kernel_;
+    /** Options the cached kernel was built with (the cache key). */
+    mutable ForestKernelOptions kernel_options_;
     mutable std::mutex kernel_mutex_;
 };
 

@@ -7,6 +7,10 @@
 #include "dbscore/common/error.h"
 #include "dbscore/common/thread_pool.h"
 #include "dbscore/forest/forest.h"
+#include "dbscore/forest/forest_kernel_v2.h"
+#include "dbscore/forest/gbdt.h"
+#include "dbscore/forest/kernel_autotune.h"
+#include "dbscore/forest/simd.h"
 #include "dbscore/trace/trace.h"
 
 namespace dbscore {
@@ -14,11 +18,11 @@ namespace dbscore {
 namespace {
 
 /**
- * Rows traversed concurrently per tree. Each lane is an independent
- * dependence chain of node loads, so the out-of-order core keeps this
- * many traversals in flight — the main lever against the load latency
- * that dominates pointer-chasing inference. Compile-time so the lane
- * state lives in registers.
+ * Rows traversed concurrently per tree in the v1 scalar loop. Each
+ * lane is an independent dependence chain of node loads, so the
+ * out-of-order core keeps this many traversals in flight — the main
+ * lever against the load latency that dominates pointer-chasing
+ * inference. Compile-time so the lane state lives in registers.
  */
 constexpr std::size_t kTraversalLanes = 16;
 
@@ -59,13 +63,27 @@ TraverseGroup(const NodeT* nodes, std::int32_t root, std::int32_t depth,
     }
 }
 
+bool
+EnsembleSupported(const std::vector<DecisionTree>& trees,
+                  std::size_t num_features)
+{
+    // Feature ids are stored as int16 in the compiled v1 pool and as a
+    // 15-bit field in the packed v2 word.
+    return !trees.empty() && num_features <= kV2MaxFeature;
+}
+
 }  // namespace
 
 bool
 ForestKernel::Supports(const RandomForest& forest)
 {
-    // Feature ids are stored as int16 in the compiled pool.
-    return forest.NumTrees() > 0 && forest.num_features() <= 32767;
+    return EnsembleSupported(forest.trees(), forest.num_features());
+}
+
+bool
+ForestKernel::Supports(const GradientBoostedModel& gbdt)
+{
+    return EnsembleSupported(gbdt.trees(), gbdt.num_features());
 }
 
 ForestKernel::ForestKernel(const RandomForest& forest,
@@ -73,29 +91,102 @@ ForestKernel::ForestKernel(const RandomForest& forest,
     : task_(forest.task()),
       num_classes_(forest.num_classes()),
       num_features_(forest.num_features()),
-      options_(options)
+      options_(options),
+      combine_(forest.task() == Task::kClassification
+                   ? KernelCombine::kVoteClassify
+                   : KernelCombine::kMeanRegress)
 {
     if (!Supports(forest)) {
         throw InvalidArgument("forest kernel: unsupported forest "
                               "(empty, or features exceed int16)");
     }
+    Compile(forest.trees());
+}
+
+ForestKernel::ForestKernel(const GradientBoostedModel& gbdt,
+                           const ForestKernelOptions& options)
+    : task_(gbdt.task()),
+      num_features_(gbdt.num_features()),
+      options_(options),
+      combine_(gbdt.task() == Task::kClassification
+                   ? KernelCombine::kMarginClassify
+                   : KernelCombine::kMargin),
+      init_(gbdt.base_score()),
+      scale_(gbdt.learning_rate())
+{
+    if (!Supports(gbdt)) {
+        throw InvalidArgument("forest kernel: unsupported gbdt "
+                              "(empty, or features exceed int16)");
+    }
+    // Margin kernels accumulate sums; the class decision happens in
+    // the combiner, so no per-leaf class table is needed.
+    num_classes_ = combine_ == KernelCombine::kMarginClassify ? 2 : 0;
+    Compile(gbdt.trees());
+}
+
+ForestKernel::~ForestKernel() = default;
+
+void
+ForestKernel::Compile(const std::vector<DecisionTree>& trees)
+{
     if (options_.row_block == 0 || options_.tile_node_budget == 0) {
         throw InvalidArgument("forest kernel: zero row_block/tile budget");
     }
+    if (options_.mode == KernelMode::kQuantized &&
+        options_.version == KernelVersion::kV1) {
+        throw InvalidArgument("forest kernel: quantized mode needs v2");
+    }
 
-    const std::size_t total_nodes = forest.TotalNodes();
-    roots_.reserve(forest.NumTrees());
-    depths_.reserve(forest.NumTrees());
-    nodes_.reserve(total_nodes);
+    // Attribute compilation (the serve path's model prewarming pays
+    // this on registration, and mutation pays it again) to its own
+    // trace stage; the autotuner emits a child span.
+    trace::ScopedSpan span(trace::StageKind::kKernelBuild, "kernel-build");
+    span.AddAttr("trees", static_cast<double>(trees.size()));
+    span.AddAttr("version",
+                 options_.version == KernelVersion::kV2 ? 2.0 : 1.0);
+
+    version_ = options_.version;
+    mode_ = options_.mode;
+    if (version_ == KernelVersion::kV2 &&
+        !V2Supported(trees, num_features_)) {
+        // Oversized trees cannot use tree-local left indices; the v1
+        // layout handles them with absolute 32-bit children.
+        version_ = KernelVersion::kV1;
+        mode_ = KernelMode::kExact;
+    }
+
+    std::size_t total_nodes = 0;
+    for (const auto& tree : trees) {
+        total_nodes += tree.NumNodes();
+    }
+    span.AddAttr("nodes", static_cast<double>(total_nodes));
+
+    const bool vote = combine_ == KernelCombine::kVoteClassify;
+    roots_.reserve(trees.size());
+    depths_.reserve(trees.size());
     value_.reserve(total_nodes);
-    if (task_ == Task::kClassification) {
+    if (vote) {
         leaf_class_.reserve(total_nodes);
+    }
+    if (version_ == KernelVersion::kV1) {
+        nodes_.reserve(total_nodes);
+    } else {
+        v2_ = std::make_unique<KernelV2Plan>();
+        v2_->mode = mode_;
+        if (mode_ == KernelMode::kQuantized) {
+            v2_->InitQuantization(trees, num_features_);
+        } else {
+            v2_->enode.reserve(total_nodes);
+        }
+        v2_->tune_lo.assign(num_features_, 0.0f);
+        v2_->tune_hi.assign(num_features_, 1.0f);
     }
 
     std::vector<std::int32_t> order;
     std::vector<std::int32_t> new_id;
-    for (const auto& tree : forest.trees()) {
-        const auto base = static_cast<std::int32_t>(nodes_.size());
+    std::vector<bool> range_seen(num_features_, false);
+    for (const auto& tree : trees) {
+        const auto base = static_cast<std::int32_t>(num_nodes_);
         roots_.push_back(base);
         depths_.push_back(static_cast<std::int32_t>(tree.Depth()));
 
@@ -121,16 +212,26 @@ ForestKernel::ForestKernel(const RandomForest& forest,
         }
 
         for (std::int32_t node : order) {
+            const auto local =
+                static_cast<std::int32_t>(num_nodes_) - base;
             if (tree.IsLeaf(node)) {
                 const float value = tree.LeafValue(node);
-                // {+inf, self, 0}: the branchless step re-evaluates the
-                // leaf harmlessly (anything <= +inf stays at left =
-                // self) until the fixed trip count runs out.
-                const auto self = static_cast<std::int32_t>(nodes_.size());
-                nodes_.push_back(
-                    {std::numeric_limits<float>::infinity(), self, 0});
+                // {+inf, self, 0}: the branchless step re-evaluates
+                // the leaf harmlessly (anything <= +inf stays at
+                // left = self) until the fixed trip count runs out.
+                if (version_ == KernelVersion::kV1) {
+                    nodes_.push_back(
+                        {std::numeric_limits<float>::infinity(),
+                         base + local, 0});
+                } else if (mode_ == KernelMode::kQuantized) {
+                    v2_->qmeta.push_back(local);
+                    v2_->qcut.push_back(kV2LeafCut);
+                } else {
+                    v2_->enode.push_back(V2PackExact(
+                        std::numeric_limits<float>::infinity(), local));
+                }
                 value_.push_back(value);
-                if (task_ == Task::kClassification) {
+                if (vote) {
                     const auto cls =
                         static_cast<std::int32_t>(std::lround(value));
                     DBS_ASSERT(cls >= 0 && cls < num_classes_);
@@ -138,30 +239,66 @@ ForestKernel::ForestKernel(const RandomForest& forest,
                 }
             } else {
                 const std::int32_t f = tree.Feature(node);
-                DBS_ASSERT(f >= 0 && f < 32768);
+                DBS_ASSERT(f >= 0 &&
+                           static_cast<std::size_t>(f) <= kV2MaxFeature);
                 const std::int32_t left =
-                    base + new_id[static_cast<std::size_t>(tree.Left(node))];
+                    new_id[static_cast<std::size_t>(tree.Left(node))];
                 DBS_ASSERT_MSG(
-                    base + new_id[static_cast<std::size_t>(
-                               tree.Right(node))] == left + 1,
+                    new_id[static_cast<std::size_t>(tree.Right(node))] ==
+                        left + 1,
                     "forest kernel: BFS siblings must be adjacent");
-                nodes_.push_back({tree.Threshold(node), left,
-                                  static_cast<std::int16_t>(f)});
+                const float t = tree.Threshold(node);
+                if (version_ == KernelVersion::kV1) {
+                    nodes_.push_back(
+                        {t, base + left, static_cast<std::int16_t>(f)});
+                } else {
+                    const std::int32_t packed =
+                        (f << kV2LeftBits) | left;
+                    if (mode_ == KernelMode::kQuantized) {
+                        v2_->qmeta.push_back(packed);
+                        v2_->qcut.push_back(v2_->CutFor(
+                            static_cast<std::size_t>(f), t));
+                    } else {
+                        v2_->enode.push_back(V2PackExact(t, packed));
+                    }
+                    auto& lo = v2_->tune_lo[static_cast<std::size_t>(f)];
+                    auto& hi = v2_->tune_hi[static_cast<std::size_t>(f)];
+                    if (!range_seen[static_cast<std::size_t>(f)]) {
+                        range_seen[static_cast<std::size_t>(f)] = true;
+                        lo = hi = t;
+                    } else {
+                        lo = std::min(lo, t);
+                        hi = std::max(hi, t);
+                    }
+                }
                 value_.push_back(0.0f);
-                if (task_ == Task::kClassification) {
+                if (vote) {
                     leaf_class_.push_back(0);
                 }
             }
+            ++num_nodes_;
         }
     }
 
-    // Partition consecutive trees into tiles whose pooled nodes fit the
-    // cache budget, so one tile stays resident while a row block
+    if (v2_) {
+        if (mode_ == KernelMode::kQuantized) {
+            // Pad for the shim's scale-2 u16 gather over-read.
+            v2_->qcut.push_back(0);
+        }
+        v2_->row_block = options_.row_block;
+        v2_->tile_node_budget = options_.tile_node_budget;
+        AutotuneV2(*this, *v2_, options_);
+        v2_->Retile(*this);
+        return;
+    }
+
+    // Partition consecutive trees into tiles whose pooled nodes fit
+    // the cache budget, so one tile stays resident while a row block
     // traverses it. A single oversized tree still gets its own tile.
     std::size_t tile_start = 0;
     std::size_t tile_nodes = 0;
-    for (std::size_t t = 0; t < forest.NumTrees(); ++t) {
-        const std::size_t nodes = forest.Tree(t).NumNodes();
+    for (std::size_t t = 0; t < trees.size(); ++t) {
+        const std::size_t nodes = trees[t].NumNodes();
         if (t > tile_start && tile_nodes + nodes > options_.tile_node_budget) {
             tiles_.push_back({tile_start, t});
             tile_start = t;
@@ -169,7 +306,97 @@ ForestKernel::ForestKernel(const RandomForest& forest,
         }
         tile_nodes += nodes;
     }
-    tiles_.push_back({tile_start, forest.NumTrees()});
+    tiles_.push_back({tile_start, trees.size()});
+}
+
+std::size_t
+ForestKernel::NumTiles() const
+{
+    return v2_ ? v2_->tiles.size() : tiles_.size();
+}
+
+bool
+ForestKernel::simd_active() const
+{
+    return v2_ != nullptr && v2_->use_simd;
+}
+
+const char*
+ForestKernel::SimdBackend()
+{
+    return simd::BackendName();
+}
+
+std::size_t
+ForestKernel::simd_groups() const
+{
+    return simd_active() ? v2_->groups : 0;
+}
+
+std::size_t
+ForestKernel::tuned_lane_rows() const
+{
+    return v2_ ? v2_->GroupRows() : kTraversalLanes;
+}
+
+std::size_t
+ForestKernel::tuned_row_block() const
+{
+    return v2_ ? v2_->row_block : options_.row_block;
+}
+
+std::size_t
+ForestKernel::tuned_tile_node_budget() const
+{
+    return v2_ ? v2_->tile_node_budget : options_.tile_node_budget;
+}
+
+bool
+ForestKernel::autotuned() const
+{
+    return v2_ != nullptr && v2_->autotuned;
+}
+
+bool
+ForestKernel::quant_exact() const
+{
+    return v2_ != nullptr && mode_ == KernelMode::kQuantized &&
+           v2_->quant_exact;
+}
+
+std::size_t
+ForestKernel::quant_max_bins() const
+{
+    return v2_ ? v2_->max_bins : 0;
+}
+
+void
+ForestKernel::FinishSums(const double* sums, std::size_t num_rows,
+                         float* out) const
+{
+    switch (combine_) {
+    case KernelCombine::kMeanRegress: {
+        const auto trees = static_cast<double>(roots_.size());
+        for (std::size_t i = 0; i < num_rows; ++i) {
+            out[i] = static_cast<float>(sums[i] / trees);
+        }
+        break;
+    }
+    case KernelCombine::kMargin:
+        for (std::size_t i = 0; i < num_rows; ++i) {
+            out[i] = static_cast<float>(sums[i]);
+        }
+        break;
+    case KernelCombine::kMarginClassify:
+        for (std::size_t i = 0; i < num_rows; ++i) {
+            out[i] = static_cast<float>(GradientBoostedModel::MarginToClass(
+                static_cast<float>(sums[i])));
+        }
+        break;
+    case KernelCombine::kVoteClassify:
+        DBS_ASSERT_MSG(false, "vote kernels do not accumulate sums");
+        break;
+    }
 }
 
 void
@@ -232,18 +459,20 @@ ForestKernel::RunBlockClassify(const float* rows, std::size_t num_rows,
 }
 
 void
-ForestKernel::RunBlockRegress(const float* rows, std::size_t num_rows,
-                              std::size_t stride, float* out,
-                              Scratch& scratch) const
+ForestKernel::RunBlockAccumulate(const float* rows, std::size_t num_rows,
+                                 std::size_t stride, float* out,
+                                 Scratch& scratch) const
 {
     const Node* const nodes = nodes_.data();
     const float* const val = value_.data();
+    const double scale = scale_;
     double* const sums = scratch.sums.data();
-    std::fill(sums, sums + num_rows, 0.0);
+    std::fill(sums, sums + num_rows, init_);
 
     // Trees iterate in ensemble order for every row (tiles cover
     // consecutive trees), so each row's double sum accumulates in the
-    // reference order and the mean is bit-identical to the scalar path.
+    // reference order and the mean/margin is bit-identical to the
+    // scalar path.
     std::size_t r = 0;
     for (; r + kTraversalLanes <= num_rows; r += kTraversalLanes) {
         const float* rowp[kTraversalLanes];
@@ -257,7 +486,7 @@ ForestKernel::RunBlockRegress(const float* rows, std::size_t num_rows,
                 TraverseGroup<kTraversalLanes>(nodes, roots_[t],
                                                depths_[t], rowp, n);
                 for (std::size_t k = 0; k < kTraversalLanes; ++k) {
-                    sums[r + k] += val[n[k]];
+                    sums[r + k] += scale * val[n[k]];
                 }
             }
         }
@@ -269,14 +498,11 @@ ForestKernel::RunBlockRegress(const float* rows, std::size_t num_rows,
                  ++t) {
                 std::int32_t n[1];
                 TraverseGroup<1>(nodes, roots_[t], depths_[t], rowp, n);
-                sums[r] += val[n[0]];
+                sums[r] += scale * val[n[0]];
             }
         }
     }
-    const auto trees = static_cast<double>(roots_.size());
-    for (std::size_t i = 0; i < num_rows; ++i) {
-        out[i] = static_cast<float>(sums[i] / trees);
-    }
+    FinishSums(sums, num_rows, out);
 }
 
 void
@@ -287,7 +513,11 @@ ForestKernel::RunStrided(const float* rows, std::size_t num_rows,
     if (num_rows == 0) {
         return;
     }
-    if (task_ == Task::kClassification) {
+    if (v2_) {
+        v2_->RunStrided(*this, rows, num_rows, stride, out, scratch);
+        return;
+    }
+    if (combine_ == KernelCombine::kVoteClassify) {
         const std::size_t need =
             options_.row_block * static_cast<std::size_t>(num_classes_);
         if (scratch.counts.size() < need) {
@@ -301,12 +531,12 @@ ForestKernel::RunStrided(const float* rows, std::size_t num_rows,
          begin += options_.row_block) {
         const std::size_t block =
             std::min(options_.row_block, num_rows - begin);
-        if (task_ == Task::kClassification) {
+        if (combine_ == KernelCombine::kVoteClassify) {
             RunBlockClassify(rows + begin * stride, block, stride,
                              out + begin, scratch);
         } else {
-            RunBlockRegress(rows + begin * stride, block, stride,
-                            out + begin, scratch);
+            RunBlockAccumulate(rows + begin * stride, block, stride,
+                               out + begin, scratch);
         }
     }
 }

@@ -1,47 +1,70 @@
 /**
  * @file
  * ForestKernel: a compiled, cache-blocked, allocation-free batch
- * inference plan for random forests.
+ * inference plan for tree ensembles (random forests and GBDTs).
  *
  * The reference RandomForest::Predict walks one tree at a time through
  * per-tree std::vector storage — five vector-header dereferences per
  * tree per row and a working set that revisits the whole ensemble for
- * every row. ForestKernel compiles the ensemble once into a single
- * contiguous pool of packed 12-byte nodes (float threshold, absolute
- * int32 left-child index, int16 feature id) with every tree's nodes in
- * level (BFS) order, so the first K levels of a tree — the part every
- * row traverses — occupy a contiguous prefix of its node range and one
- * node visit touches one cache line instead of three parallel arrays.
- * BFS emits siblings adjacently, so the right child is implicitly
- * left + 1 and the descend step is branchless integer arithmetic:
+ * every row. ForestKernel compiles the ensemble once into flat node
+ * pools with every tree's nodes in level (BFS) order, so the first K
+ * levels of a tree — the part every row traverses — occupy a
+ * contiguous prefix of its node range. BFS emits siblings adjacently,
+ * so the right child is implicitly left + 1 and the descend step is
+ * branchless integer arithmetic:
  * n = left[n] + !(row[feature[n]] <= threshold[n]), which matches the
  * reference "x <= t goes left, else (including NaN) right" exactly.
+ *
+ * Two compiled layouts are selectable through ForestKernelOptions:
+ *
+ *  - v1: packed 12-byte AoS nodes {f32 threshold, i32 absolute left,
+ *    i16 feature}, traversed 16 scalar rows per tree (independent
+ *    dependence chains held in registers).
+ *  - v2 (default): structure-of-arrays nodes built for SIMD gathers —
+ *    8 bytes/node exact ({f32 threshold} + {feat:15|left:17} packed
+ *    i32 with tree-local left indices), 6 bytes/node quantized
+ *    ({feat:15|left:17} + u16 threshold bin rank, with rows pre-binned
+ *    once per block so traversal compares integers). The inner loop
+ *    steps groups of 8 rows per tree through the simd.h shim
+ *    (AVX2/NEON/scalar): gathered node loads, a blended descend
+ *    (n = left - (x > t ? -1 : 0) as a SIMD mask subtract), and a
+ *    whole-group early exit once every lane parks on its self-looping
+ *    leaf. A build-time autotuner (see kernel_autotune.h) benchmarks
+ *    (row_block, tile_node_budget, lane width) candidates on a
+ *    deterministic synthetic sample and caches the winner per model
+ *    shape, replacing the fixed LLC heuristic.
+ *
+ * Exact mode (v1 and v2) is bit-identical to the reference scalar
+ * path: tree order within a row is preserved across tiles, so
+ * regression sums (double accumulation in tree order) and
+ * classification votes (integer counts, lowest-class-id tie break)
+ * reproduce the reference exactly — tests assert this. Quantized mode
+ * carries an epsilon-bounded prediction contract that degenerates to
+ * bit-identity whenever every distinct threshold received its own bin
+ * (quant_exact(), the common case): monotone binning with
+ * rank-encoded cut points preserves every comparison outcome, see
+ * DESIGN.md §13.
  *
  * Execution is tiled batch-major: blocks of R rows x T trees, with the
  * tree tile sized so its nodes stay resident in the last-level cache
  * while all R rows traverse it. Traversal is fixed-trip: a leaf is
- * {threshold = +inf, left = self}, so the branchless step is a no-op
- * once a row bottoms out and a tree of depth D is walked with exactly
- * D steps and no leaf test. That lets the inner loop interleave a
- * compile-time number of rows per tree (independent dependence chains
- * held in registers), which is what actually hides the node-load
- * latency that dominates pointer-chasing inference. Votes and sums
- * accumulate into a caller-owned reusable Scratch, so steady-state
- * Run() performs zero heap allocations. Tree order within a row is
- * preserved across tiles, which keeps regression sums (double
- * accumulation in tree order) and classification votes (integer counts,
- * lowest-class-id tie break) bit-identical to the reference scalar
- * path — tests assert this.
+ * {threshold = +inf (bin 0xFFFF quantized), left = self}, so the
+ * branchless step is a no-op once a row bottoms out and a tree of
+ * depth D is walked with exactly D steps and no leaf test. Votes and
+ * sums accumulate into a caller-owned reusable Scratch, so
+ * steady-state Run() performs zero heap allocations.
  *
  * Wall-clock only: the kernel changes how fast functional predictions
  * are computed, never the simulated OffloadBreakdown latencies (see
- * DESIGN.md, "Functional kernels vs simulated time").
+ * DESIGN.md, "Functional kernels vs simulated time"). Compilation
+ * (and autotuning) is attributed to the kKernelBuild trace stage.
  */
 #ifndef DBSCORE_FOREST_FOREST_KERNEL_H
 #define DBSCORE_FOREST_FOREST_KERNEL_H
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "dbscore/data/dataset.h"
@@ -49,15 +72,42 @@
 namespace dbscore {
 
 class RandomForest;
+class GradientBoostedModel;
+class DecisionTree;
+struct KernelV2Plan;
 
-/** Tuning knobs of the compiled plan. */
+/** Compiled node layout generation. */
+enum class KernelVersion : std::uint8_t {
+    kV1 = 1,  ///< 12-byte AoS nodes, scalar 16-lane traversal
+    kV2 = 2,  ///< SoA 8/6-byte nodes, SIMD 8-lane groups + autotune
+};
+
+/** Threshold representation of the compiled plan. */
+enum class KernelMode : std::uint8_t {
+    kExact,      ///< f32 thresholds; bit-identical to the reference
+    kQuantized,  ///< u16 bin ranks + pre-binned rows (v2 only)
+};
+
+/** Traversal inner-loop selection (v2 only; v1 is always scalar). */
+enum class KernelLanes : std::uint8_t {
+    kAuto,    ///< autotuner (or heuristic) picks scalar vs SIMD
+    kScalar,  ///< force the scalar 16-lane loop
+    kSimd,    ///< force the 8-lane SIMD shim loop
+};
+
+/**
+ * Tuning knobs of the compiled plan. The full option set participates
+ * in RandomForest/GradientBoostedModel kernel-cache keys, so two
+ * requests with different options never share a stale plan.
+ */
 struct ForestKernelOptions {
-    /** Rows per traversal tile. */
+    /** Rows per traversal tile (v2 kAuto: autotuner may override). */
     std::size_t row_block = 64;
     /**
      * Upper bound on nodes per tree tile; sized so one tile's packed
-     * traversal nodes (12 bytes each) stay cache-resident while a row
-     * block traverses it. The default keeps a tile near 0.75 MB.
+     * traversal nodes stay cache-resident while a row block traverses
+     * it. The default keeps a v1 tile near 0.75 MB (v2 kAuto: the
+     * autotuner may override).
      */
     std::size_t tile_node_budget = std::size_t{1} << 16;
     /**
@@ -65,9 +115,36 @@ struct ForestKernelOptions {
      * the shared ThreadPool; below 2x this count the batch runs inline.
      */
     std::size_t parallel_grain = 4096;
+
+    /** Layout generation; v2 falls back to v1 when unsupported. */
+    KernelVersion version = KernelVersion::kV2;
+    /** Threshold representation (quantized is v2-only). */
+    KernelMode mode = KernelMode::kExact;
+    /** Inner-loop selection (v2). */
+    KernelLanes lanes = KernelLanes::kAuto;
+    /**
+     * Benchmark (row_block, tile_node_budget, lane width) candidates
+     * at build time and adopt the winner (v2 + kAuto lanes only).
+     * Winners are cached process-wide per model shape.
+     */
+    bool autotune = true;
+    /** Seed for the autotuner's synthetic sample rows. */
+    std::uint64_t autotune_seed = 42;
+    /** SIMD row groups (of 8) in flight per tree; 0 = tuned/heuristic. */
+    std::size_t simd_groups = 0;
+
+    bool operator==(const ForestKernelOptions&) const = default;
 };
 
-/** A compiled forest inference plan; immutable after construction. */
+/** How per-tree outputs combine into a final prediction. */
+enum class KernelCombine : std::uint8_t {
+    kVoteClassify,    ///< forest: majority vote, lowest-id tie break
+    kMeanRegress,     ///< forest: mean of leaf values (tree order)
+    kMargin,          ///< gbdt: base + lr * sum (tree order)
+    kMarginClassify,  ///< gbdt: margin through sigmoid, threshold 0.5
+};
+
+/** A compiled ensemble inference plan; immutable after construction. */
 class ForestKernel {
  public:
     /**
@@ -78,10 +155,15 @@ class ForestKernel {
     class Scratch {
      private:
         friend class ForestKernel;
+        friend struct KernelV2Plan;
         /** Per-(row, class) vote counts, row_block x num_classes. */
         std::vector<std::int32_t> counts;
-        /** Per-row regression accumulators, tree order, row_block. */
+        /** Per-row accumulators, tree order, row_block. */
         std::vector<double> sums;
+        /** v2 quantized: pre-binned rows (row-major, +2 bytes pad). */
+        std::vector<std::uint16_t> binned;
+        /** v2: per-group leaf indices. */
+        std::vector<std::int32_t> leaves;
     };
 
     /**
@@ -94,19 +176,68 @@ class ForestKernel {
                           const ForestKernelOptions& options = {});
 
     /**
+     * Compiles @p gbdt with a margin combiner: predictions are
+     * bit-identical to GradientBoostedModel::Predict (margin
+     * accumulated in double in tree order, classification thresholded
+     * after a sigmoid).
+     *
+     * @throws InvalidArgument when Supports(gbdt) is false
+     */
+    explicit ForestKernel(const GradientBoostedModel& gbdt,
+                          const ForestKernelOptions& options = {});
+
+    ~ForestKernel();
+    ForestKernel(ForestKernel&&) = delete;
+    ForestKernel& operator=(ForestKernel&&) = delete;
+
+    /**
      * True when @p forest can be compiled: at least one tree and
-     * feature ids that fit the kernel's int16 feature array.
+     * feature ids that fit the kernel's 15-bit feature field.
      */
     static bool Supports(const RandomForest& forest);
+
+    /** True when @p gbdt can be compiled (same structural limits). */
+    static bool Supports(const GradientBoostedModel& gbdt);
 
     Task task() const { return task_; }
     int num_classes() const { return num_classes_; }
     std::size_t num_features() const { return num_features_; }
     std::size_t NumTrees() const { return roots_.size(); }
-    std::size_t NumNodes() const { return nodes_.size(); }
+    std::size_t NumNodes() const { return num_nodes_; }
     /** Tree tiles the ensemble was partitioned into. */
-    std::size_t NumTiles() const { return tiles_.size(); }
+    std::size_t NumTiles() const;
     const ForestKernelOptions& options() const { return options_; }
+
+    /** Layout actually compiled (v2 may have fallen back to v1). */
+    KernelVersion version() const { return version_; }
+    KernelMode mode() const { return mode_; }
+    KernelCombine combine() const { return combine_; }
+
+    /** True when the v2 plan runs the SIMD shim inner loop. */
+    bool simd_active() const;
+    /** Compile-time shim backend: "avx2", "neon", or "scalar". */
+    static const char* SimdBackend();
+    /** SIMD row groups in flight per tree (0 for scalar/v1 plans). */
+    std::size_t simd_groups() const;
+    /** Rows one traversal group keeps in flight per tree: 8 x groups
+     * with SIMD, the tuned 16/32/64 scalar lane width otherwise (16
+     * for v1's fixed loop). */
+    std::size_t tuned_lane_rows() const;
+    /** Row block the plan actually runs (post-autotune). */
+    std::size_t tuned_row_block() const;
+    /** Tile node budget the plan actually runs (post-autotune). */
+    std::size_t tuned_tile_node_budget() const;
+    /** True when the autotuner picked this plan's parameters. */
+    bool autotuned() const;
+
+    /**
+     * Quantized plans: true when every distinct threshold received its
+     * own bin, which upgrades the epsilon contract to bit-identity
+     * (monotone binning preserves every comparison; DESIGN.md §13).
+     */
+    bool quant_exact() const;
+    /** Largest per-feature bin count of a quantized plan (else 0). */
+    std::size_t quant_max_bins() const;
 
     /**
      * Single-threaded execution: writes one prediction per row into
@@ -128,7 +259,7 @@ class ForestKernel {
 
     /**
      * Batch prediction with chunked ThreadPool parallelism (thread-local
-     * scratch per worker). Matches the reference scalar path
+     * scratch per worker). Exact plans match the reference scalar path
      * bit-for-bit.
      */
     std::vector<float> Predict(const float* rows, std::size_t num_rows,
@@ -138,6 +269,8 @@ class ForestKernel {
     std::vector<float> Predict(const RowView& rows) const;
 
  private:
+    friend struct KernelV2Plan;
+
     /** A run of consecutive trees whose nodes share one cache tile. */
     struct TreeTile {
         std::size_t first_tree;
@@ -147,10 +280,17 @@ class ForestKernel {
     Task task_ = Task::kClassification;
     int num_classes_ = 0;
     std::size_t num_features_ = 0;
+    std::size_t num_nodes_ = 0;
     ForestKernelOptions options_;
+    KernelVersion version_ = KernelVersion::kV1;
+    KernelMode mode_ = KernelMode::kExact;
+    KernelCombine combine_ = KernelCombine::kVoteClassify;
+    /** Margin combiner parameters (gbdt): out = init + scale * sum. */
+    double init_ = 0.0;
+    double scale_ = 1.0;
 
     /**
-     * One packed traversal node: everything one descend step reads,
+     * One packed v1 traversal node: everything one descend step reads,
      * on one cache line. The right child is implicitly left + 1 (BFS
      * emits siblings adjacently); a leaf is {threshold = +inf,
      * left = self, feature = 0}, which the branchless step can evaluate
@@ -163,28 +303,36 @@ class ForestKernel {
         std::int16_t feature;
     };
 
+    void Compile(const std::vector<DecisionTree>& trees);
+
     /** @p stride is the float distance between consecutive rows. */
     void RunBlockClassify(const float* rows, std::size_t num_rows,
                           std::size_t stride, float* out,
                           Scratch& scratch) const;
-    void RunBlockRegress(const float* rows, std::size_t num_rows,
-                         std::size_t stride, float* out,
-                         Scratch& scratch) const;
+    void RunBlockAccumulate(const float* rows, std::size_t num_rows,
+                            std::size_t stride, float* out,
+                            Scratch& scratch) const;
     void RunStrided(const float* rows, std::size_t num_rows,
                     std::size_t stride, float* out, Scratch& scratch) const;
+    /** Applies the combiner to finish @p num_rows accumulated sums. */
+    void FinishSums(const double* sums, std::size_t num_rows,
+                    float* out) const;
 
     /** Pool index of each tree's root (== the tree's base offset). */
     std::vector<std::int32_t> roots_;
     /** Depth of each tree in edges: the fixed traversal trip count. */
     std::vector<std::int32_t> depths_;
-    /** Flattened node pool, level order per tree. */
+    /** Flattened v1 node pool, level order per tree. */
     std::vector<Node> nodes_;
-    /** Leaf payload: regression value (regression kernels). */
+    /** Leaf payload: value (regression / margin kernels). */
     std::vector<float> value_;
-    /** Leaf payload: precomputed class id (classification kernels). */
+    /** Leaf payload: precomputed class id (vote kernels). */
     std::vector<std::int32_t> leaf_class_;
 
     std::vector<TreeTile> tiles_;
+
+    /** v2 plan; null when the kernel compiled the v1 layout. */
+    std::unique_ptr<KernelV2Plan> v2_;
 };
 
 }  // namespace dbscore

@@ -1,0 +1,681 @@
+#include "dbscore/forest/forest_kernel_v2.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "dbscore/common/error.h"
+#include "dbscore/forest/simd.h"
+#include "dbscore/forest/tree.h"
+
+namespace dbscore {
+
+namespace {
+
+/**
+ * Base rows per scalar v2 traversal group. Same ILP rationale as the
+ * v1 loop — independent dependence chains hide node-load latency — but
+ * v2 lets the autotuner widen this to 32 or 64 rows (groups 2/4) when
+ * the model spills out of cache and the extra in-flight loads pay.
+ */
+constexpr std::size_t kScalarLanes = 16;
+
+/**
+ * Scalar exact traversal: kLanes rows through one tree. Identical
+ * descend arithmetic to v1 (left + !(x <= t), NaN right), only the
+ * node encoding differs — one interleaved 8-byte word per node
+ * (threshold low, feature/left meta high, left tree-local), so each
+ * step costs a single node load from a single cache line.
+ */
+template <std::size_t kLanes>
+inline void
+TraverseExactScalar(const std::uint64_t* enode, std::int32_t base,
+                    std::int32_t depth, const float* const* rowp,
+                    std::int32_t* n)
+{
+    // Two narrow loads per node instead of one u64 load: the threshold
+    // goes straight to an FP register and the meta half to a GPR, so no
+    // shift-and-transfer uops sit on the compare's critical path.
+    const auto* fp = reinterpret_cast<const float*>(enode + base);
+    const auto* mp =
+        reinterpret_cast<const std::uint32_t*>(enode + base) + 1;
+    for (std::size_t k = 0; k < kLanes; ++k) {
+        n[k] = 0;
+    }
+    for (std::int32_t d = 0; d < depth; ++d) {
+        std::int32_t moved = 0;
+        for (std::size_t k = 0; k < kLanes; ++k) {
+            const std::int32_t n2 = 2 * n[k];
+            const float t = fp[n2];
+            const std::uint32_t meta = mp[n2];
+            const auto feat = meta >> kV2LeftBits;
+            const auto left =
+                static_cast<std::int32_t>(meta) & kV2LeftMask;
+            const std::int32_t next =
+                left + static_cast<std::int32_t>(!(rowp[k][feat] <= t));
+            moved |= next ^ n[k];
+            n[k] = next;
+        }
+        if (moved == 0) {
+            break;
+        }
+    }
+}
+
+/**
+ * Scalar quantized traversal over pre-binned rows: the descend compares
+ * integers, bin(x) <= cut(t) standing in for x <= t (see CutFor/BinOf
+ * for why the ranks preserve every comparison).
+ */
+template <std::size_t kLanes>
+inline void
+TraverseQuantScalar(const std::int32_t* qmeta, const std::uint16_t* qcut,
+                    std::int32_t base, std::int32_t depth,
+                    const std::uint16_t* const* rowp, std::int32_t* n)
+{
+    const std::int32_t* const mp = qmeta + base;
+    const std::uint16_t* const cp = qcut + base;
+    for (std::size_t k = 0; k < kLanes; ++k) {
+        n[k] = 0;
+    }
+    for (std::int32_t d = 0; d < depth; ++d) {
+        std::int32_t moved = 0;
+        for (std::size_t k = 0; k < kLanes; ++k) {
+            const std::int32_t w = mp[n[k]];
+            const auto feat = static_cast<std::uint32_t>(w) >> kV2LeftBits;
+            const std::int32_t left = w & kV2LeftMask;
+            const std::int32_t next =
+                left + static_cast<std::int32_t>(
+                           rowp[k][feat] >
+                           static_cast<std::uint16_t>(cp[n[k]]));
+            moved |= next ^ n[k];
+            n[k] = next;
+        }
+        if (moved == 0) {
+            break;
+        }
+    }
+}
+
+/**
+ * SIMD exact traversal: G interleaved groups of simd::kWidth rows
+ * through one tree. Each step gathers the node's threshold and meta
+ * halves (indices 2n and 2n+1 of the interleaved pool, so both land on
+ * the node's one cache line), gathers one feature per lane from the
+ * strided row base, and blends the descend as integer mask arithmetic:
+ * CmpNotLe yields -1 where the row goes right, so next = left - mask.
+ * Interleaving G groups keeps 3G gathers in flight per step, hiding
+ * gather latency on one core. Leaves ({+inf, left = self}) keep every
+ * non-NaN lane parked, and the level loop breaks once all G groups
+ * stop moving.
+ */
+template <int G>
+DBSCORE_SIMD_FN void
+TraverseExactSimd(const std::uint64_t* enode, std::int32_t base,
+                  std::int32_t depth, const float* rows,
+                  std::int32_t stride, std::int32_t* leaves)
+{
+    using namespace simd;
+    // Pre-offset both gather bases by the tree root (and the meta base
+    // by its in-node position), so the hot loop computes only 2n.
+    const auto* fbase = reinterpret_cast<const float*>(enode + base);
+    const auto* ibase =
+        reinterpret_cast<const std::int32_t*>(enode + base) + 1;
+    const VI rowoff = Iota(stride);
+    const VI vmask = Set1(kV2LeftMask);
+    VI n[G];
+    const float* rbase[G];
+    for (int g = 0; g < G; ++g) {
+        n[g] = Set1(0);
+        rbase[g] = rows + static_cast<std::size_t>(g) * kWidth *
+                              static_cast<std::size_t>(stride);
+    }
+    for (std::int32_t d = 0; d < depth; ++d) {
+        // One accumulated motion mask per level replaces a per-group
+        // movemask: parked lanes contribute all-zero next ^ n.
+        VI motion = Set1(0);
+        for (int g = 0; g < G; ++g) {
+            const VI n2 = Add(n[g], n[g]);
+            const VF t = GatherF32(fbase, n2);
+            const VI w = GatherI32(ibase, n2);
+            const VI feat = Srl(w, kV2LeftBits);
+            const VI left = And(w, vmask);
+            const VF x = GatherF32(rbase[g], Add(rowoff, feat));
+            const VI next = Sub(left, CmpNotLe(x, t));
+            motion = Or(motion, Xor(next, n[g]));
+            n[g] = next;
+        }
+        if (!AnyNonZero(motion)) {
+            break;
+        }
+    }
+    for (int g = 0; g < G; ++g) {
+        Store(leaves + static_cast<std::size_t>(g) * kWidth, n[g]);
+    }
+}
+
+/**
+ * SIMD quantized traversal over pre-binned rows: same shape as the
+ * exact loop but every load is 2 bytes narrower — u16 cut and bin
+ * gathers (scale-2 trick, both buffers carry the +2-byte pad) and an
+ * integer compare instead of the float one.
+ */
+template <int G>
+DBSCORE_SIMD_FN void
+TraverseQuantSimd(const std::int32_t* qmeta, const std::uint16_t* qcut,
+                  std::int32_t base, std::int32_t depth,
+                  const std::uint16_t* binned, std::int32_t stride,
+                  std::int32_t* leaves)
+{
+    using namespace simd;
+    const std::int32_t* mbase = qmeta + base;
+    const std::uint16_t* cbase = qcut + base;
+    const VI rowoff = Iota(stride);
+    const VI vmask = Set1(kV2LeftMask);
+    VI n[G];
+    const std::uint16_t* rbase[G];
+    for (int g = 0; g < G; ++g) {
+        n[g] = Set1(0);
+        rbase[g] = binned + static_cast<std::size_t>(g) * kWidth *
+                                static_cast<std::size_t>(stride);
+    }
+    for (std::int32_t d = 0; d < depth; ++d) {
+        VI motion = Set1(0);
+        for (int g = 0; g < G; ++g) {
+            const VI w = GatherI32(mbase, n[g]);
+            const VI cut = GatherU16(cbase, n[g]);
+            const VI feat = Srl(w, kV2LeftBits);
+            const VI left = And(w, vmask);
+            const VI b = GatherU16(rbase[g], Add(rowoff, feat));
+            const VI next = Sub(left, CmpGt(b, cut));
+            motion = Or(motion, Xor(next, n[g]));
+            n[g] = next;
+        }
+        if (!AnyNonZero(motion)) {
+            break;
+        }
+    }
+    for (int g = 0; g < G; ++g) {
+        Store(leaves + static_cast<std::size_t>(g) * kWidth, n[g]);
+    }
+}
+
+/** Dispatches the group-count template parameter (G in {1, 2, 4, 8}). */
+DBSCORE_SIMD_FN void
+RunExactSimd(std::size_t groups, const std::uint64_t* enode,
+             std::int32_t base, std::int32_t depth, const float* rows,
+             std::int32_t stride, std::int32_t* leaves)
+{
+    switch (groups) {
+    case 1:
+        TraverseExactSimd<1>(enode, base, depth, rows, stride, leaves);
+        break;
+    case 2:
+        TraverseExactSimd<2>(enode, base, depth, rows, stride, leaves);
+        break;
+    case 8:
+        TraverseExactSimd<8>(enode, base, depth, rows, stride, leaves);
+        break;
+    default:
+        TraverseExactSimd<4>(enode, base, depth, rows, stride, leaves);
+        break;
+    }
+}
+
+DBSCORE_SIMD_FN void
+RunQuantSimd(std::size_t groups, const std::int32_t* qmeta,
+             const std::uint16_t* qcut, std::int32_t base,
+             std::int32_t depth, const std::uint16_t* binned,
+             std::int32_t stride, std::int32_t* leaves)
+{
+    switch (groups) {
+    case 1:
+        TraverseQuantSimd<1>(qmeta, qcut, base, depth, binned, stride,
+                             leaves);
+        break;
+    case 2:
+        TraverseQuantSimd<2>(qmeta, qcut, base, depth, binned, stride,
+                             leaves);
+        break;
+    case 8:
+        TraverseQuantSimd<8>(qmeta, qcut, base, depth, binned, stride,
+                             leaves);
+        break;
+    default:
+        TraverseQuantSimd<4>(qmeta, qcut, base, depth, binned, stride,
+                             leaves);
+        break;
+    }
+}
+
+/** Scalar traversal of L rows into n[], exact or quantized. */
+template <std::size_t L>
+inline void
+ScalarTraverse(const KernelV2Plan& plan, bool quant, std::int32_t base,
+               std::int32_t depth, const float* const* rowp,
+               const std::uint16_t* const* browp, std::int32_t* n)
+{
+    if (quant) {
+        TraverseQuantScalar<L>(plan.qmeta.data(), plan.qcut.data(), base,
+                               depth, browp, n);
+    } else {
+        TraverseExactScalar<L>(plan.enode.data(), base, depth, rowp, n);
+    }
+}
+
+/**
+ * Scalar vote loop over full L-row groups, advancing @p r; the caller
+ * finishes the sub-L tail with L = 1.
+ */
+template <std::size_t L>
+void
+ScalarVoteGroups(const KernelV2Plan& plan, bool quant,
+                 const std::int32_t* roots, const std::int32_t* depths,
+                 const std::int32_t* cls, const float* rows,
+                 std::size_t num_rows, std::size_t stride,
+                 const std::uint16_t* binned, std::size_t brow,
+                 std::int32_t* counts, std::size_t num_classes,
+                 std::size_t& r)
+{
+    for (; r + L <= num_rows; r += L) {
+        const float* rowp[L];
+        const std::uint16_t* browp[L];
+        for (std::size_t i = 0; i < L; ++i) {
+            rowp[i] = rows + (r + i) * stride;
+            browp[i] = binned + (r + i) * brow;
+        }
+        for (const KernelV2Plan::Tile& tile : plan.tiles) {
+            for (std::size_t t = tile.first_tree; t < tile.end_tree; ++t) {
+                const std::int32_t base = roots[t];
+                std::int32_t n[L];
+                ScalarTraverse<L>(plan, quant, base, depths[t], rowp,
+                                  browp, n);
+                for (std::size_t i = 0; i < L; ++i) {
+                    ++counts[(r + i) * num_classes +
+                             static_cast<std::size_t>(cls[base + n[i]])];
+                }
+            }
+        }
+    }
+}
+
+/** Scalar accumulate loop over full L-row groups, advancing @p r. */
+template <std::size_t L>
+void
+ScalarAccumulateGroups(const KernelV2Plan& plan, bool quant,
+                       const std::int32_t* roots, const std::int32_t* depths,
+                       const float* val, double scale, const float* rows,
+                       std::size_t num_rows, std::size_t stride,
+                       const std::uint16_t* binned, std::size_t brow,
+                       double* sums, std::size_t& r)
+{
+    for (; r + L <= num_rows; r += L) {
+        const float* rowp[L];
+        const std::uint16_t* browp[L];
+        for (std::size_t i = 0; i < L; ++i) {
+            rowp[i] = rows + (r + i) * stride;
+            browp[i] = binned + (r + i) * brow;
+        }
+        for (const KernelV2Plan::Tile& tile : plan.tiles) {
+            for (std::size_t t = tile.first_tree; t < tile.end_tree; ++t) {
+                const std::int32_t base = roots[t];
+                std::int32_t n[L];
+                ScalarTraverse<L>(plan, quant, base, depths[t], rowp,
+                                  browp, n);
+                for (std::size_t i = 0; i < L; ++i) {
+                    sums[r + i] += scale * val[base + n[i]];
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+
+bool
+V2Supported(const std::vector<DecisionTree>& trees,
+            std::size_t num_features)
+{
+    if (num_features > kV2MaxFeature) {
+        return false;
+    }
+    for (const auto& tree : trees) {
+        // Tree-local left indices must fit the packed 17-bit field.
+        if (tree.NumNodes() > kV2MaxTreeNodes) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+V2SimdRuntimeEnabled()
+{
+    if (!simd::HaveSimd()) {
+        return false;
+    }
+    // Runtime escape hatch mirroring the DBSCORE_SIMD=OFF build leg:
+    // lets one binary A/B the vector and scalar inner loops.
+    const char* env = std::getenv("DBSCORE_SIMD");
+    if (env != nullptr &&
+        (std::strcmp(env, "off") == 0 || std::strcmp(env, "OFF") == 0 ||
+         std::strcmp(env, "0") == 0)) {
+        return false;
+    }
+    return true;
+}
+
+std::size_t
+KernelV2Plan::GroupRows() const
+{
+    // The scalar loop widths top out at 64 lanes (groups 4).
+    return use_simd ? groups * simd::kWidth
+                    : kScalarLanes * std::min<std::size_t>(groups, 4);
+}
+
+void
+KernelV2Plan::Retile(const ForestKernel& kernel)
+{
+    tiles.clear();
+    const std::size_t num_trees = kernel.roots_.size();
+    std::size_t tile_start = 0;
+    std::size_t tile_nodes = 0;
+    for (std::size_t t = 0; t < num_trees; ++t) {
+        const std::size_t end = t + 1 < num_trees
+                                    ? static_cast<std::size_t>(
+                                          kernel.roots_[t + 1])
+                                    : kernel.num_nodes_;
+        const std::size_t nodes =
+            end - static_cast<std::size_t>(kernel.roots_[t]);
+        if (t > tile_start && tile_nodes + nodes > tile_node_budget) {
+            tiles.push_back({tile_start, t});
+            tile_start = t;
+            tile_nodes = 0;
+        }
+        tile_nodes += nodes;
+    }
+    tiles.push_back({tile_start, num_trees});
+}
+
+void
+KernelV2Plan::InitQuantization(const std::vector<DecisionTree>& trees,
+                               std::size_t num_features)
+{
+    // Collect every distinct decision threshold per feature. When each
+    // one gets its own bin the rank encoding preserves every x <= t
+    // outcome exactly (quant_exact); features with more distinct
+    // thresholds than the u16 encoding can hold are subsampled evenly,
+    // degrading to the epsilon contract.
+    std::vector<std::vector<float>> per(num_features);
+    std::size_t total_nodes = 0;
+    for (const auto& tree : trees) {
+        total_nodes += tree.NumNodes();
+        for (std::size_t i = 0; i < tree.NumNodes(); ++i) {
+            const auto node = static_cast<std::int32_t>(i);
+            if (!tree.IsLeaf(node)) {
+                per[static_cast<std::size_t>(tree.Feature(node))]
+                    .push_back(tree.Threshold(node));
+            }
+        }
+    }
+    edge_off.assign(num_features + 1, 0);
+    quant_exact = true;
+    max_bins = 0;
+    for (std::size_t f = 0; f < num_features; ++f) {
+        auto& t = per[f];
+        std::sort(t.begin(), t.end());
+        t.erase(std::unique(t.begin(), t.end()), t.end());
+        if (t.size() > kV2MaxBins) {
+            // Even subsample keeping first and last, so the kept edges
+            // still bracket the feature's threshold range.
+            std::vector<float> kept;
+            kept.reserve(kV2MaxBins);
+            const double step = static_cast<double>(t.size() - 1) /
+                                static_cast<double>(kV2MaxBins - 1);
+            for (std::size_t i = 0; i < kV2MaxBins; ++i) {
+                kept.push_back(
+                    t[static_cast<std::size_t>(
+                        static_cast<double>(i) * step + 0.5)]);
+            }
+            kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+            t = std::move(kept);
+            quant_exact = false;
+        }
+        max_bins = std::max(max_bins, t.size());
+        edge_off[f + 1] =
+            edge_off[f] + static_cast<std::uint32_t>(t.size());
+    }
+    edges.reserve(edge_off[num_features]);
+    for (std::size_t f = 0; f < num_features; ++f) {
+        edges.insert(edges.end(), per[f].begin(), per[f].end());
+    }
+    qmeta.reserve(total_nodes);
+    qcut.reserve(total_nodes + 1);
+}
+
+std::uint16_t
+KernelV2Plan::CutFor(std::size_t feature, float t) const
+{
+    const float* lo = edges.data() + edge_off[feature];
+    const float* hi = edges.data() + edge_off[feature + 1];
+    // Rank of the last edge <= t: bin(x) <= rank  <=>  x <= that edge,
+    // which equals x <= t exactly when t itself is an edge (always the
+    // case unless this feature was subsampled).
+    const auto rank =
+        static_cast<std::ptrdiff_t>(std::upper_bound(lo, hi, t) - lo) - 1;
+    return static_cast<std::uint16_t>(std::max<std::ptrdiff_t>(rank, 0));
+}
+
+std::uint16_t
+KernelV2Plan::BinOf(std::size_t feature, float x) const
+{
+    if (std::isnan(x)) {
+        // Greater than every decision cut (NaN descends right) yet
+        // <= the 0xFFFF leaf sentinel, so parked lanes stay parked.
+        return kV2NanBin;
+    }
+    const float* lo = edges.data() + edge_off[feature];
+    const float* hi = edges.data() + edge_off[feature + 1];
+    return static_cast<std::uint16_t>(std::lower_bound(lo, hi, x) - lo);
+}
+
+void
+KernelV2Plan::RunBlockVote(const ForestKernel& k, const float* rows,
+                           std::size_t num_rows, std::size_t stride,
+                           float* out, ForestKernel::Scratch& scratch) const
+{
+    const auto num_classes = static_cast<std::size_t>(k.num_classes_);
+    const std::int32_t* const cls = k.leaf_class_.data();
+    std::int32_t* const counts = scratch.counts.data();
+    std::fill(counts, counts + num_rows * num_classes, 0);
+
+    const bool quant = mode == KernelMode::kQuantized;
+    const std::uint16_t* const binned = scratch.binned.data();
+    const std::size_t brow = k.num_features_;
+    const std::size_t grows = GroupRows();
+    std::int32_t* const leaves = scratch.leaves.data();
+
+    std::size_t r = 0;
+    if (use_simd) {
+        const auto sstride = static_cast<std::int32_t>(stride);
+        const auto bstride = static_cast<std::int32_t>(brow);
+        for (; r + grows <= num_rows; r += grows) {
+            for (const Tile& tile : tiles) {
+                for (std::size_t t = tile.first_tree; t < tile.end_tree;
+                     ++t) {
+                    const std::int32_t base = k.roots_[t];
+                    if (quant) {
+                        RunQuantSimd(groups, qmeta.data(), qcut.data(),
+                                     base, k.depths_[t], binned + r * brow,
+                                     bstride, leaves);
+                    } else {
+                        RunExactSimd(groups, enode.data(), base,
+                                     k.depths_[t], rows + r * stride,
+                                     sstride, leaves);
+                    }
+                    for (std::size_t i = 0; i < grows; ++i) {
+                        ++counts[(r + i) * num_classes +
+                                 static_cast<std::size_t>(
+                                     cls[base + leaves[i]])];
+                    }
+                }
+            }
+        }
+    } else {
+        switch (groups) {
+        case 1:
+            ScalarVoteGroups<kScalarLanes>(
+                *this, quant, k.roots_.data(), k.depths_.data(), cls, rows,
+                num_rows, stride, binned, brow, counts, num_classes, r);
+            break;
+        case 2:
+            ScalarVoteGroups<2 * kScalarLanes>(
+                *this, quant, k.roots_.data(), k.depths_.data(), cls, rows,
+                num_rows, stride, binned, brow, counts, num_classes, r);
+            break;
+        default:
+            ScalarVoteGroups<4 * kScalarLanes>(
+                *this, quant, k.roots_.data(), k.depths_.data(), cls, rows,
+                num_rows, stride, binned, brow, counts, num_classes, r);
+            break;
+        }
+    }
+    ScalarVoteGroups<1>(*this, quant, k.roots_.data(), k.depths_.data(),
+                        cls, rows, num_rows, stride, binned, brow, counts,
+                        num_classes, r);
+
+    for (std::size_t i = 0; i < num_rows; ++i) {
+        const std::int32_t* c = counts + i * num_classes;
+        std::size_t best = 0;
+        for (std::size_t j = 1; j < num_classes; ++j) {
+            // Strict > keeps the lowest class id on ties (MajorityVote).
+            if (c[j] > c[best]) {
+                best = j;
+            }
+        }
+        out[i] = static_cast<float>(best);
+    }
+}
+
+void
+KernelV2Plan::RunBlockAccumulate(const ForestKernel& k, const float* rows,
+                                 std::size_t num_rows, std::size_t stride,
+                                 float* out,
+                                 ForestKernel::Scratch& scratch) const
+{
+    const float* const val = k.value_.data();
+    const double scale = k.scale_;
+    double* const sums = scratch.sums.data();
+    std::fill(sums, sums + num_rows, k.init_);
+
+    const bool quant = mode == KernelMode::kQuantized;
+    const std::uint16_t* const binned = scratch.binned.data();
+    const std::size_t brow = k.num_features_;
+    const std::size_t grows = GroupRows();
+    std::int32_t* const leaves = scratch.leaves.data();
+
+    // Tiles cover consecutive trees, so each row's double sum
+    // accumulates in ensemble order — bit-identical to the reference.
+    std::size_t r = 0;
+    if (use_simd) {
+        const auto sstride = static_cast<std::int32_t>(stride);
+        const auto bstride = static_cast<std::int32_t>(brow);
+        for (; r + grows <= num_rows; r += grows) {
+            for (const Tile& tile : tiles) {
+                for (std::size_t t = tile.first_tree; t < tile.end_tree;
+                     ++t) {
+                    const std::int32_t base = k.roots_[t];
+                    if (quant) {
+                        RunQuantSimd(groups, qmeta.data(), qcut.data(),
+                                     base, k.depths_[t], binned + r * brow,
+                                     bstride, leaves);
+                    } else {
+                        RunExactSimd(groups, enode.data(), base,
+                                     k.depths_[t], rows + r * stride,
+                                     sstride, leaves);
+                    }
+                    for (std::size_t i = 0; i < grows; ++i) {
+                        sums[r + i] += scale * val[base + leaves[i]];
+                    }
+                }
+            }
+        }
+    } else {
+        switch (groups) {
+        case 1:
+            ScalarAccumulateGroups<kScalarLanes>(
+                *this, quant, k.roots_.data(), k.depths_.data(), val,
+                scale, rows, num_rows, stride, binned, brow, sums, r);
+            break;
+        case 2:
+            ScalarAccumulateGroups<2 * kScalarLanes>(
+                *this, quant, k.roots_.data(), k.depths_.data(), val,
+                scale, rows, num_rows, stride, binned, brow, sums, r);
+            break;
+        default:
+            ScalarAccumulateGroups<4 * kScalarLanes>(
+                *this, quant, k.roots_.data(), k.depths_.data(), val,
+                scale, rows, num_rows, stride, binned, brow, sums, r);
+            break;
+        }
+    }
+    ScalarAccumulateGroups<1>(*this, quant, k.roots_.data(),
+                              k.depths_.data(), val, scale, rows, num_rows,
+                              stride, binned, brow, sums, r);
+    k.FinishSums(sums, num_rows, out);
+}
+
+void
+KernelV2Plan::RunStrided(const ForestKernel& k, const float* rows,
+                         std::size_t num_rows, std::size_t stride,
+                         float* out, ForestKernel::Scratch& scratch) const
+{
+    const bool vote = k.combine_ == KernelCombine::kVoteClassify;
+    if (vote) {
+        const std::size_t need =
+            row_block * static_cast<std::size_t>(k.num_classes_);
+        if (scratch.counts.size() < need) {
+            scratch.counts.resize(need);
+        }
+    } else if (scratch.sums.size() < row_block) {
+        scratch.sums.resize(row_block);
+    }
+    if (scratch.leaves.size() < GroupRows()) {
+        scratch.leaves.resize(GroupRows());
+    }
+    const bool quant = mode == KernelMode::kQuantized;
+    if (quant) {
+        // +1 element pads the final row for the scale-2 u16 gather.
+        const std::size_t need = row_block * k.num_features_ + 1;
+        if (scratch.binned.size() < need) {
+            scratch.binned.resize(need);
+        }
+    }
+
+    for (std::size_t begin = 0; begin < num_rows; begin += row_block) {
+        const std::size_t block = std::min(row_block, num_rows - begin);
+        const float* block_rows = rows + begin * stride;
+        if (quant) {
+            // Bin once per block: D tree levels then compare integers,
+            // so the log-time edge search amortizes across every tree.
+            std::uint16_t* b = scratch.binned.data();
+            for (std::size_t i = 0; i < block; ++i) {
+                const float* row = block_rows + i * stride;
+                for (std::size_t f = 0; f < k.num_features_; ++f) {
+                    *b++ = BinOf(f, row[f]);
+                }
+            }
+        }
+        if (vote) {
+            RunBlockVote(k, block_rows, block, stride, out + begin,
+                         scratch);
+        } else {
+            RunBlockAccumulate(k, block_rows, block, stride, out + begin,
+                               scratch);
+        }
+    }
+}
+
+}  // namespace dbscore

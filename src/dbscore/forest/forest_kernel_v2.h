@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Internal v2 plan of ForestKernel: structure-of-arrays node layout
+ * built for SIMD gathers, in an exact and a quantized flavor, plus the
+ * tuned runtime parameters the autotuner picks. Not part of the public
+ * API — include forest_kernel.h instead.
+ *
+ * Layout (all arrays indexed by global pool position, tree-local
+ * traversal indices are rebased by the tree's root offset):
+ *
+ *  - exact: `enode`, one interleaved 8-byte word per node — the f32
+ *    threshold bits in the low half and a packed feature:15 | left:17
+ *    meta word (left child as a tree-local index) in the high half.
+ *    Interleaving (rather than split thr/lf arrays) keeps each descend
+ *    step on a single cache line: the scalar loop does one 8-byte
+ *    load, the SIMD loop two 4-byte gathers at indices 2n and 2n+1 of
+ *    the same base.
+ *  - quantized: `qmeta` (same feature/left packing) + `qcut` (u16 bin
+ *    rank of the threshold within the feature's sorted distinct
+ *    thresholds; 0xFFFF marks a leaf) — 6 bytes/node. Rows are
+ *    pre-binned once per row block (bin(x) = #{edges < x}, NaN =
+ *    0xFFFF) so the descend compares integers: bin(x) <= cut(t) is
+ *    exactly x <= t whenever every distinct threshold got its own bin
+ *    (`quant_exact`), and an epsilon-rank approximation when a
+ *    feature's threshold count had to be subsampled below 2^16 - 2.
+ *
+ * The shared leaf payloads (value / leaf class), tree roots, and
+ * depths live on the owning ForestKernel; the plan only adds what the
+ * v2 traversal needs.
+ */
+#ifndef DBSCORE_FOREST_FOREST_KERNEL_V2_H
+#define DBSCORE_FOREST_FOREST_KERNEL_V2_H
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dbscore/forest/forest_kernel.h"
+
+namespace dbscore {
+
+/** Bits of the packed lf/qmeta word holding the tree-local left id. */
+inline constexpr int kV2LeftBits = 17;
+inline constexpr std::int32_t kV2LeftMask = (1 << kV2LeftBits) - 1;
+/** Largest tree (nodes) and feature id the packed word can address. */
+inline constexpr std::size_t kV2MaxTreeNodes = std::size_t{1}
+                                               << kV2LeftBits;
+inline constexpr std::size_t kV2MaxFeature = 32767;
+/** Quantized leaf sentinel: bin(x) <= 0xFFFF always holds. */
+inline constexpr std::uint16_t kV2LeafCut = 0xFFFF;
+/** Pre-binned NaN sentinel: greater than every decision cut. */
+inline constexpr std::uint16_t kV2NanBin = 0xFFFF;
+/** Per-feature bin-count cap (cuts must stay below the sentinels). */
+inline constexpr std::size_t kV2MaxBins = 0xFFFE;
+
+/** Packs one exact v2 node: threshold bits low, meta word high. */
+inline std::uint64_t
+V2PackExact(float threshold, std::int32_t meta)
+{
+    return (static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(meta))
+            << 32) |
+           std::bit_cast<std::uint32_t>(threshold);
+}
+
+struct KernelV2Plan {
+    KernelMode mode = KernelMode::kExact;
+
+    // ------------------------------------------------ exact layout --
+    std::vector<std::uint64_t> enode;
+
+    // -------------------------------------------- quantized layout --
+    std::vector<std::int32_t> qmeta;
+    /** Padded by one element for the shim's scale-2 u16 gather. */
+    std::vector<std::uint16_t> qcut;
+    /** Sorted distinct (possibly subsampled) thresholds, flat. */
+    std::vector<float> edges;
+    /** Per-feature [edge_off[f], edge_off[f+1]) segment of `edges`. */
+    std::vector<std::uint32_t> edge_off;
+    bool quant_exact = true;
+    std::size_t max_bins = 0;
+
+    /** Per-feature threshold range, for the autotuner's sample rows. */
+    std::vector<float> tune_lo;
+    std::vector<float> tune_hi;
+
+    // ------------------------------------- tuned runtime parameters --
+    std::size_t row_block = 64;
+    std::size_t tile_node_budget = std::size_t{1} << 16;
+    /** Lane-width multiplier: with SIMD, row groups (of simd::kWidth
+     * rows) interleaved per tree; without, the scalar loop runs
+     * 16 * groups independent rows per tree. Either way more groups
+     * means more loads in flight to hide node-load latency. */
+    std::size_t groups = 2;
+    bool use_simd = false;
+    bool autotuned = false;
+
+    struct Tile {
+        std::size_t first_tree;
+        std::size_t end_tree;
+    };
+    std::vector<Tile> tiles;
+
+    /** Rows one traversal group covers under the current parameters. */
+    std::size_t GroupRows() const;
+
+    /** Rebuilds `tiles` for the current tile_node_budget. */
+    void Retile(const ForestKernel& kernel);
+
+    /**
+     * Precomputes per-feature threshold edges and sets up the
+     * quantized arrays' reservations. Must run before nodes are
+     * emitted in quantized mode.
+     */
+    void InitQuantization(const std::vector<DecisionTree>& trees,
+                          std::size_t num_features);
+
+    /** Bin rank of decision threshold @p t on feature @p feature. */
+    std::uint16_t CutFor(std::size_t feature, float t) const;
+
+    /** bin(x) = #{edges[feature] < x}; NaN maps to kV2NanBin. */
+    std::uint16_t BinOf(std::size_t feature, float x) const;
+
+    /**
+     * One row block: classification vote kernels. @p stride is the
+     * float distance between consecutive rows.
+     */
+    void RunBlockVote(const ForestKernel& k, const float* rows,
+                      std::size_t num_rows, std::size_t stride, float* out,
+                      ForestKernel::Scratch& scratch) const;
+
+    /** One row block: sum-accumulating kernels (regress / margin). */
+    void RunBlockAccumulate(const ForestKernel& k, const float* rows,
+                            std::size_t num_rows, std::size_t stride,
+                            float* out,
+                            ForestKernel::Scratch& scratch) const;
+
+    /** Blocked driver, mirroring ForestKernel::RunStrided for v1. */
+    void RunStrided(const ForestKernel& k, const float* rows,
+                    std::size_t num_rows, std::size_t stride, float* out,
+                    ForestKernel::Scratch& scratch) const;
+};
+
+/** True when every tree/feature fits the packed v2 node word. */
+bool V2Supported(const std::vector<DecisionTree>& trees,
+                 std::size_t num_features);
+
+/** True when the SIMD shim may run on this machine (see simd.h), and
+ * neither the build (DBSCORE_SIMD=OFF) nor the environment
+ * (DBSCORE_SIMD=off) forces the scalar loop. */
+bool V2SimdRuntimeEnabled();
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_FOREST_FOREST_KERNEL_V2_H

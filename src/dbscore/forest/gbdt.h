@@ -18,9 +18,12 @@
 #define DBSCORE_FOREST_GBDT_H
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 
 #include "dbscore/data/dataset.h"
 #include "dbscore/forest/forest.h"
+#include "dbscore/forest/forest_kernel.h"
 #include "dbscore/forest/onnx_like.h"
 
 namespace dbscore {
@@ -44,6 +47,13 @@ class GradientBoostedModel {
     GradientBoostedModel(Task task, std::size_t num_features,
                          double base_score, double learning_rate);
 
+    // Value semantics despite the kernel-cache mutex: copies share the
+    // (immutable) compiled kernel, never the lock.
+    GradientBoostedModel(const GradientBoostedModel& other);
+    GradientBoostedModel& operator=(const GradientBoostedModel& other);
+    GradientBoostedModel(GradientBoostedModel&& other) noexcept;
+    GradientBoostedModel& operator=(GradientBoostedModel&& other) noexcept;
+
     Task task() const { return task_; }
     std::size_t num_features() const { return num_features_; }
     double base_score() const { return base_score_; }
@@ -62,7 +72,27 @@ class GradientBoostedModel {
      */
     float Predict(const float* row) const;
 
+    /**
+     * Batch prediction. Delegates to the cached ForestKernel (margin
+     * combiner: base + lr * sum accumulated in double in tree order,
+     * classification thresholded after the sigmoid) whenever the
+     * kernel supports the model; bit-identical to per-row Predict
+     * either way.
+     */
     std::vector<float> PredictBatch(const Dataset& data) const;
+
+    /**
+     * The compiled margin-combining inference plan under the default
+     * options: built on first call, cached until the model mutates,
+     * shared by copies. Thread-safe.
+     * @throws InvalidArgument when the model is not kernel-compilable
+     */
+    std::shared_ptr<const ForestKernel> Kernel() const;
+
+    /** Same, honoring @p options (part of the cache key, as for
+     * RandomForest::Kernel). */
+    std::shared_ptr<const ForestKernel> Kernel(
+        const ForestKernelOptions& options) const;
 
     /** Classification accuracy / regression is invalid. */
     double Accuracy(const Dataset& data) const;
@@ -85,6 +115,12 @@ class GradientBoostedModel {
     double base_score_ = 0.0;
     double learning_rate_ = 0.1;
     std::vector<DecisionTree> trees_;
+
+    /** Lazily-built compiled kernel; null until first batch call. */
+    mutable std::shared_ptr<const ForestKernel> kernel_;
+    /** Options the cached kernel was built with (the cache key). */
+    mutable ForestKernelOptions kernel_options_;
+    mutable std::mutex kernel_mutex_;
 };
 
 /**

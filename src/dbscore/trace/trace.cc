@@ -54,6 +54,7 @@ StageName(StageKind stage)
     case StageKind::kPageRead: return "page-read";
     case StageKind::kPageWrite: return "page-write";
     case StageKind::kBufferPool: return "buffer-pool";
+    case StageKind::kKernelBuild: return "kernel-build";
     }
     return "unknown";
 }
@@ -88,6 +89,7 @@ StagePaperComponent(StageKind stage)
     case StageKind::kPageRead: return "storage: page read";
     case StageKind::kPageWrite: return "storage: page write";
     case StageKind::kBufferPool: return "storage: pool miss";
+    case StageKind::kKernelBuild: return "functional kernel build";
     default: return "-";
     }
 }

@@ -84,9 +84,10 @@ enum class StageKind : std::uint8_t {
     kPageRead,          ///< storage: one page read from the page file
     kPageWrite,         ///< storage: one page write to the page file
     kBufferPool,        ///< storage: buffer-pool miss (fill + eviction)
+    kKernelBuild,       ///< wall-clock: ForestKernel compile (+ autotune)
 };
 
-inline constexpr int kNumStageKinds = 27;
+inline constexpr int kNumStageKinds = 28;
 
 /** Stable lowercase-dash name, e.g. "queue-wait"; also the Chrome cat. */
 const char* StageName(StageKind stage);

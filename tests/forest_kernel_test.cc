@@ -151,6 +151,7 @@ TEST(ForestKernelTest, TilesPartitionLargeEnsembles)
     RandomForest forest = TrainSmallIris(32, 6, 41);
     ForestKernelOptions options;
     options.tile_node_budget = 64;  // force several tiles
+    options.autotune = false;       // keep the explicit budget
     ForestKernel kernel(forest, options);
     EXPECT_GT(kernel.NumTiles(), 1u);
 
