@@ -74,6 +74,20 @@ RowView::Slice(std::size_t begin, std::size_t end) const
     return out;
 }
 
+RowView
+RowView::Prefix(std::size_t cols) const
+{
+    if (cols > cols_) {
+        throw InvalidArgument("row view: prefix wider than the view");
+    }
+    RowView out = *this;
+    out.cols_ = cols;
+    if (cols == 0) {
+        out = RowView();
+    }
+    return out;
+}
+
 RowBlock
 RowView::Materialize() const
 {

@@ -93,6 +93,14 @@ class RowView {
     /** Rows [begin, end); shares this view's keepalive. */
     RowView Slice(std::size_t begin, std::size_t end) const;
 
+    /**
+     * Column prefix [0, cols) of every row — the stride trick: the
+     * narrowed view keeps this view's stride, so it reads the first
+     * @p cols values of each row in place, no copy. Shares the
+     * keepalive. @p cols must not exceed cols().
+     */
+    RowView Prefix(std::size_t cols) const;
+
     /** True when the view holds a refcount on its storage. */
     bool shared() const { return keepalive_ != nullptr; }
 

@@ -11,6 +11,7 @@ namespace dbscore {
 
 namespace {
 constexpr const char* kModelsTable = "models";
+constexpr const char* kModelMetaTable = "model_meta";
 }  // namespace
 
 std::string
@@ -28,6 +29,7 @@ Database::CreateTable(const std::string& name, std::vector<ColumnDef> schema)
         throw InvalidArgument("database: table '" + name +
                               "' already exists");
     }
+    NoteCatalogChange();
     return it->second;
 }
 
@@ -63,6 +65,10 @@ Database::DropTable(const std::string& name)
     if (tables_.erase(Key(name)) == 0) {
         throw NotFound("database: no table '" + name + "'");
     }
+    if (EqualsIgnoreCase(name, kModelMetaTable)) {
+        model_meta_paged_ = false;
+    }
+    NoteCatalogChange();
 }
 
 std::vector<std::string>
@@ -113,6 +119,7 @@ Database::RegisterPaged(const std::string& name,
         throw InvalidArgument("database: table '" + name +
                               "' already exists");
     }
+    NoteCatalogChange();
     return it->second;
 }
 
@@ -263,7 +270,46 @@ Database::StoreModel(const std::string& model_name,
                                    {"model", ColumnType::kBlob}});
     }
     Table& table = GetTable(kModelsTable);
-    table.AppendRow({model_name, ensemble.Serialize()});
+    std::vector<std::uint8_t> blob = ensemble.Serialize();
+    const std::uint64_t blob_bytes = blob.size();
+    table.AppendRow({model_name, std::move(blob)});
+    if (model_meta_paged_ && HasTable(kModelMetaTable)) {
+        // Mirror the numeric metadata through the buffer pool so
+        // sp_storage_stats reports the model catalog too.
+        Table& meta = GetTable(kModelMetaTable);
+        meta.AppendRow({static_cast<double>(next_model_id_++),
+                        static_cast<double>(blob_bytes),
+                        static_cast<double>(ensemble.NumTrees()),
+                        static_cast<double>(ensemble.NumNodes()),
+                        static_cast<double>(ensemble.num_features),
+                        static_cast<double>(ensemble.num_classes),
+                        static_cast<double>(
+                            static_cast<int>(ensemble.task))});
+    }
+    NoteCatalogChange();
+}
+
+Table&
+Database::EnableModelMetaPaging(const std::string& page_path,
+                                const storage::StorageOptions& options)
+{
+    if (!model_meta_paged_) {
+        if (!HasTable(kModelMetaTable)) {
+            // All-numeric schema: the page format stores float32
+            // cells, so only the metadata (not the blob) pages out.
+            // No column is named "label" -> every column is a feature
+            // column and the store's label slot is unused.
+            std::vector<std::string> columns = {
+                "model_id",  "blob_bytes",  "num_trees", "num_nodes",
+                "num_features", "num_classes", "task"};
+            const std::size_t no_label = columns.size();
+            auto store = storage::PagedTable::Create(
+                page_path, std::move(columns), no_label, options);
+            RegisterPaged(kModelMetaTable, std::move(store));
+        }
+        model_meta_paged_ = true;
+    }
+    return GetTable(kModelMetaTable);
 }
 
 const std::vector<std::uint8_t>&

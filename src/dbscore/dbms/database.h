@@ -92,6 +92,30 @@ class Database {
     /** Serialized size of a stored model blob. @throws NotFound */
     std::uint64_t ModelBlobBytes(const std::string& model_name) const;
 
+    /**
+     * Monotonic counter bumped by every catalog mutation (table
+     * create/drop, model store, paged attach). Cached query plans
+     * carry the version they compiled against and are invalidated when
+     * it moves (plan/plan_cache.h).
+     */
+    std::uint64_t catalog_version() const { return catalog_version_; }
+
+    /** Records a catalog mutation (also for out-of-band changes, e.g.
+     * INSERTs into the models table through the engine). */
+    void NoteCatalogChange() { ++catalog_version_; }
+
+    /**
+     * Creates (or returns) the paged "model_meta" side table and
+     * starts mirroring per-model metadata into it: one row per
+     * StoreModel call with columns model_id, blob_bytes, num_trees,
+     * num_nodes, num_features, num_classes, task. Routing model
+     * metadata through PagedTable means sp_storage_stats covers the
+     * model catalog like any other paged table. Blobs themselves stay
+     * in the in-memory "models" table (page cells are float32).
+     */
+    Table& EnableModelMetaPaging(const std::string& page_path,
+                                 const storage::StorageOptions& options = {});
+
  private:
     /** Case-insensitive name key. */
     static std::string Key(const std::string& name);
@@ -104,6 +128,11 @@ class Database {
     ModelBlob(const std::string& model_name) const;
 
     std::map<std::string, Table> tables_;
+    std::uint64_t catalog_version_ = 0;
+    /** Next model_id for the paged model_meta mirror. */
+    std::uint64_t next_model_id_ = 0;
+    /** True once EnableModelMetaPaging has been called. */
+    bool model_meta_paged_ = false;
 };
 
 }  // namespace dbscore

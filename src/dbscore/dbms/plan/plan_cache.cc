@@ -1,0 +1,70 @@
+#include "dbscore/dbms/plan/plan_cache.h"
+
+#include <utility>
+
+namespace dbscore::plan {
+
+PlanCache::PlanCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+}
+
+std::shared_ptr<const PhysicalPlan>
+PlanCache::Lookup(const std::string& key, std::uint64_t catalog_version)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    if (it->second->catalog_version != catalog_version) {
+        lru_.erase(it->second);
+        index_.erase(it);
+        ++stats_.invalidations;
+        ++stats_.misses;
+        stats_.entries = index_.size();
+        return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU
+    ++stats_.hits;
+    return it->second->plan;
+}
+
+void
+PlanCache::Insert(const std::string& key, std::uint64_t catalog_version,
+                  std::shared_ptr<const PhysicalPlan> plan)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        lru_.erase(it->second);
+        index_.erase(it);
+    }
+    lru_.push_front(Entry{key, catalog_version, std::move(plan)});
+    index_[key] = lru_.begin();
+    while (index_.size() > capacity_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+    stats_.entries = index_.size();
+}
+
+void
+PlanCache::Clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+    stats_.entries = 0;
+}
+
+PlanCacheStats
+PlanCache::Stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+}  // namespace dbscore::plan

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * LRU plan cache: normalized statement text -> compiled PhysicalPlan.
+ *
+ * Compiling a scored plan repeats the most expensive part of every
+ * query — deserializing the stored model and building forest kernels —
+ * so the planner caches compiled plans keyed on the normalized SQL
+ * text. Entries carry the Database catalog version they compiled
+ * against; a lookup that finds a stale entry (catalog moved: a table
+ * or model was created, dropped, or re-stored) drops it and reports a
+ * miss, which is how `INSERT INTO models ...` invalidates plans that
+ * captured the old model bytes.
+ */
+#ifndef DBSCORE_DBMS_PLAN_PLAN_CACHE_H
+#define DBSCORE_DBMS_PLAN_PLAN_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "dbscore/dbms/plan/physical.h"
+
+namespace dbscore::plan {
+
+/** Cache observability counters (EXEC sp_explain reports these). */
+struct PlanCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    /** Entries dropped because the catalog version moved. */
+    std::uint64_t invalidations = 0;
+    /** Entries evicted by LRU capacity pressure. */
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+};
+
+/** Thread-safe LRU map of normalized SQL -> shared compiled plan. */
+class PlanCache {
+ public:
+    explicit PlanCache(std::size_t capacity = 64);
+
+    /**
+     * Returns the cached plan for @p key when present and compiled at
+     * @p catalog_version; null on miss. A version mismatch erases the
+     * entry (counted as an invalidation) and misses.
+     */
+    std::shared_ptr<const PhysicalPlan> Lookup(
+        const std::string& key, std::uint64_t catalog_version);
+
+    /** Inserts (or replaces) @p key, evicting the LRU tail at capacity. */
+    void Insert(const std::string& key, std::uint64_t catalog_version,
+                std::shared_ptr<const PhysicalPlan> plan);
+
+    /** Drops every entry (counters survive). */
+    void Clear();
+
+    PlanCacheStats Stats() const;
+
+ private:
+    struct Entry {
+        std::string key;
+        std::uint64_t catalog_version = 0;
+        std::shared_ptr<const PhysicalPlan> plan;
+    };
+
+    std::size_t capacity_;
+    mutable std::mutex mutex_;
+    /** MRU first. */
+    std::list<Entry> lru_;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+    PlanCacheStats stats_;
+};
+
+}  // namespace dbscore::plan
+
+#endif  // DBSCORE_DBMS_PLAN_PLAN_CACHE_H

@@ -1,0 +1,92 @@
+#include "dbscore/dbms/plan/planner.h"
+
+#include <cctype>
+#include <utility>
+#include <variant>
+
+#include "dbscore/common/error.h"
+#include "dbscore/trace/trace.h"
+
+namespace dbscore::plan {
+
+Planner::Planner(Database& db, PlannerOptions options)
+    : db_(db), options_(options), cache_(options.cache_capacity)
+{
+}
+
+std::string
+Planner::NormalizeSql(const std::string& sql)
+{
+    std::string out;
+    out.reserve(sql.size());
+    bool in_literal = false;
+    bool pending_space = false;
+    for (char c : sql) {
+        if (!in_literal &&
+            std::isspace(static_cast<unsigned char>(c)) != 0) {
+            pending_space = !out.empty();
+            continue;
+        }
+        if (pending_space) {
+            out.push_back(' ');
+            pending_space = false;
+        }
+        if (c == '\'') {
+            // No unquoting: '' inside a literal flips twice, which is
+            // harmless for a cache key (both sides normalize alike).
+            in_literal = !in_literal;
+            out.push_back(c);
+        } else {
+            out.push_back(
+                in_literal
+                    ? c
+                    : static_cast<char>(std::tolower(
+                          static_cast<unsigned char>(c))));
+        }
+    }
+    return out;
+}
+
+std::shared_ptr<const PhysicalPlan>
+Planner::Plan(const SelectStatement& stmt, const std::string& sql_text)
+{
+    const std::string key = NormalizeSql(sql_text);
+    const std::uint64_t version = db_.catalog_version();
+    if (auto cached = cache_.Lookup(key, version)) {
+        trace::TraceCollector::Get().EmitStage(
+            trace::StageKind::kPlanCacheHit, "plan-cache-hit", SimTime());
+        return cached;
+    }
+    trace::ScopedSpan span(trace::StageKind::kPlan, "plan-select");
+    LogicalPlan logical = BuildLogicalPlan(stmt, db_.GetTable(stmt.table));
+    if (options_.optimize) {
+        RewritePlan(logical);
+    }
+    span.AddAttr("rules_applied",
+                 static_cast<double>(logical.applied_rules.size()));
+    span.AddAttr("scores", static_cast<double>(logical.scores.size()));
+    auto plan = std::make_shared<PhysicalPlan>(std::move(logical), db_);
+    cache_.Insert(key, version, plan);
+    return plan;
+}
+
+QueryResult
+Planner::ExecuteSelect(const SelectStatement& stmt,
+                       const std::string& sql_text)
+{
+    return Plan(stmt, sql_text)->Execute(db_);
+}
+
+std::shared_ptr<const PhysicalPlan>
+Planner::PlanQuery(const std::string& sql)
+{
+    Statement parsed = ParseSql(sql);
+    const auto* select = std::get_if<SelectStatement>(&parsed);
+    if (select == nullptr) {
+        throw InvalidArgument(
+            "planner: expected a SELECT statement, got: " + sql);
+    }
+    return Plan(*select, sql);
+}
+
+}  // namespace dbscore::plan

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Rule-based logical-plan rewriter: the three SQL+ML co-optimizations
+ * EXEC sp_explain reports and bench/wallclock_query measures.
+ *
+ *  1. column-pruning — the scan produces only the columns the query
+ *     actually touches (projected columns, predicate columns, sort
+ *     key, aggregate inputs, and every SCORE expression's feature
+ *     columns), so a narrow model over a wide table never materializes
+ *     the unused features.
+ *  2. predicate-pushdown —
+ *     a. a plain numeric predicate over a paged table's feature column
+ *        becomes a zone-map ScanPredicate, letting the buffer pool
+ *        skip whole pages whose [min, max] cannot match;
+ *     b. an ordered "SCORE(...) op literal" conjunct whose score value
+ *        is not otherwise needed is marked early-exit, pushing the
+ *        comparison into ForestKernel::PredictThreshold, which stops
+ *        accumulating trees once suffix bounds decide the predicate
+ *        (exact; see DESIGN.md §14).
+ *  3. score-aggregate-fusion — aggregates over a scored stream
+ *     (AVG(SCORE(...)), COUNT(*) WHERE SCORE(...) > t) fold into the
+ *     chunk-streaming scoring loop without materializing a score
+ *     column.
+ *
+ * Every applied rule appends a human-readable entry to
+ * LogicalPlan::applied_rules. Rules only annotate the plan; executing
+ * an annotated plan is bit-identical to executing the naive one.
+ */
+#ifndef DBSCORE_DBMS_PLAN_REWRITE_H
+#define DBSCORE_DBMS_PLAN_REWRITE_H
+
+#include "dbscore/dbms/plan/logical.h"
+
+namespace dbscore::plan {
+
+/** Per-rule enables (all on by default; the naive planner uses none). */
+struct RewriteOptions {
+    bool prune_columns = true;
+    bool push_predicates = true;
+    bool fuse_aggregates = true;
+};
+
+/** Applies the enabled rewrite rules to @p plan in place. */
+void RewritePlan(LogicalPlan& plan, const RewriteOptions& options = {});
+
+}  // namespace dbscore::plan
+
+#endif  // DBSCORE_DBMS_PLAN_REWRITE_H

@@ -14,28 +14,6 @@
 namespace dbscore {
 
 std::string
-QueryResult::ToString() const
-{
-    std::ostringstream os;
-    if (!columns.empty()) {
-        TablePrinter table(columns);
-        for (const auto& row : rows) {
-            std::vector<std::string> cells;
-            cells.reserve(row.size());
-            for (const auto& value : row) {
-                cells.push_back(ValueToString(value));
-            }
-            table.AddRow(std::move(cells));
-        }
-        table.Print(os);
-    }
-    if (!message.empty()) {
-        os << message << "\n";
-    }
-    return os.str();
-}
-
-std::string
 GetStringParam(const ExecStatement& stmt, const std::string& name)
 {
     auto it = stmt.params.find(ToLower(name));
@@ -349,15 +327,57 @@ SpStorageStats(QueryEngine& engine, const ExecStatement& stmt)
     return result;
 }
 
+/**
+ * EXEC sp_explain @query='SELECT ...' — plans the statement (through
+ * the cache, like a real execution would) and reports the optimized
+ * logical tree, the rewrite rules that fired, the compiled physical
+ * annotations (kernels, zone maps, pruning, early-exit counters), and
+ * the plan-cache counters. Never executes the query.
+ */
+QueryResult
+SpExplain(QueryEngine& engine, const ExecStatement& stmt)
+{
+    const std::string sql = GetStringParam(stmt, "query");
+    std::shared_ptr<const plan::PhysicalPlan> plan =
+        engine.planner().PlanQuery(sql);
+
+    QueryResult result;
+    result.columns = {"section", "detail"};
+    std::istringstream tree(plan->logical().ToString());
+    std::string line;
+    while (std::getline(tree, line)) {
+        result.rows.push_back({std::string("logical"), line});
+    }
+    for (const std::string& rule : plan->logical().applied_rules) {
+        result.rows.push_back({std::string("rewrite"), rule});
+    }
+    for (const std::string& note : plan->ExplainPhysical()) {
+        result.rows.push_back({std::string("physical"), note});
+    }
+    const plan::PlanCacheStats cache = engine.planner().CacheStats();
+    result.rows.push_back(
+        {std::string("cache"),
+         StrFormat("hits=%llu misses=%llu invalidations=%llu "
+                   "evictions=%llu entries=%zu",
+                   static_cast<unsigned long long>(cache.hits),
+                   static_cast<unsigned long long>(cache.misses),
+                   static_cast<unsigned long long>(cache.invalidations),
+                   static_cast<unsigned long long>(cache.evictions),
+                   cache.entries)});
+    result.message = StrFormat("%zu line(s)", result.rows.size());
+    return result;
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(Database& db, ScoringPipeline& pipeline)
-    : db_(db), pipeline_(pipeline)
+    : db_(db), pipeline_(pipeline), planner_(db)
 {
     RegisterProcedure("sp_score_model", SpScoreModel);
     RegisterProcedure("sp_trace_dump", SpTraceDump);
     RegisterProcedure("sp_fault_inject", SpFaultInject);
     RegisterProcedure("sp_storage_stats", SpStorageStats);
+    RegisterProcedure("sp_explain", SpExplain);
 }
 
 void
@@ -371,14 +391,14 @@ QueryEngine::Execute(const std::string& sql)
 {
     Statement stmt = ParseSql(sql);
     return std::visit(
-        [this](const auto& s) -> QueryResult {
+        [this, &sql](const auto& s) -> QueryResult {
             using T = std::decay_t<decltype(s)>;
             if constexpr (std::is_same_v<T, CreateTableStatement>) {
                 return ExecuteCreate(s);
             } else if constexpr (std::is_same_v<T, InsertStatement>) {
                 return ExecuteInsert(s);
             } else if constexpr (std::is_same_v<T, SelectStatement>) {
-                return ExecuteSelect(s);
+                return planner_.ExecuteSelect(s, sql);
             } else {
                 return ExecuteExec(s);
             }
@@ -402,145 +422,15 @@ QueryEngine::ExecuteInsert(const InsertStatement& stmt)
     for (const auto& row : stmt.rows) {
         table.AppendRow(row);
     }
+    if (EqualsIgnoreCase(stmt.table, "models")) {
+        // A re-stored model must invalidate cached plans that compiled
+        // the old blob.
+        db_.NoteCatalogChange();
+    }
     QueryResult result;
     result.message =
         StrFormat("%zu row(s) inserted into '%s'", stmt.rows.size(),
                   stmt.table.c_str());
-    return result;
-}
-
-namespace {
-
-/** Evaluates one aggregate over the selected rows of a table. */
-Value
-EvaluateAggregate(const Table& table, const AggregateItem& item,
-                  const std::vector<std::size_t>& rows)
-{
-    if (item.func == AggFunc::kCount && item.column.empty()) {
-        return static_cast<std::int64_t>(rows.size());
-    }
-    const std::size_t col = table.ColumnIndex(item.column);
-    switch (item.func) {
-      case AggFunc::kCount:
-        return static_cast<std::int64_t>(rows.size());
-      case AggFunc::kSum:
-      case AggFunc::kAvg: {
-        double sum = 0.0;
-        for (std::size_t r : rows) {
-            sum += ValueAsDouble(table.At(r, col));
-        }
-        if (item.func == AggFunc::kSum) {
-            return sum;
-        }
-        if (rows.empty()) {
-            throw InvalidArgument("AVG over zero rows");
-        }
-        return sum / static_cast<double>(rows.size());
-      }
-      case AggFunc::kMin:
-      case AggFunc::kMax: {
-        if (rows.empty()) {
-            throw InvalidArgument(std::string(AggFuncName(item.func)) +
-                                  " over zero rows");
-        }
-        Value best = table.At(rows.front(), col);
-        for (std::size_t r : rows) {
-            int cmp = CompareValues(table.At(r, col), best);
-            if ((item.func == AggFunc::kMin && cmp < 0) ||
-                (item.func == AggFunc::kMax && cmp > 0)) {
-                best = table.At(r, col);
-            }
-        }
-        return best;
-      }
-    }
-    throw InvalidArgument("unknown aggregate");
-}
-
-}  // namespace
-
-QueryResult
-QueryEngine::ExecuteSelect(const SelectStatement& stmt)
-{
-    const Table& table = db_.GetTable(stmt.table);
-
-    std::vector<std::size_t> where_cols;
-    where_cols.reserve(stmt.where.size());
-    for (const auto& clause : stmt.where) {
-        where_cols.push_back(table.ColumnIndex(clause.column));
-    }
-
-    // Filter.
-    std::vector<std::size_t> matched;
-    for (std::size_t r = 0; r < table.NumRows(); ++r) {
-        bool keep = true;
-        for (std::size_t w = 0; w < stmt.where.size(); ++w) {
-            int cmp = CompareValues(table.At(r, where_cols[w]),
-                                    stmt.where[w].literal);
-            if (!EvalCompareOp(stmt.where[w].op, cmp)) {
-                keep = false;
-                break;
-            }
-        }
-        if (keep) {
-            matched.push_back(r);
-        }
-    }
-
-    QueryResult result;
-
-    // Aggregate queries collapse to a single row.
-    if (!stmt.aggregates.empty()) {
-        std::vector<Value> row;
-        for (const auto& item : stmt.aggregates) {
-            result.columns.push_back(
-                std::string(AggFuncName(item.func)) + "(" +
-                (item.column.empty() ? "*" : item.column) + ")");
-            row.push_back(EvaluateAggregate(table, item, matched));
-        }
-        result.rows.push_back(std::move(row));
-        result.message = "1 row(s)";
-        return result;
-    }
-
-    // ORDER BY (stable, so ties keep table order), then TOP.
-    if (stmt.order_by.has_value()) {
-        const std::size_t col = table.ColumnIndex(stmt.order_by->column);
-        const bool desc = stmt.order_by->descending;
-        std::stable_sort(matched.begin(), matched.end(),
-                         [&](std::size_t a, std::size_t b) {
-                             int cmp = CompareValues(table.At(a, col),
-                                                     table.At(b, col));
-                             return desc ? cmp > 0 : cmp < 0;
-                         });
-    }
-    if (stmt.top.has_value() && matched.size() > *stmt.top) {
-        matched.resize(*stmt.top);
-    }
-
-    // Project.
-    std::vector<std::size_t> projection;
-    if (stmt.star) {
-        for (std::size_t c = 0; c < table.NumColumns(); ++c) {
-            projection.push_back(c);
-            result.columns.push_back(table.schema()[c].name);
-        }
-    } else {
-        for (const auto& name : stmt.columns) {
-            projection.push_back(table.ColumnIndex(name));
-            result.columns.push_back(name);
-        }
-    }
-    result.rows.reserve(matched.size());
-    for (std::size_t r : matched) {
-        std::vector<Value> row;
-        row.reserve(projection.size());
-        for (std::size_t c : projection) {
-            row.push_back(table.At(r, c));
-        }
-        result.rows.push_back(std::move(row));
-    }
-    result.message = StrFormat("%zu row(s)", result.rows.size());
     return result;
 }
 

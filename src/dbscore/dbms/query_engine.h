@@ -1,11 +1,15 @@
 /**
  * @file
- * The query engine: executes parsed SQL statements against a Database and
- * dispatches EXEC statements to stored procedures.
+ * The query engine: a thin statement façade. SELECTs route through the
+ * plan pipeline (dbscore::plan::Planner — parse -> logical plan ->
+ * rewrite -> compiled physical plan, with an LRU plan cache); CREATE /
+ * INSERT apply directly; EXEC dispatches to stored procedures.
  *
- * A built-in sp_score_model procedure mirrors the paper's Figure-3 stored
- * procedure: it runs the full external-script scoring pipeline with
- * parameters @model, @data, @backend and optional @top.
+ * Built-ins: sp_score_model (the paper's Figure-3 stored procedure:
+ * full external-script scoring pipeline with @model, @data, @backend,
+ * optional @top), sp_explain (@query='SELECT ...': logical plan,
+ * applied rewrite rules, physical annotations, plan-cache counters),
+ * sp_trace_dump, sp_fault_inject, sp_storage_stats.
  */
 #ifndef DBSCORE_DBMS_QUERY_ENGINE_H
 #define DBSCORE_DBMS_QUERY_ENGINE_H
@@ -17,24 +21,11 @@
 
 #include "dbscore/dbms/database.h"
 #include "dbscore/dbms/pipeline.h"
+#include "dbscore/dbms/plan/planner.h"
+#include "dbscore/dbms/query_result.h"
 #include "dbscore/dbms/sql.h"
 
 namespace dbscore {
-
-/** Rows + metadata returned by Execute(). */
-struct QueryResult {
-    std::vector<std::string> columns;
-    std::vector<std::vector<Value>> rows;
-    /** Human-readable status for DDL/DML ("1 table created", ...). */
-    std::string message;
-    /** Modeled end-to-end time for pipeline-backed statements. */
-    SimTime modeled_time;
-    /** Stage breakdown when the statement ran the scoring pipeline. */
-    std::optional<PipelineStageTimes> pipeline_stages;
-
-    /** Renders an ASCII result table. */
-    std::string ToString() const;
-};
 
 class QueryEngine;
 
@@ -49,6 +40,8 @@ class QueryEngine {
 
     Database& db() { return db_; }
     ScoringPipeline& pipeline() { return pipeline_; }
+    /** The SELECT planner (plan cache, sp_explain, sp_serve_query). */
+    plan::Planner& planner() { return planner_; }
 
     /**
      * Parses and executes one statement.
@@ -62,11 +55,11 @@ class QueryEngine {
  private:
     QueryResult ExecuteCreate(const CreateTableStatement& stmt);
     QueryResult ExecuteInsert(const InsertStatement& stmt);
-    QueryResult ExecuteSelect(const SelectStatement& stmt);
     QueryResult ExecuteExec(const ExecStatement& stmt);
 
     Database& db_;
     ScoringPipeline& pipeline_;
+    plan::Planner planner_;
     std::map<std::string, StoredProcedure> procedures_;
 };
 

@@ -1,0 +1,32 @@
+#include "dbscore/dbms/query_result.h"
+
+#include <sstream>
+#include <utility>
+
+#include "dbscore/common/table_printer.h"
+
+namespace dbscore {
+
+std::string
+QueryResult::ToString() const
+{
+    std::ostringstream os;
+    if (!columns.empty()) {
+        TablePrinter table(columns);
+        for (const auto& row : rows) {
+            std::vector<std::string> cells;
+            cells.reserve(row.size());
+            for (const auto& value : row) {
+                cells.push_back(ValueToString(value));
+            }
+            table.AddRow(std::move(cells));
+        }
+        table.Print(os);
+    }
+    if (!message.empty()) {
+        os << message << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace dbscore

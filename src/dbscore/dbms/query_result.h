@@ -1,0 +1,36 @@
+/**
+ * @file
+ * QueryResult: rows + metadata every statement executor returns. Split
+ * out of query_engine.h so the plan layer (dbscore::dbms::plan) can
+ * produce results without depending on the engine facade.
+ */
+#ifndef DBSCORE_DBMS_QUERY_RESULT_H
+#define DBSCORE_DBMS_QUERY_RESULT_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dbscore/dbms/pipeline.h"
+#include "dbscore/dbms/value.h"
+
+namespace dbscore {
+
+/** Rows + metadata returned by QueryEngine::Execute(). */
+struct QueryResult {
+    std::vector<std::string> columns;
+    std::vector<std::vector<Value>> rows;
+    /** Human-readable status for DDL/DML ("1 table created", ...). */
+    std::string message;
+    /** Modeled end-to-end time for pipeline-backed statements. */
+    SimTime modeled_time;
+    /** Stage breakdown when the statement ran the scoring pipeline. */
+    std::optional<PipelineStageTimes> pipeline_stages;
+
+    /** Renders an ASCII result table. */
+    std::string ToString() const;
+};
+
+}  // namespace dbscore
+
+#endif  // DBSCORE_DBMS_QUERY_RESULT_H

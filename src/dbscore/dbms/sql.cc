@@ -35,6 +35,44 @@ EvalCompareOp(CompareOp op, int cmp)
     return false;
 }
 
+const char*
+CompareOpName(CompareOp op)
+{
+    switch (op) {
+      case CompareOp::kEq: return "=";
+      case CompareOp::kNe: return "<>";
+      case CompareOp::kLt: return "<";
+      case CompareOp::kLe: return "<=";
+      case CompareOp::kGt: return ">";
+      case CompareOp::kGe: return ">=";
+    }
+    return "?";
+}
+
+std::string
+ScoreExprToString(const ScoreExpr& expr)
+{
+    std::string out = "SCORE(" + expr.model;
+    for (const std::string& f : expr.features) {
+        out += ", " + f;
+    }
+    out += ")";
+    return out;
+}
+
+bool
+SelectStatement::HasScore() const
+{
+    if (!scores.empty()) return true;
+    for (const AggregateItem& agg : aggregates) {
+        if (agg.score) return true;
+    }
+    for (const WhereClause& clause : where) {
+        if (clause.score) return true;
+    }
+    return order_by && order_by->score;
+}
+
 namespace {
 
 /** Token kinds produced by the lexer. */
@@ -190,12 +228,44 @@ class Parser {
         }();
         SkipOptionalSemicolon();
         if (lex_.Peek().kind != TokKind::kEnd) {
-            lex_.Fail("trailing tokens after statement");
+            lex_.Fail("trailing input '" + lex_.Peek().text +
+                      "' after complete statement");
         }
         return stmt;
     }
 
  private:
+    /*
+     * Keyword handling is funneled through PeekKeyword/TryKeyword/
+     * ExpectKeyword so case-insensitivity lives in exactly one
+     * comparison site (PeekKeyword) instead of being re-spelled at
+     * every grammar rule.
+     */
+    bool
+    PeekKeyword(const char* keyword) const
+    {
+        return lex_.Peek().kind == TokKind::kIdent &&
+               EqualsIgnoreCase(lex_.Peek().text, keyword);
+    }
+
+    bool
+    TryKeyword(const char* keyword)
+    {
+        if (!PeekKeyword(keyword)) {
+            return false;
+        }
+        lex_.Take();
+        return true;
+    }
+
+    void
+    ExpectKeyword(const char* keyword)
+    {
+        if (!TryKeyword(keyword)) {
+            lex_.Fail(StrFormat("expected %s", keyword));
+        }
+    }
+
     Token
     ExpectIdent()
     {
@@ -203,15 +273,6 @@ class Parser {
             lex_.Fail("expected identifier");
         }
         return lex_.Take();
-    }
-
-    void
-    ExpectKeyword(const char* keyword)
-    {
-        Token t = ExpectIdent();
-        if (!EqualsIgnoreCase(t.text, keyword)) {
-            lex_.Fail(StrFormat("expected %s", keyword));
-        }
     }
 
     void
@@ -225,14 +286,20 @@ class Parser {
     }
 
     bool
+    PeekPunct(const char* punct) const
+    {
+        return lex_.Peek().kind == TokKind::kPunct &&
+               lex_.Peek().text == punct;
+    }
+
+    bool
     TryPunct(const char* punct)
     {
-        if (lex_.Peek().kind == TokKind::kPunct &&
-            lex_.Peek().text == punct) {
-            lex_.Take();
-            return true;
+        if (!PeekPunct(punct)) {
+            return false;
         }
-        return false;
+        lex_.Take();
+        return true;
     }
 
     void
@@ -349,13 +416,46 @@ class Parser {
         lex_.Fail("unsupported operator '" + op + "'");
     }
 
+    /**
+     * Parses "(model [, col ...])" after the SCORE keyword has been
+     * consumed. The model is an identifier or a quoted string.
+     */
+    ScoreExpr
+    ParseScoreArgs()
+    {
+        ExpectPunct("(");
+        ScoreExpr expr;
+        if (lex_.Peek().kind == TokKind::kString) {
+            expr.model = lex_.Take().text;
+        } else {
+            expr.model = ExpectIdent().text;
+        }
+        while (TryPunct(",")) {
+            expr.features.push_back(ExpectIdent().text);
+        }
+        ExpectPunct(")");
+        return expr;
+    }
+
+    /**
+     * If @p ident is the SCORE keyword applied to an argument list,
+     * parses and returns the ScoreExpr; otherwise @p ident was a
+     * plain identifier (possibly a column literally named "score").
+     */
+    std::optional<ScoreExpr>
+    TryScoreCall(const Token& ident)
+    {
+        if (EqualsIgnoreCase(ident.text, "SCORE") && PeekPunct("(")) {
+            return ParseScoreArgs();
+        }
+        return std::nullopt;
+    }
+
     Statement
     ParseSelect()
     {
         SelectStatement stmt;
-        if (lex_.Peek().kind == TokKind::kIdent &&
-            EqualsIgnoreCase(lex_.Peek().text, "TOP")) {
-            lex_.Take();
+        if (TryKeyword("TOP")) {
             Token n = lex_.Take();
             if (n.kind != TokKind::kNumber) {
                 lex_.Fail("expected row count after TOP");
@@ -369,50 +469,58 @@ class Parser {
             do {
                 ParseSelectItem(stmt);
             } while (TryPunct(","));
-            if (!stmt.columns.empty() && !stmt.aggregates.empty()) {
+            bool has_plain = !stmt.columns.empty() || !stmt.scores.empty();
+            if (has_plain && !stmt.aggregates.empty()) {
                 lex_.Fail("cannot mix aggregates and plain columns "
                           "without GROUP BY");
             }
         }
         ExpectKeyword("FROM");
         stmt.table = ExpectIdent().text;
-        if (lex_.Peek().kind == TokKind::kIdent &&
-            EqualsIgnoreCase(lex_.Peek().text, "WHERE")) {
-            lex_.Take();
+        if (TryKeyword("WHERE")) {
             do {
                 WhereClause clause;
-                clause.column = ExpectIdent().text;
+                Token ident = ExpectIdent();
+                if (auto score = TryScoreCall(ident)) {
+                    clause.score = std::move(*score);
+                } else {
+                    clause.column = ident.text;
+                }
                 clause.op = ParseCompareOp();
                 clause.literal = ParseLiteral();
                 stmt.where.push_back(std::move(clause));
-            } while (lex_.Peek().kind == TokKind::kIdent &&
-                     EqualsIgnoreCase(lex_.Peek().text, "AND") &&
-                     (lex_.Take(), true));
+            } while (TryKeyword("AND"));
         }
-        if (lex_.Peek().kind == TokKind::kIdent &&
-            EqualsIgnoreCase(lex_.Peek().text, "ORDER")) {
-            lex_.Take();
+        if (TryKeyword("ORDER")) {
             ExpectKeyword("BY");
             OrderBy order;
-            order.column = ExpectIdent().text;
-            if (lex_.Peek().kind == TokKind::kIdent) {
-                if (EqualsIgnoreCase(lex_.Peek().text, "DESC")) {
-                    lex_.Take();
-                    order.descending = true;
-                } else if (EqualsIgnoreCase(lex_.Peek().text, "ASC")) {
-                    lex_.Take();
-                }
+            Token ident = ExpectIdent();
+            if (auto score = TryScoreCall(ident)) {
+                order.score = std::move(*score);
+            } else {
+                order.column = ident.text;
+            }
+            if (TryKeyword("DESC")) {
+                order.descending = true;
+            } else {
+                TryKeyword("ASC");
             }
             stmt.order_by = std::move(order);
         }
         return stmt;
     }
 
-    /** Parses one select-list entry: a column or AGG(col | *). */
+    /** Parses one select-list entry: column, SCORE(...), or AGG(...). */
     void
     ParseSelectItem(SelectStatement& stmt)
     {
         Token ident = ExpectIdent();
+        if (auto score = TryScoreCall(ident)) {
+            stmt.items.push_back(
+                {SelectItemKind::kScore, stmt.scores.size()});
+            stmt.scores.push_back(std::move(*score));
+            return;
+        }
         AggFunc func;
         bool is_agg = true;
         if (EqualsIgnoreCase(ident.text, "COUNT")) {
@@ -437,12 +545,25 @@ class Parser {
                     lex_.Fail("only COUNT accepts '*'");
                 }
             } else {
-                item.column = ExpectIdent().text;
+                Token arg = ExpectIdent();
+                if (auto score = TryScoreCall(arg)) {
+                    if (func == AggFunc::kCount) {
+                        lex_.Fail("COUNT(SCORE(...)) is not supported; "
+                                  "use COUNT(*) with a WHERE predicate");
+                    }
+                    item.score = std::move(*score);
+                } else {
+                    item.column = arg.text;
+                }
             }
             ExpectPunct(")");
+            stmt.items.push_back(
+                {SelectItemKind::kAggregate, stmt.aggregates.size()});
             stmt.aggregates.push_back(std::move(item));
             return;
         }
+        stmt.items.push_back(
+            {SelectItemKind::kColumn, stmt.columns.size()});
         stmt.columns.push_back(ident.text);
     }
 

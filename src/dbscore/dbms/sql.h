@@ -4,8 +4,15 @@
  *
  *   CREATE TABLE t (col TYPE, ...)
  *   INSERT INTO t VALUES (lit, ...), (lit, ...)
- *   SELECT [TOP n] * | col, ... FROM t [WHERE col op lit [AND ...]]
+ *   SELECT [TOP n] * | item, ... FROM t [WHERE pred [AND ...]]
+ *       [ORDER BY col|SCORE(...) [ASC|DESC]]
  *   EXEC proc @param = lit, ...
+ *
+ * where an item is a column, AGG(col | * | SCORE(...)), or
+ * SCORE(model [, feature_cols...]) — the SQL+ML surface: SCORE is a
+ * first-class expression usable in the select list, in WHERE
+ * predicates (SCORE(...) > θ), and in ORDER BY, and is planned/
+ * co-optimized by dbscore::dbms::plan rather than interpreted here.
  *
  * EXEC drives stored procedures like the paper's Figure-3 query, which
  * executes a scoring script with @model_name/@dataset parameters.
@@ -13,6 +20,7 @@
 #ifndef DBSCORE_DBMS_SQL_H
 #define DBSCORE_DBMS_SQL_H
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -36,11 +44,37 @@ enum class CompareOp {
 /** Evaluates @p op on the strcmp-style result of CompareValues. */
 bool EvalCompareOp(CompareOp op, int cmp);
 
-/** One "col op literal" conjunct. */
+/** Returns "=", "<>", "<", ... */
+const char* CompareOpName(CompareOp op);
+
+/**
+ * SCORE(model [, feature_cols...]) — score the row with a stored
+ * model. An empty feature list means "all non-label feature columns
+ * of the table, in table order" (the sp_score_model convention).
+ */
+struct ScoreExpr {
+    std::string model;
+    std::vector<std::string> features;
+
+    bool
+    operator==(const ScoreExpr& o) const
+    {
+        return model == o.model && features == o.features;
+    }
+};
+
+/** "SCORE(model, f1, f2)" — used by explain output and tests. */
+std::string ScoreExprToString(const ScoreExpr& expr);
+
+/**
+ * One WHERE conjunct: either "col op literal" (score unset) or
+ * "SCORE(...) op literal" (score set, column empty).
+ */
 struct WhereClause {
     std::string column;
     CompareOp op;
     Value literal;
+    std::optional<ScoreExpr> score;
 };
 
 /** CREATE TABLE statement. */
@@ -67,32 +101,58 @@ enum class AggFunc {
 /** Returns "COUNT", "SUM", ... */
 const char* AggFuncName(AggFunc func);
 
-/** One aggregate select item, e.g. AVG(price) or COUNT(*). */
+/**
+ * One aggregate select item, e.g. AVG(price), COUNT(*), or
+ * AVG(SCORE(m)). When @c score is set the aggregate runs over the
+ * model's per-row score and @c column is empty.
+ */
 struct AggregateItem {
     AggFunc func = AggFunc::kCount;
-    /** Aggregated column; empty means '*' (COUNT(*) only). */
+    /** Aggregated column; empty means '*' (COUNT(*) only) or SCORE. */
     std::string column;
+    std::optional<ScoreExpr> score;
 };
 
-/** ORDER BY clause. */
+/** ORDER BY clause: a column or SCORE(...) (column empty). */
 struct OrderBy {
     std::string column;
     bool descending = false;
+    std::optional<ScoreExpr> score;
+};
+
+/** What one ordered select-list slot refers to. */
+enum class SelectItemKind : std::uint8_t {
+    kColumn,     ///< columns[index]
+    kScore,      ///< scores[index]
+    kAggregate,  ///< aggregates[index]
+};
+
+/** Ordered select-list slot -> (kind, index into the typed vector). */
+struct SelectItemRef {
+    SelectItemKind kind = SelectItemKind::kColumn;
+    std::size_t index = 0;
 };
 
 /**
  * SELECT statement (single table, conjunctive WHERE, optional ORDER BY).
- * Either plain columns (columns/star) or aggregates are populated, never
- * both — mixing them without GROUP BY is rejected at parse time.
+ * Either plain columns/scores (columns/scores/star) or aggregates are
+ * populated, never both — mixing them without GROUP BY is rejected at
+ * parse time. @c items preserves the textual select-list order across
+ * the typed columns/scores/aggregates vectors.
  */
 struct SelectStatement {
     bool star = false;
     std::vector<std::string> columns;
+    std::vector<ScoreExpr> scores;
     std::vector<AggregateItem> aggregates;
+    std::vector<SelectItemRef> items;
     std::string table;
     std::vector<WhereClause> where;
     std::optional<OrderBy> order_by;
     std::optional<std::size_t> top;
+
+    /** True when the statement references SCORE anywhere. */
+    bool HasScore() const;
 };
 
 /** EXEC stored-procedure statement. */

@@ -211,6 +211,48 @@ Table::MaterializeFeatures() const
     return features_;
 }
 
+RowBlock
+Table::MaterializeColumns(const std::vector<std::size_t>& cols) const
+{
+    if (cols.empty()) {
+        throw InvalidArgument("table " + name_ +
+                              ": MaterializeColumns needs columns");
+    }
+    for (std::size_t c : cols) {
+        if (c >= schema_.size()) {
+            throw InvalidArgument("table " + name_ +
+                                  ": MaterializeColumns column out of "
+                                  "range");
+        }
+    }
+    const std::size_t num_rows = NumRows();
+    const std::size_t width = cols.size();
+    std::vector<float> values(num_rows * width);
+    if (paged()) {
+        // Read through the buffer pool; pages are touched once per
+        // column run thanks to row-major iteration.
+        for (std::size_t r = 0; r < num_rows; ++r) {
+            for (std::size_t j = 0; j < width; ++j) {
+                values[r * width + j] = FloatAt(r, cols[j]);
+            }
+        }
+    } else {
+        std::size_t out_col = 0;
+        for (std::size_t c : cols) {
+            const std::vector<Value>& column = columns_[c];
+            float* out = values.data() + out_col;
+            for (std::size_t r = 0; r < num_rows; ++r) {
+                out[r * width] =
+                    static_cast<float>(ValueAsDouble(column[r]));
+            }
+            ++out_col;
+        }
+    }
+    RowBlock::NoteCopy(static_cast<std::uint64_t>(values.size()) *
+                       sizeof(float));
+    return RowBlock(std::move(values), width);
+}
+
 storage::FeatureStream
 Table::ScanFeatures(
     const std::optional<storage::ScanPredicate>& predicate) const

@@ -120,6 +120,17 @@ class Table {
     const RowBlock& MaterializeFeatures() const;
 
     /**
+     * Narrowed materialization for column-pruned plans: a row-major
+     * float32 block of just @p cols (table column indices, in the
+     * requested order), so a query that touches k of n columns copies
+     * k/n of the bytes MaterializeFeatures() would. Counted against
+     * RowBlock::CopyStats; not cached (the pruned column set is a
+     * property of the query, not the table).
+     * @throws InvalidArgument when @p cols is empty or out of range
+     */
+    RowBlock MaterializeColumns(const std::vector<std::size_t>& cols) const;
+
+    /**
      * Streaming feature iterator — the chunk-wise alternative to
      * MaterializeFeatures(). Paged tables yield one pinned zero-copy
      * chunk per data page (optionally zone-map-pruned by

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <mutex>
 
 #include "dbscore/common/error.h"
 #include "dbscore/common/thread_pool.h"
@@ -185,10 +186,18 @@ ForestKernel::Compile(const std::vector<DecisionTree>& trees)
     std::vector<std::int32_t> order;
     std::vector<std::int32_t> new_id;
     std::vector<bool> range_seen(num_features_, false);
+    // Per-tree leaf-value range, feeding the threshold early-exit
+    // suffix bounds (v1 accumulate combines only).
+    std::vector<double> tree_leaf_lo;
+    std::vector<double> tree_leaf_hi;
+    tree_leaf_lo.reserve(trees.size());
+    tree_leaf_hi.reserve(trees.size());
     for (const auto& tree : trees) {
         const auto base = static_cast<std::int32_t>(num_nodes_);
         roots_.push_back(base);
         depths_.push_back(static_cast<std::int32_t>(tree.Depth()));
+        double leaf_lo = std::numeric_limits<double>::infinity();
+        double leaf_hi = -std::numeric_limits<double>::infinity();
 
         // Level (BFS) order: the upper levels every row traverses end
         // up contiguous at the front of the tree's node range, and
@@ -216,6 +225,8 @@ ForestKernel::Compile(const std::vector<DecisionTree>& trees)
                 static_cast<std::int32_t>(num_nodes_) - base;
             if (tree.IsLeaf(node)) {
                 const float value = tree.LeafValue(node);
+                leaf_lo = std::min(leaf_lo, static_cast<double>(value));
+                leaf_hi = std::max(leaf_hi, static_cast<double>(value));
                 // {+inf, self, 0}: the branchless step re-evaluates
                 // the leaf harmlessly (anything <= +inf stays at
                 // left = self) until the fixed trip count runs out.
@@ -277,6 +288,30 @@ ForestKernel::Compile(const std::vector<DecisionTree>& trees)
                 }
             }
             ++num_nodes_;
+        }
+        tree_leaf_lo.push_back(leaf_lo);
+        tree_leaf_hi.push_back(leaf_hi);
+    }
+
+    if (version_ == KernelVersion::kV1 &&
+        combine_ != KernelCombine::kVoteClassify) {
+        // Suffix bounds on the remaining-tree contribution: after t
+        // trees the final sum lies in
+        // [sum + suffix_min_[t], sum + suffix_max_[t]] up to rounding
+        // (covered by the slack term at decision time).
+        const std::size_t num_trees = trees.size();
+        suffix_min_.assign(num_trees + 1, 0.0);
+        suffix_max_.assign(num_trees + 1, 0.0);
+        suffix_abs_.assign(num_trees + 1, 0.0);
+        for (std::size_t t = num_trees; t-- > 0;) {
+            const double a = scale_ * tree_leaf_lo[t];
+            const double b = scale_ * tree_leaf_hi[t];
+            const double clo = std::min(a, b);
+            const double chi = std::max(a, b);
+            suffix_min_[t] = suffix_min_[t + 1] + clo;
+            suffix_max_[t] = suffix_max_[t + 1] + chi;
+            suffix_abs_[t] =
+                suffix_abs_[t + 1] + std::max(std::abs(clo), std::abs(chi));
         }
     }
 
@@ -397,6 +432,249 @@ ForestKernel::FinishSums(const double* sums, std::size_t num_rows,
         DBS_ASSERT_MSG(false, "vote kernels do not accumulate sums");
         break;
     }
+}
+
+float
+ForestKernel::FinishOne(double sum) const
+{
+    // Must mirror FinishSums exactly: the threshold path's full-finish
+    // rows are bit-identical to a Predict() of the same row. Every
+    // branch is monotone non-decreasing in the sum (float cast and
+    // division by a positive count are correctly rounded; the sigmoid
+    // + 0.5 threshold in MarginToClass is monotone), which is what
+    // lets interval endpoints decide the predicate.
+    switch (combine_) {
+    case KernelCombine::kMeanRegress:
+        return static_cast<float>(sum /
+                                  static_cast<double>(roots_.size()));
+    case KernelCombine::kMargin:
+        return static_cast<float>(sum);
+    case KernelCombine::kMarginClassify:
+        return static_cast<float>(GradientBoostedModel::MarginToClass(
+            static_cast<float>(sum)));
+    case KernelCombine::kVoteClassify:
+        break;
+    }
+    DBS_ASSERT_MSG(false, "vote kernels do not accumulate sums");
+    return 0.0f;
+}
+
+bool
+ThresholdHolds(ThresholdOp op, float threshold, float value)
+{
+    switch (op) {
+    case ThresholdOp::kGt: return value > threshold;
+    case ThresholdOp::kGe: return value >= threshold;
+    case ThresholdOp::kLt: return value < threshold;
+    case ThresholdOp::kLe: return value <= threshold;
+    }
+    return false;
+}
+
+namespace {
+
+/**
+ * Decides "value op threshold" for a value known to lie in
+ * [glo, ghi]: 1 (holds for the whole interval), 0 (fails for the
+ * whole interval), or -1 (undecided). kGt/kGe true-sets are
+ * up-closed and kLt/kLe down-closed, so the interval endpoints
+ * suffice.
+ */
+int
+DecideThreshold(ThresholdOp op, float threshold, float glo, float ghi)
+{
+    const bool lo_holds = ThresholdHolds(op, threshold, glo);
+    const bool hi_holds = ThresholdHolds(op, threshold, ghi);
+    const bool up = op == ThresholdOp::kGt || op == ThresholdOp::kGe;
+    if (up) {
+        if (lo_holds) return 1;
+        if (!hi_holds) return 0;
+    } else {
+        if (hi_holds) return 1;
+        if (!lo_holds) return 0;
+    }
+    return -1;
+}
+
+/** Trees accumulated between two early-exit decision points. */
+constexpr std::size_t kThresholdCheckTrees = 8;
+
+}  // namespace
+
+bool
+ForestKernel::SupportsThresholdEarlyExit() const
+{
+    return v2_ == nullptr && combine_ != KernelCombine::kVoteClassify &&
+           !suffix_min_.empty();
+}
+
+void
+ForestKernel::RunThreshold(const float* rows, std::size_t num_rows,
+                           std::size_t stride, ThresholdOp op,
+                           float threshold, std::uint8_t* keep,
+                           Scratch& scratch, ThresholdStats& stats) const
+{
+    const std::size_t num_trees = roots_.size();
+    stats.rows += num_rows;
+    stats.tree_traversals_full += num_rows * num_trees;
+    if (scratch.sums.size() < num_rows) {
+        scratch.sums.resize(num_rows);
+    }
+    if (scratch.active.size() < num_rows) {
+        scratch.active.resize(num_rows);
+    }
+    double* const sums = scratch.sums.data();
+    std::int32_t* const active = scratch.active.data();
+    for (std::size_t i = 0; i < num_rows; ++i) {
+        sums[i] = init_;
+        active[i] = static_cast<std::int32_t>(i);
+    }
+    std::size_t live = num_rows;
+
+    const Node* const nodes = nodes_.data();
+    const float* const val = value_.data();
+    const double scale = scale_;
+
+    std::size_t t0 = 0;
+    while (live > 0 && t0 < num_trees) {
+        const std::size_t t1 =
+            std::min(num_trees, t0 + kThresholdCheckTrees);
+        // Accumulate trees [t0, t1) over the surviving rows, in the
+        // same 16-lane groups as RunBlockAccumulate — tree order per
+        // row is preserved, so a row that survives to the end carries
+        // exactly the sum the full pass would have computed.
+        std::size_t r = 0;
+        for (; r + kTraversalLanes <= live; r += kTraversalLanes) {
+            const float* rowp[kTraversalLanes];
+            for (std::size_t k = 0; k < kTraversalLanes; ++k) {
+                rowp[k] =
+                    rows + static_cast<std::size_t>(active[r + k]) * stride;
+            }
+            for (std::size_t t = t0; t < t1; ++t) {
+                std::int32_t n[kTraversalLanes];
+                TraverseGroup<kTraversalLanes>(
+                    nodes, roots_[t], depths_[t], rowp, n);
+                for (std::size_t k = 0; k < kTraversalLanes; ++k) {
+                    sums[r + k] += scale * val[n[k]];
+                }
+            }
+        }
+        for (; r < live; ++r) {
+            const float* rowp[1] = {
+                rows + static_cast<std::size_t>(active[r]) * stride};
+            for (std::size_t t = t0; t < t1; ++t) {
+                std::int32_t n[1];
+                TraverseGroup<1>(nodes, roots_[t], depths_[t], rowp, n);
+                sums[r] += scale * val[n[0]];
+            }
+        }
+        stats.tree_traversals += live * (t1 - t0);
+        t0 = t1;
+        if (t0 >= num_trees) {
+            break;
+        }
+
+        // Decision point: bound the final sum and keep only rows whose
+        // interval still straddles the threshold. The slack term
+        // over-covers the rounding of both the remaining double
+        // accumulation (gamma_k <= k * 2^-52 per unit magnitude) and
+        // the suffix sums themselves.
+        const double remaining = static_cast<double>(num_trees - t0);
+        std::size_t w = 0;
+        std::uint64_t decided = 0;
+        for (std::size_t i = 0; i < live; ++i) {
+            const double s = sums[i];
+            const double slack = 1e-15 * (remaining + 4.0) *
+                                 (std::abs(s) + suffix_abs_[t0]);
+            const float glo = FinishOne(s + suffix_min_[t0] - slack);
+            const float ghi = FinishOne(s + suffix_max_[t0] + slack);
+            const int dec = DecideThreshold(op, threshold, glo, ghi);
+            if (dec >= 0) {
+                keep[active[i]] = static_cast<std::uint8_t>(dec);
+                ++decided;
+            } else {
+                active[w] = active[i];
+                sums[w] = s;
+                ++w;
+            }
+        }
+        stats.rows_decided_early += decided;
+        live = w;
+    }
+
+    // Rows that ran every tree finish exactly like FinishSums.
+    for (std::size_t i = 0; i < live; ++i) {
+        keep[active[i]] = ThresholdHolds(op, threshold, FinishOne(sums[i]))
+                              ? std::uint8_t{1}
+                              : std::uint8_t{0};
+    }
+}
+
+std::vector<std::uint8_t>
+ForestKernel::PredictThreshold(const RowView& rows, ThresholdOp op,
+                               float threshold, ThresholdStats* stats) const
+{
+    if (rows.cols() != num_features_) {
+        throw InvalidArgument("forest kernel: row arity mismatch");
+    }
+    const std::size_t num_rows = rows.rows();
+    std::vector<std::uint8_t> keep(num_rows, 0);
+    if (num_rows == 0) {
+        return keep;
+    }
+    if (!SupportsThresholdEarlyExit()) {
+        // v2 plans and vote combiners: score fully, then compare.
+        // Exact, just without the skipped-tree savings.
+        const std::vector<float> preds = Predict(rows);
+        for (std::size_t i = 0; i < num_rows; ++i) {
+            keep[i] = ThresholdHolds(op, threshold, preds[i])
+                          ? std::uint8_t{1}
+                          : std::uint8_t{0};
+        }
+        if (stats != nullptr) {
+            stats->rows += num_rows;
+            stats->tree_traversals += num_rows * NumTrees();
+            stats->tree_traversals_full += num_rows * NumTrees();
+        }
+        return keep;
+    }
+
+    trace::ScopedSpan span(trace::StageKind::kKernel,
+                           "forest-kernel-threshold");
+    span.AddAttr("rows", static_cast<double>(num_rows));
+    span.AddAttr("trees", static_cast<double>(NumTrees()));
+    const trace::SpanContext parent = span.context();
+    std::mutex stats_mutex;
+    ThresholdStats total;
+    auto worker = [&, parent](std::size_t begin, std::size_t end) {
+        trace::ScopedSpan chunk(trace::StageKind::kKernel,
+                                "kernel-threshold-chunk", parent);
+        chunk.AddAttr("rows", static_cast<double>(end - begin));
+        static thread_local Scratch scratch;
+        ThresholdStats local;
+        RunThreshold(rows.Row(begin), end - begin, rows.stride(), op,
+                     threshold, keep.data() + begin, scratch, local);
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        total.rows += local.rows;
+        total.rows_decided_early += local.rows_decided_early;
+        total.tree_traversals += local.tree_traversals;
+        total.tree_traversals_full += local.tree_traversals_full;
+    };
+    if (num_rows >= options_.parallel_grain) {
+        ThreadPool::Shared().ParallelForChunked(
+            num_rows, options_.parallel_grain, worker);
+    } else {
+        worker(0, num_rows);
+    }
+    span.AddAttr("early",
+                 static_cast<double>(total.rows_decided_early));
+    if (stats != nullptr) {
+        stats->rows += total.rows;
+        stats->rows_decided_early += total.rows_decided_early;
+        stats->tree_traversals += total.tree_traversals;
+        stats->tree_traversals_full += total.tree_traversals_full;
+    }
+    return keep;
 }
 
 void

@@ -144,6 +144,28 @@ enum class KernelCombine : std::uint8_t {
     kMarginClassify,  ///< gbdt: margin through sigmoid, threshold 0.5
 };
 
+/** Comparison a query pushes into traversal via PredictThreshold. */
+enum class ThresholdOp : std::uint8_t {
+    kGt,  ///< prediction >  threshold
+    kGe,  ///< prediction >= threshold
+    kLt,  ///< prediction <  threshold
+    kLe,  ///< prediction <= threshold
+};
+
+/** True when @p value satisfies "@p value op @p threshold". */
+bool ThresholdHolds(ThresholdOp op, float threshold, float value);
+
+/** Work accounting for PredictThreshold (accumulates across calls). */
+struct ThresholdStats {
+    std::uint64_t rows = 0;
+    /** Rows whose predicate was decided before the last tree. */
+    std::uint64_t rows_decided_early = 0;
+    /** (tree, row) traversals actually executed. */
+    std::uint64_t tree_traversals = 0;
+    /** rows x num_trees: what a full scoring pass would execute. */
+    std::uint64_t tree_traversals_full = 0;
+};
+
 /** A compiled ensemble inference plan; immutable after construction. */
 class ForestKernel {
  public:
@@ -164,6 +186,8 @@ class ForestKernel {
         std::vector<std::uint16_t> binned;
         /** v2: per-group leaf indices. */
         std::vector<std::int32_t> leaves;
+        /** threshold early-exit: undecided row indices (compacted). */
+        std::vector<std::int32_t> active;
     };
 
     /**
@@ -268,6 +292,32 @@ class ForestKernel {
     /** Zero-copy batch prediction over a (possibly strided) view. */
     std::vector<float> Predict(const RowView& rows) const;
 
+    /**
+     * True when PredictThreshold can stop accumulating trees early:
+     * the plan compiled the v1 layout with an accumulator combiner
+     * (kMeanRegress / kMargin / kMarginClassify). The combiner's
+     * finisher g(sum) — float cast, divide by tree count, sigmoid +
+     * 0.5 threshold — is monotone non-decreasing in the sum, so a
+     * conservative [lo, hi] interval on the remaining-tree
+     * contribution decides "g(sum) op θ" exactly (DESIGN.md §14).
+     */
+    bool SupportsThresholdEarlyExit() const;
+
+    /**
+     * Evaluates "prediction(row) op threshold" per row without
+     * materializing a score column: keep[i] is 1 when row i satisfies
+     * the predicate, else 0. Bit-equivalent to comparing Predict()
+     * output — early exit uses per-tree leaf-value suffix bounds plus
+     * a rounding-slack margin, and rows whose interval straddles the
+     * threshold finish all trees exactly. Falls back to a full
+     * Predict() + compare (no early exit, still exact) when
+     * SupportsThresholdEarlyExit() is false. @p stats, when non-null,
+     * accumulates traversal-work accounting.
+     */
+    std::vector<std::uint8_t> PredictThreshold(
+        const RowView& rows, ThresholdOp op, float threshold,
+        ThresholdStats* stats = nullptr) const;
+
  private:
     friend struct KernelV2Plan;
 
@@ -317,6 +367,13 @@ class ForestKernel {
     /** Applies the combiner to finish @p num_rows accumulated sums. */
     void FinishSums(const double* sums, std::size_t num_rows,
                     float* out) const;
+    /** The combiner's monotone finisher for one accumulated sum. */
+    float FinishOne(double sum) const;
+    /** Early-exit traversal over one chunk (v1 accumulate only). */
+    void RunThreshold(const float* rows, std::size_t num_rows,
+                      std::size_t stride, ThresholdOp op, float threshold,
+                      std::uint8_t* keep, Scratch& scratch,
+                      ThresholdStats& stats) const;
 
     /** Pool index of each tree's root (== the tree's base offset). */
     std::vector<std::int32_t> roots_;
@@ -330,6 +387,17 @@ class ForestKernel {
     std::vector<std::int32_t> leaf_class_;
 
     std::vector<TreeTile> tiles_;
+
+    /**
+     * Threshold early-exit bounds (v1 accumulate combines only),
+     * indexed by tree: suffix_min_[t] / suffix_max_[t] bound the
+     * summed contribution (scale * leaf value) of trees [t, T), and
+     * suffix_abs_[t] sums their magnitudes for the rounding-slack
+     * term. Size T + 1 with zeros at index T.
+     */
+    std::vector<double> suffix_min_;
+    std::vector<double> suffix_max_;
+    std::vector<double> suffix_abs_;
 
     /** v2 plan; null when the kernel compiled the v1 layout. */
     std::unique_ptr<KernelV2Plan> v2_;

@@ -1,7 +1,12 @@
 #include "dbscore/serve/service_proc.h"
 
+#include <algorithm>
+#include <numeric>
+
 #include "dbscore/common/error.h"
 #include "dbscore/common/string_util.h"
+#include "dbscore/dbms/plan/physical.h"
+#include "dbscore/forest/forest_kernel.h"
 
 namespace dbscore::serve {
 
@@ -55,6 +60,121 @@ SpScoreService(ScoringService& service, const ExecStatement& stmt)
         "%s in %s (modeled), batch of %zu request(s), %zu attempt(s)%s",
         RequestStatusName(reply.status), t.latency.ToString().c_str(),
         reply.batch_requests, reply.attempts,
+        reply.degraded ? ", degraded to CPU" : "");
+    return result;
+}
+
+/**
+ * EXEC sp_serve_query @query='SELECT SCORE(m) FROM t WHERE x > 5'
+ * [, @deadline_ms=N] — a SQL-shaped serving request: the statement is
+ * planned through the engine's planner (cached like any SELECT), the
+ * scan + plain-filter prefix runs locally to build the feature batch,
+ * and the batch goes through the ScoringService's admission /
+ * coalescing / backend path. SCORE predicates, ORDER BY SCORE and TOP
+ * are applied to the returned predictions, so the result matches the
+ * in-engine execution of the same query (float threshold semantics).
+ */
+QueryResult
+SpServeQuery(QueryEngine& engine, ScoringService& service,
+             const ExecStatement& stmt)
+{
+    const std::string sql = GetStringParam(stmt, "query");
+    std::shared_ptr<const plan::PhysicalPlan> plan =
+        engine.planner().PlanQuery(sql);
+    if (plan->scores().size() != 1) {
+        throw InvalidArgument(
+            "sp_serve_query: @query must contain exactly one "
+            "SCORE(...) expression");
+    }
+    plan::ScoringBatch batch = plan->CollectScoringBatch(engine.db());
+
+    ScoreRequest request;
+    request.model_id = batch.model;
+    request.num_rows = batch.features.rows();
+    request.rows = batch.features.View();
+    if (auto deadline = GetIntParam(stmt, "deadline_ms");
+        deadline.has_value()) {
+        if (*deadline <= 0) {
+            throw InvalidArgument(
+                "sp_serve_query: @deadline_ms must be positive");
+        }
+        request.deadline =
+            SimTime::Millis(static_cast<double>(*deadline));
+    }
+    if (request.num_rows == 0) {
+        QueryResult empty;
+        empty.columns = {"row_id", "prediction"};
+        empty.message = "0 row(s) survived the scan, nothing served";
+        return empty;
+    }
+
+    ScoreReply reply = service.ScoreSync(std::move(request));
+    if (reply.status == RequestStatus::kRejected) {
+        throw InvalidArgument("sp_serve_query: rejected: " + reply.error);
+    }
+    if (reply.predictions.size() != batch.row_ids.size()) {
+        throw Error("sp_serve_query: prediction count mismatch");
+    }
+
+    // SCORE predicates the planner could not push into the scan prefix
+    // apply to the served predictions (same float semantics as the
+    // in-engine executor).
+    std::vector<std::size_t> keep(batch.row_ids.size());
+    std::iota(keep.begin(), keep.end(), std::size_t{0});
+    for (const plan::ScorePredicate& pred : plan->score_predicates()) {
+        std::vector<std::size_t> next;
+        next.reserve(keep.size());
+        for (std::size_t i : keep) {
+            const float v = reply.predictions[i];
+            bool holds;
+            switch (pred.op) {
+              case CompareOp::kEq: holds = v == pred.literal; break;
+              case CompareOp::kNe: holds = v != pred.literal; break;
+              case CompareOp::kLt: holds = v < pred.literal; break;
+              case CompareOp::kLe: holds = v <= pred.literal; break;
+              case CompareOp::kGt: holds = v > pred.literal; break;
+              case CompareOp::kGe: holds = v >= pred.literal; break;
+              default: holds = false; break;
+            }
+            if (holds) {
+                next.push_back(i);
+            }
+        }
+        keep.swap(next);
+    }
+    const SelectStatement& query = plan->logical().stmt;
+    if (query.order_by.has_value() &&
+        plan->logical().order_score.has_value()) {
+        const bool desc = query.order_by->descending;
+        std::stable_sort(keep.begin(), keep.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return desc ? reply.predictions[a] >
+                                               reply.predictions[b]
+                                         : reply.predictions[a] <
+                                               reply.predictions[b];
+                         });
+    }
+    if (query.top.has_value() && keep.size() > *query.top) {
+        keep.resize(*query.top);
+    }
+
+    QueryResult result;
+    result.columns = {"row_id", "prediction"};
+    result.rows.reserve(keep.size());
+    for (std::size_t i : keep) {
+        result.rows.push_back(
+            {static_cast<std::int64_t>(batch.row_ids[i]),
+             static_cast<double>(reply.predictions[i])});
+    }
+    result.modeled_time = reply.timing.latency;
+    result.message = StrFormat(
+        "%zu row(s) served on %s in %s (modeled), batch of %zu "
+        "request(s)%s",
+        result.rows.size(),
+        reply.status == RequestStatus::kCompleted
+            ? BackendName(reply.backend)
+            : "-",
+        reply.timing.latency.ToString().c_str(), reply.batch_requests,
         reply.degraded ? ", degraded to CPU" : "");
     return result;
 }
@@ -113,6 +233,11 @@ RegisterServeProcedures(QueryEngine& engine, ScoringService& service)
         "sp_serve_stats",
         [&service](QueryEngine&, const ExecStatement&) {
             return SpServeStats(service);
+        });
+    engine.RegisterProcedure(
+        "sp_serve_query",
+        [&service](QueryEngine& eng, const ExecStatement& stmt) {
+            return SpServeQuery(eng, service, stmt);
         });
 }
 

@@ -55,6 +55,8 @@ StageName(StageKind stage)
     case StageKind::kPageWrite: return "page-write";
     case StageKind::kBufferPool: return "buffer-pool";
     case StageKind::kKernelBuild: return "kernel-build";
+    case StageKind::kPlan: return "plan";
+    case StageKind::kPlanCacheHit: return "plan-cache-hit";
     }
     return "unknown";
 }
@@ -90,6 +92,8 @@ StagePaperComponent(StageKind stage)
     case StageKind::kPageWrite: return "storage: page write";
     case StageKind::kBufferPool: return "storage: pool miss";
     case StageKind::kKernelBuild: return "functional kernel build";
+    case StageKind::kPlan: return "dbms: query planning";
+    case StageKind::kPlanCacheHit: return "dbms: plan cache hit";
     default: return "-";
     }
 }

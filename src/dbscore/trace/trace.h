@@ -85,9 +85,11 @@ enum class StageKind : std::uint8_t {
     kPageWrite,         ///< storage: one page write to the page file
     kBufferPool,        ///< storage: buffer-pool miss (fill + eviction)
     kKernelBuild,       ///< wall-clock: ForestKernel compile (+ autotune)
+    kPlan,              ///< dbms: parse + plan + rewrite one statement
+    kPlanCacheHit,      ///< dbms: plan served from the LRU plan cache
 };
 
-inline constexpr int kNumStageKinds = 28;
+inline constexpr int kNumStageKinds = 30;
 
 /** Stable lowercase-dash name, e.g. "queue-wait"; also the Chrome cat. */
 const char* StageName(StageKind stage);

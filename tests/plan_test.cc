@@ -1,0 +1,584 @@
+/**
+ * @file
+ * Tests for the logical/physical plan pipeline: SCORE parsing
+ * round-trips, rewrite-rule plan shapes, the LRU plan cache, and
+ * bit-identity between optimized and naive plans across both table
+ * backings and model families.
+ */
+#include <filesystem>
+#include <variant>
+
+#include <gtest/gtest.h>
+
+#include "dbscore/common/error.h"
+#include "dbscore/data/synthetic.h"
+#include "dbscore/dbms/database.h"
+#include "dbscore/dbms/pipeline.h"
+#include "dbscore/dbms/plan/logical.h"
+#include "dbscore/dbms/plan/physical.h"
+#include "dbscore/dbms/plan/plan_cache.h"
+#include "dbscore/dbms/plan/planner.h"
+#include "dbscore/dbms/plan/rewrite.h"
+#include "dbscore/dbms/query_engine.h"
+#include "dbscore/dbms/sql.h"
+#include "dbscore/forest/model_stats.h"
+#include "dbscore/forest/trainer.h"
+#include "dbscore/serve/scoring_service.h"
+#include "dbscore/serve/service_proc.h"
+
+namespace dbscore {
+namespace {
+
+SelectStatement
+ParseSelect(const std::string& sql)
+{
+    Statement stmt = ParseSql(sql);
+    return std::get<SelectStatement>(stmt);
+}
+
+// ------------------------------------------------------- SQL round-trips --
+
+TEST(ScoreParseTest, ScoreInSelectList)
+{
+    SelectStatement s =
+        ParseSelect("SELECT id, SCORE(m, f0, f1) FROM t");
+    ASSERT_EQ(s.scores.size(), 1u);
+    EXPECT_EQ(s.scores[0].model, "m");
+    EXPECT_EQ(s.scores[0].features,
+              (std::vector<std::string>{"f0", "f1"}));
+    ASSERT_EQ(s.items.size(), 2u);
+    EXPECT_EQ(s.items[0].kind, SelectItemKind::kColumn);
+    EXPECT_EQ(s.items[1].kind, SelectItemKind::kScore);
+    EXPECT_TRUE(s.HasScore());
+    EXPECT_EQ(ScoreExprToString(s.scores[0]), "SCORE(m, f0, f1)");
+}
+
+TEST(ScoreParseTest, ScoreInWhereAndOrderBy)
+{
+    SelectStatement s = ParseSelect(
+        "SELECT TOP 5 id FROM t WHERE SCORE(m) > 0.5 AND x <= 3 "
+        "ORDER BY SCORE(m) DESC");
+    ASSERT_EQ(s.where.size(), 2u);
+    ASSERT_TRUE(s.where[0].score.has_value());
+    EXPECT_EQ(s.where[0].score->model, "m");
+    EXPECT_TRUE(s.where[0].score->features.empty());
+    EXPECT_EQ(s.where[0].op, CompareOp::kGt);
+    EXPECT_FALSE(s.where[1].score.has_value());
+    ASSERT_TRUE(s.order_by.has_value());
+    ASSERT_TRUE(s.order_by->score.has_value());
+    EXPECT_TRUE(s.order_by->descending);
+    EXPECT_EQ(s.top, std::size_t{5});
+}
+
+TEST(ScoreParseTest, ScoreInAggregates)
+{
+    SelectStatement s =
+        ParseSelect("SELECT AVG(SCORE(m)), COUNT(*) FROM t");
+    ASSERT_EQ(s.aggregates.size(), 2u);
+    ASSERT_TRUE(s.aggregates[0].score.has_value());
+    EXPECT_EQ(s.aggregates[0].func, AggFunc::kAvg);
+    EXPECT_FALSE(s.aggregates[1].score.has_value());
+}
+
+TEST(ScoreParseTest, ColumnNamedScoreIsStillAColumn)
+{
+    // "score" only becomes the operator when followed by '('.
+    SelectStatement s =
+        ParseSelect("SELECT score FROM t WHERE score > 1 ORDER BY score");
+    EXPECT_FALSE(s.HasScore());
+    ASSERT_EQ(s.columns.size(), 1u);
+    EXPECT_EQ(s.columns[0], "score");
+    EXPECT_EQ(s.where[0].column, "score");
+    EXPECT_EQ(s.order_by->column, "score");
+}
+
+TEST(ScoreParseTest, TrailingGarbageRejected)
+{
+    EXPECT_THROW(ParseSql("SELECT a FROM t banana"), ParseError);
+    EXPECT_THROW(ParseSql("SELECT a FROM t; SELECT b FROM t"),
+                 ParseError);
+    // A single trailing semicolon stays legal.
+    EXPECT_NO_THROW(ParseSql("SELECT a FROM t;"));
+}
+
+// ----------------------------------------------------------- fixtures --
+
+/** Trained models + a 5-feature dataset stored both ways. */
+class PlanTest : public ::testing::Test {
+ protected:
+    void SetUp() override
+    {
+        const auto* info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = std::filesystem::temp_directory_path() /
+               (std::string("dbscore_plan_") + info->name());
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+
+        data_ = MakeHiggs(600, 17);
+        ForestTrainerConfig config;
+        config.num_trees = 16;
+        config.max_depth = 8;
+        config.seed = 17;
+        forest_ = TrainForest(data_, config);
+
+        reg_data_ = MakeSyntheticRegression(600, 6, 0.1, 17);
+        ForestTrainerConfig reg_config;
+        reg_config.num_trees = 16;
+        reg_config.max_depth = 8;
+        reg_config.seed = 18;
+        reg_forest_ = TrainForest(reg_data_, reg_config);
+
+        db_.StoreDataset("mem", data_);
+        storage::StorageOptions options;
+        options.page_size = 1024;
+        options.pool_pages = 4;
+        db_.StoreDatasetPaged("paged", data_,
+                              (dir_ / "t.dbpages").string(), options);
+        db_.StoreDataset("reg_mem", reg_data_);
+        db_.StoreDatasetPaged("reg_paged", reg_data_,
+                              (dir_ / "r.dbpages").string(), options);
+        db_.StoreModel("m", TreeEnsemble::FromForest(forest_));
+        db_.StoreModel("reg", TreeEnsemble::FromForest(reg_forest_));
+    }
+
+    void TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    plan::LogicalPlan
+    Optimized(const std::string& sql, const std::string& table)
+    {
+        plan::LogicalPlan plan = plan::BuildLogicalPlan(
+            ParseSelect(sql), db_.GetTable(table));
+        plan::RewritePlan(plan);
+        return plan;
+    }
+
+    std::filesystem::path dir_;
+    Database db_;
+    Dataset data_{"empty", Task::kClassification, 1, 2};
+    Dataset reg_data_{"empty", Task::kRegression, 1, 0};
+    RandomForest forest_;
+    RandomForest reg_forest_;
+};
+
+// --------------------------------------------------------- plan shapes --
+
+TEST_F(PlanTest, NaivePlanShape)
+{
+    plan::LogicalPlan plan = plan::BuildLogicalPlan(
+        ParseSelect("SELECT SCORE(m) FROM mem WHERE kin_0 > 1"),
+        db_.GetTable("mem"));
+    const std::string tree = plan.ToString();
+    EXPECT_NE(tree.find("Project"), std::string::npos);
+    EXPECT_NE(tree.find("Score"), std::string::npos);
+    EXPECT_NE(tree.find("Filter"), std::string::npos);
+    EXPECT_NE(tree.find("Scan"), std::string::npos);
+    EXPECT_NE(tree.find("columns=*"), std::string::npos);
+    EXPECT_TRUE(plan.applied_rules.empty());
+}
+
+TEST_F(PlanTest, ColumnPruningKeepsOnlyNeededColumns)
+{
+    plan::LogicalPlan plan = Optimized(
+        "SELECT kin_0, SCORE(m, kin_0, kin_1) FROM mem "
+        "WHERE kin_2 > 0",
+        "mem");
+    const std::string tree = plan.ToString();
+    EXPECT_NE(tree.find("columns=["), std::string::npos);
+    bool pruned = false;
+    for (const std::string& rule : plan.applied_rules) {
+        pruned |= rule.find("column-pruning") != std::string::npos;
+    }
+    EXPECT_TRUE(pruned);
+    const plan::LogicalOp* scan =
+        plan.Find(plan::LogicalOpKind::kScan);
+    ASSERT_NE(scan, nullptr);
+    EXPECT_TRUE(scan->pruned);
+    EXPECT_EQ(scan->columns.size(), 3u);  // kin_0, kin_1, missing
+}
+
+TEST_F(PlanTest, ScoreThresholdPushdownMarksEarlyExit)
+{
+    plan::LogicalPlan plan = Optimized(
+        "SELECT COUNT(*) FROM mem WHERE SCORE(m) > 0.5", "mem");
+    const std::string tree = plan.ToString();
+    EXPECT_NE(tree.find("FilterScore"), std::string::npos);
+    EXPECT_NE(tree.find("[early-exit]"), std::string::npos);
+    EXPECT_NE(tree.find("[fused]"), std::string::npos);
+    bool pushed = false;
+    bool fused = false;
+    for (const std::string& rule : plan.applied_rules) {
+        pushed |=
+            rule.find("score-threshold-pushdown") != std::string::npos;
+        fused |=
+            rule.find("score-aggregate-fusion") != std::string::npos;
+    }
+    EXPECT_TRUE(pushed);
+    EXPECT_TRUE(fused);
+}
+
+TEST_F(PlanTest, ScoreValueNeededDisablesEarlyExit)
+{
+    // The score is projected, so the kernel must produce the value
+    // anyway — pushing the threshold would double the traversals.
+    plan::LogicalPlan plan = Optimized(
+        "SELECT SCORE(m) FROM mem WHERE SCORE(m) > 0.5", "mem");
+    const plan::LogicalOp* fs =
+        plan.Find(plan::LogicalOpKind::kFilterScore);
+    ASSERT_NE(fs, nullptr);
+    ASSERT_EQ(fs->score_predicates.size(), 1u);
+    EXPECT_FALSE(fs->score_predicates[0].early_exit);
+}
+
+TEST_F(PlanTest, ZonePushdownOnlyForPagedScans)
+{
+    plan::LogicalPlan mem = Optimized(
+        "SELECT SCORE(m) FROM mem WHERE kin_0 > 2", "mem");
+    EXPECT_EQ(mem.ToString().find("zone=["), std::string::npos);
+
+    plan::LogicalPlan paged = Optimized(
+        "SELECT SCORE(m) FROM paged WHERE kin_0 > 2", "paged");
+    const std::string tree = paged.ToString();
+    EXPECT_NE(tree.find("zone=["), std::string::npos);
+    EXPECT_NE(tree.find("paged"), std::string::npos);
+    const plan::LogicalOp* scan =
+        paged.Find(plan::LogicalOpKind::kScan);
+    ASSERT_NE(scan, nullptr);
+    ASSERT_TRUE(scan->zone_predicate.has_value());
+    EXPECT_FLOAT_EQ(scan->zone_predicate->min, 2.0F);
+}
+
+TEST_F(PlanTest, BadScoreReferencesThrow)
+{
+    EXPECT_THROW(
+        plan::BuildLogicalPlan(
+            ParseSelect("SELECT SCORE(m, nope) FROM mem"),
+            db_.GetTable("mem")),
+        NotFound);
+    EXPECT_THROW(
+        plan::BuildLogicalPlan(
+            ParseSelect("SELECT SCORE(m, label) FROM mem"),
+            db_.GetTable("mem")),
+        InvalidArgument);
+    // Arity mismatch surfaces at physical compile.
+    plan::LogicalPlan bad = plan::BuildLogicalPlan(
+        ParseSelect("SELECT SCORE(m, kin_0) FROM mem"),
+        db_.GetTable("mem"));
+    EXPECT_THROW(plan::PhysicalPlan(std::move(bad), db_),
+                 InvalidArgument);
+}
+
+// ----------------------------------------------------------- plan cache --
+
+TEST_F(PlanTest, PlanCacheHitsOnNormalizedText)
+{
+    plan::Planner planner(db_);
+    const SelectStatement stmt =
+        ParseSelect("SELECT SCORE(m) FROM mem");
+    auto first = planner.Plan(stmt, "SELECT SCORE(m) FROM mem");
+    auto second = planner.Plan(stmt, "select   SCORE(m)\n FROM mem");
+    EXPECT_EQ(first.get(), second.get());  // same compiled plan object
+    const plan::PlanCacheStats stats = planner.CacheStats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST_F(PlanTest, NormalizationPreservesStringLiterals)
+{
+    EXPECT_EQ(plan::Planner::NormalizeSql("SELECT  A FROM t"),
+              "select a from t");
+    EXPECT_EQ(plan::Planner::NormalizeSql("SELECT 'A  B' FROM t"),
+              "select 'A  B' from t");
+}
+
+TEST_F(PlanTest, CatalogChangeInvalidatesCachedPlans)
+{
+    plan::Planner planner(db_);
+    const SelectStatement stmt =
+        ParseSelect("SELECT SCORE(m) FROM mem");
+    auto first = planner.Plan(stmt, "SELECT SCORE(m) FROM mem");
+    // Re-storing the model must recompile: the cached plan captured
+    // the old blob.
+    ForestTrainerConfig config;
+    config.num_trees = 4;
+    config.max_depth = 4;
+    config.seed = 99;
+    db_.StoreModel("m",
+                   TreeEnsemble::FromForest(TrainForest(data_, config)));
+    auto second = planner.Plan(stmt, "SELECT SCORE(m) FROM mem");
+    EXPECT_NE(first.get(), second.get());
+    EXPECT_EQ(planner.CacheStats().invalidations, 1u);
+}
+
+TEST_F(PlanTest, LruEvictsAtCapacity)
+{
+    plan::PlanCache cache(2);
+    auto make = [this](const std::string& sql) {
+        plan::LogicalPlan logical = plan::BuildLogicalPlan(
+            ParseSelect(sql), db_.GetTable("mem"));
+        return std::make_shared<plan::PhysicalPlan>(std::move(logical),
+                                                    db_);
+    };
+    cache.Insert("a", 0, make("SELECT kin_0 FROM mem"));
+    cache.Insert("b", 0, make("SELECT kin_1 FROM mem"));
+    EXPECT_NE(cache.Lookup("a", 0), nullptr);  // touch a -> b is LRU
+    cache.Insert("c", 0, make("SELECT kin_2 FROM mem"));
+    EXPECT_EQ(cache.Lookup("b", 0), nullptr);
+    EXPECT_NE(cache.Lookup("a", 0), nullptr);
+    EXPECT_NE(cache.Lookup("c", 0), nullptr);
+    EXPECT_EQ(cache.Stats().evictions, 1u);
+}
+
+// ---------------------------------------------- optimized == naive --
+
+/** Executes @p sql with and without the rewriter; results must match
+ * bit for bit (same Value types, same order). */
+void
+ExpectRewriteInvariant(Database& db, const std::string& sql)
+{
+    plan::Planner naive(db, {/*optimize=*/false});
+    plan::Planner optimized(db, {/*optimize=*/true});
+    const SelectStatement stmt = ParseSelect(sql);
+    const QueryResult a = naive.ExecuteSelect(stmt, sql);
+    const QueryResult b = optimized.ExecuteSelect(stmt, sql);
+    ASSERT_EQ(a.columns, b.columns) << sql;
+    ASSERT_EQ(a.rows.size(), b.rows.size()) << sql;
+    for (std::size_t r = 0; r < a.rows.size(); ++r) {
+        ASSERT_EQ(a.rows[r].size(), b.rows[r].size()) << sql;
+        for (std::size_t c = 0; c < a.rows[r].size(); ++c) {
+            EXPECT_EQ(a.rows[r][c], b.rows[r][c])
+                << sql << " row " << r << " col " << c;
+        }
+    }
+}
+
+TEST_F(PlanTest, OptimizedMatchesNaiveAcrossShapes)
+{
+    for (const char* table : {"mem", "paged"}) {
+        for (const std::string sql : {
+                 std::string("SELECT SCORE(m) FROM ") + table,
+                 std::string("SELECT kin_0, SCORE(m) FROM ") + table +
+                     " WHERE SCORE(m) > 0.5",
+                 std::string("SELECT COUNT(*) FROM ") + table +
+                     " WHERE SCORE(m) > 0.5",
+                 std::string("SELECT COUNT(*), AVG(SCORE(m)), "
+                             "MAX(SCORE(m)) FROM ") +
+                     table + " WHERE kin_0 > 0.5",
+                 std::string("SELECT TOP 7 SCORE(m) FROM ") + table +
+                     " WHERE kin_0 > 0.2 AND SCORE(m) >= 0.3 "
+                     "ORDER BY SCORE(m) DESC",
+                 std::string("SELECT SCORE(m) FROM ") + table +
+                     " WHERE SCORE(m) > 0.1",  // 0.1 not float-exact
+             }) {
+            ExpectRewriteInvariant(db_, sql);
+        }
+    }
+}
+
+TEST_F(PlanTest, OptimizedMatchesNaiveForRegression)
+{
+    for (const char* table : {"reg_mem", "reg_paged"}) {
+        ExpectRewriteInvariant(
+            db_, std::string("SELECT COUNT(*) FROM ") + table +
+                     " WHERE SCORE(reg) > 0");
+        ExpectRewriteInvariant(
+            db_, std::string("SELECT SCORE(reg), f0 FROM ") + table +
+                     " WHERE f1 <= 0.5 ORDER BY SCORE(reg)");
+    }
+}
+
+TEST_F(PlanTest, ScoreMatchesReferencePredictions)
+{
+    plan::Planner planner(db_);
+    const std::string sql = "SELECT SCORE(m) FROM mem";
+    const QueryResult result =
+        planner.ExecuteSelect(ParseSelect(sql), sql);
+    const std::vector<float> expected = forest_.PredictBatch(data_);
+    ASSERT_EQ(result.rows.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(std::get<double>(result.rows[i][0]),
+                  static_cast<double>(expected[i]));
+    }
+}
+
+TEST_F(PlanTest, EarlyExitActuallySkipsTreeWork)
+{
+    // Regression forests use the accumulate combiner, so a pushed
+    // threshold no partial sum can reach decides every row at the
+    // first suffix-bound checkpoint.
+    const std::string sql =
+        "SELECT COUNT(*) FROM mem WHERE SCORE(reg) > 1000000";
+    Database db;
+    db.StoreDataset("mem", reg_data_);
+    db.StoreModel("reg", TreeEnsemble::FromForest(reg_forest_));
+    plan::Planner planner(db);
+    const SelectStatement stmt = ParseSelect(sql);
+    auto plan = planner.Plan(stmt, sql);
+    (void)plan->Execute(db);
+    const ThresholdStats stats = plan->threshold_stats();
+    EXPECT_EQ(stats.rows, reg_data_.num_rows());
+    EXPECT_GT(stats.rows_decided_early, 0u);
+    EXPECT_LT(stats.tree_traversals, stats.tree_traversals_full);
+}
+
+// --------------------------------------------------- engine + explain --
+
+struct PlanEngineFixture {
+    Database db;
+    HardwareProfile profile = HardwareProfile::Paper();
+    ExternalRuntimeParams rt_params;
+    ScoringPipeline pipeline{db, profile, rt_params};
+    QueryEngine engine{db, pipeline};
+};
+
+TEST(PlanEngineTest, SpExplainShowsRulesAndCache)
+{
+    PlanEngineFixture f;
+    const Dataset data = MakeHiggs(300, 19);
+    ForestTrainerConfig config;
+    config.num_trees = 8;
+    config.max_depth = 6;
+    config.seed = 19;
+    f.db.StoreDataset("t", data);
+    f.db.StoreModel("m",
+                    TreeEnsemble::FromForest(TrainForest(data, config)));
+
+    QueryResult result = f.engine.Execute(
+        "EXEC sp_explain "
+        "@query='SELECT COUNT(*) FROM t WHERE SCORE(m) > 0.5'");
+    const std::string text = result.ToString();
+    EXPECT_NE(text.find("FilterScore"), std::string::npos);
+    EXPECT_NE(text.find("score-threshold-pushdown"), std::string::npos);
+    EXPECT_NE(text.find("score-aggregate-fusion"), std::string::npos);
+    EXPECT_NE(text.find("kernel"), std::string::npos);
+    EXPECT_NE(text.find("hits="), std::string::npos);
+
+    // Executing the explained query hits the cached plan.
+    (void)f.engine.Execute(
+        "SELECT COUNT(*) FROM t WHERE SCORE(m) > 0.5");
+    EXPECT_GE(f.engine.planner().CacheStats().hits, 1u);
+}
+
+TEST(PlanEngineTest, LegacyPlainSelectSemanticsPreserved)
+{
+    PlanEngineFixture f;
+    f.engine.Execute("CREATE TABLE pets (name VARCHAR, age INT)");
+    f.engine.Execute(
+        "INSERT INTO pets VALUES ('rex', 3), ('ada', 5), ('bo', 5)");
+    QueryResult ordered = f.engine.Execute(
+        "SELECT name FROM pets ORDER BY age DESC");
+    ASSERT_EQ(ordered.rows.size(), 3u);
+    // stable sort: ties keep insertion order
+    EXPECT_EQ(std::get<std::string>(ordered.rows[0][0]), "ada");
+    EXPECT_EQ(std::get<std::string>(ordered.rows[1][0]), "bo");
+    EXPECT_THROW(
+        f.engine.Execute("SELECT AVG(age) FROM pets WHERE age > 99"),
+        InvalidArgument);  // "AVG over zero rows"
+    QueryResult count =
+        f.engine.Execute("SELECT COUNT(*) FROM pets WHERE age = 5");
+    EXPECT_EQ(std::get<std::int64_t>(count.rows[0][0]), 2);
+}
+
+TEST(PlanEngineTest, ModelInsertInvalidatesThroughEngine)
+{
+    PlanEngineFixture f;
+    const Dataset data = MakeHiggs(200, 23);
+    ForestTrainerConfig config;
+    config.num_trees = 4;
+    config.max_depth = 5;
+    config.seed = 23;
+    f.db.StoreDataset("t", data);
+    f.db.StoreModel("m",
+                    TreeEnsemble::FromForest(TrainForest(data, config)));
+    (void)f.engine.Execute("SELECT SCORE(m) FROM t");
+    const std::uint64_t version = f.db.catalog_version();
+    // Any INSERT into the models table bumps the catalog version.
+    f.db.StoreModel("m2",
+                    TreeEnsemble::FromForest(TrainForest(data, config)));
+    EXPECT_GT(f.db.catalog_version(), version);
+    (void)f.engine.Execute("SELECT SCORE(m) FROM t");
+    EXPECT_GE(f.engine.planner().CacheStats().invalidations, 1u);
+}
+
+// ----------------------------------------------- paged model metadata --
+
+TEST(PlanEngineTest, ModelMetaPagingFeedsStorageStats)
+{
+    PlanEngineFixture f;
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "dbscore_plan_model_meta";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    f.db.EnableModelMetaPaging((dir / "meta.dbpages").string());
+
+    const Dataset data = MakeHiggs(200, 29);
+    ForestTrainerConfig config;
+    config.num_trees = 4;
+    config.max_depth = 5;
+    config.seed = 29;
+    const RandomForest forest = TrainForest(data, config);
+    f.db.StoreModel("m", TreeEnsemble::FromForest(forest));
+    f.db.StoreModel("m2", TreeEnsemble::FromForest(forest));
+
+    const Table& meta = f.db.GetTable("model_meta");
+    ASSERT_TRUE(meta.paged());
+    ASSERT_EQ(meta.NumRows(), 2u);
+    EXPECT_FLOAT_EQ(meta.FloatAt(0, meta.ColumnIndex("num_trees")),
+                    4.0F);
+    EXPECT_GT(meta.FloatAt(1, meta.ColumnIndex("blob_bytes")), 0.0F);
+
+    QueryResult stats =
+        f.engine.Execute("EXEC sp_storage_stats @table='model_meta'");
+    ASSERT_EQ(stats.rows.size(), 1u);
+    EXPECT_EQ(std::get<std::string>(stats.rows[0][0]), "model_meta");
+
+    // The paged mirror is queryable like any table.
+    QueryResult rows = f.engine.Execute(
+        "SELECT COUNT(*) FROM model_meta WHERE num_trees >= 4");
+    EXPECT_EQ(std::get<std::int64_t>(rows.rows[0][0]), 2);
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+}
+
+// ------------------------------------------------------ serve bridge --
+
+TEST(PlanEngineTest, SpServeQueryMatchesInEngineExecution)
+{
+    PlanEngineFixture f;
+    const Dataset data = MakeHiggs(400, 31);
+    ForestTrainerConfig config;
+    config.num_trees = 8;
+    config.max_depth = 6;
+    config.seed = 31;
+    const RandomForest forest = TrainForest(data, config);
+    f.db.StoreDataset("t", data);
+    f.db.StoreModel("m", TreeEnsemble::FromForest(forest));
+
+    serve::ScoringService service(f.profile, serve::ServiceConfig{});
+    service.RegisterModel("m", TreeEnsemble::FromForest(forest),
+                          ComputeModelStats(forest, &data));
+    serve::RegisterServeProcedures(f.engine, service);
+    service.Start();
+
+    const std::string query =
+        "SELECT SCORE(m) FROM t WHERE kin_0 > 0.5 AND "
+        "SCORE(m) > 0.4";
+    QueryResult served = f.engine.Execute(
+        "EXEC sp_serve_query @query='" + query + "'");
+    QueryResult local = f.engine.Execute(query);
+    ASSERT_EQ(served.rows.size(), local.rows.size());
+    for (std::size_t i = 0; i < served.rows.size(); ++i) {
+        // served: (row_id, prediction); local: (prediction)
+        EXPECT_EQ(std::get<double>(served.rows[i][1]),
+                  std::get<double>(local.rows[i][0]));
+    }
+    service.Stop();
+}
+
+}  // namespace
+}  // namespace dbscore
