@@ -1,5 +1,6 @@
 #include "bench_util.h"
 
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -221,6 +222,80 @@ SecondsSince(std::chrono::steady_clock::time_point start)
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - start)
         .count();
+}
+
+namespace {
+
+/** splitmix64: turns any seed into a well-mixed nonzero PRNG state. */
+std::uint64_t
+SplitMix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+double
+ZipfZeta(std::size_t n, double theta)
+{
+    double sum = 0.0;
+    for (std::size_t i = 1; i <= n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+}
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(std::size_t n, double theta,
+                                   std::uint64_t seed)
+    : n_(n), theta_(theta), state_(SplitMix64(seed))
+{
+    if (n == 0) {
+        throw InvalidArgument("ZipfianGenerator: n must be positive");
+    }
+    if (theta < 0.0 || theta >= 1.0) {
+        throw InvalidArgument(
+            "ZipfianGenerator: theta must be in [0, 1)");
+    }
+    if (state_ == 0) {
+        state_ = 1;  // xorshift64 has a zero fixed point.
+    }
+    zetan_ = ZipfZeta(n_, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    const double zeta2 = ZipfZeta(std::min<std::size_t>(n_, 2), theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+}
+
+double
+ZipfianGenerator::NextUniform()
+{
+    // xorshift64* — tiny, fast, and identical on every platform
+    // (std::mt19937 distributions are not bit-stable across stdlibs).
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    const std::uint64_t x = state_ * 0x2545f4914f6cdd1dULL;
+    return static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+}
+
+std::size_t
+ZipfianGenerator::Next()
+{
+    const double u = NextUniform();
+    const double uz = u * zetan_;
+    if (uz < 1.0) {
+        return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+        return 1;
+    }
+    const std::size_t rank = static_cast<std::size_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return std::min(rank, n_ - 1);
 }
 
 namespace {

@@ -134,6 +134,40 @@ BestOfWall(int repeats, const Fn& fn)
     return best;
 }
 
+/**
+ * Deterministic Zipfian sampler over keys [0, n), YCSB-style: the
+ * harmonic normalizer is precomputed once so Next() is O(1) with two
+ * uniform draws (Gray et al.'s quick-Zipf rejection-free transform).
+ * Same (n, theta, seed) always yields the same key sequence on every
+ * platform — the fleet bench's tenant->model popularity must replay
+ * identically in CI.
+ */
+class ZipfianGenerator {
+ public:
+    /**
+     * @param n      key-space size (> 0)
+     * @param theta  skew in [0, 1); 0 = uniform, 0.99 = YCSB-hot
+     * @param seed   PRNG seed (splitmix64-initialized xorshift)
+     */
+    ZipfianGenerator(std::size_t n, double theta, std::uint64_t seed);
+
+    /** Next key in [0, n); rank 0 is the most popular key. */
+    std::size_t Next();
+
+    std::size_t n() const { return n_; }
+    double theta() const { return theta_; }
+
+ private:
+    double NextUniform();
+
+    std::size_t n_;
+    double theta_;
+    double zetan_;
+    double alpha_;
+    double eta_;
+    std::uint64_t state_;
+};
+
 /** One JSON object with insertion-ordered scalar fields. */
 class BenchJsonObject {
  public:

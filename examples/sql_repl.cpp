@@ -21,6 +21,8 @@
 #include "dbscore/common/string_util.h"
 #include "dbscore/data/synthetic.h"
 #include "dbscore/dbms/query_engine.h"
+#include "dbscore/fleet/fleet_proc.h"
+#include "dbscore/fleet/fleet_service.h"
 #include "dbscore/forest/model_stats.h"
 #include "dbscore/forest/trainer.h"
 #include "dbscore/serve/scoring_service.h"
@@ -31,7 +33,8 @@ namespace {
 using namespace dbscore;
 
 void
-LoadDemoData(Database& db, serve::ScoringService& service)
+LoadDemoData(Database& db, serve::ScoringService& service,
+             fleet::FleetService& fleet_service)
 {
     Dataset iris = MakeIris(600, 1);
     Dataset higgs = MakeHiggs(2000, 1);
@@ -49,6 +52,11 @@ LoadDemoData(Database& db, serve::ScoringService& service)
                           ComputeModelStats(iris_rf, &iris));
     service.RegisterModel("higgs_rf", TreeEnsemble::FromForest(higgs_rf),
                           ComputeModelStats(higgs_rf, &higgs));
+    fleet_service.RegisterModel("iris_rf", TreeEnsemble::FromForest(iris_rf),
+                                ComputeModelStats(iris_rf, &iris));
+    fleet_service.RegisterModel("higgs_rf",
+                                TreeEnsemble::FromForest(higgs_rf),
+                                ComputeModelStats(higgs_rf, &higgs));
 }
 
 }  // namespace
@@ -59,12 +67,15 @@ main()
     Database db;
     HardwareProfile profile = HardwareProfile::Paper();
     serve::ScoringService service(profile, serve::ServiceConfig{});
-    LoadDemoData(db, service);
+    fleet::FleetService fleet_service(profile, fleet::FleetConfig{});
+    LoadDemoData(db, service, fleet_service);
     service.Start();
+    fleet_service.Start();
     ExternalRuntimeParams runtime_params;
     ScoringPipeline pipeline(db, profile, runtime_params);
     QueryEngine engine(db, pipeline);
     serve::RegisterServeProcedures(engine, service);
+    fleet::RegisterFleetProcedures(engine, fleet_service);
 
     std::cout << "dbscore SQL shell. Tables:";
     for (const auto& name : db.TableNames()) {
@@ -74,7 +85,11 @@ main()
                  "@data = 'iris_data', @backend = 'auto', @top = 5\n"
                  "     EXEC sp_score_service @model = 'higgs_rf', "
                  "@rows = 4096\n"
-                 "     EXEC sp_serve_stats\n";
+                 "     EXEC sp_serve_stats\n"
+                 "     EXEC sp_fleet_tenant @tenant = 1, "
+                 "@model = 'higgs_rf', @class = 'gold'\n"
+                 "     EXEC sp_fleet_score @tenant = 1, @rows = 1024\n"
+                 "     EXEC sp_fleet_stats\n";
 
     std::string line;
     while (true) {

@@ -1,0 +1,41 @@
+#include "dbscore/fleet/autoscaler.h"
+
+namespace dbscore::fleet {
+
+AutoscaleDecision
+Autoscale(const AutoscalerConfig& config, const DeviceLoadSignals& signals)
+{
+    AutoscaleDecision hold;
+    if (!config.enabled || signals.lanes == 0) {
+        return hold;
+    }
+    if (signals.now - signals.last_change < config.cooldown &&
+        signals.last_change > SimTime()) {
+        return hold;
+    }
+
+    const double per_lane = static_cast<double>(signals.queue_depth) /
+                            static_cast<double>(signals.lanes);
+    const double miss_rate =
+        signals.window_completions == 0
+            ? 0.0
+            : static_cast<double>(signals.window_deadline_misses) /
+                  static_cast<double>(signals.window_completions);
+
+    if (signals.lanes < config.max_lanes) {
+        if (per_lane > config.scale_up_queue_per_lane) {
+            return {+1, "backlog"};
+        }
+        if (miss_rate > config.scale_up_miss_rate &&
+            signals.window_completions > 0) {
+            return {+1, "miss-rate"};
+        }
+    }
+    if (signals.lanes > config.min_lanes &&
+        per_lane < config.scale_down_queue_per_lane && miss_rate == 0.0) {
+        return {-1, "idle"};
+    }
+    return hold;
+}
+
+}  // namespace dbscore::fleet

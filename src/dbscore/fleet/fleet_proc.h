@@ -1,0 +1,44 @@
+/**
+ * @file
+ * DBMS entry points for the multi-tenant fleet.
+ *
+ * The fleet's control plane speaks the same EXEC dialect as the rest
+ * of the DBMS surface: tenants register, SLO ladders adjust, requests
+ * score, and operators read the fleet's counters — all through stored
+ * procedures, so a SQL session can drive a fleet experiment end to
+ * end.
+ */
+#ifndef DBSCORE_FLEET_FLEET_PROC_H
+#define DBSCORE_FLEET_FLEET_PROC_H
+
+#include "dbscore/dbms/query_engine.h"
+#include "dbscore/fleet/fleet_service.h"
+
+namespace dbscore::fleet {
+
+/**
+ * Registers the fleet procedures on @p engine against @p service
+ * (which must outlive the engine):
+ *
+ *   EXEC sp_fleet_tenant @tenant = N, @model = '<id>',
+ *        @class = 'gold'|'silver'|'bronze'
+ *     Binds a tenant to a registered model with a service class.
+ *
+ *   EXEC sp_fleet_slo @class = '<name>' [, @deadline_ms = D]
+ *        [, @weight = W] [, @quota_rps = R] [, @quota_burst = B]
+ *     Adjusts one class's SLO policy (before the service starts).
+ *
+ *   EXEC sp_fleet_score @tenant = N, @rows = R
+ *     Submits one request for the tenant and blocks for its reply.
+ *
+ *   EXEC sp_fleet_stats [@reset = 1]
+ *     Returns fleet counters as (metric, value) rows — per-class
+ *     tails and deadline misses, registry hit/eviction economy,
+ *     device lanes and breaker states. With @reset = 1, zeroes the
+ *     counters after reading them (clean per-phase snapshots).
+ */
+void RegisterFleetProcedures(QueryEngine& engine, FleetService& service);
+
+}  // namespace dbscore::fleet
+
+#endif  // DBSCORE_FLEET_FLEET_PROC_H

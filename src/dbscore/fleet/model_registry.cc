@@ -1,0 +1,206 @@
+#include "dbscore/fleet/model_registry.h"
+
+#include <utility>
+
+#include "dbscore/common/error.h"
+
+namespace dbscore::fleet {
+
+using trace::ScopedSpan;
+using trace::SpanContext;
+using trace::StageKind;
+using trace::TraceCollector;
+
+WarmModel::WarmModel(const HardwareProfile& profile, std::string model_id,
+                     const TreeEnsemble& ensemble, const ModelStats& stats,
+                     SimTime modeled_build_cost)
+    : id(std::move(model_id)),
+      forest(ensemble.ToForest()),
+      scheduler(profile, ensemble, stats),
+      num_cols(stats.num_features),
+      model_bytes(stats.serialized_bytes),
+      build_cost(modeled_build_cost)
+{
+    // Prewarm the kernel cache so every dispatch through this resident
+    // model scores via the same compiled plan (the serve-layer idiom).
+    if (ForestKernel::Supports(forest)) {
+        build_wall_ms = forest.Kernel()->build_wall_ms();
+    }
+}
+
+ModelRegistry::ModelRegistry(const HardwareProfile& profile,
+                             RegistryConfig config)
+    : profile_(profile),
+      config_(config),
+      cost_model_(config.runtime_params)
+{
+    counters_.memory_budget_bytes = config_.memory_budget_bytes;
+}
+
+void
+ModelRegistry::RegisterModel(const std::string& id, const TreeEnsemble& model,
+                             const ModelStats& stats)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (specs_.count(id) != 0) {
+        throw InvalidArgument("registry: duplicate model id: " + id);
+    }
+    Spec spec;
+    spec.ensemble = std::make_shared<const TreeEnsemble>(model);
+    spec.stats = stats;
+    specs_.emplace(id, std::move(spec));
+    spec_order_.push_back(id);
+    counters_.registered_specs = specs_.size();
+}
+
+bool
+ModelRegistry::HasModel(const std::string& id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return specs_.count(id) != 0;
+}
+
+std::vector<std::string>
+ModelRegistry::ModelIds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spec_order_;
+}
+
+AcquireResult
+ModelRegistry::Acquire(const std::string& id, const SpanContext& parent,
+                       SimTime now)
+{
+    auto& tracer = TraceCollector::Get();
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto spec_it = specs_.find(id);
+    if (spec_it == specs_.end()) {
+        throw NotFound("registry: unknown model: " + id);
+    }
+
+    for (;;) {
+        auto res_it = resident_.find(id);
+        if (res_it != resident_.end()) {
+            // Warm hit: refresh recency, charge nothing.
+            lru_.splice(lru_.begin(), lru_, res_it->second.lru_pos);
+            ++counters_.hits;
+            AcquireResult out;
+            out.model = res_it->second.model;
+            out.hit = true;
+            tracer.EmitSim(StageKind::kRegistryHit, "registry-hit", parent,
+                           now, SimTime(),
+                           {{"resident", static_cast<double>(
+                                             resident_.size())}});
+            return out;
+        }
+        if (building_.count(id) == 0) {
+            break;  // this caller becomes the builder
+        }
+        // Another thread is building this model; wait for it and take
+        // the warm copy (a hit — this caller paid no build).
+        build_cv_.wait(lock);
+    }
+
+    // Miss: build outside the lock so other models stay acquirable.
+    building_.insert(id);
+    const bool rebuild = spec_it->second.built_before;
+    auto ensemble = spec_it->second.ensemble;
+    const ModelStats stats = spec_it->second.stats;
+    lock.unlock();
+
+    // The modeled build charge mirrors a cold external-runtime dispatch:
+    // deserialize + prepare the model blob at its serialized size.
+    const SimTime build_cost =
+        cost_model_.ModelPreprocessing(stats.serialized_bytes);
+    WarmModelPtr model;
+    {
+        // Wall clock covers the real work (forest + engines + kernel);
+        // the sim duration is the modeled charge. kKernelBuild totals
+        // therefore measure the fleet's aggregate re-warm tax.
+        ScopedSpan span(StageKind::kKernelBuild, "registry-build", parent);
+        model = std::make_shared<const WarmModel>(profile_, id, *ensemble,
+                                                  stats, build_cost);
+        tracer.EmitSim(StageKind::kKernelBuild, "registry-build-sim", parent,
+                       now, build_cost,
+                       {{"bytes", static_cast<double>(stats.serialized_bytes)},
+                        {"rebuild", rebuild ? 1.0 : 0.0}});
+    }
+
+    lock.lock();
+    spec_it->second.built_before = true;
+    lru_.push_front(id);
+    resident_.emplace(id, Resident{model, lru_.begin()});
+    resident_bytes_ += model->model_bytes;
+    ++counters_.misses;
+    if (rebuild) {
+        ++counters_.rebuilds;
+    }
+    counters_.build_cost_total = counters_.build_cost_total + build_cost;
+    counters_.build_wall_ms_total += model->build_wall_ms;
+    EvictToBudgetLocked(parent, now);
+    building_.erase(id);
+    build_cv_.notify_all();
+
+    AcquireResult out;
+    out.model = model;
+    out.hit = false;
+    out.build_cost = build_cost;
+    return out;
+}
+
+void
+ModelRegistry::EvictToBudgetLocked(const SpanContext& parent, SimTime now)
+{
+    auto& tracer = TraceCollector::Get();
+    // Never evict the entry just inserted (lru_ front): a model larger
+    // than the whole budget must still be servable, it just evicts
+    // everything else and stays the lone (over-budget) resident.
+    while (resident_bytes_ > config_.memory_budget_bytes && lru_.size() > 1) {
+        const std::string victim = lru_.back();
+        auto it = resident_.find(victim);
+        DBS_ASSERT(it != resident_.end());
+        resident_bytes_ -= it->second.model->model_bytes;
+        tracer.EmitSim(StageKind::kRegistryEvict, "registry-evict", parent,
+                       now, SimTime(),
+                       {{"bytes",
+                         static_cast<double>(it->second.model->model_bytes)},
+                        {"resident_after",
+                         static_cast<double>(resident_.size() - 1)}});
+        resident_.erase(it);
+        lru_.pop_back();
+        ++counters_.evictions;
+    }
+}
+
+void
+ModelRegistry::EvictAll()
+{
+    auto& tracer = TraceCollector::Get();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, res] : resident_) {
+        (void)id;
+        resident_bytes_ -= res.model->model_bytes;
+        ++counters_.evictions;
+        tracer.EmitSim(StageKind::kRegistryEvict, "registry-evict-all",
+                       trace::SpanContext{}, SimTime(), SimTime(),
+                       {{"bytes",
+                         static_cast<double>(res.model->model_bytes)}});
+    }
+    resident_.clear();
+    lru_.clear();
+    DBS_ASSERT(resident_bytes_ == 0);
+}
+
+RegistrySnapshot
+ModelRegistry::Snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    RegistrySnapshot snap = counters_;
+    snap.registered_specs = specs_.size();
+    snap.resident_models = resident_.size();
+    snap.resident_bytes = resident_bytes_;
+    snap.memory_budget_bytes = config_.memory_budget_bytes;
+    return snap;
+}
+
+}  // namespace dbscore::fleet

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * The fleet's warm-model registry.
+ *
+ * The paper's Figure 11 charges model deserialization/compilation as a
+ * first-class pipeline overhead; a one-model service pays it once and
+ * forgets it. A fleet serving thousands of models under a finite
+ * memory budget cannot: cold models must be built on first use, hot
+ * models kept warm, and everything else evicted — which means the
+ * build cost comes *back* every time a cold tenant wakes an evicted
+ * model. ModelRegistry makes that economy explicit: an LRU cache of
+ * prewarmed ForestKernels (plus each model's backend schedulers) under
+ * a configurable byte budget, with the re-warm tax measurable through
+ * the kKernelBuild / kRegistryHit / kRegistryEvict trace stages and
+ * the hit/miss/eviction counters.
+ *
+ * Bit-identity invariant: a WarmModel's predictions depend only on the
+ * registered ensemble — warm, re-warmed after eviction, or served
+ * during degradation, the same rows produce the same bits.
+ */
+#ifndef DBSCORE_FLEET_MODEL_REGISTRY_H
+#define DBSCORE_FLEET_MODEL_REGISTRY_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dbscore/common/sim_time.h"
+#include "dbscore/core/scheduler.h"
+#include "dbscore/dbms/external_runtime.h"
+#include "dbscore/forest/forest.h"
+#include "dbscore/forest/model_stats.h"
+#include "dbscore/trace/trace.h"
+
+namespace dbscore::fleet {
+
+/** Registry configuration. */
+struct RegistryConfig {
+    /**
+     * Byte budget for resident warm models (accounted at each model's
+     * serialized size). Inserting past it evicts least-recently-used
+     * models first. Models handed out to in-flight dispatches survive
+     * eviction (shared ownership) but stop counting as resident.
+     */
+    std::uint64_t memory_budget_bytes = 64ull << 20;
+    /**
+     * Stage-cost parameters of the modeled (re)build: an Acquire miss
+     * charges the external runtime's model-preprocessing cost for the
+     * model's serialized bytes, exactly like a cold Fig-11 dispatch.
+     */
+    ExternalRuntimeParams runtime_params;
+};
+
+/** A built, scoring-ready model: the registry's unit of residency. */
+struct WarmModel {
+    std::string id;
+    /** Functional model; its ForestKernel is compiled at build time. */
+    RandomForest forest;
+    /** One loaded engine per viable backend, for placement estimates. */
+    OffloadScheduler scheduler;
+    std::size_t num_cols = 0;
+    std::uint64_t model_bytes = 0;
+    /** Modeled cost this build charged (the re-warm tax). */
+    SimTime build_cost;
+    /** Wall-clock kernel-compile cost of this build, milliseconds. */
+    double build_wall_ms = 0.0;
+
+    WarmModel(const HardwareProfile& profile, std::string model_id,
+              const TreeEnsemble& ensemble, const ModelStats& stats,
+              SimTime modeled_build_cost);
+};
+
+using WarmModelPtr = std::shared_ptr<const WarmModel>;
+
+/** Result of one Acquire: the model plus what obtaining it cost. */
+struct AcquireResult {
+    WarmModelPtr model;
+    /** False when the model had to be (re)built. */
+    bool hit = true;
+    /** Modeled build cost the caller must charge (zero on a hit). */
+    SimTime build_cost;
+};
+
+/** Registry counters (snapshot under one lock). */
+struct RegistrySnapshot {
+    std::size_t registered_specs = 0;
+    std::size_t resident_models = 0;
+    std::uint64_t resident_bytes = 0;
+    std::uint64_t memory_budget_bytes = 0;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    /** Misses that re-built a previously evicted model. */
+    std::size_t rebuilds = 0;
+    std::size_t evictions = 0;
+    /** Total modeled build cost charged across misses. */
+    SimTime build_cost_total;
+    /** Total wall-clock milliseconds spent compiling kernels. */
+    double build_wall_ms_total = 0.0;
+
+    double
+    HitRate() const
+    {
+        const std::size_t n = hits + misses;
+        return n == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(n);
+    }
+};
+
+/**
+ * LRU cache of WarmModels under a byte budget. Thread-safe; concurrent
+ * Acquires of the same cold model build it once (later callers wait on
+ * the builder and count as hits — they paid no build).
+ */
+class ModelRegistry {
+ public:
+    ModelRegistry(const HardwareProfile& profile, RegistryConfig config);
+
+    /**
+     * Registers the buildable spec for @p id (cheap: the ensemble is
+     * shared, nothing is compiled). @throws InvalidArgument on a
+     * duplicate id.
+     */
+    void RegisterModel(const std::string& id, const TreeEnsemble& model,
+                       const ModelStats& stats);
+
+    bool HasModel(const std::string& id) const;
+
+    /** Registered model ids, registration order. */
+    std::vector<std::string> ModelIds() const;
+
+    /**
+     * Returns the warm model for @p id, building it on a miss (and
+     * evicting LRU residents past the budget). Emits kRegistryHit /
+     * kKernelBuild / kRegistryEvict spans parented to @p parent at
+     * modeled time @p now. @throws NotFound for an unknown id.
+     */
+    AcquireResult Acquire(const std::string& id,
+                          const trace::SpanContext& parent, SimTime now);
+
+    /**
+     * Drops every resident model (spec registrations stay). Next
+     * Acquire of each id re-pays the build. Counted as evictions.
+     */
+    void EvictAll();
+
+    RegistrySnapshot Snapshot() const;
+
+    const RegistryConfig& config() const { return config_; }
+
+ private:
+    struct Spec {
+        std::shared_ptr<const TreeEnsemble> ensemble;
+        ModelStats stats;
+        /** True once this model has been built (and evicted) before. */
+        bool built_before = false;
+    };
+
+    /** Caller holds mutex_. Evicts LRU models until within budget. */
+    void EvictToBudgetLocked(const trace::SpanContext& parent, SimTime now);
+
+    HardwareProfile profile_;
+    RegistryConfig config_;
+    /** Pure cost model for the modeled (re)build charge. */
+    ExternalScriptRuntime cost_model_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable build_cv_;
+    std::map<std::string, Spec> specs_;
+    std::vector<std::string> spec_order_;
+    /** MRU front, LRU back; every entry is resident. */
+    std::list<std::string> lru_;
+    struct Resident {
+        WarmModelPtr model;
+        std::list<std::string>::iterator lru_pos;
+    };
+    std::map<std::string, Resident> resident_;
+    std::uint64_t resident_bytes_ = 0;
+    /** Ids currently being built (outside the lock). */
+    std::set<std::string> building_;
+    RegistrySnapshot counters_;
+};
+
+}  // namespace dbscore::fleet
+
+#endif  // DBSCORE_FLEET_MODEL_REGISTRY_H

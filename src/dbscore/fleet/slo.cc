@@ -1,0 +1,83 @@
+#include "dbscore/fleet/slo.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dbscore::fleet {
+
+const char*
+SloClassName(SloClass cls)
+{
+    switch (cls) {
+      case SloClass::kGold: return "gold";
+      case SloClass::kSilver: return "silver";
+      case SloClass::kBronze: return "bronze";
+    }
+    return "?";
+}
+
+std::optional<SloClass>
+ParseSloClass(const std::string& name)
+{
+    std::string lower(name);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    for (int c = 0; c < kNumSloClasses; ++c) {
+        if (lower == SloClassName(static_cast<SloClass>(c))) {
+            return static_cast<SloClass>(c);
+        }
+    }
+    return std::nullopt;
+}
+
+SloPolicy
+DefaultSloPolicy(SloClass cls)
+{
+    SloPolicy policy;
+    switch (cls) {
+      case SloClass::kGold:
+        policy.deadline = SimTime::Millis(500.0);
+        policy.weight = 8.0;
+        policy.quota_rps = 0.0;  // gold tenants are never throttled
+        policy.quota_burst = 32.0;
+        break;
+      case SloClass::kSilver:
+        policy.deadline = SimTime::Millis(500.0);
+        policy.weight = 3.0;
+        policy.quota_rps = 50.0;
+        policy.quota_burst = 16.0;
+        break;
+      case SloClass::kBronze:
+        policy.deadline = SimTime::Millis(500.0);
+        policy.weight = 1.0;
+        policy.quota_rps = 10.0;
+        policy.quota_burst = 8.0;
+        break;
+    }
+    return policy;
+}
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_(rate_per_sec), burst_(burst), level_(burst)
+{
+}
+
+bool
+TokenBucket::TryTake(SimTime now, double tokens)
+{
+    if (rate_ <= 0.0) {
+        return true;  // quota disabled
+    }
+    if (now > last_refill_) {
+        level_ = std::min(burst_,
+                          level_ + rate_ * (now - last_refill_).seconds());
+        last_refill_ = now;
+    }
+    if (level_ + 1e-9 < tokens) {
+        return false;
+    }
+    level_ -= tokens;
+    return true;
+}
+
+}  // namespace dbscore::fleet

@@ -1,6 +1,7 @@
 #include "dbscore/forest/forest_kernel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <mutex>
@@ -141,6 +142,7 @@ ForestKernel::Compile(const std::vector<DecisionTree>& trees)
     // Attribute compilation (the serve path's model prewarming pays
     // this on registration, and mutation pays it again) to its own
     // trace stage; the autotuner emits a child span.
+    const auto build_start = std::chrono::steady_clock::now();
     trace::ScopedSpan span(trace::StageKind::kKernelBuild, "kernel-build");
     span.AddAttr("trees", static_cast<double>(trees.size()));
     span.AddAttr("version",
@@ -342,6 +344,10 @@ ForestKernel::Compile(const std::vector<DecisionTree>& trees)
         tile_nodes += nodes;
     }
     tiles_.push_back({tile_start, trees.size()});
+
+    build_wall_ms_ = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - build_start)
+                         .count();
 }
 
 std::size_t

@@ -255,6 +255,13 @@ class ForestKernel {
     bool autotuned() const;
 
     /**
+     * Wall-clock milliseconds Compile() took (autotuning included) —
+     * the build cost a serving layer re-pays when a cached kernel is
+     * evicted and later rebuilt (the fleet registry's re-warm tax).
+     */
+    double build_wall_ms() const { return build_wall_ms_; }
+
+    /**
      * Quantized plans: true when every distinct threshold received its
      * own bin, which upgrades the epsilon contract to bit-identity
      * (monotone binning preserves every comparison; DESIGN.md §13).
@@ -338,6 +345,7 @@ class ForestKernel {
     /** Margin combiner parameters (gbdt): out = init + scale * sum. */
     double init_ = 0.0;
     double scale_ = 1.0;
+    double build_wall_ms_ = 0.0;
 
     /**
      * One packed v1 traversal node: everything one descend step reads,

@@ -296,8 +296,16 @@ ScoringService::Stats() const
     ServiceSnapshot snap = stats_.Snapshot();
     // Stage attribution comes from the trace subsystem: sum the
     // simulated durations of this service's per-request stage spans.
-    const auto totals =
-        TraceCollector::Get().StageSimTotals(trace_domain_);
+    auto totals = TraceCollector::Get().StageSimTotals(trace_domain_);
+    {
+        // Per-phase view: the collector's totals span the domain's
+        // whole lifetime; subtract what had accumulated at the last
+        // ResetStats().
+        std::lock_guard<std::mutex> lock(baseline_mutex_);
+        for (std::size_t i = 0; i < totals.size(); ++i) {
+            totals[i] = Max(SimTime(), totals[i] - stage_baseline_[i]);
+        }
+    }
     auto of = [&totals](StageKind stage) {
         return totals[static_cast<int>(stage)];
     };
@@ -310,6 +318,20 @@ ScoringService::Stats() const
     st.data_preprocessing = of(StageKind::kDataPreproc);
     st.scoring = of(StageKind::kScoring);
     return snap;
+}
+
+void
+ScoringService::ResetStats()
+{
+    // Order matters: rebaseline the trace totals first, then zero the
+    // counters, so a concurrent Stats() never pairs new counters with
+    // pre-reset stage totals.
+    {
+        std::lock_guard<std::mutex> lock(baseline_mutex_);
+        stage_baseline_ =
+            TraceCollector::Get().StageSimTotals(trace_domain_);
+    }
+    stats_.Reset();
 }
 
 void
@@ -370,6 +392,24 @@ ScoringService::DispatcherLoop()
             for (Batch& batch : coalescer.Add(std::move(r))) {
                 PlaceAndEnqueue(std::move(batch));
             }
+        }
+    }
+    // Structural shutdown-drain guarantee: the exit path above flushes
+    // every open batch, so nothing should still be pending here. If a
+    // future refactor breaks that, fail the stranded requests loudly
+    // (kFailed replies, settled counters) — never drop their handles
+    // silently, which would hang every waiter forever.
+    for (Batch& batch : coalescer.Flush()) {
+        for (PendingRequest& m : batch.members) {
+            const SimTime arrival = m.request.arrival.value_or(SimTime());
+            ScoreReply reply;
+            reply.status = RequestStatus::kFailed;
+            reply.finish = arrival;
+            reply.error = "service stopped before dispatch";
+            stats_.RecordFailed(arrival, arrival);
+            EmitRequestSpan(m, arrival, arrival, /*expired=*/false);
+            m.handle->Fulfill(std::move(reply));
+            SettleOne(arrival);
         }
     }
     {

@@ -23,6 +23,7 @@
 #ifndef DBSCORE_SERVE_SCORING_SERVICE_H
 #define DBSCORE_SERVE_SCORING_SERVICE_H
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -44,6 +45,7 @@
 #include "dbscore/serve/batch_coalescer.h"
 #include "dbscore/serve/request.h"
 #include "dbscore/serve/service_stats.h"
+#include "dbscore/trace/trace.h"
 
 namespace dbscore::serve {
 
@@ -180,6 +182,15 @@ class ScoringService {
     ServiceSnapshot Stats() const;
 
     /**
+     * Zeroes the counters and rebaselines the trace-derived stage
+     * totals, so the next Stats() reports only what happened after
+     * this call — clean per-phase snapshots (EXEC sp_serve_stats
+     * @reset = 1). Breaker states survive. Callable while running;
+     * in-flight requests settle into the new phase.
+     */
+    void ResetStats();
+
+    /**
      * Writes every span this service emitted (its trace domain only)
      * as Chrome trace_event JSON — loadable in chrome://tracing or
      * Perfetto. Best taken after Drain()/Stop().
@@ -277,6 +288,13 @@ class ScoringService {
     std::condition_variable settled_cv_;
 
     ServiceStats stats_;
+    /**
+     * Trace stage totals at the last ResetStats(). StageSimTotals
+     * accumulates for a domain's whole lifetime, so per-phase stage
+     * totals are (current - baseline). Guarded by baseline_mutex_.
+     */
+    mutable std::mutex baseline_mutex_;
+    std::array<SimTime, trace::kNumStageKinds> stage_baseline_{};
     std::unique_ptr<ThreadPool> threads_;
     /**
      * Each service instance traces into its own domain so two

@@ -180,8 +180,9 @@ SpServeQuery(QueryEngine& engine, ScoringService& service,
 }
 
 QueryResult
-SpServeStats(ScoringService& service)
+SpServeStats(ScoringService& service, const ExecStatement& stmt)
 {
+    const bool reset = GetIntParam(stmt, "reset").value_or(0) != 0;
     ServiceSnapshot snap = service.Stats();
     QueryResult result;
     result.columns = {"metric", "value"};
@@ -214,8 +215,13 @@ SpServeStats(ScoringService& service)
             {StrFormat("breaker_%s", kDeviceNames[d]),
              std::string(BreakerStateName(snap.device[d].breaker))});
     }
-    result.message =
-        StrFormat("%zu metrics", result.rows.size());
+    if (reset) {
+        // Snapshot first, then reset: the caller gets the phase that
+        // just ended and the next sp_serve_stats starts from zero.
+        service.ResetStats();
+    }
+    result.message = StrFormat("%zu metrics%s", result.rows.size(),
+                               reset ? ", counters reset" : "");
     return result;
 }
 
@@ -231,8 +237,8 @@ RegisterServeProcedures(QueryEngine& engine, ScoringService& service)
         });
     engine.RegisterProcedure(
         "sp_serve_stats",
-        [&service](QueryEngine&, const ExecStatement&) {
-            return SpServeStats(service);
+        [&service](QueryEngine&, const ExecStatement& stmt) {
+            return SpServeStats(service, stmt);
         });
     engine.RegisterProcedure(
         "sp_serve_query",

@@ -265,4 +265,24 @@ ServiceStats::Settled() const
            totals_.failed;
 }
 
+void
+ServiceStats::Reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ServiceSnapshot fresh;
+    // Breaker states are current device facts, not history: a reset
+    // must not report an open breaker as closed.
+    for (int d = 0; d < 3; ++d) {
+        fresh.device[d].breaker = totals_.device[d].breaker;
+    }
+    totals_ = fresh;
+    any_arrival_ = false;
+    latency_stats_ = RunningStats();
+    latency_sketch_ = QuantileSketch();
+    batch_request_stats_ = RunningStats();
+    batch_request_sketch_ = QuantileSketch();
+    batch_row_stats_ = RunningStats();
+    batch_row_sketch_ = QuantileSketch();
+}
+
 }  // namespace dbscore::serve

@@ -172,6 +172,15 @@ class ServiceStats {
      */
     std::size_t Settled() const;
 
+    /**
+     * Zeroes every counter and distribution for a fresh measurement
+     * phase. Breaker states (current device facts, not history)
+     * survive. In-flight requests settle into the new phase's
+     * counters, so a snapshot taken mid-flight can show completions
+     * without admissions.
+     */
+    void Reset();
+
  private:
     mutable std::mutex mutex_;
     ServiceSnapshot totals_;

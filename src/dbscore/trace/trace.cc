@@ -57,6 +57,9 @@ StageName(StageKind stage)
     case StageKind::kKernelBuild: return "kernel-build";
     case StageKind::kPlan: return "plan";
     case StageKind::kPlanCacheHit: return "plan-cache-hit";
+    case StageKind::kRegistryHit: return "registry-hit";
+    case StageKind::kRegistryEvict: return "registry-evict";
+    case StageKind::kAutoscale: return "autoscale";
     }
     return "unknown";
 }
@@ -94,6 +97,9 @@ StagePaperComponent(StageKind stage)
     case StageKind::kKernelBuild: return "functional kernel build";
     case StageKind::kPlan: return "dbms: query planning";
     case StageKind::kPlanCacheHit: return "dbms: plan cache hit";
+    case StageKind::kRegistryHit: return "fleet: registry hit";
+    case StageKind::kRegistryEvict: return "fleet: registry eviction";
+    case StageKind::kAutoscale: return "fleet: autoscale";
     default: return "-";
     }
 }

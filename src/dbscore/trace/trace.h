@@ -87,9 +87,12 @@ enum class StageKind : std::uint8_t {
     kKernelBuild,       ///< wall-clock: ForestKernel compile (+ autotune)
     kPlan,              ///< dbms: parse + plan + rewrite one statement
     kPlanCacheHit,      ///< dbms: plan served from the LRU plan cache
+    kRegistryHit,       ///< fleet: model served from the warm registry
+    kRegistryEvict,     ///< fleet: model evicted under memory pressure
+    kAutoscale,         ///< fleet: worker-pool lane count changed
 };
 
-inline constexpr int kNumStageKinds = 30;
+inline constexpr int kNumStageKinds = 33;
 
 /** Stable lowercase-dash name, e.g. "queue-wait"; also the Chrome cat. */
 const char* StageName(StageKind stage);

@@ -93,5 +93,55 @@ TEST(BenchUtilTest, CsvDumpRoundTrips)
                  InvalidArgument);
 }
 
+TEST(ZipfianGeneratorTest, DeterministicAndInBounds)
+{
+    ZipfianGenerator a(1000, 0.8, 42);
+    ZipfianGenerator b(1000, 0.8, 42);
+    ZipfianGenerator c(1000, 0.8, 43);
+    bool seed_matters = false;
+    for (int i = 0; i < 10000; ++i) {
+        const std::size_t ka = a.Next();
+        EXPECT_EQ(ka, b.Next());  // same (n, theta, seed) -> same keys
+        EXPECT_LT(ka, 1000u);
+        seed_matters = seed_matters || ka != c.Next();
+    }
+    EXPECT_TRUE(seed_matters);
+}
+
+TEST(ZipfianGeneratorTest, SkewConcentratesOnLowRanks)
+{
+    constexpr std::size_t kN = 100;
+    constexpr int kDraws = 50000;
+    ZipfianGenerator skewed(kN, 0.99, 7);
+    ZipfianGenerator uniform(kN, 0.0, 7);
+    std::size_t skewed_head = 0, uniform_head = 0;
+    std::vector<std::size_t> counts(kN, 0);
+    for (int i = 0; i < kDraws; ++i) {
+        const std::size_t k = skewed.Next();
+        ++counts[k];
+        skewed_head += k < 10;
+        uniform_head += uniform.Next() < 10;
+    }
+    // YCSB-hot: the top 10 of 100 keys draw the majority of traffic;
+    // theta 0 stays near the uniform 10%.
+    EXPECT_GT(skewed_head, static_cast<std::size_t>(kDraws) / 2);
+    EXPECT_LT(uniform_head, static_cast<std::size_t>(kDraws) / 5);
+    // Rank 0 is the most popular key.
+    for (std::size_t k = 1; k < kN; ++k) {
+        EXPECT_GE(counts[0], counts[k]);
+    }
+}
+
+TEST(ZipfianGeneratorTest, RejectsBadParameters)
+{
+    EXPECT_THROW(ZipfianGenerator(0, 0.5, 1), InvalidArgument);
+    EXPECT_THROW(ZipfianGenerator(10, 1.0, 1), InvalidArgument);
+    EXPECT_THROW(ZipfianGenerator(10, -0.1, 1), InvalidArgument);
+    ZipfianGenerator lone(1, 0.9, 5);  // n=1 is legal: always key 0
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(lone.Next(), 0u);
+    }
+}
+
 }  // namespace
 }  // namespace dbscore::bench

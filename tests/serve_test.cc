@@ -422,6 +422,42 @@ TEST(ScoringServiceTest, RejectsPayloadArityMismatch)
     service->Stop();
 }
 
+TEST(ScoringServiceTest, StopSettlesEveryCoalescedRequest)
+{
+    const ServeFixture& f = Fixture();
+    ServiceConfig config;
+    // A wide window keeps batches open so Stop() races the coalescer
+    // with requests still pending inside it: the shutdown-drain
+    // contract says every one of them gets a terminal reply — flushed
+    // and dispatched by the exit path, or failed loudly — and none is
+    // silently dropped (a dropped handle would hang Wait() forever).
+    config.coalescer.window = SimTime::Millis(500.0);
+    config.coalescer.max_batch_requests = 64;
+    auto service = f.Service(config);
+    service->Start();
+
+    std::vector<PendingScorePtr> handles;
+    for (int i = 0; i < 24; ++i) {
+        ScoreRequest r;
+        r.model_id = "m";
+        r.num_rows = 32;
+        r.arrival = SimTime::Millis(static_cast<double>(i));
+        handles.push_back(service->Submit(std::move(r)));
+    }
+    service->Stop();  // no Drain(): the stop path must settle them
+
+    std::size_t terminal = 0;
+    for (const PendingScorePtr& handle : handles) {
+        const ScoreReply& reply = handle->Wait();
+        EXPECT_NE(reply.status, RequestStatus::kRejected);
+        ++terminal;
+    }
+    EXPECT_EQ(terminal, handles.size());
+    ServiceSnapshot snap = service->Stats();
+    EXPECT_EQ(snap.completed + snap.expired + snap.failed,
+              handles.size());
+}
+
 // ------------------------------------------------- DBMS entry points --
 
 TEST(ServeProcedureTest, SpScoreServiceAndStats)
@@ -452,6 +488,52 @@ TEST(ServeProcedureTest, SpScoreServiceAndStats)
         sql.Execute(
             "EXEC sp_score_service @model = 'ghost', @rows = 10"),
         InvalidArgument);
+    service->Stop();
+}
+
+TEST(ServeProcedureTest, SpServeStatsResetStartsFreshPhase)
+{
+    const ServeFixture& f = Fixture();
+    ServiceConfig config;
+    config.coalescer.window = SimTime::Millis(2.0);
+    auto service = f.Service(config);
+    service->Start();
+
+    Database db;
+    ScoringPipeline pipeline(db, f.profile, ExternalRuntimeParams{});
+    QueryEngine sql(db, pipeline);
+    RegisterServeProcedures(sql, *service);
+
+    sql.Execute("EXEC sp_score_service @model = 'm', @rows = 1000");
+    auto metric = [](const QueryResult& r,
+                     const std::string& name) -> double {
+        for (const auto& row : r.rows) {
+            if (std::get<std::string>(row[0]) == name) {
+                return std::get<double>(row[1]);
+            }
+        }
+        ADD_FAILURE() << "metric not found: " << name;
+        return -1.0;
+    };
+
+    // The @reset call itself reports the phase that just ended...
+    QueryResult phase1 =
+        sql.Execute("EXEC sp_serve_stats @reset = 1");
+    EXPECT_EQ(metric(phase1, "completed"), 1.0);
+    EXPECT_NE(phase1.message.find("counters reset"), std::string::npos);
+
+    // ...the next snapshot starts from zero, including the
+    // trace-derived stage totals (rebaselined, not re-accumulated).
+    QueryResult phase2 = sql.Execute("EXEC sp_serve_stats");
+    EXPECT_EQ(metric(phase2, "submitted"), 0.0);
+    EXPECT_EQ(metric(phase2, "completed"), 0.0);
+    EXPECT_TRUE(service->Stats().stage_totals.scoring.is_zero());
+
+    // Work after the reset lands in the new phase only.
+    sql.Execute("EXEC sp_score_service @model = 'm', @rows = 1000");
+    QueryResult phase3 = sql.Execute("EXEC sp_serve_stats");
+    EXPECT_EQ(metric(phase3, "completed"), 1.0);
+    EXPECT_GT(service->Stats().stage_totals.scoring.seconds(), 0.0);
     service->Stop();
 }
 
