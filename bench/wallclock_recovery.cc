@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Wall-clock crash-recovery bench for the paged data plane
+ * (DESIGN.md §16): how long does PagedTable::Open() take to recover
+ * after a mid-commit crash, how fast does Scrub() verify a table, and
+ * does the ordered commit protocol lose data under sustained crash
+ * pressure?
+ *
+ * Three sweeps:
+ *
+ *   1. recovery time vs table size — build a committed table, tear a
+ *      follow-up commit at its 4th page write (kStorageWrite crash
+ *      site), then time the reopen-and-recover path;
+ *   2. scrub throughput — pages/s and MB/s of the online integrity
+ *      pass over each recovered table;
+ *   3. crash-rate sweep — many append+commit cycles with 0%, 1% and
+ *      10% per-page-write crash probability (fixed seeds), reopening
+ *      after every crash.
+ *
+ * Like the other wallclock_* benches the timings are REAL wall-clock
+ * measurements and machine-dependent. What the bench *asserts* is
+ * machine-independent:
+ *
+ *   - every injected crash rolls back to the committed generation:
+ *     recovered row counts match what was committed exactly, rows are
+ *     bit-identical to the source, and forest predictions over the
+ *     recovered pages are bit-identical to the in-memory reference;
+ *   - Scrub() finds every recovered table clean;
+ *   - zero loss at every crash rate, no crashes at rate 0, and at
+ *     least one crash at rate 10% (otherwise the sweep proved
+ *     nothing).
+ *
+ * Emits BENCH_recovery.json.
+ *
+ * Flags:
+ *   --smoke     small row counts for CI smoke runs
+ *   --out=PATH  JSON output path (default BENCH_recovery.json)
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "dbscore/common/error.h"
+#include "dbscore/data/synthetic.h"
+#include "dbscore/fault/fault.h"
+#include "dbscore/forest/trainer.h"
+#include "dbscore/storage/paged_table.h"
+
+namespace dbscore::bench {
+namespace {
+
+/** RAII scratch directory so failed runs don't leak page files. */
+struct ScratchDir {
+    std::filesystem::path path;
+
+    explicit ScratchDir(const std::string& name)
+        : path(std::filesystem::temp_directory_path() / name)
+    {
+        std::filesystem::remove_all(path);
+        std::filesystem::create_directories(path);
+    }
+    ~ScratchDir()
+    {
+        std::error_code ec;  // best-effort; never throw from a dtor
+        std::filesystem::remove_all(path, ec);
+    }
+};
+
+std::vector<std::string>
+HiggsColumns(std::size_t features)
+{
+    std::vector<std::string> columns;
+    columns.reserve(features + 1);
+    for (std::size_t c = 0; c < features; ++c) {
+        columns.push_back("f" + std::to_string(c));
+    }
+    columns.push_back("label");
+    return columns;
+}
+
+void
+AppendRows(storage::PagedTable& table, const Dataset& data,
+           std::size_t begin, std::size_t end)
+{
+    for (std::size_t r = begin; r < end; ++r) {
+        table.AppendRow(data.Row(r), data.num_features(), data.Label(r));
+    }
+}
+
+/**
+ * Streams the table's features and compares them (and the labels)
+ * bit-for-bit against the first table.num_rows() rows of @p data.
+ * When @p features is non-null, also gathers the streamed rows into a
+ * contiguous row-major buffer for scoring.
+ */
+bool
+RowsBitIdentical(const std::shared_ptr<storage::PagedTable>& table,
+                 const Dataset& data, std::vector<float>* features)
+{
+    const std::size_t rows = table->num_rows();
+    const std::size_t cols = data.num_features();
+    if (rows > data.num_rows() || table->num_feature_cols() != cols) {
+        return false;
+    }
+    if (features != nullptr) {
+        features->assign(rows * cols, 0.0F);
+    }
+    storage::FeatureStream stream = table->Scan();
+    storage::StreamChunk chunk;
+    std::size_t streamed = 0;
+    bool identical = true;
+    while (stream.Next(chunk)) {
+        for (std::size_t i = 0; i < chunk.view.rows(); ++i) {
+            const std::size_t row = chunk.row_begin + i;
+            if (std::memcmp(chunk.view.Row(i), data.Row(row),
+                            cols * sizeof(float)) != 0) {
+                identical = false;
+            }
+            if (features != nullptr) {
+                std::memcpy(&(*features)[row * cols], chunk.view.Row(i),
+                            cols * sizeof(float));
+            }
+        }
+        streamed += chunk.view.rows();
+    }
+    if (streamed != rows) {
+        return false;
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float got = table->Label(r);
+        const float want = data.Label(r);
+        if (std::memcmp(&got, &want, sizeof(float)) != 0) {
+            identical = false;
+        }
+    }
+    return identical;
+}
+
+struct SizeResult {
+    std::size_t rows = 0;
+    std::size_t data_pages = 0;
+    double file_mb = 0.0;
+    double build_ms = 0.0;
+    double recovery_ms = 0.0;
+    bool crashed = false;
+    bool rolled_back = false;
+    std::uint32_t orphans_reclaimed = 0;
+    std::uint32_t free_pages = 0;
+    bool bit_identical = false;
+    bool predictions_identical = false;
+    double scrub_ms = 0.0;
+    std::uint64_t scrub_pages = 0;
+    double scrub_mb_per_sec = 0.0;
+    bool scrub_clean = false;
+};
+
+struct RateResult {
+    double rate = 0.0;
+    std::size_t cycles = 0;
+    std::size_t crashes = 0;
+    std::size_t commits = 0;
+    std::size_t committed_rows = 0;
+    std::uint64_t orphans_reclaimed = 0;
+    double recover_ms_total = 0.0;
+    double commit_ms_total = 0.0;
+    double file_mb = 0.0;
+    bool zero_loss = true;
+};
+
+int
+Run(bool smoke, const std::string& out_path)
+{
+    ScratchDir scratch("dbscore_wallclock_recovery");
+    const storage::StorageOptions options;  // 4 KiB pages, 64-page pool
+
+    // One reference model scores every table: identical features in
+    // must give bit-identical predictions out.
+    const Dataset train = MakeHiggs(4000, 42);
+    ForestTrainerConfig trainer;
+    trainer.num_trees = 8;
+    trainer.max_depth = 8;
+    trainer.seed = 42;
+    const RandomForest forest = TrainForest(train, trainer);
+
+    // -- Sweep 1+2: recovery time and scrub throughput vs table size.
+    const std::vector<std::size_t> sizes =
+        smoke ? std::vector<std::size_t>{2000, 6000}
+              : std::vector<std::size_t>{10000, 40000, 120000};
+
+    std::cout << "wallclock_recovery (real wall time, machine-dependent; "
+              << (smoke ? "smoke" : "full") << " mode)\n"
+              << "crash at 4th page write of a follow-up commit, then "
+              << "reopen + recover:\n"
+              << "    rows data-pages  build-ms recover-ms  scrub-MB/s "
+              << "orphans identical\n";
+
+    std::vector<SizeResult> size_results;
+    bool all_recovered = true;
+    bool all_scrub_clean = true;
+    for (const std::size_t rows : sizes) {
+        const Dataset data = MakeHiggs(rows, 42);
+        const std::string path =
+            (scratch.path / ("t" + std::to_string(rows) + ".dbpages"))
+                .string();
+
+        SizeResult r;
+        r.rows = rows;
+
+        auto start = std::chrono::steady_clock::now();
+        std::shared_ptr<storage::PagedTable> table = storage::PagedTable::
+            Create(path, HiggsColumns(data.num_features()),
+                   data.num_features(), options);
+        AppendRows(*table, data, 0, rows);
+        table->Flush();
+        r.build_ms = SecondsSince(start) * 1e3;
+        r.data_pages = table->NumDataPages();
+
+        // Append an uncommitted 5% tail, then tear its commit.
+        AppendRows(*table, data, 0, rows / 20);
+        {
+            fault::FaultPlan plan;
+            plan.At(fault::FaultSite::kStorageWrite).every_nth = 4;
+            fault::ScopedFaultPlan guard(plan);
+            try {
+                table->Flush();
+            } catch (const fault::FaultInjected&) {
+                r.crashed = true;
+            } catch (const IoError&) {
+                r.crashed = true;
+            }
+        }
+        table.reset();
+
+        start = std::chrono::steady_clock::now();
+        table = storage::PagedTable::Open(path, options);
+        r.recovery_ms = SecondsSince(start) * 1e3;
+        const storage::RecoveryReport report = table->last_recovery();
+        r.rolled_back = report.rolled_back;
+        r.orphans_reclaimed = report.orphans_reclaimed;
+        r.free_pages = report.free_pages;
+        r.file_mb = static_cast<double>(
+                        std::filesystem::file_size(path)) /
+                    (1024.0 * 1024.0);
+
+        std::vector<float> streamed;
+        r.bit_identical = table->num_rows() == rows &&
+                          RowsBitIdentical(table, data, &streamed);
+        if (r.bit_identical) {
+            const std::vector<float> reference = forest.PredictBatch(data);
+            const std::vector<float> recovered = forest.PredictBatch(
+                streamed.data(), rows, data.num_features());
+            r.predictions_identical =
+                recovered.size() == reference.size() &&
+                std::memcmp(recovered.data(), reference.data(),
+                            reference.size() * sizeof(float)) == 0;
+        }
+
+        start = std::chrono::steady_clock::now();
+        const storage::ScrubReport scrub = table->Scrub();
+        r.scrub_ms = SecondsSince(start) * 1e3;
+        r.scrub_pages = scrub.pages_checked;
+        r.scrub_clean = scrub.clean();
+        r.scrub_mb_per_sec =
+            static_cast<double>(scrub.pages_checked * options.page_size) /
+            (1024.0 * 1024.0) / (r.scrub_ms / 1e3);
+
+        all_recovered = all_recovered && r.crashed && r.bit_identical &&
+                        r.predictions_identical;
+        all_scrub_clean = all_scrub_clean && r.scrub_clean;
+        std::printf("%8zu %10zu %9.1f %10.2f %11.0f %7u %9s\n", r.rows,
+                    r.data_pages, r.build_ms, r.recovery_ms,
+                    r.scrub_mb_per_sec, r.orphans_reclaimed,
+                    r.bit_identical && r.predictions_identical ? "yes"
+                                                               : "NO");
+        size_results.push_back(r);
+    }
+
+    // -- Sweep 3: zero loss under 0% / 1% / 10% per-write crash rates.
+    // A base prefix is committed cleanly first so that even at 10% —
+    // where most cycles die — every recovery protects real data
+    // instead of rolling back to an empty table.
+    const std::size_t cycles = smoke ? 12 : 40;
+    const std::size_t batch = 200;
+    const std::size_t base_rows = 5 * batch;
+    const Dataset source = MakeHiggs(base_rows + cycles * batch, 7);
+
+    std::cout << "crash-rate sweep (" << base_rows << " base rows, then "
+              << cycles << " append+commit cycles of " << batch
+              << " rows each):\n"
+              << "  rate%  crashes  commits  rows  recover-ms zero-loss\n";
+
+    std::vector<RateResult> rate_results;
+    for (const double rate : {0.0, 0.01, 0.10}) {
+        const std::string path =
+            (scratch.path /
+             ("rate" + std::to_string(static_cast<int>(rate * 100)) +
+              ".dbpages"))
+                .string();
+
+        RateResult r;
+        r.rate = rate;
+        r.cycles = cycles;
+
+        std::shared_ptr<storage::PagedTable> table = storage::PagedTable::
+            Create(path, HiggsColumns(source.num_features()),
+                   source.num_features(), options);
+        AppendRows(*table, source, 0, base_rows);
+        table->Flush();
+        std::size_t committed = base_rows;
+        for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+            bool crashed = false;
+            {
+                fault::FaultPlan plan;
+                plan.seed = 0xC0FFEEu + cycle * 31u +
+                            static_cast<std::uint64_t>(rate * 1000.0);
+                plan.At(fault::FaultSite::kStorageWrite).probability = rate;
+                fault::ScopedFaultPlan guard(plan);
+                const auto start = std::chrono::steady_clock::now();
+                try {
+                    AppendRows(*table, source, committed, committed + batch);
+                    table->Flush();
+                    r.commit_ms_total += SecondsSince(start) * 1e3;
+                } catch (const fault::FaultInjected&) {
+                    crashed = true;
+                } catch (const IoError&) {
+                    crashed = true;
+                }
+            }
+            if (!crashed) {
+                committed += batch;
+                ++r.commits;
+                continue;
+            }
+            // The kill fired before the commit point: reopen must roll
+            // back to exactly the committed prefix. The lost batch is
+            // retried next cycle.
+            ++r.crashes;
+            table.reset();
+            const auto start = std::chrono::steady_clock::now();
+            table = storage::PagedTable::Open(path, options);
+            r.recover_ms_total += SecondsSince(start) * 1e3;
+            r.orphans_reclaimed += table->last_recovery().orphans_reclaimed;
+            if (table->num_rows() != committed ||
+                !RowsBitIdentical(table, source, nullptr)) {
+                r.zero_loss = false;
+            }
+        }
+        r.committed_rows = committed;
+        if (table->num_rows() != committed ||
+            !RowsBitIdentical(table, source, nullptr)) {
+            r.zero_loss = false;
+        }
+        r.file_mb =
+            static_cast<double>(std::filesystem::file_size(path)) /
+            (1024.0 * 1024.0);
+        std::printf("%7.0f %8zu %8zu %5zu %11.2f %9s\n", rate * 100.0,
+                    r.crashes, r.commits, r.committed_rows,
+                    r.recover_ms_total, r.zero_loss ? "yes" : "NO");
+        rate_results.push_back(r);
+    }
+
+    BenchJsonWriter doc("wallclock_recovery", smoke);
+    doc.header()
+        .Int("page_size", options.page_size)
+        .Int("pool_pages", options.pool_pages)
+        .Int("size_points", sizes.size())
+        .Int("rate_cycles", cycles)
+        .Int("rate_batch_rows", batch)
+        .Int("rate_base_rows", base_rows);
+    for (const SizeResult& r : size_results) {
+        doc.AddResult()
+            .Str("kind", "recovery_size")
+            .Int("rows", r.rows)
+            .Int("data_pages", r.data_pages)
+            .Num("file_mb", r.file_mb)
+            .Num("build_ms", r.build_ms)
+            .Num("recovery_ms", r.recovery_ms)
+            .Bool("crashed", r.crashed)
+            .Bool("rolled_back", r.rolled_back)
+            .Int("orphans_reclaimed", r.orphans_reclaimed)
+            .Int("free_pages", r.free_pages)
+            .Num("scrub_ms", r.scrub_ms)
+            .Int("scrub_pages", r.scrub_pages)
+            .Num("scrub_mb_per_sec", r.scrub_mb_per_sec)
+            .Bool("scrub_clean", r.scrub_clean)
+            .Bool("bit_identical", r.bit_identical)
+            .Bool("predictions_identical", r.predictions_identical);
+    }
+    for (const RateResult& r : rate_results) {
+        doc.AddResult()
+            .Str("kind", "crash_rate")
+            .Num("crash_rate", r.rate)
+            .Int("cycles", r.cycles)
+            .Int("crashes", r.crashes)
+            .Int("commits", r.commits)
+            .Int("committed_rows", r.committed_rows)
+            .Int("orphans_reclaimed", r.orphans_reclaimed)
+            .Num("recover_ms_total", r.recover_ms_total)
+            .Num("commit_ms_total", r.commit_ms_total)
+            .Num("file_mb", r.file_mb)
+            .Bool("zero_loss", r.zero_loss);
+    }
+    doc.Write(out_path);
+    std::cout << "wrote " << out_path << "\n";
+
+    if (!all_recovered) {
+        std::cerr << "FAIL: a size point did not crash + recover to "
+                  << "bit-identical rows and predictions\n";
+        return 1;
+    }
+    if (!all_scrub_clean) {
+        std::cerr << "FAIL: Scrub() found corruption in a recovered "
+                  << "table\n";
+        return 1;
+    }
+    for (const RateResult& r : rate_results) {
+        if (!r.zero_loss) {
+            std::cerr << "FAIL: data loss at crash rate " << r.rate
+                      << "\n";
+            return 1;
+        }
+        if (r.rate == 0.0 && r.crashes != 0) {
+            std::cerr << "FAIL: crashes fired at rate 0\n";
+            return 1;
+        }
+        if (r.rate >= 0.10 && r.crashes == 0) {
+            std::cerr << "FAIL: the 10% crash-rate sweep never crashed — "
+                      << "it proved nothing\n";
+            return 1;
+        }
+    }
+    return 0;
+}
+
+}  // namespace
+}  // namespace dbscore::bench
+
+int
+main(int argc, char** argv)
+{
+    const dbscore::bench::BenchArgs args = dbscore::bench::ParseBenchArgs(
+        argc, argv, "wallclock_recovery", "BENCH_recovery.json");
+    if (!args.ok) {
+        return 2;
+    }
+    return dbscore::bench::Run(args.smoke, args.out_path);
+}

@@ -46,7 +46,9 @@ class Database {
      * Stores @p dataset out of core: creates a page file at
      * @p page_path, bulk-loads every row through the buffer pool, and
      * registers the table in paged mode (same schema shape as
-     * StoreDataset). The data is flushed durable before returning.
+     * StoreDataset). The data is committed (ordered commit protocol,
+     * DESIGN.md §16) before returning; pass
+     * options.sync_mode = SyncMode::kFsync for a real device barrier.
      */
     Table& StoreDatasetPaged(const std::string& table_name,
                              const Dataset& dataset,
@@ -56,7 +58,12 @@ class Database {
     /**
      * Registers an existing page file (written by StoreDatasetPaged /
      * BulkLoadCsvPaged, possibly in an earlier process) as a paged
-     * table.
+     * table. The attach is recovery-aware: Open() rolls a torn commit
+     * back to the last committed generation and reclaims orphan pages
+     * (check the table's store()->last_recovery() for what happened),
+     * so every consumer — engines, planner, serve, fleet — sees a
+     * consistent table even after a crash. options.scrub_on_attach
+     * additionally checksum-verifies every reachable page up front.
      */
     Table& AttachPagedTable(const std::string& table_name,
                             const std::string& page_path,

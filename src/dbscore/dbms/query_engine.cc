@@ -292,8 +292,11 @@ SpStorageStats(QueryEngine& engine, const ExecStatement& stmt)
     result.columns = {"table",       "rows",          "data_pages",
                       "pool_pages",  "hit_ratio",     "hits",
                       "misses",      "evictions",     "write_backs",
+                      "flush_failures",
                       "page_reads",  "page_writes",   "read_retries",
-                      "pages_scanned", "pages_pruned"};
+                      "pages_scanned", "pages_pruned",
+                      "generation",  "free_pages",    "recoveries",
+                      "rollbacks",   "orphans_reclaimed", "pages_reused"};
     std::size_t reported = 0;
     for (const std::string& name : names) {
         const Table& table = engine.db().GetTable(name);
@@ -311,11 +314,18 @@ SpStorageStats(QueryEngine& engine, const ExecStatement& stmt)
              static_cast<std::int64_t>(stats.pool.misses),
              static_cast<std::int64_t>(stats.pool.evictions),
              static_cast<std::int64_t>(stats.pool.write_backs),
+             static_cast<std::int64_t>(stats.pool.flush_failures),
              static_cast<std::int64_t>(stats.pager.reads),
              static_cast<std::int64_t>(stats.pager.writes),
              static_cast<std::int64_t>(stats.pager.read_retries),
              static_cast<std::int64_t>(stats.pages_scanned),
-             static_cast<std::int64_t>(stats.pages_pruned)});
+             static_cast<std::int64_t>(stats.pages_pruned),
+             static_cast<std::int64_t>(stats.generation),
+             static_cast<std::int64_t>(stats.free_pages),
+             static_cast<std::int64_t>(stats.recovery.recoveries),
+             static_cast<std::int64_t>(stats.recovery.rollbacks),
+             static_cast<std::int64_t>(stats.recovery.orphans_reclaimed),
+             static_cast<std::int64_t>(stats.recovery.pages_reused)});
         if (reset) {
             table.store()->ResetStats();
         }
@@ -324,6 +334,95 @@ SpStorageStats(QueryEngine& engine, const ExecStatement& stmt)
     result.message = StrFormat(
         "%zu paged table(s)%s", reported,
         reset ? ", counters reset" : "");
+    return result;
+}
+
+/**
+ * EXEC sp_storage_recover [@table='t'] — runs an on-demand recovery
+ * pass over the paged tables: commit pending appends, sweep for pages
+ * unreachable from the committed generation, and reclaim them into
+ * the persistent free list. Open() already recovers automatically, so
+ * a healthy table reports zero orphans here.
+ */
+QueryResult
+SpStorageRecover(QueryEngine& engine, const ExecStatement& stmt)
+{
+    std::vector<std::string> names;
+    if (stmt.params.count("table") > 0) {
+        names.push_back(GetStringParam(stmt, "table"));
+    } else {
+        names = engine.db().TableNames();
+    }
+
+    QueryResult result;
+    result.columns = {"table", "generation", "rolled_back",
+                      "orphans_reclaimed", "free_pages", "detail"};
+    std::size_t reported = 0;
+    std::uint64_t total_orphans = 0;
+    for (const std::string& name : names) {
+        const Table& table = engine.db().GetTable(name);
+        if (!table.paged()) {
+            continue;
+        }
+        const storage::RecoveryReport report = table.store()->Recover();
+        result.rows.push_back(
+            {table.name(),
+             static_cast<std::int64_t>(report.generation),
+             static_cast<std::int64_t>(report.rolled_back ? 1 : 0),
+             static_cast<std::int64_t>(report.orphans_reclaimed),
+             static_cast<std::int64_t>(report.free_pages),
+             report.Describe()});
+        total_orphans += report.orphans_reclaimed;
+        ++reported;
+    }
+    result.message =
+        StrFormat("%zu paged table(s) recovered, %llu orphan page(s) "
+                  "reclaimed",
+                  reported,
+                  static_cast<unsigned long long>(total_orphans));
+    return result;
+}
+
+/**
+ * EXEC sp_storage_scrub [@table='t'] — online integrity pass: re-read
+ * every page reachable from each paged table's committed generation
+ * straight from disk and verify its checksum. Corrupt pages are
+ * reported (and quarantined in the table's stats); the scrub itself
+ * never throws, so one rotten table doesn't hide the state of the
+ * rest.
+ */
+QueryResult
+SpStorageScrub(QueryEngine& engine, const ExecStatement& stmt)
+{
+    std::vector<std::string> names;
+    if (stmt.params.count("table") > 0) {
+        names.push_back(GetStringParam(stmt, "table"));
+    } else {
+        names = engine.db().TableNames();
+    }
+
+    QueryResult result;
+    result.columns = {"table", "pages_checked", "corrupt_pages",
+                      "detail"};
+    std::size_t reported = 0;
+    std::uint64_t total_corrupt = 0;
+    for (const std::string& name : names) {
+        const Table& table = engine.db().GetTable(name);
+        if (!table.paged()) {
+            continue;
+        }
+        const storage::ScrubReport report = table.store()->Scrub();
+        result.rows.push_back(
+            {table.name(),
+             static_cast<std::int64_t>(report.pages_checked),
+             static_cast<std::int64_t>(report.corrupt_pages.size()),
+             report.Describe()});
+        total_corrupt += report.corrupt_pages.size();
+        ++reported;
+    }
+    result.message = StrFormat(
+        "%zu paged table(s) scrubbed, %llu corrupt page(s)", reported,
+        static_cast<unsigned long long>(total_corrupt));
     return result;
 }
 
@@ -377,6 +476,8 @@ QueryEngine::QueryEngine(Database& db, ScoringPipeline& pipeline)
     RegisterProcedure("sp_trace_dump", SpTraceDump);
     RegisterProcedure("sp_fault_inject", SpFaultInject);
     RegisterProcedure("sp_storage_stats", SpStorageStats);
+    RegisterProcedure("sp_storage_recover", SpStorageRecover);
+    RegisterProcedure("sp_storage_scrub", SpStorageScrub);
     RegisterProcedure("sp_explain", SpExplain);
 }
 

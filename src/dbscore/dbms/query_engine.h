@@ -9,7 +9,8 @@
  * full external-script scoring pipeline with @model, @data, @backend,
  * optional @top), sp_explain (@query='SELECT ...': logical plan,
  * applied rewrite rules, physical annotations, plan-cache counters),
- * sp_trace_dump, sp_fault_inject, sp_storage_stats.
+ * sp_trace_dump, sp_fault_inject, sp_storage_stats,
+ * sp_storage_recover, sp_storage_scrub.
  */
 #ifndef DBSCORE_DBMS_QUERY_ENGINE_H
 #define DBSCORE_DBMS_QUERY_ENGINE_H

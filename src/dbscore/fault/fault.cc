@@ -22,6 +22,12 @@ FaultSiteName(FaultSite site)
         return "external-invoke";
       case FaultSite::kStorageRead:
         return "storage-read";
+      case FaultSite::kStorageWrite:
+        return "storage-write";
+      case FaultSite::kStorageSync:
+        return "storage-sync";
+      case FaultSite::kMetaCommit:
+        return "meta-commit";
     }
     return "unknown";
 }

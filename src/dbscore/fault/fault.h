@@ -48,9 +48,12 @@ enum class FaultSite : std::uint8_t {
     kGpuKernelLaunch,  ///< launching a GPU kernel
     kExternalInvoke,   ///< the external script process (crash)
     kStorageRead,      ///< one physical page read in the storage layer
+    kStorageWrite,     ///< one physical page write (crash point: tears)
+    kStorageSync,      ///< one durability barrier (fsync) in the pager
+    kMetaCommit,       ///< the commit-point meta-slot write (crash point)
 };
 
-inline constexpr int kNumFaultSites = 6;
+inline constexpr int kNumFaultSites = 9;
 
 /** Stable lowercase-dash name, e.g. "pcie-dma". */
 const char* FaultSiteName(FaultSite site);

@@ -88,11 +88,42 @@ BufferPool::BufferPool(Pager& pager, const Options& options) : pager_(pager)
 
 BufferPool::~BufferPool()
 {
-    try {
-        FlushAll();
-    } catch (...) {
-        // Teardown flush is best effort; Flush()/Sync() on the owning
-        // table is the durable path.
+    // Teardown flush is best effort — Flush()/Sync() on the owning
+    // table is the durable path — but a failure here is dirty data
+    // that never reached the file, so it is counted (and traced) per
+    // frame instead of being swallowed whole: after a crashed pager
+    // every write-back fails and flush_failures tells the operator
+    // how many pages of work were lost.
+    std::uint64_t failures = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (Frame& frame : frames_) {
+            if (frame.used && frame.dirty) {
+                try {
+                    pager_.Write(frame.page_id, frame.data.data());
+                    frame.dirty = false;
+                    ++stats_.write_backs;
+                } catch (...) {
+                    ++stats_.flush_failures;
+                    ++failures;
+                }
+            }
+        }
+        if (failures == 0) {
+            try {
+                pager_.Sync();
+            } catch (...) {
+                ++stats_.flush_failures;
+                ++failures;
+            }
+        }
+    }
+    if (failures > 0) {
+        trace::TraceCollector& tracer = trace::TraceCollector::Get();
+        const double now = tracer.NowWallMicros();
+        tracer.EmitWall(trace::StageKind::kBufferPool, "flush-failure",
+                        trace::TraceCollector::Current(), now, 0.0,
+                        {{"frames_lost", static_cast<double>(failures)}});
     }
 }
 
@@ -205,12 +236,32 @@ BufferPool::FlushAll()
     std::lock_guard<std::mutex> lock(mutex_);
     for (Frame& frame : frames_) {
         if (frame.used && frame.dirty) {
-            pager_.Write(frame.page_id, frame.data.data());
+            try {
+                pager_.Write(frame.page_id, frame.data.data());
+            } catch (...) {
+                ++stats_.flush_failures;
+                throw;
+            }
             frame.dirty = false;
             ++stats_.write_backs;
         }
     }
     pager_.Sync();
+}
+
+void
+BufferPool::Invalidate(std::uint32_t page_id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = resident_.find(page_id);
+    if (it == resident_.end()) {
+        return;
+    }
+    Frame& frame = frames_[it->second];
+    DBS_ASSERT_MSG(frame.pins == 0, "invalidating a pinned page");
+    frame.used = false;
+    frame.dirty = false;
+    resident_.erase(it);
 }
 
 std::size_t

@@ -53,6 +53,9 @@ struct BufferPoolStats {
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t write_backs = 0;
+    /** Dirty-frame flushes that failed (teardown included) — dirty
+     * data that never reached the file. Nonzero after a crash. */
+    std::uint64_t flush_failures = 0;
 
     double
     HitRatio() const
@@ -136,8 +139,17 @@ class BufferPool {
      */
     PageHandle Pin(std::uint32_t page_id);
 
-    /** Writes every dirty frame back and syncs the pager. */
+    /** Writes every dirty frame back and syncs the pager. A failed
+     * write-back counts in stats().flush_failures before rethrowing. */
     void FlushAll();
+
+    /**
+     * Drops page @p page_id from the pool without writing it back —
+     * the page's identity on disk is about to change (a reclaimed
+     * free page being re-stamped via Pager::Reinit), so any resident
+     * frame is stale by definition. The page must not be pinned.
+     */
+    void Invalidate(std::uint32_t page_id);
 
     /** Pages currently resident (pinned or cached). */
     std::size_t Resident() const;

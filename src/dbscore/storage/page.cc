@@ -15,6 +15,7 @@ PageTypeName(PageType type)
     case PageType::kFeatures: return "features";
     case PageType::kLabels: return "labels";
     case PageType::kZoneMap: return "zone-map";
+    case PageType::kFreeList: return "free-list";
     }
     return "?";
 }

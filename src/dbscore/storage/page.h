@@ -49,6 +49,7 @@ enum class PageType : std::uint16_t {
     kFeatures,        ///< row-major float32 feature rows
     kLabels,          ///< float32 label column values
     kZoneMap,         ///< chained per-page min/max zone-map entries
+    kFreeList,        ///< chained u32 ids of reclaimable pages
 };
 
 const char* PageTypeName(PageType type);

@@ -5,13 +5,23 @@
 
 #include "dbscore/common/error.h"
 #include "dbscore/common/string_util.h"
+#include "dbscore/trace/trace.h"
 
 namespace dbscore::storage {
 
 namespace {
 
-/** The table meta page always directly follows the superblock. */
-constexpr std::uint32_t kMetaPageId = 1;
+/** The two meta slots directly follow the superblock; generation g is
+ * committed to slot 1 + (g % 2), so consecutive commits alternate and
+ * never overwrite the newest committed meta. */
+constexpr std::uint32_t kMetaSlotA = 1;
+constexpr std::uint32_t kMetaSlotB = 2;
+
+constexpr std::uint32_t
+SlotForGeneration(std::uint64_t generation)
+{
+    return generation % 2 == 0 ? kMetaSlotA : kMetaSlotB;
+}
 
 /** Bounds-checked little serializer over one page payload. */
 class PayloadWriter {
@@ -142,7 +152,8 @@ PagedTable::PagedTable(const std::string& path,
     pager_(path,
            Pager::Options{.page_size = options.page_size,
                           .create = create,
-                          .read_retries = options.read_retries}),
+                          .read_retries = options.read_retries,
+                          .sync_mode = options.sync_mode}),
     pool_(pager_, BufferPool::Options{.capacity_pages = options.pool_pages})
 {
 }
@@ -182,11 +193,12 @@ PagedTable::Create(const std::string& path,
                       table->feature_cols_, payload, options.page_size));
     }
     table->labels_per_page_ = payload / sizeof(float);
-    const std::uint32_t meta = table->pager_.Alloc(PageType::kTableMeta);
-    DBS_ASSERT(meta == kMetaPageId);
+    const std::uint32_t slot_a = table->pager_.Alloc(PageType::kTableMeta);
+    const std::uint32_t slot_b = table->pager_.Alloc(PageType::kTableMeta);
+    DBS_ASSERT(slot_a == kMetaSlotA && slot_b == kMetaSlotB);
     {
         std::lock_guard<std::mutex> lock(table->mutex_);
-        table->WriteMetaLocked();
+        table->CommitLocked();  // generation 1: the empty table
     }
     return table;
 }
@@ -196,8 +208,18 @@ PagedTable::Open(const std::string& path, const StorageOptions& options)
 {
     std::shared_ptr<PagedTable> table(
         new PagedTable(path, options, /*create=*/false));
-    std::lock_guard<std::mutex> lock(table->mutex_);
-    table->LoadMetaLocked();
+    {
+        std::lock_guard<std::mutex> lock(table->mutex_);
+        table->RecoverOnOpenLocked();
+    }
+    if (options.scrub_on_attach) {
+        const ScrubReport scrub = table->Scrub();
+        if (!scrub.clean()) {
+            throw DataCorruption("paged table '" + path +
+                                 "': scrub-on-attach failed: " +
+                                 scrub.Describe());
+        }
+    }
     return table;
 }
 
@@ -206,6 +228,20 @@ PagedTable::num_rows() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return num_rows_;
+}
+
+std::uint64_t
+PagedTable::generation() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return generation_;
+}
+
+RecoveryReport
+PagedTable::last_recovery() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return last_recovery_;
 }
 
 std::size_t
@@ -226,6 +262,50 @@ PagedTable::RowsInPage(std::size_t page_index,
         std::min<std::uint64_t>(remaining, rows_per_page_));
 }
 
+std::uint32_t
+PagedTable::AllocAppendPageLocked(PageType type)
+{
+    if (!free_pages_.empty()) {
+        const std::uint32_t id = free_pages_.back();
+        free_pages_.pop_back();
+        // The page's on-disk bytes may be torn garbage from a crashed
+        // commit: drop any stale frame and re-stamp it without ever
+        // reading it.
+        pool_.Invalidate(id);
+        pager_.Reinit(id, type);
+        ++recovery_stats_.pages_reused;
+        return id;
+    }
+    return pager_.Alloc(type);
+}
+
+std::uint32_t
+PagedTable::EnsureWritableTailLocked(std::vector<std::uint32_t>& pages,
+                                     PageType type)
+{
+    const std::uint32_t id = pages.back();
+    if (committed_pages_.count(id) == 0) {
+        return id;  // already private to the in-memory generation
+    }
+    // The committed generation references this page; writing into it
+    // in place would tear the generation a mid-commit crash rolls
+    // back to. Shadow-copy it to a private page first (the committed
+    // one is freed when the next commit lands).
+    const std::uint32_t fresh = AllocAppendPageLocked(type);
+    {
+        PageHandle src = pool_.Pin(id);
+        PageHandle dst = pool_.Pin(fresh);
+        const std::size_t payload = PagePayloadBytes(pager_.page_size());
+        std::memcpy(dst.MutablePayload(), src.payload(), payload);
+        HeaderOf(dst.MutableData())->payload_bytes =
+            HeaderOf(src.data())->payload_bytes;
+    }
+    pages.back() = fresh;
+    committed_pages_.erase(id);
+    pending_free_.push_back(id);
+    return fresh;
+}
+
 void
 PagedTable::AppendRow(const float* features, std::size_t n, float label)
 {
@@ -239,11 +319,14 @@ PagedTable::AppendRow(const float* features, std::size_t n, float label)
     const std::size_t slot =
         static_cast<std::size_t>(num_rows_ % rows_per_page_);
     if (slot == 0) {
-        data_pages_.push_back(pager_.Alloc(PageType::kFeatures));
+        data_pages_.push_back(
+            AllocAppendPageLocked(PageType::kFeatures));
         zones_.emplace_back(feature_cols_, ZoneRange{});
     }
     {
-        PageHandle handle = pool_.Pin(data_pages_.back());
+        const std::uint32_t target =
+            EnsureWritableTailLocked(data_pages_, PageType::kFeatures);
+        PageHandle handle = pool_.Pin(target);
         auto* dst = reinterpret_cast<float*>(handle.MutablePayload()) +
                     slot * feature_cols_;
         std::memcpy(dst, features, feature_cols_ * sizeof(float));
@@ -267,18 +350,39 @@ PagedTable::AppendRow(const float* features, std::size_t n, float label)
         const std::size_t lslot =
             static_cast<std::size_t>(num_rows_ % labels_per_page_);
         if (lslot == 0) {
-            label_pages_.push_back(pager_.Alloc(PageType::kLabels));
+            label_pages_.push_back(
+                AllocAppendPageLocked(PageType::kLabels));
         }
-        PageHandle handle = pool_.Pin(label_pages_.back());
+        const std::uint32_t target =
+            EnsureWritableTailLocked(label_pages_, PageType::kLabels);
+        PageHandle handle = pool_.Pin(target);
         reinterpret_cast<float*>(handle.MutablePayload())[lslot] = label;
         HeaderOf(handle.MutableData())->payload_bytes =
             static_cast<std::uint32_t>((lslot + 1) * sizeof(float));
     }
     ++num_rows_;
+    dirty_ = true;
 }
 
 std::uint32_t
-PagedTable::WriteChainLocked(const std::vector<std::uint32_t>& ids)
+PagedTable::TakeCommitPageLocked(std::vector<std::uint32_t>& available,
+                                 PageType type)
+{
+    if (!available.empty()) {
+        const std::uint32_t id = available.back();
+        available.pop_back();
+        pool_.Invalidate(id);
+        pager_.Reinit(id, type);
+        ++recovery_stats_.pages_reused;
+        return id;
+    }
+    return pager_.Alloc(type);
+}
+
+std::uint32_t
+PagedTable::WriteChainLocked(const std::vector<std::uint32_t>& ids,
+                             std::vector<std::uint32_t>& available,
+                             std::vector<std::uint32_t>& chain_pages)
 {
     if (ids.empty()) {
         return 0;  // page 0 is the superblock: a safe null
@@ -290,7 +394,8 @@ PagedTable::WriteChainLocked(const std::vector<std::uint32_t>& ids)
     const std::size_t num_pages = (ids.size() + per_page - 1) / per_page;
     std::vector<std::uint32_t> chain(num_pages);
     for (std::uint32_t& id : chain) {
-        id = pager_.Alloc(PageType::kDirectory);
+        id = TakeCommitPageLocked(available, PageType::kDirectory);
+        chain_pages.push_back(id);
     }
     for (std::size_t p = 0; p < num_pages; ++p) {
         const std::size_t begin = p * per_page;
@@ -310,12 +415,16 @@ PagedTable::WriteChainLocked(const std::vector<std::uint32_t>& ids)
 }
 
 std::vector<std::uint32_t>
-PagedTable::ReadChainLocked(std::uint32_t head)
+PagedTable::ReadChainLocked(std::uint32_t head,
+                            std::vector<std::uint32_t>* chain_pages)
 {
     std::vector<std::uint32_t> ids;
     const std::size_t payload = PagePayloadBytes(pager_.page_size());
     std::uint32_t page = head;
     while (page != 0) {
+        if (chain_pages != nullptr) {
+            chain_pages->push_back(page);
+        }
         PageHandle handle = pool_.Pin(page);
         PayloadReader reader(handle.payload(), payload);
         const auto next = reader.Get<std::uint32_t>();
@@ -329,7 +438,8 @@ PagedTable::ReadChainLocked(std::uint32_t head)
 }
 
 std::uint32_t
-PagedTable::WriteZoneChainLocked()
+PagedTable::WriteZoneChainLocked(std::vector<std::uint32_t>& available,
+                                 std::vector<std::uint32_t>& chain_pages)
 {
     if (zones_.empty()) {
         return 0;
@@ -348,7 +458,8 @@ PagedTable::WriteZoneChainLocked()
         (zones_.size() + per_page - 1) / per_page;
     std::vector<std::uint32_t> chain(num_pages);
     for (std::uint32_t& id : chain) {
-        id = pager_.Alloc(PageType::kZoneMap);
+        id = TakeCommitPageLocked(available, PageType::kZoneMap);
+        chain_pages.push_back(id);
     }
     for (std::size_t p = 0; p < num_pages; ++p) {
         const std::size_t begin = p * per_page;
@@ -369,13 +480,17 @@ PagedTable::WriteZoneChainLocked()
 }
 
 void
-PagedTable::ReadZoneChainLocked(std::uint32_t head)
+PagedTable::ReadZoneChainLocked(std::uint32_t head,
+                                std::vector<std::uint32_t>* chain_pages)
 {
     zones_.clear();
     const std::size_t payload = PagePayloadBytes(pager_.page_size());
     const std::size_t entry_bytes = feature_cols_ * sizeof(ZoneRange);
     std::uint32_t page = head;
     while (page != 0) {
+        if (chain_pages != nullptr) {
+            chain_pages->push_back(page);
+        }
         PageHandle handle = pool_.Pin(page);
         PayloadReader reader(handle.payload(), payload);
         const auto next = reader.Get<std::uint32_t>();
@@ -389,65 +504,223 @@ PagedTable::ReadZoneChainLocked(std::uint32_t head)
     }
 }
 
-void
-PagedTable::WriteMetaLocked()
+std::uint32_t
+PagedTable::WriteFreeListLocked(std::vector<std::uint32_t>& contents,
+                                std::vector<std::uint32_t>& available,
+                                std::vector<std::uint32_t>& chain_pages)
 {
-    // Chains first, meta last: the meta page is the commit point, so a
-    // crash mid-flush leaves the previous generation intact.
-    const std::uint32_t data_head = WriteChainLocked(data_pages_);
-    const std::uint32_t label_head = WriteChainLocked(label_pages_);
-    const std::uint32_t zone_head = WriteZoneChainLocked();
-    {
-        PageHandle handle = pool_.Pin(kMetaPageId);
-        const std::size_t payload = PagePayloadBytes(pager_.page_size());
-        PayloadWriter writer(handle.MutablePayload(), payload);
-        writer.Put<std::uint64_t>(num_rows_);
-        writer.Put<std::uint32_t>(
-            static_cast<std::uint32_t>(columns_.size()));
-        writer.Put<std::uint32_t>(static_cast<std::uint32_t>(label_col_));
-        writer.Put<std::uint32_t>(
-            static_cast<std::uint32_t>(rows_per_page_));
-        writer.Put<std::uint32_t>(data_head);
-        writer.Put<std::uint32_t>(label_head);
-        writer.Put<std::uint32_t>(zone_head);
-        for (const std::string& name : columns_) {
-            writer.Put<std::uint16_t>(
-                static_cast<std::uint16_t>(name.size()));
-            writer.PutBytes(name.data(), name.size());
+    if (contents.empty() && available.empty()) {
+        return 0;
+    }
+    const std::size_t payload = PagePayloadBytes(pager_.page_size());
+    const std::size_t per_page =
+        (payload - 2 * sizeof(std::uint32_t)) / sizeof(std::uint32_t);
+    // The chain pages for the free list are drawn from `available` —
+    // pages already free in the *committed* generation, which a
+    // rollback can never need — which is what stops the file from
+    // growing on every commit just to record what is free. Pages in
+    // `contents` (generation g's dead chains and the data pages this
+    // generation shadow-copied out of g) are recorded but never
+    // written: a crash before the commit point must leave them intact
+    // so recovery can roll back to g. Whatever drawing leaves of
+    // `available` joins the recorded contents. The page count is sized
+    // against the pre-draw total, so drawing can only leave the tail
+    // page short, never overflow it.
+    const std::size_t total = contents.size() + available.size();
+    const std::size_t num_pages = (total + per_page - 1) / per_page;
+    std::vector<std::uint32_t> chain(num_pages);
+    for (std::uint32_t& id : chain) {
+        if (!available.empty()) {
+            id = available.back();
+            available.pop_back();
+            pool_.Invalidate(id);
+            pager_.Reinit(id, PageType::kFreeList);
+            ++recovery_stats_.pages_reused;
+        } else {
+            id = pager_.Alloc(PageType::kFreeList);
         }
+        chain_pages.push_back(id);
+    }
+    contents.insert(contents.end(), available.begin(), available.end());
+    available.clear();
+    if (contents.empty()) {
+        // Drawing the chain pages drained the set: nothing to record.
+        // The (already re-stamped) chain pages stay reusable in memory
+        // but are simply dropped from the persistent list — they are
+        // unreachable and the next recovery sweep re-collects them.
+        for (const std::uint32_t id : chain) {
+            contents.push_back(id);
+        }
+        return 0;
+    }
+    for (std::size_t p = 0; p < num_pages; ++p) {
+        const std::size_t begin = p * per_page;
+        const std::size_t count =
+            begin >= contents.size()
+                ? 0
+                : std::min(per_page, contents.size() - begin);
+        PageHandle handle = pool_.Pin(chain[p]);
+        PayloadWriter writer(handle.MutablePayload(), payload);
+        writer.Put<std::uint32_t>(
+            p + 1 < num_pages ? chain[p + 1] : 0);
+        writer.Put<std::uint32_t>(static_cast<std::uint32_t>(count));
+        writer.PutBytes(contents.data() + begin,
+                        count * sizeof(std::uint32_t));
         HeaderOf(handle.MutableData())->payload_bytes =
             static_cast<std::uint32_t>(writer.offset());
     }
-    pool_.FlushAll();
+    return chain[0];
 }
 
 void
-PagedTable::LoadMetaLocked()
+PagedTable::WriteMetaSlotLocked(std::uint64_t generation,
+                                std::uint32_t data_head,
+                                std::uint32_t label_head,
+                                std::uint32_t zone_head,
+                                std::uint32_t free_head)
 {
-    PageHandle handle = pool_.Pin(kMetaPageId);
-    if (HeaderOf(handle.data())->type !=
-        static_cast<std::uint16_t>(PageType::kTableMeta)) {
-        throw DataCorruption("paged table: page 1 of '" + path() +
-                             "' is not a table-meta page");
+    const std::uint32_t slot = SlotForGeneration(generation);
+    std::vector<std::uint8_t> page(pager_.page_size());
+    InitPage(page.data(), pager_.page_size(), slot, PageType::kTableMeta);
+    PayloadWriter writer(PayloadOf(page.data()),
+                         PagePayloadBytes(pager_.page_size()));
+    writer.Put<std::uint64_t>(generation);
+    writer.Put<std::uint64_t>(num_rows_);
+    writer.Put<std::uint32_t>(static_cast<std::uint32_t>(columns_.size()));
+    writer.Put<std::uint32_t>(static_cast<std::uint32_t>(label_col_));
+    writer.Put<std::uint32_t>(static_cast<std::uint32_t>(rows_per_page_));
+    writer.Put<std::uint32_t>(data_head);
+    writer.Put<std::uint32_t>(label_head);
+    writer.Put<std::uint32_t>(zone_head);
+    writer.Put<std::uint32_t>(free_head);
+    for (const std::string& name : columns_) {
+        writer.Put<std::uint16_t>(static_cast<std::uint16_t>(name.size()));
+        writer.PutBytes(name.data(), name.size());
     }
-    const std::size_t payload = PagePayloadBytes(pager_.page_size());
-    PayloadReader reader(handle.payload(), payload);
-    num_rows_ = reader.Get<std::uint64_t>();
-    const auto num_cols = reader.Get<std::uint32_t>();
-    label_col_ = reader.Get<std::uint32_t>();
-    rows_per_page_ = reader.Get<std::uint32_t>();
-    const auto data_head = reader.Get<std::uint32_t>();
-    const auto label_head = reader.Get<std::uint32_t>();
-    const auto zone_head = reader.Get<std::uint32_t>();
-    columns_.clear();
-    for (std::uint32_t i = 0; i < num_cols; ++i) {
-        const auto len = reader.Get<std::uint16_t>();
-        std::string name(len, '\0');
-        reader.GetBytes(name.data(), len);
-        columns_.push_back(std::move(name));
+    HeaderOf(page.data())->payload_bytes =
+        static_cast<std::uint32_t>(writer.offset());
+    // The atomic commit point: its own fault site so chaos plans can
+    // kill exactly this write. Meta slots bypass the buffer pool — the
+    // commit's ordering depends on this write landing *after* the
+    // barrier below, which pool caching would obscure.
+    pager_.Write(slot, page.data(), fault::FaultSite::kMetaCommit);
+}
+
+void
+PagedTable::CommitLocked()
+{
+    // Ordered commit (DESIGN.md §16). Steps 1-3 write generation g+1's
+    // pages without touching anything generation g references; step 4
+    // barriers them; step 5 writes the g+1 meta slot (atomic commit
+    // point); step 6 barriers that. A crash anywhere leaves g (before
+    // step 5) or g+1 (after) fully intact on disk.
+    const std::uint64_t next_gen = generation_ + 1;
+
+    // 1. Chains, allocated from pages that are free in generation g.
+    std::vector<std::uint32_t> available = free_pages_;
+    std::vector<std::uint32_t> new_meta_pages;
+    const std::uint32_t data_head =
+        WriteChainLocked(data_pages_, available, new_meta_pages);
+    const std::uint32_t label_head =
+        WriteChainLocked(label_pages_, available, new_meta_pages);
+    const std::uint32_t zone_head =
+        WriteZoneChainLocked(available, new_meta_pages);
+
+    // 2. The free set of g+1: pages this generation shadow-copied out
+    // of g and g's own chain/free-list pages (dead once g+1 commits) —
+    // the dead-chain compaction. These are only *recorded*: generation
+    // g still references them, so nothing may overwrite them until the
+    // commit point lands.
+    std::vector<std::uint32_t> next_free = pending_free_;
+    next_free.insert(next_free.end(), meta_chain_pages_.begin(),
+                     meta_chain_pages_.end());
+
+    // 3. Persist the free list. Its chain pages are drawn from what is
+    // left of `available` (free in g, safe to overwrite); the
+    // leftovers then join the recorded contents.
+    std::vector<std::uint32_t> freelist_pages;
+    const std::uint32_t free_head =
+        WriteFreeListLocked(next_free, available, freelist_pages);
+
+    // 4. Barrier: every g+1 page is durable before the commit point.
+    pool_.FlushAll();
+
+    // 5. The atomic commit point.
+    WriteMetaSlotLocked(next_gen, data_head, label_head, zone_head,
+                        free_head);
+
+    // 6. Barrier the commit record itself.
+    pager_.Sync();
+
+    // Success: adopt g+1 in memory.
+    generation_ = next_gen;
+    free_pages_ = std::move(next_free);
+    meta_chain_pages_ = std::move(new_meta_pages);
+    meta_chain_pages_.insert(meta_chain_pages_.end(),
+                             freelist_pages.begin(), freelist_pages.end());
+    pending_free_.clear();
+    committed_pages_.clear();
+    committed_pages_.insert(data_pages_.begin(), data_pages_.end());
+    committed_pages_.insert(label_pages_.begin(), label_pages_.end());
+    dirty_ = false;
+}
+
+PagedTable::SlotState
+PagedTable::ReadMetaSlotLocked(std::uint32_t slot, MetaSnapshot& snap)
+{
+    std::vector<std::uint8_t> page(pager_.page_size());
+    try {
+        pager_.Read(slot, page.data());
+    } catch (const DataCorruption&) {
+        return SlotState::kCorrupt;  // torn commit write
     }
+    const PageHeader* header = HeaderOf(page.data());
+    if (header->payload_bytes == 0) {
+        return SlotState::kNeverWritten;  // pre-first-commit slot
+    }
+    if (header->type != static_cast<std::uint16_t>(PageType::kTableMeta)) {
+        return SlotState::kCorrupt;
+    }
+    const std::size_t capacity =
+        std::min<std::size_t>(header->payload_bytes,
+                              PagePayloadBytes(pager_.page_size()));
+    try {
+        PayloadReader reader(PayloadOf(page.data()), capacity);
+        snap.generation = reader.Get<std::uint64_t>();
+        snap.num_rows = reader.Get<std::uint64_t>();
+        const auto num_cols = reader.Get<std::uint32_t>();
+        snap.label_col = reader.Get<std::uint32_t>();
+        snap.rows_per_page = reader.Get<std::uint32_t>();
+        snap.data_head = reader.Get<std::uint32_t>();
+        snap.label_head = reader.Get<std::uint32_t>();
+        snap.zone_head = reader.Get<std::uint32_t>();
+        snap.free_head = reader.Get<std::uint32_t>();
+        snap.columns.clear();
+        for (std::uint32_t i = 0; i < num_cols; ++i) {
+            const auto len = reader.Get<std::uint16_t>();
+            std::string name(len, '\0');
+            reader.GetBytes(name.data(), len);
+            snap.columns.push_back(std::move(name));
+        }
+    } catch (const DataCorruption&) {
+        return SlotState::kCorrupt;
+    }
+    if (snap.generation == 0 || SlotForGeneration(snap.generation) != slot) {
+        return SlotState::kCorrupt;  // commit written to the wrong slot
+    }
+    return SlotState::kValid;
+}
+
+void
+PagedTable::AdoptSnapshotLocked(const MetaSnapshot& snap)
+{
+    columns_ = snap.columns;
+    label_col_ = snap.label_col;
+    num_rows_ = snap.num_rows;
+    rows_per_page_ = snap.rows_per_page;
     const bool labeled = label_col_ < columns_.size();
     feature_cols_ = columns_.size() - (labeled ? 1 : 0);
+    const std::size_t payload = PagePayloadBytes(pager_.page_size());
     labels_per_page_ = payload / sizeof(float);
     const std::size_t expected_rpp =
         feature_cols_ == 0 ? 0 : payload / (feature_cols_ * sizeof(float));
@@ -457,10 +730,12 @@ PagedTable::LoadMetaLocked()
                       "match geometry (%zu)",
                       path().c_str(), rows_per_page_, expected_rpp));
     }
-    handle.Release();
-    data_pages_ = ReadChainLocked(data_head);
-    label_pages_ = ReadChainLocked(label_head);
-    ReadZoneChainLocked(zone_head);
+    std::vector<std::uint32_t> chain_pages;
+    data_pages_ = ReadChainLocked(snap.data_head, &chain_pages);
+    label_pages_ = ReadChainLocked(snap.label_head, &chain_pages);
+    ReadZoneChainLocked(snap.zone_head, &chain_pages);
+    free_pages_ = ReadChainLocked(snap.free_head, &chain_pages);
+    meta_chain_pages_ = std::move(chain_pages);
     const std::uint64_t expected_pages =
         (num_rows_ + rows_per_page_ - 1) / rows_per_page_;
     if (data_pages_.size() != expected_pages ||
@@ -474,13 +749,208 @@ PagedTable::LoadMetaLocked()
                       path().c_str(), data_pages_.size(), zones_.size(),
                       static_cast<unsigned long long>(num_rows_)));
     }
+    generation_ = snap.generation;
+    pending_free_.clear();
+    committed_pages_.clear();
+    committed_pages_.insert(data_pages_.begin(), data_pages_.end());
+    committed_pages_.insert(label_pages_.begin(), label_pages_.end());
+    dirty_ = false;
+}
+
+std::uint32_t
+PagedTable::SweepOrphansLocked()
+{
+    const std::uint32_t num_pages = pager_.num_pages();
+    std::vector<char> reachable(num_pages, 0);
+    auto mark = [&reachable, num_pages](std::uint32_t id) {
+        if (id < num_pages) {
+            reachable[id] = 1;
+        }
+    };
+    mark(0);
+    mark(kMetaSlotA);
+    mark(kMetaSlotB);
+    for (const std::uint32_t id : data_pages_) mark(id);
+    for (const std::uint32_t id : label_pages_) mark(id);
+    for (const std::uint32_t id : meta_chain_pages_) mark(id);
+    for (const std::uint32_t id : free_pages_) mark(id);
+    for (const std::uint32_t id : pending_free_) mark(id);
+    std::uint32_t orphans = 0;
+    for (std::uint32_t id = 0; id < num_pages; ++id) {
+        if (reachable[id] == 0) {
+            // Unreachable from the committed generation: debris of a
+            // crashed or failed commit. Safe to reuse — reclaim it.
+            free_pages_.push_back(id);
+            ++orphans;
+        }
+    }
+    return orphans;
+}
+
+void
+PagedTable::RecoverOnOpenLocked()
+{
+    trace::TraceCollector& tracer = trace::TraceCollector::Get();
+    const double wall_start = tracer.NowWallMicros();
+
+    if (pager_.num_pages() < kMetaSlotB + 1) {
+        throw DataCorruption("paged table '" + path() +
+                             "' is too small to hold its meta slots");
+    }
+    MetaSnapshot snaps[2];
+    SlotState states[2];
+    states[0] = ReadMetaSlotLocked(kMetaSlotA, snaps[0]);
+    states[1] = ReadMetaSlotLocked(kMetaSlotB, snaps[1]);
+    std::uint32_t corrupt_slots = 0;
+    std::vector<int> candidates;
+    for (int i = 0; i < 2; ++i) {
+        if (states[i] == SlotState::kCorrupt) {
+            ++corrupt_slots;
+        } else if (states[i] == SlotState::kValid) {
+            candidates.push_back(i);
+        }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&snaps](int a, int b) {
+                  return snaps[a].generation > snaps[b].generation;
+              });
+    bool adopted = false;
+    bool skipped_newer = false;
+    for (const int slot : candidates) {
+        try {
+            AdoptSnapshotLocked(snaps[slot]);
+            adopted = true;
+            break;
+        } catch (const Error&) {
+            // This generation's chains are unreadable (its commit died
+            // mid-flight, or a page rotted): roll back to the other.
+            skipped_newer = true;
+        }
+    }
+    if (!adopted) {
+        throw DataCorruption(
+            StrFormat("paged table %s: no committed generation survives "
+                      "(%u torn meta slot(s))",
+                      path().c_str(), corrupt_slots));
+    }
+    const bool rolled_back = corrupt_slots > 0 || skipped_newer;
+    const std::uint32_t orphans = SweepOrphansLocked();
+    if (orphans > 0) {
+        // Persist the reclaim so repeated crash/recover cycles reuse
+        // the same pages instead of growing the file without bound.
+        CommitLocked();
+    }
+    ++recovery_stats_.recoveries;
+    if (rolled_back) {
+        ++recovery_stats_.rollbacks;
+    }
+    recovery_stats_.orphans_reclaimed += orphans;
+    last_recovery_ = RecoveryReport{};
+    last_recovery_.generation = generation_;
+    last_recovery_.rolled_back = rolled_back;
+    last_recovery_.corrupt_meta_slots = corrupt_slots;
+    last_recovery_.orphans_reclaimed = orphans;
+    last_recovery_.free_pages =
+        static_cast<std::uint32_t>(free_pages_.size());
+    last_recovery_.performed = rolled_back || orphans > 0;
+    tracer.EmitWall(
+        trace::StageKind::kRecovery, "recover-on-open",
+        trace::TraceCollector::Current(), wall_start,
+        tracer.NowWallMicros() - wall_start,
+        {{"generation", static_cast<double>(generation_)},
+         {"rolled_back", rolled_back ? 1.0 : 0.0},
+         {"orphans_reclaimed", static_cast<double>(orphans)}});
+}
+
+RecoveryReport
+PagedTable::Recover()
+{
+    trace::TraceCollector& tracer = trace::TraceCollector::Get();
+    const double wall_start = tracer.NowWallMicros();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (dirty_) {
+        CommitLocked();  // make "reachable" mean "committed"
+    }
+    const std::uint32_t orphans = SweepOrphansLocked();
+    if (orphans > 0) {
+        CommitLocked();
+    }
+    ++recovery_stats_.recoveries;
+    recovery_stats_.orphans_reclaimed += orphans;
+    last_recovery_ = RecoveryReport{};
+    last_recovery_.generation = generation_;
+    last_recovery_.orphans_reclaimed = orphans;
+    last_recovery_.free_pages =
+        static_cast<std::uint32_t>(free_pages_.size());
+    last_recovery_.performed = orphans > 0;
+    tracer.EmitWall(
+        trace::StageKind::kRecovery, "recover",
+        trace::TraceCollector::Current(), wall_start,
+        tracer.NowWallMicros() - wall_start,
+        {{"generation", static_cast<double>(generation_)},
+         {"orphans_reclaimed", static_cast<double>(orphans)}});
+    return last_recovery_;
+}
+
+ScrubReport
+PagedTable::Scrub() const
+{
+    trace::TraceCollector& tracer = trace::TraceCollector::Get();
+    const double wall_start = tracer.NowWallMicros();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ScrubReport report;
+    // Every page the committed generation can reach. The inactive
+    // meta slot and free-listed pages are allowed to hold garbage
+    // (that is the design), so they are not scrubbed.
+    std::vector<std::uint32_t> targets;
+    targets.push_back(0);
+    if (generation_ > 0) {
+        targets.push_back(SlotForGeneration(generation_));
+    }
+    targets.insert(targets.end(), meta_chain_pages_.begin(),
+                   meta_chain_pages_.end());
+    targets.insert(targets.end(), data_pages_.begin(), data_pages_.end());
+    targets.insert(targets.end(), label_pages_.begin(),
+                   label_pages_.end());
+    std::vector<std::uint8_t> page(pager_.page_size());
+    for (const std::uint32_t id : targets) {
+        try {
+            // Straight from the file, not the pool: a scrub must see
+            // what is actually on disk, not a cached frame.
+            pager_.Read(id, page.data());
+            ++report.pages_checked;
+        } catch (const DataCorruption&) {
+            ++report.pages_checked;
+            report.corrupt_pages.push_back(id);
+        }
+    }
+    ++recovery_stats_.scrubs;
+    recovery_stats_.scrub_corruptions += report.corrupt_pages.size();
+    for (const std::uint32_t id : report.corrupt_pages) {
+        if (std::find(quarantined_.begin(), quarantined_.end(), id) ==
+            quarantined_.end()) {
+            quarantined_.push_back(id);
+        }
+    }
+    tracer.EmitWall(
+        trace::StageKind::kScrub, "scrub",
+        trace::TraceCollector::Current(), wall_start,
+        tracer.NowWallMicros() - wall_start,
+        {{"pages_checked", static_cast<double>(report.pages_checked)},
+         {"corrupt", static_cast<double>(report.corrupt_pages.size())}});
+    return report;
 }
 
 void
 PagedTable::Flush()
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    WriteMetaLocked();
+    if (!dirty_) {
+        return;  // nothing new: the committed generation stands
+    }
+    CommitLocked();
 }
 
 float
@@ -589,8 +1059,11 @@ PagedTable::Stats() const
     stats.pages_pruned = pages_pruned_.load(std::memory_order_relaxed);
     stats.pool_pages = pool_.capacity();
     std::lock_guard<std::mutex> lock(mutex_);
+    stats.recovery = recovery_stats_;
     stats.num_rows = num_rows_;
     stats.data_pages = data_pages_.size();
+    stats.generation = generation_;
+    stats.free_pages = free_pages_.size();
     return stats;
 }
 
@@ -601,6 +1074,8 @@ PagedTable::ResetStats()
     pager_.ResetStats();
     pages_scanned_.store(0, std::memory_order_relaxed);
     pages_pruned_.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    recovery_stats_ = RecoveryStats{};
 }
 
 }  // namespace dbscore::storage

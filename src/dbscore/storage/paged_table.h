@@ -4,9 +4,10 @@
  *
  * Layout (all pages checksummed by the pager):
  *  - page 0: pager superblock;
- *  - page 1: table meta (row/column counts, label column, column
- *    names, heads of the three chains below) — rewritten in place on
- *    Flush();
+ *  - pages 1 and 2: double-buffered table-meta slots (row/column
+ *    counts, label column, column names, generation counter, heads of
+ *    the four chains below). Generation g lives in slot 1 + (g % 2),
+ *    so a commit never overwrites the newest committed meta;
  *  - kFeatures pages: row-major float32 feature rows, a fixed
  *    rows_per_page per page (PAX-lite row groups: rows stay compact so
  *    a page maps 1:1 onto a contiguous RowView, while zone maps are
@@ -15,13 +16,27 @@
  *  - kDirectory pages: chained u32 page-id lists for the feature and
  *    label chains;
  *  - kZoneMap pages: chained per-data-page {min,max} pairs per feature
- *    column.
+ *    column;
+ *  - kFreeList pages: chained u32 ids of reclaimable pages.
  *
- * Directory and zone chains are rewritten (freshly allocated) on each
- * Flush(); superseded chain pages become dead space. That trades file
- * compactness for a dead-simple crash story — the meta page is the
- * single commit point — and scoring workloads flush once after bulk
- * load, so the waste is one chain generation.
+ * Commit protocol (DESIGN.md §16): Flush() writes data, directory,
+ * zone, and free-list pages first, barriers them (Pager::Sync), then
+ * writes generation g+1 into the *other* meta slot and barriers
+ * again. The meta-slot write is the atomic commit point: a crash
+ * anywhere before it leaves the slot for g intact, and the torn slot
+ * (caught by its checksum) rolls the table back to g on the next
+ * Open(). Chains are rewritten each commit; the pages the previous
+ * generation used for chains — plus data pages shadow-copied out of
+ * the committed generation before being appended to — go onto the
+ * next commit's persistent free list, where recovery-reclaimed
+ * orphans also land, so the file stops growing once a steady state
+ * of appends/crashes is reached (the dead-chain compaction remnant
+ * of ROADMAP item 3).
+ *
+ * Recovery: Open() always recovers — newest valid meta slot wins,
+ * torn slots roll back, and an orphan sweep (pages unreachable from
+ * the committed generation) refills the free list. Scrub() re-reads
+ * every reachable page and quarantines checksum failures.
  *
  * Zone maps are memory-resident once loaded; Scan() with a predicate
  * skips whole pages whose [min,max] for the predicate column cannot
@@ -48,21 +63,32 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "dbscore/data/row_block.h"
 #include "dbscore/storage/buffer_pool.h"
 #include "dbscore/storage/pager.h"
+#include "dbscore/storage/recovery.h"
 
 namespace dbscore::storage {
 
 /** Knobs for the paged data plane (page file + pool sizing). */
 struct StorageOptions {
     std::size_t page_size = kDefaultPageSize;
-    /** Buffer pool capacity, in pages. */
+    /** Buffer pool capacity, in pages (appends to a committed table
+     * shadow-copy the tail page and briefly pin two frames, so give
+     * the pool at least 2). */
     std::size_t pool_pages = 64;
     /** Transient injected read faults retried this many times. */
     int read_retries = 2;
+    /** Durability barrier strength for Flush() (see pager.h). kFlush
+     * keeps the old bench-friendly no-barrier behaviour; kFsync makes
+     * the commit protocol survive a system crash. */
+    SyncMode sync_mode = SyncMode::kFlush;
+    /** Run Scrub() during Open() and fail the attach (DataCorruption)
+     * when any reachable page is corrupt. */
+    bool scrub_on_attach = false;
 };
 
 /** Per-column [min,max] over one data page. */
@@ -141,11 +167,16 @@ class FeatureStream {
 struct StorageStats {
     BufferPoolStats pool;
     PagerStats pager;
+    RecoveryStats recovery;
     std::uint64_t pages_scanned = 0;
     std::uint64_t pages_pruned = 0;
     std::uint64_t num_rows = 0;
     std::size_t data_pages = 0;
     std::size_t pool_pages = 0;
+    /** Committed generation the table serves. */
+    std::uint64_t generation = 0;
+    /** Reusable pages on the in-memory free list right now. */
+    std::size_t free_pages = 0;
 };
 
 /** One on-disk feature table. Create via Create()/Open() only. */
@@ -161,7 +192,14 @@ class PagedTable : public std::enable_shared_from_this<PagedTable> {
         const std::string& path, std::vector<std::string> columns,
         std::size_t label_col, const StorageOptions& options = {});
 
-    /** Opens an existing page file and loads meta/directory/zones. */
+    /**
+     * Opens an existing page file and loads meta/directory/zones.
+     * Always runs recovery (RecoverOnOpen): adopt the newest valid
+     * meta slot, roll back past torn commits, reclaim orphan pages
+     * into the free list (persisting the reclaim when it found any).
+     * last_recovery() reports what happened.
+     * @throws DataCorruption when no committed generation survives
+     */
     static std::shared_ptr<PagedTable> Open(
         const std::string& path, const StorageOptions& options = {});
 
@@ -181,8 +219,36 @@ class PagedTable : public std::enable_shared_from_this<PagedTable> {
      */
     void AppendRow(const float* features, std::size_t n, float label);
 
-    /** Writes meta + chains and flushes every dirty frame to disk. */
+    /**
+     * Commits the in-memory state as generation g+1: data + chain +
+     * free-list pages are written and barriered before the meta slot,
+     * so a crash at any point leaves a committed generation behind.
+     * A no-op when nothing changed since the last commit.
+     */
     void Flush();
+
+    /**
+     * On-demand orphan sweep: commits pending appends, then reclaims
+     * any page unreachable from the committed generation (debris of a
+     * commit that died with an IoError) into the free list. Open()
+     * already does this, so a healthy table reports nothing to do.
+     */
+    RecoveryReport Recover();
+
+    /** What Open()'s recovery (or the last Recover()) found. */
+    RecoveryReport last_recovery() const;
+
+    /**
+     * Online integrity pass: re-reads every page reachable from the
+     * committed generation straight from the file (bypassing pool
+     * frames) and verifies its checksum. Corrupt pages are reported
+     * and quarantined (listed in the report + counted in stats);
+     * reads of them keep failing loudly with DataCorruption.
+     */
+    ScrubReport Scrub() const;
+
+    /** Committed generation currently served. */
+    std::uint64_t generation() const;
 
     /** Feature value (pool read — may fault in a page). */
     float Feature(std::uint64_t row, std::size_t feature_col) const;
@@ -206,15 +272,68 @@ class PagedTable : public std::enable_shared_from_this<PagedTable> {
  private:
     friend class FeatureStream;
 
+    /** Parsed contents of one meta slot. */
+    struct MetaSnapshot {
+        std::uint64_t generation = 0;
+        std::uint64_t num_rows = 0;
+        std::vector<std::string> columns;
+        std::size_t label_col = 0;
+        std::size_t rows_per_page = 0;
+        std::uint32_t data_head = 0;
+        std::uint32_t label_head = 0;
+        std::uint32_t zone_head = 0;
+        std::uint32_t free_head = 0;
+    };
+
+    /** What a meta slot held on disk. */
+    enum class SlotState {
+        kNeverWritten,  ///< valid page, zero payload (pre-first-commit)
+        kValid,         ///< checksummed + parseable
+        kCorrupt,       ///< torn write / checksum or parse failure
+    };
+
     PagedTable(const std::string& path, const StorageOptions& options,
                bool create);
 
-    void WriteMetaLocked();
-    void LoadMetaLocked();
-    std::uint32_t WriteChainLocked(const std::vector<std::uint32_t>& ids);
-    std::vector<std::uint32_t> ReadChainLocked(std::uint32_t head);
-    std::uint32_t WriteZoneChainLocked();
-    void ReadZoneChainLocked(std::uint32_t head);
+    /** The ordered commit: chains + free list, barrier, meta, barrier. */
+    void CommitLocked();
+    /** Meta-slot write for @p generation (the atomic commit point). */
+    void WriteMetaSlotLocked(std::uint64_t generation,
+                             std::uint32_t data_head,
+                             std::uint32_t label_head,
+                             std::uint32_t zone_head,
+                             std::uint32_t free_head);
+    SlotState ReadMetaSlotLocked(std::uint32_t slot, MetaSnapshot& snap);
+    /** Loads chains/zones/free list of @p snap into memory. */
+    void AdoptSnapshotLocked(const MetaSnapshot& snap);
+    /** RecoverOnOpen: newest valid slot, rollback, orphan sweep. */
+    void RecoverOnOpenLocked();
+    /** Marks reachable pages, folds the rest into free_pages_. */
+    std::uint32_t SweepOrphansLocked();
+    /** Free-list-aware page allocation for appends/shadow copies. */
+    std::uint32_t AllocAppendPageLocked(PageType type);
+    /** Pops @p available (Reinit) or appends a fresh page. */
+    std::uint32_t TakeCommitPageLocked(std::vector<std::uint32_t>& available,
+                                       PageType type);
+    /** Shadow-copies the committed tail page before mutating it. */
+    std::uint32_t EnsureWritableTailLocked(
+        std::vector<std::uint32_t>& pages, PageType type);
+    std::uint32_t WriteChainLocked(const std::vector<std::uint32_t>& ids,
+                                   std::vector<std::uint32_t>& available,
+                                   std::vector<std::uint32_t>& chain_pages);
+    std::vector<std::uint32_t> ReadChainLocked(
+        std::uint32_t head, std::vector<std::uint32_t>* chain_pages);
+    std::uint32_t WriteZoneChainLocked(
+        std::vector<std::uint32_t>& available,
+        std::vector<std::uint32_t>& chain_pages);
+    void ReadZoneChainLocked(std::uint32_t head,
+                             std::vector<std::uint32_t>* chain_pages);
+    /** Records @p contents + leftover @p available; chain pages are
+     * drawn from @p available only (rollback safety). */
+    std::uint32_t WriteFreeListLocked(
+        std::vector<std::uint32_t>& contents,
+        std::vector<std::uint32_t>& available,
+        std::vector<std::uint32_t>& chain_pages);
     std::size_t RowsInPage(std::size_t page_index,
                            std::uint64_t num_rows) const;
 
@@ -231,6 +350,26 @@ class PagedTable : public std::enable_shared_from_this<PagedTable> {
     std::vector<std::uint32_t> data_pages_;
     std::vector<std::uint32_t> label_pages_;
     std::vector<std::vector<ZoneRange>> zones_;
+
+    /** Committed generation on disk (0 = nothing committed yet). */
+    std::uint64_t generation_ = 0;
+    /** Pages free in the committed generation — safe to reuse now. */
+    std::vector<std::uint32_t> free_pages_;
+    /** Chain + free-list pages of the committed generation (they die,
+     * and become reusable, when the next commit supersedes them). */
+    std::vector<std::uint32_t> meta_chain_pages_;
+    /** Pages freed by this in-memory generation (shadow-copied data
+     * pages): free only once the next commit lands. */
+    std::vector<std::uint32_t> pending_free_;
+    /** Data/label pages the committed generation references; appending
+     * into one requires a shadow copy first. */
+    std::unordered_set<std::uint32_t> committed_pages_;
+    /** Uncommitted appends since the last commit. */
+    bool dirty_ = false;
+    RecoveryReport last_recovery_;
+    mutable RecoveryStats recovery_stats_;
+    /** Pages a Scrub() found corrupt (reads still fail loudly). */
+    mutable std::vector<std::uint32_t> quarantined_;
 
     mutable std::atomic<std::uint64_t> pages_scanned_{0};
     mutable std::atomic<std::uint64_t> pages_pruned_{0};

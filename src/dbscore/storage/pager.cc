@@ -1,11 +1,14 @@
 #include "dbscore/storage/pager.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstring>
 #include <vector>
 
 #include "dbscore/common/error.h"
 #include "dbscore/common/string_util.h"
-#include "dbscore/fault/fault.h"
 #include "dbscore/trace/trace.h"
 
 namespace dbscore::storage {
@@ -23,10 +26,22 @@ constexpr std::uint32_t kSuperblockMagic = 0x44425342u;
 
 }  // namespace
 
+const char*
+SyncModeName(SyncMode mode)
+{
+    switch (mode) {
+    case SyncMode::kNone: return "none";
+    case SyncMode::kFlush: return "flush";
+    case SyncMode::kFsync: return "fsync";
+    }
+    return "?";
+}
+
 Pager::Pager(std::string path, const Options& options)
     : path_(std::move(path)),
       page_size_(options.page_size),
-      read_retries_(options.read_retries)
+      read_retries_(options.read_retries),
+      sync_mode_(options.sync_mode)
 {
     if (options.create) {
         if (page_size_ < kMinPageSize) {
@@ -34,16 +49,10 @@ Pager::Pager(std::string path, const Options& options)
                 StrFormat("pager %s: page size %zu below minimum %zu",
                           path_.c_str(), page_size_, kMinPageSize));
         }
-        // Truncate, then reopen read/write.
-        std::ofstream create(path_,
-                             std::ios::binary | std::ios::trunc);
-        if (!create) {
-            throw IoError("pager: cannot create '" + path_ + "'");
-        }
-        create.close();
-        file_.open(path_, std::ios::binary | std::ios::in | std::ios::out);
-        if (!file_) {
-            throw IoError("pager: cannot open '" + path_ + "'");
+        fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+        if (fd_ < 0) {
+            throw IoError("pager: cannot create '" + path_ + "': " +
+                          std::strerror(errno));
         }
         // Page 0: the superblock.
         std::vector<std::uint8_t> page(page_size_);
@@ -55,18 +64,22 @@ Pager::Pager(std::string path, const Options& options)
         num_pages_ = 1;
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            WriteLocked(0, page.data());
+            WriteLocked(0, page.data(), fault::FaultSite::kStorageWrite);
         }
         stats_ = PagerStats{};  // creation I/O is not workload I/O
         return;
     }
 
-    file_.open(path_, std::ios::binary | std::ios::in | std::ios::out);
-    if (!file_) {
-        throw IoError("pager: cannot open '" + path_ + "'");
+    fd_ = ::open(path_.c_str(), O_RDWR);
+    if (fd_ < 0) {
+        throw IoError("pager: cannot open '" + path_ + "': " +
+                      std::strerror(errno));
     }
-    file_.seekg(0, std::ios::end);
-    const auto file_bytes = static_cast<std::uint64_t>(file_.tellg());
+    const off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end < 0) {
+        throw IoError("pager: cannot size '" + path_ + "'");
+    }
+    const auto file_bytes = static_cast<std::uint64_t>(end);
     if (file_bytes < kMinPageSize) {
         throw DataCorruption("pager: '" + path_ +
                              "' is too small to hold a superblock");
@@ -74,10 +87,8 @@ Pager::Pager(std::string path, const Options& options)
     // Bootstrap: read the header + superblock at the minimum page size
     // to learn the file's real page size, then re-check.
     std::vector<std::uint8_t> boot(kMinPageSize);
-    file_.seekg(0);
-    file_.read(reinterpret_cast<char*>(boot.data()),
-               static_cast<std::streamsize>(boot.size()));
-    if (!file_) {
+    if (::pread(fd_, boot.data(), boot.size(), 0) !=
+        static_cast<ssize_t>(boot.size())) {
         throw IoError("pager: short read of superblock in '" + path_ + "'");
     }
     const PageHeader* header = HeaderOf(boot.data());
@@ -88,28 +99,60 @@ Pager::Pager(std::string path, const Options& options)
                              "' is not a dbscore page file");
     }
     page_size_ = sb.page_size;
-    if (page_size_ < kMinPageSize || file_bytes % page_size_ != 0) {
+    if (page_size_ < kMinPageSize || file_bytes < page_size_) {
         throw DataCorruption(
-            StrFormat("pager %s: file size %llu is not a multiple of "
-                      "page size %zu",
-                      path_.c_str(),
-                      static_cast<unsigned long long>(file_bytes),
-                      page_size_));
+            StrFormat("pager %s: superblock page size %zu is invalid "
+                      "for a %llu-byte file",
+                      path_.c_str(), page_size_,
+                      static_cast<unsigned long long>(file_bytes)));
     }
+    // A crash can tear the write that was *extending* the file,
+    // leaving a partial page past the last full one. That page was
+    // never reachable from a committed generation (data is barriered
+    // before the commit point), so drop it rather than reject the
+    // file: count it as a torn write and truncate to the last full
+    // page boundary.
     num_pages_ = static_cast<std::uint32_t>(file_bytes / page_size_);
-    file_.clear();
+    const bool torn_tail = file_bytes % page_size_ != 0;
+    if (torn_tail &&
+        ::ftruncate(fd_, static_cast<off_t>(num_pages_) *
+                             static_cast<off_t>(page_size_)) != 0) {
+        throw IoError("pager: cannot truncate torn tail of '" + path_ +
+                      "': " + std::strerror(errno));
+    }
     // Full integrity check of page 0 at the real page size.
     std::vector<std::uint8_t> page(page_size_);
     Read(0, page.data());
     stats_ = PagerStats{};
+    stats_.torn_writes = torn_tail ? 1 : 0;
 }
 
 Pager::~Pager()
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (file_.is_open()) {
-        file_.flush();
+    if (fd_ >= 0) {
+        // Writes went straight to the fd; nothing buffered to flush.
+        // After a simulated crash, close without any further I/O —
+        // completing the interrupted commit here would undo the crash.
+        ::close(fd_);
+        fd_ = -1;
     }
+}
+
+void
+Pager::ThrowIfCrashedLocked() const
+{
+    if (crashed_) {
+        throw IoError("pager '" + path_ +
+                      "': simulated crash — reopen the file to recover");
+    }
+}
+
+bool
+Pager::crashed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return crashed_;
 }
 
 std::uint32_t
@@ -119,30 +162,76 @@ Pager::num_pages() const
     return num_pages_;
 }
 
+void
+Pager::RawReadLocked(std::uint32_t page_id, std::uint8_t* buf)
+{
+    const auto offset = static_cast<off_t>(
+        static_cast<std::uint64_t>(page_id) * page_size_);
+    std::size_t done = 0;
+    while (done < page_size_) {
+        const ssize_t n = ::pread(fd_, buf + done, page_size_ - done,
+                                  offset + static_cast<off_t>(done));
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) {
+                continue;
+            }
+            throw IoError(StrFormat("pager %s: short read of page %u",
+                                    path_.c_str(), page_id));
+        }
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+void
+Pager::RawWriteLocked(std::uint32_t page_id, const std::uint8_t* buf,
+                      std::size_t len)
+{
+    const auto offset = static_cast<off_t>(
+        static_cast<std::uint64_t>(page_id) * page_size_);
+    std::size_t done = 0;
+    while (done < len) {
+        const ssize_t n = ::pwrite(fd_, buf + done, len - done,
+                                   offset + static_cast<off_t>(done));
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) {
+                continue;
+            }
+            throw IoError(StrFormat("pager %s: short write of page %u: %s",
+                                    path_.c_str(), page_id,
+                                    std::strerror(errno)));
+        }
+        done += static_cast<std::size_t>(n);
+    }
+}
+
 std::uint32_t
 Pager::Alloc(PageType type)
 {
     std::vector<std::uint8_t> page(page_size_);
     std::lock_guard<std::mutex> lock(mutex_);
+    ThrowIfCrashedLocked();
     const std::uint32_t id = num_pages_;
     InitPage(page.data(), page_size_, id, type);
-    WriteLocked(id, page.data());
+    WriteLocked(id, page.data(), fault::FaultSite::kStorageWrite);
     ++num_pages_;
     ++stats_.allocs;
     return id;
 }
 
 void
-Pager::SeekTo(std::uint32_t page_id, bool for_write)
+Pager::Reinit(std::uint32_t page_id, PageType type)
 {
-    const auto offset = static_cast<std::streamoff>(
-        static_cast<std::uint64_t>(page_id) * page_size_);
-    file_.clear();
-    if (for_write) {
-        file_.seekp(offset);
-    } else {
-        file_.seekg(offset);
+    std::vector<std::uint8_t> page(page_size_);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ThrowIfCrashedLocked();
+    if (page_id == 0 || page_id >= num_pages_) {
+        throw InvalidArgument(
+            StrFormat("pager %s: reinit of page %u out of range "
+                      "(%u pages)",
+                      path_.c_str(), page_id, num_pages_));
     }
+    InitPage(page.data(), page_size_, page_id, type);
+    WriteLocked(page_id, page.data(), fault::FaultSite::kStorageWrite);
 }
 
 void
@@ -153,6 +242,7 @@ Pager::Read(std::uint32_t page_id, std::uint8_t* buf)
     fault::FaultInjector& injector = fault::FaultInjector::Get();
 
     std::lock_guard<std::mutex> lock(mutex_);
+    ThrowIfCrashedLocked();
     if (page_id >= num_pages_) {
         throw InvalidArgument(
             StrFormat("pager %s: read of page %u past end (%u pages)",
@@ -180,13 +270,7 @@ Pager::Read(std::uint32_t page_id, std::uint8_t* buf)
         }
         break;
     }
-    SeekTo(page_id, /*for_write=*/false);
-    file_.read(reinterpret_cast<char*>(buf),
-               static_cast<std::streamsize>(page_size_));
-    if (!file_) {
-        throw IoError(StrFormat("pager %s: short read of page %u",
-                                path_.c_str(), page_id));
-    }
+    RawReadLocked(page_id, buf);
     const PageHeader* header = HeaderOf(buf);
     const std::uint64_t expected = ComputePageChecksum(buf, page_size_);
     if (header->magic != kPageMagic || header->page_id != page_id ||
@@ -210,19 +294,22 @@ Pager::Read(std::uint32_t page_id, std::uint8_t* buf)
 }
 
 void
-Pager::Write(std::uint32_t page_id, std::uint8_t* buf)
+Pager::Write(std::uint32_t page_id, std::uint8_t* buf,
+             fault::FaultSite site)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    ThrowIfCrashedLocked();
     if (page_id >= num_pages_) {
         throw InvalidArgument(
             StrFormat("pager %s: write of page %u past end (%u pages)",
                       path_.c_str(), page_id, num_pages_));
     }
-    WriteLocked(page_id, buf);
+    WriteLocked(page_id, buf, site);
 }
 
 void
-Pager::WriteLocked(std::uint32_t page_id, std::uint8_t* buf)
+Pager::WriteLocked(std::uint32_t page_id, std::uint8_t* buf,
+                   fault::FaultSite site)
 {
     trace::TraceCollector& tracer = trace::TraceCollector::Get();
     const double wall_start = tracer.NowWallMicros();
@@ -235,13 +322,33 @@ Pager::WriteLocked(std::uint32_t page_id, std::uint8_t* buf)
     }
     header->checksum = 0;
     header->checksum = ComputePageChecksum(buf, page_size_);
-    SeekTo(page_id, /*for_write=*/true);
-    file_.write(reinterpret_cast<const char*>(buf),
-                static_cast<std::streamsize>(page_size_));
-    if (!file_) {
-        throw IoError(StrFormat("pager %s: short write of page %u",
-                                path_.c_str(), page_id));
+    // Crash point: a firing kStorageWrite/kMetaCommit trigger models
+    // the process dying mid-write — only the first half of the page
+    // reaches the file, and within that prefix the header's checksum
+    // sector is garbled (sectors land in any order, so the checksum
+    // need not be the part that survived). Garbling it keeps the tear
+    // deterministic: without it, a page whose live payload fits the
+    // written prefix — a meta slot, say — would checksum clean against
+    // a stale-but-identical tail and silently complete the commit.
+    // The pager is dead until the file is reopened.
+    fault::FaultInjector& injector = fault::FaultInjector::Get();
+    if (injector.active()) {
+        try {
+            injector.Check(site);
+        } catch (const fault::FaultInjected&) {
+            header->checksum ^= 0xDEADBEEFDEADBEEFull;
+            RawWriteLocked(page_id, buf, page_size_ / 2);
+            crashed_ = true;
+            ++stats_.torn_writes;
+            tracer.EmitWall(trace::StageKind::kFault,
+                            fault::FaultSiteName(site),
+                            trace::TraceCollector::Current(), wall_start,
+                            tracer.NowWallMicros() - wall_start,
+                            {{"page_id", static_cast<double>(page_id)}});
+            throw;
+        }
     }
+    RawWriteLocked(page_id, buf, page_size_);
     ++stats_.writes;
     tracer.EmitWall(trace::StageKind::kPageWrite, "page-write",
                     trace::TraceCollector::Current(), wall_start,
@@ -254,10 +361,36 @@ void
 Pager::Sync()
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    file_.flush();
-    if (!file_) {
-        throw IoError("pager: flush failed for '" + path_ + "'");
+    ThrowIfCrashedLocked();
+    // Crash point: dying at the barrier. Every pwrite before it is
+    // already in the kernel, so nothing tears — the commit simply
+    // never reaches its meta write.
+    fault::FaultInjector& injector = fault::FaultInjector::Get();
+    if (injector.active()) {
+        try {
+            injector.Check(fault::FaultSite::kStorageSync);
+        } catch (const fault::FaultInjected&) {
+            crashed_ = true;
+            throw;
+        }
     }
+    switch (sync_mode_) {
+    case SyncMode::kNone:
+    case SyncMode::kFlush:
+        // fd writes are already with the kernel; no device barrier.
+        break;
+    case SyncMode::kFsync:
+#if defined(__linux__)
+        if (::fdatasync(fd_) != 0) {
+#else
+        if (::fsync(fd_) != 0) {
+#endif
+            throw IoError("pager: fsync failed for '" + path_ + "': " +
+                          std::strerror(errno));
+        }
+        break;
+    }
+    ++stats_.syncs;
 }
 
 PagerStats

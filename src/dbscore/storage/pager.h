@@ -10,39 +10,75 @@
  * checksum, so torn writes and bit rot surface as DataCorruption
  * instead of silent bad features.
  *
- * Resilience: each physical page read is a dbscore::fault injection
- * site (FaultSite::kStorageRead). Transient injected faults are
- * retried up to Options::read_retries times (counted in stats and
- * traced as kFault spans); sticky faults propagate to the caller like
- * a dead disk would.
+ * Durability contract (the crash-consistency plane builds on this):
+ * I/O is fd-based (pread/pwrite), so a completed Write() is in the OS
+ * page cache the moment it returns — it survives a *process* crash in
+ * every SyncMode. What survives a *system* crash (power loss, kernel
+ * panic) depends on Options::sync_mode:
+ *
+ *  - SyncMode::kNone  — Sync() is a no-op. Fastest; data reaches the
+ *    disk whenever the kernel feels like it. For benches and scratch
+ *    files only.
+ *  - SyncMode::kFlush — Sync() asserts the writes were handed to the
+ *    kernel but issues no device barrier (the old fstream::flush()
+ *    behaviour, kept as the default so bench workloads don't pay
+ *    fsync latency).
+ *  - SyncMode::kFsync — Sync() calls fdatasync(2): on return, every
+ *    page written before the barrier is on stable storage. This is
+ *    the mode the PagedTable commit protocol requires for real
+ *    crash safety; the ordered commit (chains → barrier → meta →
+ *    barrier) is only as strong as this barrier.
+ *
+ * Crash injection: physical reads gate on FaultSite::kStorageRead
+ * (transient faults retried up to Options::read_retries, sticky ones
+ * propagate). Writes gate on kStorageWrite (or kMetaCommit for
+ * commit-point writes) and barriers on kStorageSync: when one of those
+ * fires the pager *simulates process death at that instant* — the
+ * in-flight write is torn (only the first half of the page hits the
+ * file), the pager enters a crashed state where every later operation
+ * throws IoError, and the destructor skips all flushing. Reopening the
+ * file with a fresh Pager is the only way forward, which is exactly
+ * the recovery path PagedTable::Open() exercises.
  *
  * Observability: reads and writes emit wall-clock kPageRead /
  * kPageWrite trace spans, so file I/O shows up in the Fig-11-style
  * breakdown next to marshal and scoring time.
  *
  * Thread safety: all methods serialize on an internal mutex (one file
- * descriptor, seek+read I/O). Concurrency above this layer comes from
+ * descriptor; pread/pwrite are thread-safe but the page-count and
+ * crash bookkeeping are not). Concurrency above this layer comes from
  * the BufferPool caching frames in memory.
  */
 #ifndef DBSCORE_STORAGE_PAGER_H
 #define DBSCORE_STORAGE_PAGER_H
 
 #include <cstdint>
-#include <fstream>
 #include <mutex>
 #include <string>
 
+#include "dbscore/fault/fault.h"
 #include "dbscore/storage/page.h"
 
 namespace dbscore::storage {
+
+/** How strong a barrier Sync() provides (see the file comment). */
+enum class SyncMode : std::uint8_t {
+    kNone = 0,  ///< Sync() is a no-op
+    kFlush,     ///< writes reach the kernel; no device barrier
+    kFsync,     ///< Sync() = fdatasync(2): real durability barrier
+};
+
+const char* SyncModeName(SyncMode mode);
 
 /** Counters since the pager was opened. */
 struct PagerStats {
     std::uint64_t reads = 0;         ///< pages read (successful)
     std::uint64_t writes = 0;        ///< pages written
-    std::uint64_t allocs = 0;        ///< pages allocated
+    std::uint64_t allocs = 0;        ///< pages allocated (appended)
     std::uint64_t read_retries = 0;  ///< injected-fault retries
     std::uint64_t checksum_failures = 0;
+    std::uint64_t syncs = 0;         ///< Sync() barriers completed
+    std::uint64_t torn_writes = 0;   ///< injected crash-torn writes
 };
 
 /** One open page file. */
@@ -54,6 +90,8 @@ class Pager {
         bool create = false;
         /** Transient injected read faults retried this many times. */
         int read_retries = 2;
+        /** Durability barrier strength (see file comment). */
+        SyncMode sync_mode = SyncMode::kFlush;
     };
 
     /**
@@ -69,6 +107,7 @@ class Pager {
 
     const std::string& path() const { return path_; }
     std::size_t page_size() const { return page_size_; }
+    SyncMode sync_mode() const { return sync_mode_; }
 
     /** Pages in the file, including the superblock (page 0). */
     std::uint32_t num_pages() const;
@@ -81,37 +120,66 @@ class Pager {
     std::uint32_t Alloc(PageType type);
 
     /**
+     * Rewrites an *existing* page in place as a zeroed page of
+     * @p type — the recycling path for reclaimed free-list pages,
+     * whose on-disk bytes may be torn garbage from a crashed commit
+     * and therefore must be re-stamped without ever being read.
+     * @throws InvalidArgument on an out-of-range id
+     */
+    void Reinit(std::uint32_t page_id, PageType type);
+
+    /**
      * Reads page @p page_id into @p buf (page_size() bytes) and
      * verifies magic, self-id, and checksum.
      * @throws InvalidArgument on an out-of-range id
      * @throws DataCorruption on integrity failure (torn write)
      * @throws fault::FaultInjected when an injected sticky fault holds
      *         or transient retries are exhausted
+     * @throws IoError after an injected crash (reopen to recover)
      */
     void Read(std::uint32_t page_id, std::uint8_t* buf);
 
     /**
      * Stamps the checksum on @p buf (whose header must already carry
      * the right magic/id/type/payload_bytes) and writes it to disk.
+     * @p site names the crash-injection gate: ordinary page writes use
+     * kStorageWrite; the PagedTable commit point passes kMetaCommit so
+     * a chaos plan can kill precisely the meta-slot write.
      * @throws InvalidArgument if the header id disagrees with @p page_id
+     * @throws fault::FaultInjected when a crash plan fires (the write
+     *         is torn and the pager is dead until reopened)
      */
-    void Write(std::uint32_t page_id, std::uint8_t* buf);
+    void Write(std::uint32_t page_id, std::uint8_t* buf,
+               fault::FaultSite site = fault::FaultSite::kStorageWrite);
 
-    /** Flushes the underlying stream. */
+    /**
+     * Durability barrier per Options::sync_mode (see file comment).
+     * Always a kStorageSync crash-injection gate, whatever the mode.
+     */
     void Sync();
+
+    /** True after an injected crash killed this pager. */
+    bool crashed() const;
 
     PagerStats stats() const;
     void ResetStats();
 
  private:
-    void WriteLocked(std::uint32_t page_id, std::uint8_t* buf);
-    void SeekTo(std::uint32_t page_id, bool for_write);
+    void WriteLocked(std::uint32_t page_id, std::uint8_t* buf,
+                     fault::FaultSite site);
+    void ThrowIfCrashedLocked() const;
+    /** pread/pwrite the full page at @p page_id (no integrity logic). */
+    void RawReadLocked(std::uint32_t page_id, std::uint8_t* buf);
+    void RawWriteLocked(std::uint32_t page_id, const std::uint8_t* buf,
+                        std::size_t len);
 
     std::string path_;
     std::size_t page_size_;
     int read_retries_;
+    SyncMode sync_mode_;
     mutable std::mutex mutex_;
-    std::fstream file_;
+    int fd_ = -1;
+    bool crashed_ = false;
     std::uint32_t num_pages_ = 0;
     PagerStats stats_;
 };

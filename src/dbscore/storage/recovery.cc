@@ -1,0 +1,46 @@
+#include "dbscore/storage/recovery.h"
+
+#include "dbscore/common/string_util.h"
+
+namespace dbscore::storage {
+
+std::string
+RecoveryReport::Describe() const
+{
+    if (!performed) {
+        return StrFormat("generation %llu clean (%u free pages)",
+                         static_cast<unsigned long long>(generation),
+                         free_pages);
+    }
+    return StrFormat(
+        "recovered to generation %llu%s: %u orphan page(s) reclaimed, "
+        "%u torn meta slot(s), %u free pages",
+        static_cast<unsigned long long>(generation),
+        rolled_back ? " (rolled back)" : "", orphans_reclaimed,
+        corrupt_meta_slots, free_pages);
+}
+
+std::string
+ScrubReport::Describe() const
+{
+    if (clean()) {
+        return StrFormat("%llu page(s) verified, 0 corrupt",
+                         static_cast<unsigned long long>(pages_checked));
+    }
+    std::string ids;
+    for (std::size_t i = 0; i < corrupt_pages.size(); ++i) {
+        if (i > 0) {
+            ids += ",";
+        }
+        if (i == 8) {
+            ids += "...";
+            break;
+        }
+        ids += StrFormat("%u", corrupt_pages[i]);
+    }
+    return StrFormat("%llu page(s) verified, %zu corrupt (quarantined: %s)",
+                     static_cast<unsigned long long>(pages_checked),
+                     corrupt_pages.size(), ids.c_str());
+}
+
+}  // namespace dbscore::storage

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * dbscore::recovery — report types for the crash-consistency plane.
+ *
+ * PagedTable's ordered commit protocol (DESIGN.md §16) makes every
+ * Flush() an atomic generation switch: chains and data pages are
+ * written and barriered first, then one of two meta slots is stamped
+ * with generation g+1 and barriered. A crash at any write leaves the
+ * newest *valid* meta slot describing a fully-consistent generation,
+ * and PagedTable::Open() runs recovery unconditionally: pick the
+ * newest slot whose checksum and chain loads succeed, fall back to
+ * the other on a torn write, then sweep the file for orphan pages
+ * (allocated but unreachable from the committed generation — the
+ * debris of the crashed commit *and* of superseded chain
+ * generations) and fold them into the persistent free list for
+ * reuse.
+ *
+ * These structs are what that machinery reports — to tests, to
+ * `EXEC sp_storage_recover` / `sp_storage_scrub`, and to
+ * bench/wallclock_recovery.
+ */
+#ifndef DBSCORE_STORAGE_RECOVERY_H
+#define DBSCORE_STORAGE_RECOVERY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dbscore::storage {
+
+/** What PagedTable::Open()/Recover() found and did. */
+struct RecoveryReport {
+    /** The committed generation the table now serves. */
+    std::uint64_t generation = 0;
+    /** A newer meta slot existed but was torn/unloadable; the table
+     * rolled back to the previous committed generation. */
+    bool rolled_back = false;
+    /** Meta slots that failed their page checksum (torn commit). */
+    std::uint32_t corrupt_meta_slots = 0;
+    /** Pages unreachable from the committed generation, reclaimed
+     * into the free list by this recovery. */
+    std::uint32_t orphans_reclaimed = 0;
+    /** Free-list size after recovery. */
+    std::uint32_t free_pages = 0;
+    /** True when recovery changed anything (rollback or reclaim). */
+    bool performed = false;
+
+    /** One-line human summary (proc messages, logs). */
+    std::string Describe() const;
+};
+
+/** What one Scrub() pass over the reachable pages found. */
+struct ScrubReport {
+    /** Reachable pages whose checksums were verified. */
+    std::uint64_t pages_checked = 0;
+    /** Pages that failed verification, now quarantined. */
+    std::vector<std::uint32_t> corrupt_pages;
+
+    bool clean() const { return corrupt_pages.empty(); }
+
+    std::string Describe() const;
+};
+
+/** Lifetime recovery/scrub counters (part of StorageStats). */
+struct RecoveryStats {
+    std::uint64_t recoveries = 0;         ///< recovery passes run
+    std::uint64_t rollbacks = 0;          ///< generations rolled back
+    std::uint64_t orphans_reclaimed = 0;  ///< pages folded into free list
+    std::uint64_t pages_reused = 0;       ///< allocs served from free list
+    std::uint64_t scrubs = 0;             ///< scrub passes run
+    std::uint64_t scrub_corruptions = 0;  ///< corrupt pages found by scrubs
+};
+
+}  // namespace dbscore::storage
+
+#endif  // DBSCORE_STORAGE_RECOVERY_H

@@ -60,6 +60,8 @@ StageName(StageKind stage)
     case StageKind::kRegistryHit: return "registry-hit";
     case StageKind::kRegistryEvict: return "registry-evict";
     case StageKind::kAutoscale: return "autoscale";
+    case StageKind::kRecovery: return "recovery";
+    case StageKind::kScrub: return "scrub";
     }
     return "unknown";
 }
@@ -100,6 +102,8 @@ StagePaperComponent(StageKind stage)
     case StageKind::kRegistryHit: return "fleet: registry hit";
     case StageKind::kRegistryEvict: return "fleet: registry eviction";
     case StageKind::kAutoscale: return "fleet: autoscale";
+    case StageKind::kRecovery: return "storage: crash recovery";
+    case StageKind::kScrub: return "storage: scrub pass";
     default: return "-";
     }
 }

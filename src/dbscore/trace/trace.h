@@ -90,9 +90,11 @@ enum class StageKind : std::uint8_t {
     kRegistryHit,       ///< fleet: model served from the warm registry
     kRegistryEvict,     ///< fleet: model evicted under memory pressure
     kAutoscale,         ///< fleet: worker-pool lane count changed
+    kRecovery,          ///< storage: crash recovery on open (rollback/scan)
+    kScrub,             ///< storage: online checksum scrub pass
 };
 
-inline constexpr int kNumStageKinds = 33;
+inline constexpr int kNumStageKinds = 35;
 
 /** Stable lowercase-dash name, e.g. "queue-wait"; also the Chrome cat. */
 const char* StageName(StageKind stage);
